@@ -1,0 +1,49 @@
+// Command benchd runs the device-side benchmark agent (the "slave" of the
+// paper's Figure 2 master-slave rig) for one simulated device:
+//
+//	benchd -device Q845
+//
+// It prints the adb endpoint a bench master connects to. The agent wires a
+// Monsoon-style power monitor to the device's supply rail and keeps the
+// screen on with the black-background app, per the measurement
+// methodology.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/gaugenn/gaugenn/internal/bench"
+	"github.com/gaugenn/gaugenn/internal/power"
+	"github.com/gaugenn/gaugenn/internal/soc"
+)
+
+func main() {
+	device := flag.String("device", "Q845", "device model (A20, A70, S21, Q845, Q855, Q888)")
+	flag.Parse()
+
+	dev, err := soc.NewDevice(*device)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchd:", err)
+		os.Exit(1)
+	}
+	usb := power.NewUSBSwitch()
+	mon := power.NewMonitor()
+	agent := bench.NewAgent(dev, usb, mon)
+	addr, err := agent.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchd:", err)
+		os.Exit(1)
+	}
+	defer agent.Close()
+	fmt.Printf("benchd: %s (%s) agent listening on %s\n", dev.Model, dev.SoC.Name, addr)
+	fmt.Println("benchd: note — this process owns the USB switch; in-process masters must share it")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("benchd: shutting down")
+}

@@ -1,0 +1,239 @@
+// Command gaugenn drives the full measurement study from the terminal:
+//
+//	gaugenn study   -seed 42 -scale 0.05 [-http] [-out DIR]
+//	gaugenn bench   -device Q845 -backend cpu -model m.tflite [-threads 4]
+//	gaugenn devices
+//
+// "study" runs crawl -> extract -> analyse for both snapshots and prints
+// the Table 2/3 and Figure 4/5/6/7/15 summaries; "bench" measures one
+// model file on one simulated device; "devices" lists Table 1 profiles.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/gaugenn/gaugenn/internal/bench"
+	"github.com/gaugenn/gaugenn/internal/core"
+	"github.com/gaugenn/gaugenn/internal/nn/zoo"
+	"github.com/gaugenn/gaugenn/internal/power"
+	"github.com/gaugenn/gaugenn/internal/report"
+	"github.com/gaugenn/gaugenn/internal/soc"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "study":
+		err = runStudy(os.Args[2:])
+	case "bench":
+		err = runBench(os.Args[2:])
+	case "devices":
+		err = runDevices()
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gaugenn:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  gaugenn study   -seed N -scale F [-http] [-out DIR]
+  gaugenn bench   -device MODEL -backend NAME -model FILE [-threads N] [-batch N] [-runs N]
+  gaugenn devices`)
+}
+
+func runStudy(args []string) error {
+	fs := flag.NewFlagSet("study", flag.ExitOnError)
+	seed := fs.Int64("seed", 42, "store generation seed")
+	scale := fs.Float64("scale", 0.05, "store scale (1.0 = paper scale)")
+	useHTTP := fs.Bool("http", false, "crawl through the store HTTP API")
+	out := fs.String("out", "", "directory for report files (stdout if empty)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := core.DefaultConfig(*seed, *scale)
+	cfg.UseHTTP = *useHTTP
+	start := time.Now()
+	lastStage := ""
+	cfg.Progress = func(stage string, done, total int) {
+		if stage != lastStage {
+			if lastStage != "" {
+				fmt.Fprintln(os.Stderr)
+			}
+			lastStage = stage
+		}
+		if done == total || done%500 == 0 {
+			fmt.Fprintf(os.Stderr, "\r%s: %d/%d apps", stage, done, total)
+		}
+	}
+	res, err := core.RunStudy(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "\nstudy complete in %v\n", time.Since(start).Round(time.Millisecond))
+
+	emit := func(name, content string) error {
+		if *out == "" {
+			fmt.Println(content)
+			return nil
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(*out, name), []byte(content), 0o644)
+	}
+
+	d20, d21 := res.Corpus20.Dataset(), res.Corpus21.Dataset()
+	table2 := report.Table("Table 2: dataset snapshots",
+		[]string{"", "Snapshot '20", "Snapshot '21"},
+		[][]string{
+			{"Total Apps", fmt.Sprint(d20.TotalApps), fmt.Sprint(d21.TotalApps)},
+			{"Apps w/ frameworks", fmt.Sprint(d20.AppsWithFw), fmt.Sprint(d21.AppsWithFw)},
+			{"Apps w/ models", fmt.Sprint(d20.AppsWithModels), fmt.Sprint(d21.AppsWithModels)},
+			{"Total models", fmt.Sprint(d20.TotalModels), fmt.Sprint(d21.TotalModels)},
+			{"Unique models", fmt.Sprint(d20.UniqueModels), fmt.Sprint(d21.UniqueModels)},
+		})
+	if err := emit("table2.txt", table2); err != nil {
+		return err
+	}
+
+	rows, identified := res.Corpus21.TaskBreakdown(true)
+	trows := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		trows = append(trows, []string{r.Task.String(), r.Task.Modality().String(), fmt.Sprint(r.Count)})
+	}
+	table3 := report.Table(
+		fmt.Sprintf("Table 3: task classification (%d identified of %d)", identified, res.Corpus21.TotalModels()),
+		[]string{"task", "modality", "models"}, trows)
+	if err := emit("table3.txt", table3); err != nil {
+		return err
+	}
+
+	fw := map[string]int{}
+	for cat, m := range res.Corpus21.FrameworkByCategory() {
+		for f, n := range m {
+			fw[cat+"/"+f] += n
+		}
+	}
+	if err := emit("fig4.txt", report.CountBars("Figure 4: models per category/framework", fw)); err != nil {
+		return err
+	}
+
+	churn := map[string]int{}
+	for _, row := range core.TemporalDiffRows(res) {
+		churn[row.Category+" +"] = row.Added
+		churn[row.Category+" -"] = row.Removed
+	}
+	if err := emit("fig5.txt", report.CountBars("Figure 5: models added(+)/removed(-)", churn)); err != nil {
+		return err
+	}
+
+	perAPI, g, a, total := res.Corpus21.CloudAPIUsage()
+	fig15 := report.CountBars(
+		fmt.Sprintf("Figure 15: cloud ML APIs (%d apps: %d Google, %d AWS)", total, g, a), perAPI)
+	return emit("fig15.txt", fig15)
+}
+
+func runBench(args []string) error {
+	fs := flag.NewFlagSet("bench", flag.ExitOnError)
+	device := fs.String("device", "Q845", "device model (see `gaugenn devices`)")
+	backend := fs.String("backend", "cpu", "runtime backend")
+	model := fs.String("model", "", "model file (tflite/dlc/onnx/tf bytes)")
+	threads := fs.Int("threads", 4, "CPU threads")
+	batch := fs.Int("batch", 1, "batch size")
+	runs := fs.Int("runs", 10, "measured inferences")
+	demo := fs.String("demo", "", "benchmark a built-in demo model (task name, e.g. 'face detection') instead of -model")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var data []byte
+	name := *model
+	if *demo != "" {
+		task := zoo.TaskUnknown
+		for _, t := range zoo.AllTasks() {
+			if t.String() == *demo {
+				task = t
+			}
+		}
+		if task == zoo.TaskUnknown {
+			return fmt.Errorf("unknown demo task %q", *demo)
+		}
+		bm, err := demoModel(task)
+		if err != nil {
+			return err
+		}
+		data, name = bm, *demo
+	} else {
+		if *model == "" {
+			return fmt.Errorf("need -model FILE or -demo TASK")
+		}
+		var err error
+		data, err = os.ReadFile(*model)
+		if err != nil {
+			return err
+		}
+	}
+	dev, err := soc.NewDevice(*device)
+	if err != nil {
+		return err
+	}
+	mon := power.NewMonitor()
+	agent := bench.NewAgent(dev, nil, mon)
+	res := agent.ExecuteJob(bench.Job{
+		ID: "cli", ModelName: name, Model: data,
+		Backend: *backend, Threads: *threads, Batch: *batch,
+		Warmup: 2, Runs: *runs,
+	})
+	if res.Error != "" {
+		return fmt.Errorf("%s", res.Error)
+	}
+	fmt.Printf("device=%s backend=%s model=%s\n", res.Device, res.Backend, res.ModelName)
+	fmt.Printf("mean latency : %v\n", res.MeanLatency().Round(time.Microsecond))
+	fmt.Printf("mean energy  : %.3f mJ/inference\n", res.MeanEnergymJ())
+	fmt.Printf("efficiency   : %.1f MFLOP/sW\n", res.EfficiencyMFLOPsW())
+	fmt.Printf("avg power    : %.3f W (monitor: %.1f mJ total)\n", res.AvgPowerW, res.MonitorEnergyMJ)
+	fmt.Printf("flops        : %d, fallback ops: %d, throttled: %v\n", res.FLOPs, res.FallbackOps, res.Throttled)
+	return nil
+}
+
+func demoModel(task zoo.Task) ([]byte, error) {
+	g, err := zoo.Build(zoo.Spec{Task: task, Seed: 1, Hinted: true})
+	if err != nil {
+		return nil, err
+	}
+	return core.EncodeTFLite(g)
+}
+
+func runDevices() error {
+	rows := [][]string{}
+	for _, m := range soc.AllDeviceModels() {
+		d, err := soc.NewDevice(m)
+		if err != nil {
+			return err
+		}
+		bat := "N/A"
+		if d.BatterymAh > 0 {
+			bat = fmt.Sprintf("%d mAh", d.BatterymAh)
+		}
+		kind := "phone"
+		if d.OpenDeck {
+			kind = "open-deck HDK"
+		}
+		rows = append(rows, []string{d.Model, d.SoC.Name, fmt.Sprintf("%d GB", d.RAMGB), bat, kind})
+	}
+	fmt.Print(report.Table("Table 1: device specifications",
+		[]string{"model", "SoC", "RAM", "battery", "form"}, rows))
+	return nil
+}

@@ -1,0 +1,59 @@
+// Command storegen generates a synthetic Play Store snapshot and serves it
+// over the device-facing HTTP API, for driving the crawler interactively:
+//
+//	storegen -seed 42 -scale 0.05 -listen 127.0.0.1:8443 [-year 2021]
+//
+// Point a crawler at the printed base URL; requests must carry User-Agent
+// and X-DFE-Locale headers, as the real store's do.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+
+	"github.com/gaugenn/gaugenn/internal/playstore"
+)
+
+func main() {
+	seed := flag.Int64("seed", 42, "generation seed")
+	scale := flag.Float64("scale", 0.05, "store scale (1.0 = paper scale)")
+	listen := flag.String("listen", "127.0.0.1:0", "listen address")
+	year := flag.Int("year", 2021, "snapshot year (2020 or 2021)")
+	flag.Parse()
+
+	study, err := playstore.GenerateStudy(playstore.DefaultConfig(*seed, *scale))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "storegen:", err)
+		os.Exit(1)
+	}
+	snap := study.Snap21
+	if *year == 2020 {
+		snap = study.Snap20
+	} else if *year != 2021 {
+		fmt.Fprintln(os.Stderr, "storegen: -year must be 2020 or 2021")
+		os.Exit(2)
+	}
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "storegen:", err)
+		os.Exit(1)
+	}
+	models := 0
+	mlApps := 0
+	for _, a := range snap.Apps {
+		models += len(a.Models)
+		if a.HasML() {
+			mlApps++
+		}
+	}
+	fmt.Printf("serving %s (%d apps, %d ML apps, %d model instances) on http://%s\n",
+		snap.Label, len(snap.Apps), mlApps, models, ln.Addr())
+	srv := &http.Server{Handler: playstore.NewServer(snap)}
+	if err := srv.Serve(ln); err != nil {
+		fmt.Fprintln(os.Stderr, "storegen:", err)
+		os.Exit(1)
+	}
+}

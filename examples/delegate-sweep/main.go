@@ -1,0 +1,97 @@
+// Delegate-sweep reproduces Figures 13 and 14 on the Q845 HDK: CPU
+// runtimes (plain vs XNNPACK vs NNAPI) and SNPE hardware targets (CPU,
+// GPU, DSP) over a model population — driven through the full TCP
+// master-slave harness, USB power cycling and Monsoon-style energy
+// capture, exactly as Figure 3 choreographs it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"github.com/gaugenn/gaugenn/internal/bench"
+	"github.com/gaugenn/gaugenn/internal/core"
+	"github.com/gaugenn/gaugenn/internal/nn/zoo"
+	"github.com/gaugenn/gaugenn/internal/power"
+	"github.com/gaugenn/gaugenn/internal/report"
+	"github.com/gaugenn/gaugenn/internal/soc"
+	"github.com/gaugenn/gaugenn/internal/stats"
+)
+
+func main() {
+	// Model population: vision-heavy, like the commonly-compatible subset
+	// the paper sweeps.
+	rng := rand.New(rand.NewSource(2024))
+	tasks := []zoo.Task{
+		zoo.TaskObjectDetection, zoo.TaskFaceDetection, zoo.TaskImageClassification,
+		zoo.TaskSemanticSegmentation, zoo.TaskContourDetection, zoo.TaskPhotoBeauty,
+	}
+	var jobs []bench.Job
+	for i := 0; i < 18; i++ {
+		task := tasks[i%len(tasks)]
+		g, err := zoo.Build(zoo.Spec{Task: task, Seed: int64(i + 1), Opts: zoo.DefaultOptsFor(task, rng)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		data, err := core.EncodeTFLite(g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		jobs = append(jobs, bench.Job{ModelName: g.Name, Model: data, Threads: 4, Warmup: 2, Runs: 5})
+	}
+
+	// Device rig: agent + USB switch + monitor, driven by a master over
+	// TCP (the real harness path).
+	dev, err := soc.NewDevice("Q845")
+	if err != nil {
+		log.Fatal(err)
+	}
+	usb := power.NewUSBSwitch()
+	mon := power.NewMonitor()
+	agent := bench.NewAgent(dev, usb, mon)
+	addr, err := agent.Start()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer agent.Close()
+	master := bench.NewMaster(addr, usb)
+
+	sweep := []string{"cpu", "xnnpack", "nnapi", "gpu", "snpe-cpu", "snpe-gpu", "snpe-dsp"}
+	meanLat := map[string]float64{}
+	meanEng := map[string]float64{}
+	for _, backend := range sweep {
+		var lats, engs []float64
+		batch := make([]bench.Job, len(jobs))
+		for i, j := range jobs {
+			j.ID = fmt.Sprintf("%s-%d", backend, i)
+			j.Backend = backend
+			batch[i] = j
+		}
+		dev.Reset()
+		results, err := master.RunJobs(batch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Error != "" {
+				continue
+			}
+			lats = append(lats, r.MeanLatency().Seconds()*1000)
+			engs = append(engs, r.MeanEnergymJ())
+		}
+		meanLat[backend] = stats.Mean(lats)
+		meanEng[backend] = stats.Mean(engs)
+		fmt.Print(report.ECDFSummary("latency "+backend, lats, "ms"))
+	}
+
+	fmt.Println()
+	fmt.Print(report.Comparisons("Figure 13/14 speedups vs plain CPU (Q845)", []report.Comparison{
+		{Metric: "XNNPACK speedup", Paper: 1.03, Measured: meanLat["cpu"] / meanLat["xnnpack"], Unit: "x"},
+		{Metric: "NNAPI relative speed", Paper: 0.49, Measured: meanLat["cpu"] / meanLat["nnapi"], Unit: "x"},
+		{Metric: "SNPE DSP speedup", Paper: 5.72, Measured: meanLat["cpu"] / meanLat["snpe-dsp"], Unit: "x"},
+		{Metric: "SNPE GPU speedup", Paper: 2.28, Measured: meanLat["cpu"] / meanLat["snpe-gpu"], Unit: "x"},
+		{Metric: "SNPE GPU vs GPU delegate", Paper: 1.19, Measured: meanLat["gpu"] / meanLat["snpe-gpu"], Unit: "x"},
+		{Metric: "DSP energy advantage", Paper: 20.3, Measured: meanEng["cpu"] / meanEng["snpe-dsp"], Unit: "x"},
+	}))
+}

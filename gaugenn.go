@@ -1,0 +1,76 @@
+// Package gaugenn is a full reproduction of "Smart at what cost?
+// Characterising Mobile Deep Neural Networks in the wild" (ACM IMC 2021):
+// the gaugeNN measurement pipeline — store crawling, APK model extraction
+// and validation, offline DNN analysis, and on-device latency/energy
+// benchmarking — rebuilt on synthetic but mechanism-faithful substrates
+// (a generated Play Store, structural model formats, and simulated mobile
+// SoCs wired to a virtual power monitor). See DESIGN.md for the substrate
+// inventory and EXPERIMENTS.md for paper-vs-measured results.
+//
+// Quick start:
+//
+//	res, err := gaugenn.RunStudy(gaugenn.DefaultConfig(42, 0.05))
+//	if err != nil { ... }
+//	fmt.Println(res.Corpus21.Dataset()) // Table 2's 2021 column
+//
+// The three stages can also be driven independently: see RunStudy for the
+// crawl+extract+analyse path, SelectBenchModels/DeviceRun for on-device
+// benchmarking, and the Scenario helpers for Table 4's use-case energy.
+package gaugenn
+
+import (
+	"github.com/gaugenn/gaugenn/internal/analysis"
+	"github.com/gaugenn/gaugenn/internal/bench"
+	"github.com/gaugenn/gaugenn/internal/core"
+	"github.com/gaugenn/gaugenn/internal/nn/graph"
+	"github.com/gaugenn/gaugenn/internal/nn/zoo"
+	"github.com/gaugenn/gaugenn/internal/soc"
+)
+
+// Config parameterises a study run; see core.Config.
+type Config = core.Config
+
+// StudyResult holds both analysed snapshots; see core.StudyResult.
+type StudyResult = core.StudyResult
+
+// Corpus is an analysed snapshot (records, uniques, app signals).
+type Corpus = analysis.Corpus
+
+// BenchModel is a model selected for on-device benchmarking.
+type BenchModel = core.BenchModel
+
+// JobResult is one on-device measurement record.
+type JobResult = bench.JobResult
+
+// Task identifies a model's use case (Table 3 taxonomy).
+type Task = zoo.Task
+
+// Modality is a model's input modality (image/text/audio/sensor).
+type Modality = graph.Modality
+
+// DefaultConfig returns a ready-to-run configuration at the given seed and
+// store scale (1.0 reproduces the paper's 16.6k-app crawl).
+func DefaultConfig(seed int64, scale float64) Config { return core.DefaultConfig(seed, scale) }
+
+// RunStudy executes the full pipeline: generate the store, crawl both
+// snapshots, extract and validate every model, and analyse the corpora.
+func RunStudy(cfg Config) (*StudyResult, error) { return core.RunStudy(cfg) }
+
+// SelectBenchModels picks up to n unique models from a corpus for
+// benchmarking, serialised for the harness.
+func SelectBenchModels(c *Corpus, n int) ([]BenchModel, error) {
+	return core.SelectBenchModels(c, n)
+}
+
+// DeviceRun benchmarks models on a Table 1 device ("A20", "A70", "S21",
+// "Q845", "Q855", "Q888") under a backend ("cpu", "xnnpack", "nnapi",
+// "gpu", "snpe-cpu", "snpe-gpu", "snpe-dsp").
+func DeviceRun(device, backend string, models []BenchModel, threads, batch, runs int) ([]JobResult, error) {
+	return core.DeviceRun(device, backend, models, threads, batch, runs)
+}
+
+// Devices lists the Table 1 device models.
+func Devices() []string { return soc.AllDeviceModels() }
+
+// HDKs lists the energy-instrumented open-deck boards.
+func HDKs() []string { return soc.HDKModels() }

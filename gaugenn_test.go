@@ -1,0 +1,33 @@
+package gaugenn_test
+
+import (
+	"testing"
+
+	"github.com/gaugenn/gaugenn"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	cfg := gaugenn.DefaultConfig(11, 0.02)
+	cfg.UseHTTP = false
+	res, err := gaugenn.RunStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Corpus21.TotalModels() == 0 {
+		t.Fatal("no models")
+	}
+	models, err := gaugenn.SelectBenchModels(res.Corpus21, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := gaugenn.DeviceRun("S21", "cpu", models, 4, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(models) {
+		t.Fatalf("results = %d", len(out))
+	}
+	if len(gaugenn.Devices()) != 6 || len(gaugenn.HDKs()) != 3 {
+		t.Fatal("device lists")
+	}
+}

@@ -1,0 +1,135 @@
+package analysis
+
+import (
+	"sort"
+	"strings"
+
+	"github.com/gaugenn/gaugenn/internal/nn/graph"
+	"github.com/gaugenn/gaugenn/internal/nn/zoo"
+)
+
+// FingerprintArch identifies a model's architecture family from its
+// operator signature, reproducing the Section 4.5 finding that a handful
+// of off-the-shelf families dominate the wild: "FSSD seems to be the most
+// popular model [for object detection] ... for face detection the
+// Blazeface ... MobileNet seems to be the most popular architecture with
+// variants being used [for] other vision tasks".
+func FingerprintArch(g *graph.Graph) zoo.Arch {
+	// Name hints first: developers rarely rename off-the-shelf files.
+	name := strings.ToLower(g.Name)
+	for _, probe := range []struct {
+		frag string
+		arch zoo.Arch
+	}{
+		{"blazeface", zoo.ArchBlazeFace},
+		{"fssd", zoo.ArchFSSD},
+		{"ssd", zoo.ArchFSSD},
+		{"unet", zoo.ArchUNet},
+		{"mobilenet_v2", zoo.ArchMobileNetV2},
+		{"mobilenet", zoo.ArchMobileNetV1},
+		{"posenet", zoo.ArchPoseNet},
+		{"crnn", zoo.ArchCRNN},
+	} {
+		if strings.Contains(name, probe.frag) {
+			return probe.arch
+		}
+	}
+
+	var hasConv, hasDW, hasTConv, hasResize, hasConcat, hasAdd, hasLSTM,
+		hasGRU, hasEmbed, hasGAP bool
+	convs := 0
+	for i := range g.Layers {
+		switch g.Layers[i].Op {
+		case graph.OpConv2D:
+			hasConv = true
+			convs++
+		case graph.OpDepthwiseConv2D:
+			hasDW = true
+		case graph.OpTransposeConv2D:
+			hasTConv = true
+		case graph.OpResizeBilinear, graph.OpResizeNearest:
+			hasResize = true
+		case graph.OpConcat:
+			hasConcat = true
+		case graph.OpAdd:
+			hasAdd = true
+		case graph.OpLSTM:
+			hasLSTM = true
+		case graph.OpGRU:
+			hasGRU = true
+		case graph.OpEmbedding:
+			hasEmbed = true
+		case graph.OpGlobalAvgPool:
+			hasGAP = true
+		}
+	}
+	switch {
+	case hasEmbed && hasGRU:
+		return zoo.ArchSeq2Seq
+	case hasEmbed && hasLSTM:
+		return zoo.ArchEmbedLSTM
+	case hasEmbed:
+		return zoo.ArchTextCNN
+	case hasConv && hasLSTM:
+		return zoo.ArchCRNN
+	case hasLSTM:
+		return zoo.ArchSpeechRNN
+	case hasGRU:
+		return zoo.ArchSensorGRU
+	case hasTConv && hasConcat:
+		return zoo.ArchUNet
+	case hasTConv && hasAdd:
+		return zoo.ArchEncoderDecoder
+	case hasTConv:
+		return zoo.ArchPoseNet
+	case hasResize && hasConcat:
+		return zoo.ArchFSSD
+	case hasDW && hasAdd && !hasGAP:
+		return zoo.ArchBlazeFace
+	case hasDW && hasAdd:
+		return zoo.ArchMobileNetV2
+	case hasDW:
+		return zoo.ArchMobileNetV1
+	case hasConv:
+		return zoo.ArchKeywordCNN
+	case convs == 0 && len(g.Layers) > 0:
+		return zoo.ArchSensorMLP
+	default:
+		return zoo.ArchUnknown
+	}
+}
+
+// ArchCount is one architecture-popularity row.
+type ArchCount struct {
+	Arch      zoo.Arch
+	Uniques   int
+	Instances int
+}
+
+// ArchitectureBreakdown counts architecture popularity by unique models
+// and by shipped instances, sorted by instances (the paper's popularity
+// measure). The fingerprint is computed at ingest time, so graph-less
+// corpora report it too.
+func (c *Corpus) ArchitectureBreakdown() []ArchCount {
+	uniques := map[zoo.Arch]int{}
+	instances := map[zoo.Arch]int{}
+	archOf := map[graph.Checksum]zoo.Arch{}
+	for _, u := range c.SortedUniques() {
+		archOf[u.Checksum] = u.Arch
+		uniques[u.Arch]++
+	}
+	for _, r := range c.Records {
+		instances[archOf[r.Checksum]]++
+	}
+	out := make([]ArchCount, 0, len(uniques))
+	for a, n := range uniques {
+		out = append(out, ArchCount{Arch: a, Uniques: n, Instances: instances[a]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Instances != out[j].Instances {
+			return out[i].Instances > out[j].Instances
+		}
+		return out[i].Arch < out[j].Arch
+	})
+	return out
+}

@@ -1,0 +1,216 @@
+package analysis
+
+import (
+	"strings"
+
+	"github.com/gaugenn/gaugenn/internal/nn/graph"
+	"github.com/gaugenn/gaugenn/internal/nn/zoo"
+)
+
+// vote is one researcher's opinion: a task and a confidence. Weak votes
+// flag generic evidence (a softmax head says "some classifier", which every
+// off-the-shelf trunk resembles) that corroborates but cannot identify.
+type vote struct {
+	task zoo.Task
+	weak bool
+}
+
+// ClassifyTask reproduces the paper's manual model characterisation
+// (Section 4.4): "we manually looked into the naming, input/output
+// dimensions and layer types of the encountered DNN models ... across
+// three ML researchers with a majority vote on the results". The three
+// researchers become three heuristics — name-based, io-shape-based and
+// op-signature-based — whose votes are weighted (the name is the
+// strongest signal; generic evidence like a plain softmax head votes
+// weakly) and the best task wins when its weight clears the
+// identification bar. ~92% of the in-the-wild population identifies this
+// way; generic classifier-shaped models without telling names remain
+// unknown, matching the paper's 8% residue.
+func ClassifyTask(g *graph.Graph) (zoo.Task, bool) {
+	const (
+		nameWeight = 1.5
+		ioWeight   = 1.0
+		opsWeight  = 0.95 // shape evidence outranks op evidence on ties
+		weakFactor = 0.4
+		identifyAt = 0.95
+	)
+	votes := []struct {
+		v vote
+		w float64
+	}{
+		{vote{task: voteByName(g)}, nameWeight},
+		{voteByIO(g), ioWeight},
+		{voteByOps(g), opsWeight},
+	}
+	weights := map[zoo.Task]float64{}
+	for _, entry := range votes {
+		if entry.v.task == zoo.TaskUnknown {
+			continue
+		}
+		w := entry.w
+		if entry.v.weak {
+			w *= weakFactor
+		}
+		weights[entry.v.task] += w
+	}
+	var best zoo.Task
+	bestW := 0.0
+	for t, w := range weights {
+		if w > bestW || (w == bestW && t < best) {
+			best, bestW = t, w
+		}
+	}
+	if bestW >= identifyAt {
+		return best, true
+	}
+	return zoo.TaskUnknown, false
+}
+
+// voteByName matches the file stem against known task-name fragments.
+func voteByName(g *graph.Graph) zoo.Task {
+	name := strings.ToLower(g.Name)
+	for _, t := range zoo.AllTasks() {
+		for _, hint := range zoo.NameHints(t) {
+			if strings.Contains(name, hint) {
+				return t
+			}
+		}
+	}
+	return zoo.TaskUnknown
+}
+
+// voteByIO inspects input/output dimensions.
+func voteByIO(g *graph.Graph) vote {
+	if len(g.Inputs) == 0 || len(g.Outputs) == 0 {
+		return vote{task: zoo.TaskUnknown}
+	}
+	env, err := g.InferShapes()
+	if err != nil {
+		return vote{task: zoo.TaskUnknown}
+	}
+	in := g.Inputs[0]
+	out, ok := env[g.Outputs[0].Name]
+	if !ok {
+		return vote{task: zoo.TaskUnknown}
+	}
+	switch g.InferModality() {
+	case graph.ModalityImage:
+		// Spatial output => dense prediction.
+		if len(out.Shape) == 4 && out.Shape[1] >= in.Shape[1]/2 && out.Shape[3] <= 4 {
+			if out.Shape[3] == 3 {
+				return vote{task: zoo.TaskStyleTransfer} // RGB reconstruction
+			}
+			return vote{task: zoo.TaskSemanticSegmentation}
+		}
+		if len(out.Shape) == 4 && out.Shape[3] == 17 {
+			return vote{task: zoo.TaskPoseEstimation} // COCO keypoint heatmaps
+		}
+		// Flat box-regression output: detector heads concatenate
+		// anchors*(4+classes) values, large and not a probability head.
+		if len(out.Shape) == 2 && out.Shape[1] > 100 && !endsWithSoftmax(g) {
+			if in.Shape[1] == in.Shape[2] && in.Shape[1] <= 128 {
+				return vote{task: zoo.TaskFaceDetection} // small square crops
+			}
+			return vote{task: zoo.TaskObjectDetection}
+		}
+		// Small even coordinate vector => landmarks/contours.
+		if len(out.Shape) == 2 && out.Shape[1] <= 100 && out.Shape[1]%2 == 0 && !endsWithSoftmax(g) {
+			return vote{task: zoo.TaskContourDetection}
+		}
+		if endsWithSoftmax(g) {
+			// Every off-the-shelf trunk ends in a softmax; this evidence is
+			// too generic to identify on its own.
+			return vote{task: zoo.TaskImageClassification, weak: true}
+		}
+		return vote{task: zoo.TaskUnknown}
+	case graph.ModalityText:
+		if len(out.Shape) == 2 && out.Shape[1] >= 1000 {
+			return vote{task: zoo.TaskAutoComplete} // vocabulary-sized head
+		}
+		if len(out.Shape) == 2 && out.Shape[1] <= 8 {
+			return vote{task: zoo.TaskSentimentPrediction}
+		}
+		return vote{task: zoo.TaskUnknown}
+	case graph.ModalityAudio:
+		if out.Shape.Elements() >= 40 {
+			return vote{task: zoo.TaskSoundRecognition}
+		}
+		return vote{task: zoo.TaskKeywordDetection}
+	case graph.ModalitySensor:
+		return vote{task: zoo.TaskMovementTracking, weak: true}
+	default:
+		return vote{task: zoo.TaskUnknown}
+	}
+}
+
+// voteByOps inspects the operator population.
+func voteByOps(g *graph.Graph) vote {
+	t := voteByOpsTask(g)
+	return vote{task: t}
+}
+
+func voteByOpsTask(g *graph.Graph) zoo.Task {
+	var hasLSTM, hasGRU, hasEmbed, hasTConv, hasConv, hasResize, hasConcat bool
+	for i := range g.Layers {
+		switch g.Layers[i].Op {
+		case graph.OpLSTM:
+			hasLSTM = true
+		case graph.OpGRU:
+			hasGRU = true
+		case graph.OpEmbedding:
+			hasEmbed = true
+		case graph.OpTransposeConv2D:
+			hasTConv = true
+		case graph.OpConv2D, graph.OpDepthwiseConv2D:
+			hasConv = true
+		case graph.OpResizeBilinear, graph.OpResizeNearest:
+			hasResize = true
+		case graph.OpConcat:
+			hasConcat = true
+		}
+	}
+	switch g.InferModality() {
+	case graph.ModalityText:
+		switch {
+		case hasEmbed && hasGRU:
+			return zoo.TaskTranslation
+		case hasEmbed && hasLSTM:
+			return zoo.TaskAutoComplete
+		case hasEmbed:
+			return zoo.TaskSentimentPrediction
+		}
+	case graph.ModalityAudio:
+		if hasLSTM && !hasConv {
+			return zoo.TaskSpeechRecognition
+		}
+		if hasConv {
+			return zoo.TaskSoundRecognition
+		}
+	case graph.ModalityImage:
+		switch {
+		case hasConv && hasLSTM:
+			return zoo.TaskTextRecognition // CRNN signature
+		case hasTConv && hasConcat:
+			return zoo.TaskSemanticSegmentation // U-Net skip connections
+		case hasTConv:
+			return zoo.TaskStyleTransfer
+		case hasResize && hasConcat:
+			return zoo.TaskObjectDetection // feature-fusion pyramid
+		}
+	case graph.ModalitySensor:
+		if hasGRU {
+			return zoo.TaskMovementTracking
+		}
+		return zoo.TaskCrashDetection
+	}
+	return zoo.TaskUnknown
+}
+
+func endsWithSoftmax(g *graph.Graph) bool {
+	for i := len(g.Layers) - 1; i >= 0 && i >= len(g.Layers)-3; i-- {
+		if g.Layers[i].Op == graph.OpSoftmax {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,211 @@
+// Package analysis implements gaugeNN's offline model analysis (Sections
+// 4 and 6): checksum-based uniqueness and fine-tuning detection, the
+// three-vote task classification, layer-composition and FLOPs/parameter
+// profiling, cross-snapshot churn, and the model-level optimisation scan.
+package analysis
+
+import (
+	"sort"
+
+	"github.com/gaugenn/gaugenn/internal/extract"
+	"github.com/gaugenn/gaugenn/internal/nn/graph"
+	"github.com/gaugenn/gaugenn/internal/nn/zoo"
+)
+
+// Record is one model instance (one file in one app).
+type Record struct {
+	Package   string
+	Category  string
+	Path      string
+	Framework string
+	Checksum  graph.Checksum
+	FileBytes int
+}
+
+// Unique holds everything computed once per distinct model checksum.
+type Unique struct {
+	Checksum  graph.Checksum
+	Name      string
+	Framework string
+	Task      zoo.Task
+	// Arch is the fingerprinted architecture family (Section 4.5).
+	Arch     zoo.Arch
+	Modality graph.Modality
+	Profile  *graph.Profile
+	// LayerSums holds per-layer checksums of weighted layers only, the
+	// input to the fine-tuning analysis.
+	LayerSums []graph.Checksum
+	Weights   graph.WeightStats
+	// Instances counts how many records share this checksum.
+	Instances int
+	// Graph is retained when the corpus is built with KeepGraphs, for
+	// on-device benchmarking.
+	Graph *graph.Graph
+}
+
+// AppInfo summarises the ML signals of one app.
+type AppInfo struct {
+	Package   string
+	Category  string
+	HasModels bool
+	HasMLLib  bool
+	CloudAPIs []string
+	// Provider flags derived from CloudAPIs.
+	UsesGoogleCloud, UsesAWSCloud    bool
+	UsesNNAPI, UsesXNNPACK, UsesSNPE bool
+	LazyModelDownload                bool
+	// OnDeviceTraining marks TFLiteTransferConverter-style traces.
+	OnDeviceTraining  bool
+	FailedValidations int
+}
+
+// Corpus is a full snapshot's analysis input: per-instance records plus
+// per-unique decoded data.
+type Corpus struct {
+	Label   string
+	Records []Record
+	Uniques map[graph.Checksum]*Unique
+	Apps    []AppInfo
+	// KeepGraphs controls whether decoded graphs are retained on Uniques.
+	KeepGraphs bool
+}
+
+// NewCorpus creates an empty corpus.
+func NewCorpus(label string, keepGraphs bool) *Corpus {
+	return &Corpus{Label: label, Uniques: map[graph.Checksum]*Unique{}, KeepGraphs: keepGraphs}
+}
+
+// AddReport ingests one app's extraction report, profiling and classifying
+// any model checksum seen for the first time.
+func (c *Corpus) AddReport(category string, rep *extract.Report) error {
+	info := AppInfo{
+		Package:           rep.Package,
+		Category:          category,
+		HasModels:         len(rep.Models) > 0,
+		HasMLLib:          rep.HasMLLibrary(),
+		UsesNNAPI:         rep.UsesNNAPI,
+		UsesXNNPACK:       rep.UsesXNNPACK,
+		UsesSNPE:          rep.UsesSNPE,
+		LazyModelDownload: rep.LazyModelDownload,
+		OnDeviceTraining:  rep.OnDeviceTraining,
+		FailedValidations: len(rep.FailedValidation),
+	}
+	seenAPI := map[string]bool{}
+	for _, d := range rep.CloudAPIs {
+		if !seenAPI[d.API] {
+			seenAPI[d.API] = true
+			info.CloudAPIs = append(info.CloudAPIs, d.API)
+			switch d.Provider {
+			case "google":
+				info.UsesGoogleCloud = true
+			case "aws":
+				info.UsesAWSCloud = true
+			}
+		}
+	}
+	sort.Strings(info.CloudAPIs)
+	c.Apps = append(c.Apps, info)
+
+	for _, m := range rep.Models {
+		c.Records = append(c.Records, Record{
+			Package:   rep.Package,
+			Category:  category,
+			Path:      m.Path,
+			Framework: m.Framework,
+			Checksum:  m.Checksum,
+			FileBytes: m.FileBytes,
+		})
+		u, ok := c.Uniques[m.Checksum]
+		if !ok {
+			prof, err := graph.ProfileGraph(m.Graph)
+			if err != nil {
+				return err
+			}
+			task, _ := ClassifyTask(m.Graph)
+			u = &Unique{
+				Checksum:  m.Checksum,
+				Name:      m.Graph.Name,
+				Framework: m.Framework,
+				Task:      task,
+				Arch:      FingerprintArch(m.Graph),
+				Modality:  m.Graph.InferModality(),
+				Profile:   prof,
+				LayerSums: graph.WeightedLayerChecksums(m.Graph),
+				Weights:   graph.CollectWeightStats(m.Graph),
+			}
+			if c.KeepGraphs {
+				u.Graph = m.Graph
+			}
+			c.Uniques[m.Checksum] = u
+		}
+		u.Instances++
+	}
+	return nil
+}
+
+// TotalModels returns the instance count (Table 2's "Total models").
+func (c *Corpus) TotalModels() int { return len(c.Records) }
+
+// UniqueModels returns the distinct checksum count (Table 2's "Unique
+// models").
+func (c *Corpus) UniqueModels() int { return len(c.Uniques) }
+
+// AppsWithModels counts apps shipping at least one validated model.
+func (c *Corpus) AppsWithModels() int {
+	n := 0
+	for _, a := range c.Apps {
+		if a.HasModels {
+			n++
+		}
+	}
+	return n
+}
+
+// AppsWithFrameworks counts apps with any ML library signal (Table 2's
+// "Apps w/ frameworks"), which includes apps whose models are encrypted or
+// downloaded out of band.
+func (c *Corpus) AppsWithFrameworks() int {
+	n := 0
+	for _, a := range c.Apps {
+		if a.HasMLLib || a.HasModels {
+			n++
+		}
+	}
+	return n
+}
+
+// SortedUniques returns uniques ordered by checksum for deterministic
+// iteration.
+func (c *Corpus) SortedUniques() []*Unique {
+	out := make([]*Unique, 0, len(c.Uniques))
+	for _, u := range c.Uniques {
+		out = append(out, u)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Checksum < out[j].Checksum })
+	return out
+}
+
+// InstancesSharedAcrossApps returns the fraction of model instances whose
+// checksum appears in two or more apps — the paper's "close to 80.9% of
+// the models are shared across two or more applications".
+func (c *Corpus) InstancesSharedAcrossApps() float64 {
+	if len(c.Records) == 0 {
+		return 0
+	}
+	appsPerSum := map[graph.Checksum]map[string]bool{}
+	for _, r := range c.Records {
+		m, ok := appsPerSum[r.Checksum]
+		if !ok {
+			m = map[string]bool{}
+			appsPerSum[r.Checksum] = m
+		}
+		m[r.Package] = true
+	}
+	shared := 0
+	for _, r := range c.Records {
+		if len(appsPerSum[r.Checksum]) >= 2 {
+			shared++
+		}
+	}
+	return float64(shared) / float64(len(c.Records))
+}

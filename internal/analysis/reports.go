@@ -1,0 +1,386 @@
+package analysis
+
+import (
+	"sort"
+
+	"github.com/gaugenn/gaugenn/internal/nn/graph"
+	"github.com/gaugenn/gaugenn/internal/nn/zoo"
+)
+
+// DatasetStats reproduces a Table 2 column.
+type DatasetStats struct {
+	Label          string
+	TotalApps      int
+	AppsWithFw     int
+	AppsWithModels int
+	TotalModels    int
+	UniqueModels   int
+}
+
+// Dataset computes the Table 2 column for the corpus.
+func (c *Corpus) Dataset() DatasetStats {
+	return DatasetStats{
+		Label:          c.Label,
+		TotalApps:      len(c.Apps),
+		AppsWithFw:     c.AppsWithFrameworks(),
+		AppsWithModels: c.AppsWithModels(),
+		TotalModels:    c.TotalModels(),
+		UniqueModels:   c.UniqueModels(),
+	}
+}
+
+// TaskCount is one Table 3 row.
+type TaskCount struct {
+	Task  zoo.Task
+	Count int
+}
+
+// TaskBreakdown reproduces Table 3: instance counts per task (Figure 7's
+// extra tasks folded into their Table 3 rows when fold is true), plus the
+// identified fraction.
+func (c *Corpus) TaskBreakdown(fold bool) (rows []TaskCount, identified int) {
+	counts := map[zoo.Task]int{}
+	for _, r := range c.Records {
+		u := c.Uniques[r.Checksum]
+		t := u.Task
+		if fold {
+			t = t.TableRow()
+		}
+		counts[t]++
+		if u.Task != zoo.TaskUnknown {
+			identified++
+		}
+	}
+	for t, n := range counts {
+		if t == zoo.TaskUnknown {
+			continue
+		}
+		rows = append(rows, TaskCount{Task: t, Count: n})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].Count != rows[j].Count {
+			return rows[i].Count > rows[j].Count
+		}
+		return rows[i].Task < rows[j].Task
+	})
+	return rows, identified
+}
+
+// FrameworkByCategory reproduces Figure 4: model-instance counts per
+// (category, framework).
+func (c *Corpus) FrameworkByCategory() map[string]map[string]int {
+	out := map[string]map[string]int{}
+	for _, r := range c.Records {
+		m, ok := out[r.Category]
+		if !ok {
+			m = map[string]int{}
+			out[r.Category] = m
+		}
+		m[r.Framework]++
+	}
+	return out
+}
+
+// FrameworkTotals counts instances per framework (Section 4.3).
+func (c *Corpus) FrameworkTotals() map[string]int {
+	out := map[string]int{}
+	for _, r := range c.Records {
+		out[r.Framework]++
+	}
+	return out
+}
+
+// LayerComposition reproduces Figure 6: for each modality, the fraction of
+// layers in each Figure 6 class, aggregated over model instances.
+func (c *Corpus) LayerComposition() map[graph.Modality]map[graph.OpClass]float64 {
+	counts := map[graph.Modality]map[graph.OpClass]int{}
+	totals := map[graph.Modality]int{}
+	for _, r := range c.Records {
+		u := c.Uniques[r.Checksum]
+		m := u.Modality
+		if counts[m] == nil {
+			counts[m] = map[graph.OpClass]int{}
+		}
+		for cls, n := range u.Profile.ClassHistogram() {
+			counts[m][cls] += n
+			totals[m] += n
+		}
+	}
+	out := map[graph.Modality]map[graph.OpClass]float64{}
+	for m, classes := range counts {
+		out[m] = map[graph.OpClass]float64{}
+		for cls, n := range classes {
+			out[m][cls] = float64(n) / float64(totals[m])
+		}
+	}
+	return out
+}
+
+// CostDistribution is the Figure 7 per-task summary of FLOPs and params.
+type CostDistribution struct {
+	Task        zoo.Task
+	Models      int
+	FLOPsMin    float64
+	FLOPsMedian float64
+	FLOPsMax    float64
+	ParamMin    float64
+	ParamMedian float64
+	ParamMax    float64
+}
+
+// CostByTask reproduces Figure 7 over unique models.
+func (c *Corpus) CostByTask() []CostDistribution {
+	flops := map[zoo.Task][]float64{}
+	params := map[zoo.Task][]float64{}
+	for _, u := range c.SortedUniques() {
+		if u.Task == zoo.TaskUnknown {
+			continue
+		}
+		flops[u.Task] = append(flops[u.Task], float64(u.Profile.FLOPs))
+		params[u.Task] = append(params[u.Task], float64(u.Profile.Params))
+	}
+	var out []CostDistribution
+	for t, fs := range flops {
+		ps := params[t]
+		sort.Float64s(fs)
+		sort.Float64s(ps)
+		out = append(out, CostDistribution{
+			Task:        t,
+			Models:      len(fs),
+			FLOPsMin:    fs[0],
+			FLOPsMedian: fs[len(fs)/2],
+			FLOPsMax:    fs[len(fs)-1],
+			ParamMin:    ps[0],
+			ParamMedian: ps[len(ps)/2],
+			ParamMax:    ps[len(ps)-1],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FLOPsMedian > out[j].FLOPsMedian })
+	return out
+}
+
+// FineTuningStats reproduces the Section 4.5 layer-sharing analysis over
+// unique models: the fraction sharing >= 20% of layer weights with another
+// unique model, and the fraction differing from some other model in at
+// most 3 layers.
+type FineTuningStats struct {
+	Uniques          int
+	SharingFrac      float64 // share >= 20% of layers with another unique
+	SmallDeltaFrac   float64 // differ in <= 3 layers from another unique
+	OnDeviceTraining int     // traces of on-device fine-tuning (none found)
+}
+
+// FineTuning computes FineTuningStats. Cost is O(U^2) in unique models
+// with cheap set intersections, matching the study's scale (~318 uniques).
+func (c *Corpus) FineTuning() FineTuningStats {
+	uniques := c.SortedUniques()
+	st := FineTuningStats{Uniques: len(uniques)}
+	for _, a := range c.Apps {
+		if a.OnDeviceTraining {
+			st.OnDeviceTraining++
+		}
+	}
+	if len(uniques) < 2 {
+		return st
+	}
+	sets := make([]map[graph.Checksum]int, len(uniques))
+	for i, u := range uniques {
+		sets[i] = map[graph.Checksum]int{}
+		for _, s := range u.LayerSums {
+			sets[i][s]++
+		}
+	}
+	sharing := 0
+	smallDelta := 0
+	for i, u := range uniques {
+		bestShare := 0.0
+		bestDiff := 1 << 30
+		for j := range uniques {
+			if i == j {
+				continue
+			}
+			shared := 0
+			for s, n := range sets[i] {
+				if m := sets[j][s]; m > 0 {
+					if m < n {
+						shared += m
+					} else {
+						shared += n
+					}
+				}
+			}
+			share := float64(shared) / float64(len(u.LayerSums))
+			if share > bestShare {
+				bestShare = share
+			}
+			diff := len(u.LayerSums) - shared
+			if extra := len(uniques[j].LayerSums) - shared; extra > diff {
+				diff = extra
+			}
+			if diff < bestDiff {
+				bestDiff = diff
+			}
+		}
+		// Exact duplicates cannot occur among uniques (distinct checksums),
+		// so any full share means fine-tuned weights elsewhere.
+		if bestShare >= 0.20 && bestShare < 1.0 {
+			sharing++
+			if bestDiff <= 3 {
+				smallDelta++
+			}
+		}
+	}
+	st.SharingFrac = float64(sharing) / float64(len(uniques))
+	st.SmallDeltaFrac = float64(smallDelta) / float64(len(uniques))
+	return st
+}
+
+// OptimisationStats reproduces Section 6.1's adoption scan.
+type OptimisationStats struct {
+	Models               int
+	ClusteredModels      int     // cluster_ prefixed layers
+	PrunedModels         int     // prune_ prefixed layers
+	DequantizeFrac       float64 // models with dequantize layers
+	Int8WeightFrac       float64 // models with majority-int8 weights
+	Int8ActivationFrac   float64 // models with int8 activations
+	HybridA16W8Frac      float64 // models with int8 weights + int16 activations (paper: 0)
+	MeanWeightSparsity   float64 // near-zero weight fraction (mean)
+	MedianWeightSparsity float64
+}
+
+// Optimisations computes OptimisationStats over model instances (the
+// paper's percentages are of the model population, duplicates included).
+func (c *Corpus) Optimisations() OptimisationStats {
+	var st OptimisationStats
+	var sparsities []float64
+	var sparsitySum float64
+	for _, r := range c.Records {
+		u := c.Uniques[r.Checksum]
+		st.Models++
+		if u.Weights.ClusteredLayers > 0 {
+			st.ClusteredModels++
+		}
+		if u.Weights.PrunedLayers > 0 {
+			st.PrunedModels++
+		}
+		if u.Weights.DequantizeOps > 0 {
+			st.DequantizeFrac++
+		}
+		if u.Weights.Int8WeightFraction() > 0.5 {
+			st.Int8WeightFrac++
+		}
+		if u.Weights.Int8Activations {
+			st.Int8ActivationFrac++
+		}
+		if u.Weights.Int16Activations && u.Weights.Int8WeightFraction() > 0.5 {
+			st.HybridA16W8Frac++
+		}
+		s := u.Weights.SparsityFraction()
+		sparsities = append(sparsities, s)
+		sparsitySum += s
+	}
+	if st.Models > 0 {
+		st.DequantizeFrac /= float64(st.Models)
+		st.Int8WeightFrac /= float64(st.Models)
+		st.Int8ActivationFrac /= float64(st.Models)
+		st.HybridA16W8Frac /= float64(st.Models)
+		st.MeanWeightSparsity = sparsitySum / float64(st.Models)
+		sort.Float64s(sparsities)
+		st.MedianWeightSparsity = sparsities[len(sparsities)/2]
+	}
+	return st
+}
+
+// ChurnRow is one Figure 5 bar pair.
+type ChurnRow struct {
+	Category string
+	Added    int
+	Removed  int
+}
+
+// TemporalDiff reproduces Figure 5: per-category model instances added and
+// removed between two snapshots, matched by checksum multiset.
+func TemporalDiff(old, new_ *Corpus) []ChurnRow {
+	type key struct {
+		cat string
+		sum graph.Checksum
+	}
+	oldCount := map[key]int{}
+	for _, r := range old.Records {
+		oldCount[key{r.Category, r.Checksum}]++
+	}
+	newCount := map[key]int{}
+	for _, r := range new_.Records {
+		newCount[key{r.Category, r.Checksum}]++
+	}
+	added := map[string]int{}
+	removed := map[string]int{}
+	for k, n := range newCount {
+		if d := n - oldCount[k]; d > 0 {
+			added[k.cat] += d
+		}
+	}
+	for k, n := range oldCount {
+		if d := n - newCount[k]; d > 0 {
+			removed[k.cat] += d
+		}
+	}
+	cats := map[string]bool{}
+	for c := range added {
+		cats[c] = true
+	}
+	for c := range removed {
+		cats[c] = true
+	}
+	var out []ChurnRow
+	for c := range cats {
+		out = append(out, ChurnRow{Category: c, Added: added[c], Removed: removed[c]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		di := out[i].Added - out[i].Removed
+		dj := out[j].Added - out[j].Removed
+		if di != dj {
+			return di > dj
+		}
+		return out[i].Category < out[j].Category
+	})
+	return out
+}
+
+// CloudAPIUsage reproduces Figure 15: apps per cloud API family plus the
+// provider-level totals.
+func (c *Corpus) CloudAPIUsage() (perAPI map[string]int, googleApps, awsApps, totalApps int) {
+	perAPI = map[string]int{}
+	for _, a := range c.Apps {
+		if len(a.CloudAPIs) == 0 {
+			continue
+		}
+		totalApps++
+		if a.UsesGoogleCloud {
+			googleApps++
+		}
+		if a.UsesAWSCloud {
+			awsApps++
+		}
+		for _, api := range a.CloudAPIs {
+			perAPI[api]++
+		}
+	}
+	return perAPI, googleApps, awsApps, totalApps
+}
+
+// AccelerationTraces reproduces Section 6.3's adoption counts.
+func (c *Corpus) AccelerationTraces() (nnapi, xnnpack, snpe int) {
+	for _, a := range c.Apps {
+		if a.UsesNNAPI {
+			nnapi++
+		}
+		if a.UsesXNNPACK {
+			xnnpack++
+		}
+		if a.UsesSNPE {
+			snpe++
+		}
+	}
+	return
+}

@@ -1,0 +1,247 @@
+// Package apk implements the Android application package containers gaugeNN
+// extracts models from: the base APK (a zip with manifest, dex bytecode,
+// native libraries and assets), OBB expansion files and App Bundle asset
+// packs — the three distribution channels of Section 3.1. The 100 MB base
+// APK limit that pushes large models into companion files is enforced here.
+package apk
+
+import (
+	"archive/zip"
+	"bytes"
+	"fmt"
+	"io"
+	"path"
+	"sort"
+	"strings"
+)
+
+// MaxBaseAPKSize is Google Play's 100 MB cap on the main apk, the reason
+// "files – such as DNN weights – can have a larger storage footprint" must
+// move to expansion files or asset packs.
+const MaxBaseAPKSize = 100 * 1024 * 1024
+
+// ManifestName is the manifest entry every APK must carry.
+const ManifestName = "AndroidManifest.xml"
+
+// Manifest carries the app identity metadata the store and the analysis
+// pipeline read.
+type Manifest struct {
+	Package     string
+	VersionCode int
+	MinSDK      int
+	Permissions []string
+}
+
+// Encode renders the manifest in the simple key: value form our reader
+// parses (a stand-in for Android's binary XML).
+func (m Manifest) Encode() []byte {
+	var b strings.Builder
+	fmt.Fprintf(&b, "package: %s\n", m.Package)
+	fmt.Fprintf(&b, "versionCode: %d\n", m.VersionCode)
+	fmt.Fprintf(&b, "minSdkVersion: %d\n", m.MinSDK)
+	for _, p := range m.Permissions {
+		fmt.Fprintf(&b, "uses-permission: %s\n", p)
+	}
+	return []byte(b.String())
+}
+
+// ParseManifest reverses Manifest.Encode.
+func ParseManifest(data []byte) (Manifest, error) {
+	var m Manifest
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(line, ": ")
+		if !ok {
+			return m, fmt.Errorf("apk: malformed manifest line %q", line)
+		}
+		switch key {
+		case "package":
+			m.Package = val
+		case "versionCode":
+			if _, err := fmt.Sscanf(val, "%d", &m.VersionCode); err != nil {
+				return m, fmt.Errorf("apk: bad versionCode %q", val)
+			}
+		case "minSdkVersion":
+			if _, err := fmt.Sscanf(val, "%d", &m.MinSDK); err != nil {
+				return m, fmt.Errorf("apk: bad minSdkVersion %q", val)
+			}
+		case "uses-permission":
+			m.Permissions = append(m.Permissions, val)
+		}
+	}
+	if m.Package == "" {
+		return m, fmt.Errorf("apk: manifest missing package")
+	}
+	return m, nil
+}
+
+// Builder assembles an APK. Entries whose names suggest already-compressed
+// or random payloads (model weights, native libs) are stored uncompressed,
+// as build tools do.
+type Builder struct {
+	manifest Manifest
+	entries  map[string][]byte
+}
+
+// NewBuilder starts an APK for the given manifest.
+func NewBuilder(m Manifest) *Builder {
+	return &Builder{manifest: m, entries: map[string][]byte{}}
+}
+
+// SetDex installs classes.dex.
+func (b *Builder) SetDex(data []byte) *Builder {
+	b.entries["classes.dex"] = data
+	return b
+}
+
+// AddAsset places a file under assets/.
+func (b *Builder) AddAsset(relPath string, data []byte) *Builder {
+	b.entries[path.Join("assets", relPath)] = data
+	return b
+}
+
+// AddNativeLib places a shared object under lib/<abi>/.
+func (b *Builder) AddNativeLib(abi, soName string, data []byte) *Builder {
+	b.entries[path.Join("lib", abi, soName)] = data
+	return b
+}
+
+// AddRaw places an arbitrary entry (res/, META-INF/, ...).
+func (b *Builder) AddRaw(name string, data []byte) *Builder {
+	b.entries[name] = data
+	return b
+}
+
+// Build produces the zip bytes, enforcing the 100 MB base-APK limit.
+func (b *Builder) Build() ([]byte, error) {
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	names := make([]string, 0, len(b.entries)+1)
+	for n := range b.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	write := func(name string, data []byte) error {
+		hdr := &zip.FileHeader{Name: name, Method: zip.Deflate}
+		if storeUncompressed(name) {
+			hdr.Method = zip.Store
+		}
+		w, err := zw.CreateHeader(hdr)
+		if err != nil {
+			return err
+		}
+		_, err = w.Write(data)
+		return err
+	}
+	if err := write(ManifestName, b.manifest.Encode()); err != nil {
+		return nil, fmt.Errorf("apk: %w", err)
+	}
+	for _, n := range names {
+		if err := write(n, b.entries[n]); err != nil {
+			return nil, fmt.Errorf("apk: %w", err)
+		}
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("apk: %w", err)
+	}
+	if buf.Len() > MaxBaseAPKSize {
+		return nil, fmt.Errorf("apk: base apk is %d bytes, exceeds the %d Play Store limit; ship assets via OBB or asset packs", buf.Len(), MaxBaseAPKSize)
+	}
+	return buf.Bytes(), nil
+}
+
+// storeUncompressed mirrors aapt's default no-compress list for weights
+// and shared objects.
+func storeUncompressed(name string) bool {
+	switch {
+	case strings.HasPrefix(name, "lib/"):
+		return true
+	case strings.HasPrefix(name, "assets/"):
+		ext := strings.ToLower(path.Ext(name))
+		switch ext {
+		case ".tflite", ".lite", ".tfl", ".bin", ".caffemodel", ".dlc",
+			".pb", ".onnx", ".mp3", ".png", ".jpg":
+			return true
+		}
+	}
+	return false
+}
+
+// Reader provides random access to an APK's entries.
+type Reader struct {
+	zr       *zip.Reader
+	manifest Manifest
+}
+
+// Open parses APK bytes and its manifest.
+func Open(data []byte) (*Reader, error) {
+	zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return nil, fmt.Errorf("apk: not a zip: %w", err)
+	}
+	r := &Reader{zr: zr}
+	mdata, err := r.ReadFile(ManifestName)
+	if err != nil {
+		return nil, fmt.Errorf("apk: missing manifest: %w", err)
+	}
+	if r.manifest, err = ParseManifest(mdata); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Manifest returns the parsed manifest.
+func (r *Reader) Manifest() Manifest { return r.manifest }
+
+// Names lists every entry in archive order.
+func (r *Reader) Names() []string {
+	out := make([]string, 0, len(r.zr.File))
+	for _, f := range r.zr.File {
+		out = append(out, f.Name)
+	}
+	return out
+}
+
+// ReadFile returns the contents of a named entry.
+func (r *Reader) ReadFile(name string) ([]byte, error) {
+	for _, f := range r.zr.File {
+		if f.Name != name {
+			continue
+		}
+		rc, err := f.Open()
+		if err != nil {
+			return nil, err
+		}
+		defer rc.Close()
+		return io.ReadAll(rc)
+	}
+	return nil, fmt.Errorf("apk: entry %q not found", name)
+}
+
+// Dex returns classes.dex bytes, or an error if the app has none.
+func (r *Reader) Dex() ([]byte, error) { return r.ReadFile("classes.dex") }
+
+// Assets returns the entry names under assets/.
+func (r *Reader) Assets() []string {
+	var out []string
+	for _, f := range r.zr.File {
+		if strings.HasPrefix(f.Name, "assets/") {
+			out = append(out, f.Name)
+		}
+	}
+	return out
+}
+
+// NativeLibs returns the entry names under lib/.
+func (r *Reader) NativeLibs() []string {
+	var out []string
+	for _, f := range r.zr.File {
+		if strings.HasPrefix(f.Name, "lib/") {
+			out = append(out, f.Name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,192 @@
+package apk
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleManifest() Manifest {
+	return Manifest{
+		Package:     "com.example.camera",
+		VersionCode: 42,
+		MinSDK:      26,
+		Permissions: []string{"android.permission.CAMERA", "android.permission.INTERNET"},
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	m := sampleManifest()
+	got, err := ParseManifest(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Package != m.Package || got.VersionCode != 42 || got.MinSDK != 26 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if len(got.Permissions) != 2 {
+		t.Fatalf("permissions: %v", got.Permissions)
+	}
+}
+
+func TestManifestErrors(t *testing.T) {
+	if _, err := ParseManifest([]byte("versionCode: 1\n")); err == nil {
+		t.Fatal("missing package should fail")
+	}
+	if _, err := ParseManifest([]byte("garbage line without colon space\n")); err == nil {
+		t.Fatal("malformed line should fail")
+	}
+	if _, err := ParseManifest([]byte("package: a\nversionCode: NaN\n")); err == nil {
+		t.Fatal("bad versionCode should fail")
+	}
+}
+
+func TestAPKBuildAndOpen(t *testing.T) {
+	model := bytes.Repeat([]byte{0xAB}, 4096)
+	apk, err := NewBuilder(sampleManifest()).
+		SetDex([]byte("dex\n035\x00....")).
+		AddAsset("models/detector.tflite", model).
+		AddNativeLib("arm64-v8a", "libtensorflowlite.so", []byte{0x7f, 'E', 'L', 'F'}).
+		AddRaw("res/layout/main.xml", []byte("<layout/>")).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(apk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Manifest().Package != "com.example.camera" {
+		t.Fatalf("manifest: %+v", r.Manifest())
+	}
+	if _, err := r.Dex(); err != nil {
+		t.Fatalf("dex: %v", err)
+	}
+	got, err := r.ReadFile("assets/models/detector.tflite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, model) {
+		t.Fatal("asset bytes corrupted")
+	}
+	if assets := r.Assets(); len(assets) != 1 || assets[0] != "assets/models/detector.tflite" {
+		t.Fatalf("Assets = %v", assets)
+	}
+	if libs := r.NativeLibs(); len(libs) != 1 || !strings.Contains(libs[0], "arm64-v8a") {
+		t.Fatalf("NativeLibs = %v", libs)
+	}
+	if len(r.Names()) != 5 { // manifest + dex + asset + lib + res
+		t.Fatalf("Names = %v", r.Names())
+	}
+}
+
+func TestAPKMissingEntry(t *testing.T) {
+	apk, err := NewBuilder(sampleManifest()).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(apk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadFile("nope"); err == nil {
+		t.Fatal("missing entry should fail")
+	}
+	if _, err := r.Dex(); err == nil {
+		t.Fatal("missing dex should fail")
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	if _, err := Open([]byte("not a zip")); err == nil {
+		t.Fatal("garbage should fail")
+	}
+}
+
+func TestAPKSizeLimit(t *testing.T) {
+	// Incompressible (stored) payload beyond 100 MB must be rejected.
+	big := make([]byte, MaxBaseAPKSize+1024)
+	for i := range big {
+		big[i] = byte(i * 31)
+	}
+	_, err := NewBuilder(sampleManifest()).AddAsset("models/huge.tflite", big).Build()
+	if err == nil {
+		t.Fatal("oversized apk must be rejected")
+	}
+	if !strings.Contains(err.Error(), "OBB or asset packs") {
+		t.Fatalf("error should point at companion channels: %v", err)
+	}
+}
+
+func TestModelAssetsStoredUncompressed(t *testing.T) {
+	if !storeUncompressed("assets/m.tflite") || !storeUncompressed("lib/arm64-v8a/libfoo.so") {
+		t.Fatal("model assets and libs must be stored")
+	}
+	if storeUncompressed("assets/config.json") || storeUncompressed("res/values.xml") {
+		t.Fatal("text entries should compress")
+	}
+}
+
+func TestOBBRoundTrip(t *testing.T) {
+	obb := OBB{
+		Package:     "com.example.camera",
+		VersionCode: 42,
+		Main:        true,
+		Files: map[string][]byte{
+			"models/big_segmenter.tflite": bytes.Repeat([]byte{1, 2, 3}, 1000),
+		},
+	}
+	if obb.Name() != "main.42.com.example.camera.obb" {
+		t.Fatalf("OBB name = %s", obb.Name())
+	}
+	patch := obb
+	patch.Main = false
+	if patch.Name() != "patch.42.com.example.camera.obb" {
+		t.Fatalf("patch name = %s", patch.Name())
+	}
+	enc, err := obb.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := DecodeOBB(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(files["models/big_segmenter.tflite"], obb.Files["models/big_segmenter.tflite"]) {
+		t.Fatal("OBB contents corrupted")
+	}
+	if _, err := DecodeOBB([]byte("junk")); err == nil {
+		t.Fatal("junk OBB should fail")
+	}
+}
+
+func TestBundleAssetPacks(t *testing.T) {
+	base, err := NewBuilder(sampleManifest()).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := Bundle{
+		Base: base,
+		AssetPacks: map[string]map[string][]byte{
+			"ml_models":   {"detector.tflite": []byte{9, 9, 9}},
+			"extra_fonts": {"font.ttf": []byte{1}},
+		},
+	}
+	if got := b.PackNames(); len(got) != 2 || got[0] != "extra_fonts" {
+		t.Fatalf("PackNames = %v", got)
+	}
+	enc, err := b.EncodePack("ml_models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	files, err := DecodePack(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(files["detector.tflite"], []byte{9, 9, 9}) {
+		t.Fatal("pack contents corrupted")
+	}
+	if _, err := b.EncodePack("missing"); err == nil {
+		t.Fatal("unknown pack should fail")
+	}
+}

@@ -1,0 +1,121 @@
+package apk
+
+import (
+	"archive/zip"
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// OBB is an APK expansion file: "the former supplement the main apk file
+// and are hosted and served by Google Play" (Section 3.1). Expansion files
+// are named <main|patch>.<versionCode>.<package>.obb and are zip
+// containers.
+type OBB struct {
+	Package     string
+	VersionCode int
+	Main        bool // main vs patch expansion
+	Files       map[string][]byte
+}
+
+// Name returns the Play-mandated OBB file name.
+func (o OBB) Name() string {
+	kind := "main"
+	if !o.Main {
+		kind = "patch"
+	}
+	return fmt.Sprintf("%s.%d.%s.obb", kind, o.VersionCode, o.Package)
+}
+
+// Encode produces the OBB zip bytes.
+func (o OBB) Encode() ([]byte, error) {
+	return encodeZip(o.Files)
+}
+
+// DecodeOBB parses OBB zip bytes back into a file map.
+func DecodeOBB(data []byte) (map[string][]byte, error) {
+	return decodeZip(data, "obb")
+}
+
+// Bundle is an Android App Bundle as served through Play Asset Delivery:
+// a base module plus on-demand asset packs, each its own container.
+type Bundle struct {
+	// Base is the base-module APK (built with Builder).
+	Base []byte
+	// AssetPacks maps pack name to the pack's file map.
+	AssetPacks map[string]map[string][]byte
+}
+
+// EncodePack renders one asset pack as a zip.
+func (b Bundle) EncodePack(name string) ([]byte, error) {
+	files, ok := b.AssetPacks[name]
+	if !ok {
+		return nil, fmt.Errorf("apk: asset pack %q not in bundle", name)
+	}
+	return encodeZip(files)
+}
+
+// PackNames lists asset packs in sorted order.
+func (b Bundle) PackNames() []string {
+	out := make([]string, 0, len(b.AssetPacks))
+	for n := range b.AssetPacks {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DecodePack parses asset-pack zip bytes.
+func DecodePack(data []byte) (map[string][]byte, error) {
+	return decodeZip(data, "asset pack")
+}
+
+func encodeZip(files map[string][]byte) ([]byte, error) {
+	var buf bytes.Buffer
+	zw := zip.NewWriter(&buf)
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		hdr := &zip.FileHeader{Name: n, Method: zip.Deflate}
+		if storeUncompressed("assets/" + strings.TrimPrefix(n, "assets/")) {
+			hdr.Method = zip.Store
+		}
+		w, err := zw.CreateHeader(hdr)
+		if err != nil {
+			return nil, fmt.Errorf("apk: %w", err)
+		}
+		if _, err := w.Write(files[n]); err != nil {
+			return nil, fmt.Errorf("apk: %w", err)
+		}
+	}
+	if err := zw.Close(); err != nil {
+		return nil, fmt.Errorf("apk: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeZip(data []byte, what string) (map[string][]byte, error) {
+	zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
+	if err != nil {
+		return nil, fmt.Errorf("apk: %s is not a zip: %w", what, err)
+	}
+	out := make(map[string][]byte, len(zr.File))
+	for _, f := range zr.File {
+		rc, err := f.Open()
+		if err != nil {
+			return nil, fmt.Errorf("apk: %s entry %s: %w", what, f.Name, err)
+		}
+		b, err := io.ReadAll(rc)
+		rc.Close()
+		if err != nil {
+			return nil, fmt.Errorf("apk: %s entry %s: %w", what, f.Name, err)
+		}
+		out[f.Name] = b
+	}
+	return out, nil
+}

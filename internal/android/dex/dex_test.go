@@ -1,0 +1,209 @@
+package dex
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleDex() *Dex {
+	return &Dex{Classes: []Class{
+		{
+			Name: "Lcom/example/app/MainActivity;",
+			Methods: []Method{
+				{Name: "onCreate", Calls: []string{
+					"Landroid/app/Activity;->onCreate(Landroid/os/Bundle;)V",
+					"Lcom/google/firebase/ml/vision/FirebaseVision;->getInstance()Lcom/google/firebase/ml/vision/FirebaseVision;",
+				}},
+				{Name: "detect", Calls: []string{
+					"Lcom/google/firebase/ml/vision/FirebaseVision;->getOnDeviceImageLabeler()",
+				}},
+			},
+		},
+		{
+			Name: "Lcom/example/app/Worker;",
+			Methods: []Method{
+				{Name: "run", Calls: []string{
+					"Lorg/tensorflow/lite/Interpreter;-><init>(Ljava/nio/ByteBuffer;)V",
+				}},
+			},
+		},
+	}}
+}
+
+func TestDexRoundTrip(t *testing.T) {
+	d := sampleDex()
+	enc := d.Encode()
+	if !IsDex(enc) {
+		t.Fatal("encoded dex fails magic check")
+	}
+	got, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Classes) != 2 {
+		t.Fatalf("classes = %d", len(got.Classes))
+	}
+	if got.Classes[0].Name != d.Classes[0].Name {
+		t.Fatalf("class name %q", got.Classes[0].Name)
+	}
+	if got.Classes[0].Methods[0].Calls[1] != d.Classes[0].Methods[0].Calls[1] {
+		t.Fatal("call refs not preserved")
+	}
+}
+
+func TestDexStringTableDeduplicates(t *testing.T) {
+	call := "Lorg/tensorflow/lite/Interpreter;->run()"
+	d := &Dex{Classes: []Class{{
+		Name: "La/B;",
+		Methods: []Method{
+			{Name: "m1", Calls: []string{call, call}},
+			{Name: "m2", Calls: []string{call}},
+		},
+	}}}
+	enc := d.Encode()
+	if n := strings.Count(string(enc), call); n != 1 {
+		t.Fatalf("call string appears %d times in encoding, want 1 (interned)", n)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not dex")); err == nil {
+		t.Fatal("garbage should fail")
+	}
+	enc := sampleDex().Encode()
+	for _, cut := range []int{len(Magic), len(enc) / 2, len(enc) - 1} {
+		if _, err := Decode(enc[:cut]); err == nil {
+			t.Fatalf("truncation to %d should fail", cut)
+		}
+	}
+}
+
+func TestAllCalls(t *testing.T) {
+	calls := sampleDex().AllCalls()
+	if len(calls) != 4 {
+		t.Fatalf("AllCalls = %d entries: %v", len(calls), calls)
+	}
+	for i := 1; i < len(calls); i++ {
+		if calls[i-1] >= calls[i] {
+			t.Fatal("AllCalls must be sorted and deduplicated")
+		}
+	}
+}
+
+func TestBaksmali(t *testing.T) {
+	files := Baksmali(sampleDex())
+	if len(files) != 2 {
+		t.Fatalf("smali files = %d", len(files))
+	}
+	main, ok := files["smali/com/example/app/MainActivity.smali"]
+	if !ok {
+		t.Fatalf("missing MainActivity smali; have %v", keys(files))
+	}
+	if !strings.Contains(main, "invoke-virtual {v0}, Lcom/google/firebase/ml/vision/FirebaseVision;->getInstance()") {
+		t.Fatal("smali missing firebase invoke line")
+	}
+	if !strings.Contains(main, ".class public Lcom/example/app/MainActivity;") {
+		t.Fatal("smali missing class header")
+	}
+}
+
+func keys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// Property: encode/decode round trip over arbitrary printable content.
+func TestDexRoundTripProperty(t *testing.T) {
+	f := func(classNames []string, callSeeds []string) bool {
+		d := &Dex{}
+		for i, cn := range classNames {
+			if len(d.Classes) >= 8 {
+				break
+			}
+			c := Class{Name: "L" + sanitize(cn) + ";"}
+			m := Method{Name: "m"}
+			for j, cs := range callSeeds {
+				if j >= 8 {
+					break
+				}
+				m.Calls = append(m.Calls, "L"+sanitize(cs)+";->f()")
+			}
+			c.Methods = append(c.Methods, m)
+			_ = i
+			d.Classes = append(d.Classes, c)
+		}
+		got, err := Decode(d.Encode())
+		if err != nil {
+			return false
+		}
+		if len(got.Classes) != len(d.Classes) {
+			return false
+		}
+		for i := range got.Classes {
+			if got.Classes[i].Name != d.Classes[i].Name {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sanitize(s string) string {
+	if s == "" {
+		return "x"
+	}
+	var b strings.Builder
+	for _, r := range s {
+		if (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9') || r == '/' {
+			b.WriteRune(r)
+		}
+	}
+	if b.Len() == 0 {
+		return "x"
+	}
+	return b.String()
+}
+
+func TestNativeLibRoundTrip(t *testing.T) {
+	l := NativeLib{
+		SoName:  "libtensorflowlite.so",
+		Symbols: []string{"TfLiteInterpreterCreate", "TfLiteInterpreterInvoke", "Java_org_tensorflow_lite_NativeInterpreterWrapper_run"},
+	}
+	enc := EncodeNativeLib(l)
+	if !IsNativeLib(enc) {
+		t.Fatal("IsNativeLib failed on encoded lib")
+	}
+	got, err := DecodeNativeLib(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SoName != l.SoName || len(got.Symbols) != 3 {
+		t.Fatalf("round trip: %+v", got)
+	}
+	if !got.ContainsSymbol("TfLite") {
+		t.Fatal("ContainsSymbol(TfLite) should hit")
+	}
+	if got.ContainsSymbol("ncnn") {
+		t.Fatal("ContainsSymbol(ncnn) should miss")
+	}
+}
+
+func TestNativeLibErrors(t *testing.T) {
+	if _, err := DecodeNativeLib([]byte("ELF?")); err == nil {
+		t.Fatal("bad magic should fail")
+	}
+	enc := EncodeNativeLib(NativeLib{SoName: "libx.so", Symbols: []string{"a", "b"}})
+	if _, err := DecodeNativeLib(enc[:len(enc)-1]); err == nil {
+		t.Fatal("truncation should fail")
+	}
+	if IsNativeLib([]byte{1, 2, 3}) {
+		t.Fatal("short data is not a native lib")
+	}
+}

@@ -1,0 +1,256 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/gaugenn/gaugenn/internal/mlrt"
+	"github.com/gaugenn/gaugenn/internal/nn/formats"
+	"github.com/gaugenn/gaugenn/internal/nn/graph"
+	"github.com/gaugenn/gaugenn/internal/power"
+	"github.com/gaugenn/gaugenn/internal/soc"
+)
+
+// Agent is the device-side daemon of Figure 3's right column: it receives
+// jobs over the adb channel, waits for USB power to drop, runs the
+// headless benchmark against the simulated SoC, dials the master's WiFi
+// listener with a completion notification and serves results on the next
+// adb connection.
+type Agent struct {
+	Device *soc.Device
+	// USB is the shared power/data switch; the agent refuses adb traffic
+	// while the data channel is down, as a real device would.
+	USB *power.USBSwitch
+	// Monitor, when non-nil, integrates rail power during jobs (the
+	// open-deck boards are the ones wired to the Monsoon).
+	Monitor *power.Monitor
+	// ScreenOn keeps the screen lit with the black-background app, as the
+	// methodology requires ("we keep the phone screen on during the
+	// benchmark"); its draw is measured and accounted.
+	ScreenOn bool
+
+	mu      sync.Mutex
+	pending map[string]Job
+	results map[string]JobResult
+
+	ln net.Listener
+}
+
+// NewAgent wires an agent to a device.
+func NewAgent(dev *soc.Device, usb *power.USBSwitch, mon *power.Monitor) *Agent {
+	return &Agent{
+		Device:   dev,
+		USB:      usb,
+		Monitor:  mon,
+		ScreenOn: true,
+		pending:  map[string]Job{},
+		results:  map[string]JobResult{},
+	}
+}
+
+// Start listens on a loopback "adb" endpoint and serves control
+// connections until Close.
+func (a *Agent) Start() (addr string, err error) {
+	a.ln, err = net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", fmt.Errorf("bench: agent listen: %w", err)
+	}
+	go func() {
+		for {
+			conn, err := a.ln.Accept()
+			if err != nil {
+				return
+			}
+			go a.serveConn(conn)
+		}
+	}()
+	return a.ln.Addr().String(), nil
+}
+
+// Close stops the agent.
+func (a *Agent) Close() error {
+	if a.ln != nil {
+		return a.ln.Close()
+	}
+	return nil
+}
+
+func (a *Agent) serveConn(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<20), 256<<20)
+	for sc.Scan() {
+		if a.USB != nil && !a.USB.DataOn() {
+			return // USB data channel is down; connection dies
+		}
+		var env envelope
+		if err := json.Unmarshal(sc.Bytes(), &env); err != nil {
+			a.reply(conn, "ERROR", err.Error())
+			return
+		}
+		switch env.Kind {
+		case msgJob:
+			var job Job
+			if err := json.Unmarshal(env.Payload, &job); err != nil {
+				a.reply(conn, "ERROR", err.Error())
+				return
+			}
+			a.mu.Lock()
+			a.pending[job.ID] = job
+			a.mu.Unlock()
+			a.reply(conn, msgReady, job.ID)
+		case msgPowerOff:
+			// The master is about to cut power; spawn the headless script
+			// that waits for the drop and runs everything pending.
+			var notifyAddr string
+			_ = json.Unmarshal(env.Payload, &notifyAddr)
+			go a.runHeadless(notifyAddr)
+			a.reply(conn, msgOK, nil)
+		case msgCollect:
+			var id string
+			_ = json.Unmarshal(env.Payload, &id)
+			a.mu.Lock()
+			res, ok := a.results[id]
+			a.mu.Unlock()
+			if !ok {
+				a.reply(conn, "ERROR", fmt.Sprintf("no result for job %s", id))
+				continue
+			}
+			a.reply(conn, msgResult, res)
+		case msgClean:
+			a.mu.Lock()
+			a.pending = map[string]Job{}
+			a.results = map[string]JobResult{}
+			a.mu.Unlock()
+			a.reply(conn, msgOK, nil)
+		default:
+			a.reply(conn, "ERROR", "unknown message "+env.Kind)
+		}
+	}
+}
+
+func (a *Agent) reply(conn net.Conn, kind string, payload any) {
+	b, err := encodeEnvelope(kind, payload)
+	if err != nil {
+		return
+	}
+	conn.Write(b)
+}
+
+// runHeadless is the unattended on-device script: wait for power-off, run
+// all pending jobs, then turn WiFi on and notify the master.
+func (a *Agent) runHeadless(notifyAddr string) {
+	if a.USB != nil {
+		<-a.USB.WaitPowerOff()
+	}
+	a.mu.Lock()
+	jobs := make([]Job, 0, len(a.pending))
+	for _, j := range a.pending {
+		jobs = append(jobs, j)
+	}
+	a.pending = map[string]Job{}
+	a.mu.Unlock()
+
+	for _, job := range jobs {
+		res := a.executeJob(job)
+		a.mu.Lock()
+		a.results[job.ID] = res
+		a.mu.Unlock()
+	}
+
+	// "it turns on WiFi upon completion and communicates a TCP message
+	// through netcat to the server".
+	if notifyAddr != "" {
+		if conn, err := net.DialTimeout("tcp", notifyAddr, 5*time.Second); err == nil {
+			b, _ := encodeEnvelope(msgDone, len(jobs))
+			conn.Write(b)
+			conn.Close()
+		}
+	}
+}
+
+// executeJob runs warmup + measured inferences on the simulated device.
+func (a *Agent) executeJob(job Job) JobResult {
+	res := JobResult{ID: job.ID, ModelName: job.ModelName, Device: a.Device.Model, Backend: job.Backend}
+	fail := func(err error) JobResult {
+		res.Error = err.Error()
+		return res
+	}
+	tfl, _ := formats.ByName("tflite")
+	g, err := decodeAnyFormat(job.Model, tfl)
+	if err != nil {
+		return fail(err)
+	}
+	eng, err := mlrt.NewEngine(a.Device, job.Backend)
+	if err != nil {
+		return fail(err)
+	}
+	sess, err := eng.Load(g, mlrt.Options{Threads: job.Threads, Affinity: job.Affinity, Batch: job.Batch})
+	if err != nil {
+		return fail(err)
+	}
+	var sink soc.PowerSink
+	if a.Monitor != nil {
+		a.Monitor.Reset()
+		sink = a.Monitor
+	}
+	warmup := job.Warmup
+	if warmup <= 0 {
+		warmup = 2
+	}
+	runs := job.Runs
+	if runs <= 0 {
+		runs = 10
+	}
+	for i := 0; i < warmup; i++ {
+		if _, err := sess.Infer(sink); err != nil {
+			return fail(err)
+		}
+	}
+	for i := 0; i < runs; i++ {
+		r, err := sess.Infer(sink)
+		if err != nil {
+			return fail(err)
+		}
+		res.LatenciesNS = append(res.LatenciesNS, int64(r.Latency))
+		res.EnergiesMJ = append(res.EnergiesMJ, r.EnergymJ())
+		res.FLOPs = r.FLOPs
+		res.FallbackOps = r.FallbackOps
+		res.PeakMemBytes = r.PeakMemBytes
+		res.CPUUtil = r.CPUUtil
+		res.Throttled = res.Throttled || r.Throttled
+		if job.SleepBetween > 0 {
+			a.Device.Idle(job.SleepBetween, a.ScreenOn, sink)
+		}
+	}
+	if a.Monitor != nil {
+		res.MonitorEnergyMJ = a.Monitor.EnergyJ() * 1000
+		res.AvgPowerW = a.Monitor.AvgWatts()
+	} else if n := len(res.EnergiesMJ); n > 0 {
+		res.AvgPowerW = res.MeanEnergymJ() / 1000 / res.MeanLatency().Seconds()
+	}
+	return res
+}
+
+// decodeAnyFormat decodes single-file model bytes, trying the preferred
+// format first and then every registered one (the harness ships tflite by
+// convention, with dlc for SNPE targets — the paper converts caffe and
+// TFLite models through the SNPE converter).
+func decodeAnyFormat(data []byte, preferred formats.Format) (*graph.Graph, error) {
+	try := func(f formats.Format) (*graph.Graph, error) {
+		return f.Decode(formats.FileSet{"model" + f.Extensions()[0]: data})
+	}
+	if preferred != nil && preferred.Sniff(data) {
+		return try(preferred)
+	}
+	for _, f := range formats.All() {
+		if f.Sniff(data) {
+			return try(f)
+		}
+	}
+	return nil, fmt.Errorf("bench: model bytes match no registered format")
+}

@@ -1,0 +1,232 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/gaugenn/gaugenn/internal/nn/formats"
+	"github.com/gaugenn/gaugenn/internal/nn/graph"
+	"github.com/gaugenn/gaugenn/internal/nn/zoo"
+	"github.com/gaugenn/gaugenn/internal/power"
+	"github.com/gaugenn/gaugenn/internal/soc"
+)
+
+func modelBytes(t *testing.T, task zoo.Task, seed int64) ([]byte, *graph.Graph) {
+	t.Helper()
+	g, err := zoo.Build(zoo.Spec{Task: task, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := formats.ByName("tflite")
+	fs, err := f.Encode(g, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs["m.tflite"], g
+}
+
+func newRig(t *testing.T, deviceModel string) (*Agent, *Master, *power.Monitor) {
+	t.Helper()
+	dev, err := soc.NewDevice(deviceModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	usb := power.NewUSBSwitch()
+	mon := power.NewMonitor()
+	agent := NewAgent(dev, usb, mon)
+	addr, err := agent.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { agent.Close() })
+	return agent, NewMaster(addr, usb), mon
+}
+
+func TestMasterSlaveWorkflow(t *testing.T) {
+	_, master, mon := newRig(t, "Q845")
+	bytes1, _ := modelBytes(t, zoo.TaskFaceDetection, 1)
+	job := Job{
+		ID: "job-1", ModelName: "blazeface", Model: bytes1,
+		Backend: "cpu", Threads: 4, Warmup: 2, Runs: 5,
+		SleepBetween: 50 * time.Millisecond,
+	}
+	res, err := master.RunJob(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Error != "" {
+		t.Fatalf("job error: %s", res.Error)
+	}
+	if len(res.LatenciesNS) != 5 || len(res.EnergiesMJ) != 5 {
+		t.Fatalf("runs recorded: %d/%d", len(res.LatenciesNS), len(res.EnergiesMJ))
+	}
+	if res.MeanLatency() <= 0 || res.MeanEnergymJ() <= 0 {
+		t.Fatalf("means: %v %v", res.MeanLatency(), res.MeanEnergymJ())
+	}
+	if res.Device != "Q845" || res.Backend != "cpu" {
+		t.Fatalf("identity: %+v", res)
+	}
+	// Monitor captured the run including idle sleeps.
+	if res.MonitorEnergyMJ <= 0 {
+		t.Fatal("monitor energy missing")
+	}
+	if res.MonitorEnergyMJ < res.MeanEnergymJ()*5 {
+		t.Fatal("monitor total should cover all runs plus idle")
+	}
+	_ = mon
+	// Power was restored after the round.
+	if !master.USB.PowerOn() {
+		t.Fatal("master must restore USB power")
+	}
+}
+
+func TestMasterSlaveMultipleJobs(t *testing.T) {
+	_, master, _ := newRig(t, "Q888")
+	b1, _ := modelBytes(t, zoo.TaskObjectDetection, 2)
+	b2, _ := modelBytes(t, zoo.TaskImageClassification, 3)
+	jobs := []Job{
+		{ID: "a", ModelName: "det", Model: b1, Backend: "cpu", Threads: 4, Warmup: 1, Runs: 3},
+		{ID: "b", ModelName: "cls", Model: b2, Backend: "snpe-dsp", Threads: 4, Warmup: 1, Runs: 3},
+	}
+	res, err := master.RunJobs(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("results = %d", len(res))
+	}
+	if res[0].ID != "a" || res[1].ID != "b" {
+		t.Fatal("result order must match job order")
+	}
+	for _, r := range res {
+		if r.Error != "" {
+			t.Fatalf("job %s failed: %s", r.ID, r.Error)
+		}
+	}
+	// DSP should be faster than CPU even across different models here
+	// (both are small vision nets).
+	if res[1].MeanLatency() >= res[0].MeanLatency()*3 {
+		t.Fatalf("unexpected latencies: %v vs %v", res[1].MeanLatency(), res[0].MeanLatency())
+	}
+}
+
+func TestJobErrorPropagates(t *testing.T) {
+	_, master, _ := newRig(t, "A20") // Exynos: SNPE unavailable
+	b, _ := modelBytes(t, zoo.TaskFaceDetection, 4)
+	res, err := master.RunJob(Job{ID: "x", Model: b, Backend: "snpe-dsp", Runs: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Error == "" || !strings.Contains(res.Error, "Qualcomm") {
+		t.Fatalf("expected SNPE failure, got %+v", res)
+	}
+}
+
+func TestAgentRejectsGarbageModel(t *testing.T) {
+	_, master, _ := newRig(t, "Q845")
+	res, err := master.RunJob(Job{ID: "g", Model: []byte("not a model"), Backend: "cpu", Runs: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Error == "" {
+		t.Fatal("garbage model should fail in the agent")
+	}
+}
+
+func TestExecuteJobDirect(t *testing.T) {
+	dev, err := soc.NewDevice("S21")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := NewAgent(dev, nil, nil)
+	b, _ := modelBytes(t, zoo.TaskSemanticSegmentation, 5)
+	res := agent.ExecuteJob(Job{ID: "d", ModelName: "segm", Model: b, Backend: "cpu", Threads: 4, Warmup: 1, Runs: 4})
+	if res.Error != "" {
+		t.Fatalf("direct job: %s", res.Error)
+	}
+	if len(res.LatenciesNS) != 4 {
+		t.Fatalf("runs = %d", len(res.LatenciesNS))
+	}
+	if res.EfficiencyMFLOPsW() <= 0 {
+		t.Fatal("efficiency metric missing")
+	}
+}
+
+func TestScenarios(t *testing.T) {
+	sound, err := zoo.Build(zoo.Spec{Task: zoo.TaskSoundRecognition, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	typing, err := zoo.Build(zoo.Spec{Task: zoo.TaskAutoComplete, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	segm, err := zoo.Build(zoo.Spec{Task: zoo.TaskSemanticSegmentation, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	soundStats, err := RunScenario("Q845", SoundRecognitionScenario(), []*graph.Graph{sound}, "cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	typingStats, err := RunScenario("Q845", TypingScenario(), []*graph.Graph{typing}, "cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	segmStats, err := RunScenario("Q845", SegmentationScenario(), []*graph.Graph{segm}, "cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table 4 shape: segmentation >> sound recognition > typing by orders
+	// of magnitude.
+	if !(segmStats.Avg > soundStats.Avg && soundStats.Avg > typingStats.Avg) {
+		t.Fatalf("scenario ordering: segm=%.3f sound=%.4f typing=%.5f mAh",
+			segmStats.Avg, soundStats.Avg, typingStats.Avg)
+	}
+	if segmStats.Avg < 100 {
+		t.Errorf("1h segmentation discharge = %.1f mAh, paper reports hundreds to thousands", segmStats.Avg)
+	}
+	if typingStats.Avg > 2 {
+		t.Errorf("typing discharge = %.3f mAh, paper reports well under 1 mAh", typingStats.Avg)
+	}
+	if soundStats.Min > soundStats.Median || soundStats.Median > soundStats.Max {
+		t.Fatal("summary ordering broken")
+	}
+}
+
+func TestScenarioInferenceCounts(t *testing.T) {
+	sound, _ := zoo.Build(zoo.Spec{Task: zoo.TaskSoundRecognition, Seed: 9})
+	n := SoundRecognitionScenario().Inferences(sound)
+	// Audio window = frames * 10 ms; one hour of audio needs 3600/window.
+	frames := sound.Inputs[0].Shape[1]
+	want := int(3600/(float64(frames)*0.01)) + 1
+	if n < want-1 || n > want+1 {
+		t.Fatalf("sound inferences = %d, want ~%d", n, want)
+	}
+	if TypingScenario().Inferences(sound) != 275 {
+		t.Fatal("typing count")
+	}
+	if SegmentationScenario().Inferences(sound) != 54000 {
+		t.Fatal("segmentation count")
+	}
+}
+
+func TestRunScenarioErrors(t *testing.T) {
+	if _, err := RunScenario("Q845", TypingScenario(), nil, "cpu"); err == nil {
+		t.Fatal("no models should fail")
+	}
+	g, _ := zoo.Build(zoo.Spec{Task: zoo.TaskAutoComplete, Seed: 10})
+	if _, err := RunScenario("NOPE", TypingScenario(), []*graph.Graph{g}, "cpu"); err == nil {
+		t.Fatal("unknown device should fail")
+	}
+}
+
+func TestRunJobsEmpty(t *testing.T) {
+	_, master, _ := newRig(t, "Q845")
+	res, err := master.RunJobs(nil)
+	if err != nil || res != nil {
+		t.Fatalf("empty jobs: %v %v", res, err)
+	}
+}

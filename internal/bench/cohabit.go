@@ -1,0 +1,110 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/gaugenn/gaugenn/internal/mlrt"
+	"github.com/gaugenn/gaugenn/internal/nn/graph"
+	"github.com/gaugenn/gaugenn/internal/soc"
+)
+
+// CohabitResult quantifies DNN co-habitation (Section 8.1: "we also
+// anticipate the co-existence and parallel runtime of more than one DNN in
+// the future. Thus, researchers will need to tackle this emerging
+// problem"): per-model throughput when the models time-share one device,
+// against their isolated throughput on the same (cooled) device.
+type CohabitResult struct {
+	Device string
+	Models []string
+	// SoloInfPerSec is each model's isolated steady-state throughput.
+	SoloInfPerSec []float64
+	// CohabInfPerSec is each model's throughput while all models run
+	// round-robin on the shared device (scheduler time-sharing plus the
+	// compounded thermal load).
+	CohabInfPerSec []float64
+	// InterferenceFactor is solo/cohabited throughput per model (>= ~N for
+	// N co-resident models; thermal coupling pushes it higher).
+	InterferenceFactor []float64
+}
+
+// RunCohabitation interleaves the models' inferences round-robin for the
+// given number of rounds and compares against isolated runs.
+func RunCohabitation(deviceModel string, models []*graph.Graph, backend string, rounds int) (CohabitResult, error) {
+	res := CohabitResult{Device: deviceModel}
+	if len(models) < 2 {
+		return res, fmt.Errorf("bench: co-habitation needs at least two models")
+	}
+	if backend == "" {
+		backend = "cpu"
+	}
+	if rounds <= 0 {
+		rounds = 10
+	}
+
+	// Isolated baselines: fresh, cooled device per model.
+	for _, g := range models {
+		res.Models = append(res.Models, g.Name)
+		dev, err := soc.NewDevice(deviceModel)
+		if err != nil {
+			return res, err
+		}
+		eng, err := mlrt.NewEngine(dev, backend)
+		if err != nil {
+			return res, err
+		}
+		sess, err := eng.Load(g, mlrt.Options{Threads: 4})
+		if err != nil {
+			return res, err
+		}
+		if _, err := sess.Infer(nil); err != nil {
+			return res, err
+		}
+		var total time.Duration
+		for i := 0; i < rounds; i++ {
+			r, err := sess.Infer(nil)
+			if err != nil {
+				return res, err
+			}
+			total += r.Latency
+		}
+		res.SoloInfPerSec = append(res.SoloInfPerSec, float64(rounds)/total.Seconds())
+	}
+
+	// Co-habitation: all models share one device; inferences interleave on
+	// the single execution timeline, so each model's wall-clock per
+	// inference includes everyone else's turns — the time-sharing a real
+	// OS scheduler would approximate — and the heat they all deposit.
+	dev, err := soc.NewDevice(deviceModel)
+	if err != nil {
+		return res, err
+	}
+	eng, err := mlrt.NewEngine(dev, backend)
+	if err != nil {
+		return res, err
+	}
+	sessions := make([]*mlrt.Session, len(models))
+	for i, g := range models {
+		if sessions[i], err = eng.Load(g, mlrt.Options{Threads: 4}); err != nil {
+			return res, err
+		}
+		if _, err := sessions[i].Infer(nil); err != nil {
+			return res, err
+		}
+	}
+	start := dev.Clock.Now()
+	for i := 0; i < rounds; i++ {
+		for _, sess := range sessions {
+			if _, err := sess.Infer(nil); err != nil {
+				return res, err
+			}
+		}
+	}
+	makespan := (dev.Clock.Now() - start).Seconds()
+	for i := range sessions {
+		cohab := float64(rounds) / makespan
+		res.CohabInfPerSec = append(res.CohabInfPerSec, cohab)
+		res.InterferenceFactor = append(res.InterferenceFactor, res.SoloInfPerSec[i]/cohab)
+	}
+	return res, nil
+}

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"testing"
+
+	"github.com/gaugenn/gaugenn/internal/nn/graph"
+	"github.com/gaugenn/gaugenn/internal/nn/zoo"
+)
+
+func TestCohabitationInterference(t *testing.T) {
+	a, err := zoo.Build(zoo.Spec{Task: zoo.TaskObjectDetection, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bg, err := zoo.Build(zoo.Spec{Task: zoo.TaskSemanticSegmentation, Seed: 52})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunCohabitation("S21", []*graph.Graph{a, bg}, "cpu", 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.InterferenceFactor) != 2 {
+		t.Fatalf("factors = %v", res.InterferenceFactor)
+	}
+	maxF := 0.0
+	for i, f := range res.InterferenceFactor {
+		// Every co-resident loses throughput; the lighter model loses the
+		// most (it spends most of each round waiting on the heavy one).
+		if f < 1.2 {
+			t.Errorf("model %d interference factor %.2f, want > 1.2", i, f)
+		}
+		if f > 20 {
+			t.Errorf("model %d interference factor %.2f implausibly high", i, f)
+		}
+		if f > maxF {
+			maxF = f
+		}
+	}
+	if maxF < 2 {
+		t.Errorf("the lighter co-resident should lose at least 2x (got max %.2f)", maxF)
+	}
+	if res.SoloInfPerSec[0] <= res.CohabInfPerSec[0] {
+		t.Error("solo throughput must exceed cohabited throughput")
+	}
+}
+
+func TestCohabitationNeedsTwoModels(t *testing.T) {
+	g, _ := zoo.Build(zoo.Spec{Task: zoo.TaskFaceDetection, Seed: 53})
+	if _, err := RunCohabitation("S21", []*graph.Graph{g}, "cpu", 4); err == nil {
+		t.Fatal("single model should fail")
+	}
+	if _, err := RunCohabitation("NOPE", []*graph.Graph{g, g}, "cpu", 4); err == nil {
+		t.Fatal("unknown device should fail")
+	}
+}

@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/gaugenn/gaugenn/internal/nn/zoo"
+	"github.com/gaugenn/gaugenn/internal/power"
+	"github.com/gaugenn/gaugenn/internal/soc"
+)
+
+// fakeAgent accepts the prepare phase but never notifies the master — a
+// hung or crashed device.
+func fakeSilentAgent(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				sc := bufio.NewScanner(c)
+				sc.Buffer(make([]byte, 1<<20), 64<<20)
+				for sc.Scan() {
+					var env envelope
+					if json.Unmarshal(sc.Bytes(), &env) != nil {
+						return
+					}
+					switch env.Kind {
+					case msgJob:
+						var job Job
+						json.Unmarshal(env.Payload, &job)
+						b, _ := encodeEnvelope(msgReady, job.ID)
+						c.Write(b)
+					case msgPowerOff:
+						b, _ := encodeEnvelope(msgOK, nil)
+						c.Write(b)
+						// ... and then silence: never dial the notify port.
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestMasterTimesOutOnSilentDevice(t *testing.T) {
+	addr := fakeSilentAgent(t)
+	master := NewMaster(addr, nil)
+	master.Timeout = 150 * time.Millisecond
+	b, _ := modelBytes(t, zoo.TaskFaceDetection, 61)
+	_, err := master.RunJob(Job{ID: "hang", Model: b, Backend: "cpu", Runs: 1})
+	if err == nil || !strings.Contains(err.Error(), "did not notify") {
+		t.Fatalf("want notify timeout, got %v", err)
+	}
+}
+
+func TestMasterFailsOnDeadAgent(t *testing.T) {
+	master := NewMaster("127.0.0.1:1", nil)
+	b, _ := modelBytes(t, zoo.TaskFaceDetection, 62)
+	if _, err := master.RunJob(Job{ID: "x", Model: b, Backend: "cpu", Runs: 1}); err == nil {
+		t.Fatal("dead agent should fail")
+	}
+}
+
+func TestMasterRefusesWhenUSBDataDown(t *testing.T) {
+	_, master, _ := newRig(t, "Q845")
+	master.USB.SetPower(false)
+	b, _ := modelBytes(t, zoo.TaskFaceDetection, 63)
+	_, err := master.RunJob(Job{ID: "x", Model: b, Backend: "cpu", Runs: 1})
+	if err == nil || !strings.Contains(err.Error(), "USB data") {
+		t.Fatalf("want USB data error, got %v", err)
+	}
+}
+
+func TestAgentRejectsUnknownMessage(t *testing.T) {
+	agent, _, _ := newRig(t, "Q845")
+	conn, err := net.Dial("tcp", agent.ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	b, _ := encodeEnvelope("SELFDESTRUCT", nil)
+	conn.Write(b)
+	sc := bufio.NewScanner(conn)
+	if !sc.Scan() {
+		t.Fatal("no reply")
+	}
+	var env envelope
+	if err := json.Unmarshal(sc.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if env.Kind != "ERROR" {
+		t.Fatalf("want ERROR, got %s", env.Kind)
+	}
+}
+
+func TestAgentRejectsGarbageFrame(t *testing.T) {
+	agent, _, _ := newRig(t, "Q845")
+	conn, err := net.Dial("tcp", agent.ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.Write([]byte("this is not json\n"))
+	sc := bufio.NewScanner(conn)
+	if !sc.Scan() {
+		t.Fatal("no reply")
+	}
+	if !strings.Contains(sc.Text(), "ERROR") {
+		t.Fatalf("want error frame, got %q", sc.Text())
+	}
+}
+
+func TestCollectUnknownJobFails(t *testing.T) {
+	agent, _, _ := newRig(t, "Q845")
+	conn, err := net.Dial("tcp", agent.ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	b, _ := encodeEnvelope(msgCollect, "ghost-job")
+	conn.Write(b)
+	sc := bufio.NewScanner(conn)
+	if !sc.Scan() || !strings.Contains(sc.Text(), "no result") {
+		t.Fatalf("want no-result error, got %q", sc.Text())
+	}
+}
+
+func TestUSBPowerCycleDuringWorkflow(t *testing.T) {
+	// The full workflow cuts power (dropping data) and restores it; the
+	// agent must be reachable again afterwards for a second round.
+	_, master, _ := newRig(t, "Q855")
+	b1, _ := modelBytes(t, zoo.TaskKeywordDetection, 64)
+	for round := 0; round < 2; round++ {
+		res, err := master.RunJob(Job{ID: "r", Model: b1, Backend: "cpu", Runs: 2})
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if res.Error != "" {
+			t.Fatalf("round %d: %s", round, res.Error)
+		}
+		if !master.USB.PowerOn() || !master.USB.DataOn() {
+			t.Fatalf("round %d: power not restored", round)
+		}
+	}
+}
+
+func TestMonitorAccountsIdleAndScreen(t *testing.T) {
+	dev, err := soc.NewDevice("Q845")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := power.NewMonitor()
+	agent := NewAgent(dev, nil, mon)
+	b, _ := modelBytes(t, zoo.TaskKeywordDetection, 65)
+	res := agent.ExecuteJob(Job{
+		ID: "idle", Model: b, Backend: "cpu", Runs: 2,
+		SleepBetween: 2 * time.Second, // screen-on idle dominates
+	})
+	if res.Error != "" {
+		t.Fatal(res.Error)
+	}
+	// The monitor total must far exceed the inference-only energy: the
+	// black-background screen and idle rails are measured and accounted,
+	// per the methodology.
+	if res.MonitorEnergyMJ < res.MeanEnergymJ()*2+100 {
+		t.Fatalf("monitor %f mJ should include idle+screen beyond %f mJ of inference",
+			res.MonitorEnergyMJ, res.MeanEnergymJ()*2)
+	}
+}

@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"time"
+
+	"github.com/gaugenn/gaugenn/internal/power"
+)
+
+// Master is the server side of Figure 2/3: it owns the USB switch, pushes
+// jobs to an agent, power-cycles the device around the measurement window
+// and collects the results after the WiFi notification arrives.
+type Master struct {
+	// AgentAddr is the device's adb endpoint.
+	AgentAddr string
+	// USB is the switch wired between server and device.
+	USB *power.USBSwitch
+	// Timeout bounds each benchmark round.
+	Timeout time.Duration
+}
+
+// NewMaster pairs a master with an agent endpoint and switch.
+func NewMaster(agentAddr string, usb *power.USBSwitch) *Master {
+	return &Master{AgentAddr: agentAddr, USB: usb, Timeout: 120 * time.Second}
+}
+
+// RunJobs executes the full Figure 3 workflow for a batch of jobs and
+// returns results in job order.
+func (m *Master) RunJobs(jobs []Job) ([]JobResult, error) {
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+	// WiFi notification listener (the server-side netcat).
+	notifyLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("bench: notify listen: %w", err)
+	}
+	defer notifyLn.Close()
+
+	// Prepare: push all dependencies over adb and arm the headless script.
+	conn, err := m.dialAgent()
+	if err != nil {
+		return nil, err
+	}
+	rd := bufio.NewScanner(conn)
+	rd.Buffer(make([]byte, 1<<20), 256<<20)
+	for _, job := range jobs {
+		if err := m.send(conn, msgJob, job); err != nil {
+			conn.Close()
+			return nil, err
+		}
+		if _, err := m.expect(rd, msgReady); err != nil {
+			conn.Close()
+			return nil, err
+		}
+	}
+	if err := m.send(conn, msgPowerOff, notifyLn.Addr().String()); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if _, err := m.expect(rd, msgOK); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	conn.Close()
+
+	// Cut USB power: the data channel drops with it and the device starts
+	// the unattended run.
+	if m.USB != nil {
+		m.USB.SetPower(false)
+	}
+
+	// Wait for the WiFi completion notification.
+	done := make(chan error, 1)
+	go func() {
+		notifyConn, err := notifyLn.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer notifyConn.Close()
+		sc := bufio.NewScanner(notifyConn)
+		sc.Buffer(make([]byte, 1<<16), 1<<20)
+		if !sc.Scan() {
+			done <- fmt.Errorf("bench: empty notification")
+			return
+		}
+		var env envelope
+		if err := json.Unmarshal(sc.Bytes(), &env); err != nil {
+			done <- err
+			return
+		}
+		if env.Kind != msgDone {
+			done <- fmt.Errorf("bench: unexpected notification %q", env.Kind)
+			return
+		}
+		done <- nil
+	}()
+	timeout := m.Timeout
+	if timeout <= 0 {
+		timeout = 120 * time.Second
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			return nil, err
+		}
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("bench: device did not notify within %v", timeout)
+	}
+
+	// Restore power, reconnect over adb, collect and clean.
+	if m.USB != nil {
+		m.USB.SetPower(true)
+	}
+	conn, err = m.dialAgent()
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	rd = bufio.NewScanner(conn)
+	rd.Buffer(make([]byte, 1<<20), 256<<20)
+	results := make([]JobResult, 0, len(jobs))
+	for _, job := range jobs {
+		if err := m.send(conn, msgCollect, job.ID); err != nil {
+			return nil, err
+		}
+		payload, err := m.expect(rd, msgResult)
+		if err != nil {
+			return nil, err
+		}
+		var res JobResult
+		if err := json.Unmarshal(payload, &res); err != nil {
+			return nil, fmt.Errorf("bench: bad result payload: %w", err)
+		}
+		results = append(results, res)
+	}
+	if err := m.send(conn, msgClean, nil); err != nil {
+		return nil, err
+	}
+	if _, err := m.expect(rd, msgOK); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// RunJob is the single-job convenience wrapper.
+func (m *Master) RunJob(job Job) (JobResult, error) {
+	res, err := m.RunJobs([]Job{job})
+	if err != nil {
+		return JobResult{}, err
+	}
+	return res[0], nil
+}
+
+func (m *Master) dialAgent() (net.Conn, error) {
+	if m.USB != nil && !m.USB.DataOn() {
+		return nil, fmt.Errorf("bench: USB data channel is down")
+	}
+	conn, err := net.DialTimeout("tcp", m.AgentAddr, 5*time.Second)
+	if err != nil {
+		return nil, fmt.Errorf("bench: dialing agent: %w", err)
+	}
+	return conn, nil
+}
+
+func (m *Master) send(conn net.Conn, kind string, payload any) error {
+	b, err := encodeEnvelope(kind, payload)
+	if err != nil {
+		return err
+	}
+	_, err = conn.Write(b)
+	return err
+}
+
+func (m *Master) expect(rd *bufio.Scanner, kind string) (json.RawMessage, error) {
+	if !rd.Scan() {
+		return nil, fmt.Errorf("bench: connection closed waiting for %s", kind)
+	}
+	var env envelope
+	if err := json.Unmarshal(rd.Bytes(), &env); err != nil {
+		return nil, err
+	}
+	if env.Kind == "ERROR" {
+		return nil, fmt.Errorf("bench: agent error: %s", string(env.Payload))
+	}
+	if env.Kind != kind {
+		return nil, fmt.Errorf("bench: expected %s, got %s", kind, env.Kind)
+	}
+	return env.Payload, nil
+}

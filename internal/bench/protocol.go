@@ -1,0 +1,126 @@
+// Package bench implements gaugeNN's benchmarking harness (Section 3.3):
+// a master-slave architecture where the server orchestrates deployment and
+// measurement across devices. The workflow follows Figure 3 verbatim —
+// push dependencies over the adb (USB data) channel, cut USB power through
+// the programmable switch so charging cannot pollute the Monsoon readings,
+// let the device run the headless job (warmup, timed inferences, sleeps),
+// receive the completion notification over the WiFi channel, restore power
+// and collect results.
+package bench
+
+import (
+	"encoding/json"
+	"time"
+)
+
+// Job is one benchmark unit the master pushes to a device agent.
+type Job struct {
+	ID string `json:"id"`
+	// ModelName labels results.
+	ModelName string `json:"modelName"`
+	// Model is the serialised model (tflite bytes by convention).
+	Model []byte `json:"model"`
+	// Backend selects the runtime ("cpu", "xnnpack", "nnapi", "gpu",
+	// "snpe-cpu", "snpe-gpu", "snpe-dsp").
+	Backend string `json:"backend"`
+	// Threads/Affinity/Batch mirror mlrt.Options.
+	Threads  int `json:"threads"`
+	Affinity int `json:"affinity"`
+	Batch    int `json:"batch"`
+	// Warmup inferences are run and discarded ("a configurable amount of
+	// warmup inferences to remove cold cache outliers").
+	Warmup int `json:"warmup"`
+	// Runs is the number of measured inferences.
+	Runs int `json:"runs"`
+	// SleepBetween is the inter-inference idle ("a configurable
+	// inter-experiment sleep period").
+	SleepBetween time.Duration `json:"sleepBetween"`
+}
+
+// JobResult is the measurement record collected from the device.
+type JobResult struct {
+	ID        string `json:"id"`
+	ModelName string `json:"modelName"`
+	Device    string `json:"device"`
+	Backend   string `json:"backend"`
+	// LatenciesNS are per-run inference latencies.
+	LatenciesNS []int64 `json:"latenciesNs"`
+	// EnergiesMJ are per-run energies (joule-integrated over the rail).
+	EnergiesMJ []float64 `json:"energiesMj"`
+	// MonitorEnergyMJ is the Monsoon-side total including idle and screen.
+	MonitorEnergyMJ float64 `json:"monitorEnergyMj"`
+	AvgPowerW       float64 `json:"avgPowerW"`
+	FLOPs           int64   `json:"flops"`
+	PeakMemBytes    int64   `json:"peakMemBytes"`
+	CPUUtil         float64 `json:"cpuUtil"`
+	FallbackOps     int     `json:"fallbackOps"`
+	Throttled       bool    `json:"throttled"`
+	Error           string  `json:"error,omitempty"`
+}
+
+// MeanLatency returns the mean measured latency.
+func (r JobResult) MeanLatency() time.Duration {
+	if len(r.LatenciesNS) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, l := range r.LatenciesNS {
+		sum += l
+	}
+	return time.Duration(sum / int64(len(r.LatenciesNS)))
+}
+
+// MeanEnergymJ returns the mean per-inference energy in millijoules.
+func (r JobResult) MeanEnergymJ() float64 {
+	if len(r.EnergiesMJ) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, e := range r.EnergiesMJ {
+		sum += e
+	}
+	return sum / float64(len(r.EnergiesMJ))
+}
+
+// EfficiencyMFLOPsW returns MFLOP/s per watt from the mean run.
+func (r JobResult) EfficiencyMFLOPsW() float64 {
+	e := r.MeanEnergymJ() / 1000
+	if e <= 0 {
+		return 0
+	}
+	return float64(r.FLOPs) / e / 1e6
+}
+
+// Wire message kinds for the adb (control) and wifi (notify) channels.
+const (
+	msgJob      = "JOB"
+	msgReady    = "READY"
+	msgPowerOff = "POWEROFF"
+	msgCollect  = "COLLECT"
+	msgResult   = "RESULT"
+	msgClean    = "CLEAN"
+	msgOK       = "OK"
+	msgDone     = "DONE"
+)
+
+// envelope frames every wire message as line-delimited JSON.
+type envelope struct {
+	Kind    string          `json:"kind"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+func encodeEnvelope(kind string, payload any) ([]byte, error) {
+	var raw json.RawMessage
+	if payload != nil {
+		b, err := json.Marshal(payload)
+		if err != nil {
+			return nil, err
+		}
+		raw = b
+	}
+	b, err := json.Marshal(envelope{Kind: kind, Payload: raw})
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}

@@ -1,0 +1,139 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/gaugenn/gaugenn/internal/mlrt"
+	"github.com/gaugenn/gaugenn/internal/nn/graph"
+	"github.com/gaugenn/gaugenn/internal/power"
+	"github.com/gaugenn/gaugenn/internal/soc"
+	"github.com/gaugenn/gaugenn/internal/stats"
+)
+
+// ExecuteJob runs a job in-process on the agent's device, without the TCP
+// choreography — the fast path the figure-regeneration benches use. The
+// full master-slave workflow is exercised by RunJobs.
+func (a *Agent) ExecuteJob(job Job) JobResult { return a.executeJob(job) }
+
+// Scenario is one Table 4 use case: how many inferences a realistic hour
+// (or message load) of usage costs, derived from each model's input
+// dimensions — "we manually investigated the models and assumed the most
+// likely amount of audio input per inference considering the model's input
+// dimension".
+type Scenario struct {
+	Name string
+	// Inferences returns how many inferences the scenario needs for the
+	// given model.
+	Inferences func(g *graph.Graph) int
+}
+
+// audioFrameSeconds is the hop of one spectrogram frame (10 ms).
+const audioFrameSeconds = 0.010
+
+// SoundRecognitionScenario recognises 1 hour of audio: each inference
+// consumes the model's input window.
+func SoundRecognitionScenario() Scenario {
+	return Scenario{
+		Name: "Sound R.",
+		Inferences: func(g *graph.Graph) int {
+			window := 1.0 // seconds, fallback
+			if len(g.Inputs) > 0 {
+				in := g.Inputs[0].Shape
+				if len(in) >= 2 && in[1] > 1 {
+					window = float64(in[1]) * audioFrameSeconds
+				}
+			}
+			if window <= 0 {
+				window = 1
+			}
+			return int(math.Ceil(3600 / window))
+		},
+	}
+}
+
+// TypingScenario runs auto-completion once per typed word, for the 275
+// daily words the paper derives from WhatsApp usage statistics.
+func TypingScenario() Scenario {
+	return Scenario{
+		Name:       "Typing",
+		Inferences: func(*graph.Graph) int { return 275 },
+	}
+}
+
+// SegmentationScenario segments a person at 15 FPS through a 1-hour video
+// call (one frame per inference).
+func SegmentationScenario() Scenario {
+	return Scenario{
+		Name:       "Segm.",
+		Inferences: func(*graph.Graph) int { return 15 * 3600 },
+	}
+}
+
+// ScenarioStats is one Table 4 cell group: battery discharge statistics
+// across the models serving the scenario.
+type ScenarioStats struct {
+	Scenario string
+	Device   string
+	Models   int
+	// Discharge in mAh: the paper reports Avg±Std, Median, Min, Max.
+	Avg, Std, Median, Min, Max float64
+}
+
+// RunScenario benchmarks each model's warm per-inference energy on the
+// device and scales it by the scenario's inference count, converting to
+// battery discharge at the nominal rail voltage.
+func RunScenario(deviceModel string, sc Scenario, models []*graph.Graph, backend string) (ScenarioStats, error) {
+	out := ScenarioStats{Scenario: sc.Name, Device: deviceModel}
+	if len(models) == 0 {
+		return out, fmt.Errorf("bench: scenario %s has no models", sc.Name)
+	}
+	if backend == "" {
+		backend = "cpu"
+	}
+	bat := power.Battery{Voltage: power.DefaultRailVoltage}
+	var discharges []float64
+	for _, g := range models {
+		dev, err := soc.NewDevice(deviceModel)
+		if err != nil {
+			return out, err
+		}
+		eng, err := mlrt.NewEngine(dev, backend)
+		if err != nil {
+			return out, err
+		}
+		sess, err := eng.Load(g, mlrt.Options{Threads: 4})
+		if err != nil {
+			continue // model does not fit / unsupported: skip, as the harness does
+		}
+		if _, err := sess.Infer(nil); err != nil { // warmup
+			continue
+		}
+		var energy float64
+		const meas = 3
+		ok := true
+		for i := 0; i < meas; i++ {
+			r, err := sess.Infer(nil)
+			if err != nil {
+				ok = false
+				break
+			}
+			energy += r.EnergyJ
+		}
+		if !ok {
+			continue
+		}
+		perInf := energy / meas
+		n := sc.Inferences(g)
+		discharges = append(discharges, bat.DischargemAh(perInf*float64(n)))
+	}
+	if len(discharges) == 0 {
+		return out, fmt.Errorf("bench: no model completed scenario %s on %s", sc.Name, deviceModel)
+	}
+	s := stats.MustSummarize(discharges)
+	sort.Float64s(discharges)
+	out.Models = s.N
+	out.Avg, out.Std, out.Median, out.Min, out.Max = s.Mean, s.StdDev, s.Median, s.Min, s.Max
+	return out, nil
+}

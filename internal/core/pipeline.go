@@ -1,0 +1,263 @@
+// Package core wires gaugeNN's three stages together (Figure 1): DNN
+// retrieval (crawl, extract, validate), offline analysis (model and app
+// characterisation) and model benchmarking (on-device latency and energy).
+// It is the library's primary entry point; the root gaugenn package
+// re-exports it.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/gaugenn/gaugenn/internal/analysis"
+	"github.com/gaugenn/gaugenn/internal/bench"
+	"github.com/gaugenn/gaugenn/internal/crawler"
+	"github.com/gaugenn/gaugenn/internal/docstore"
+	"github.com/gaugenn/gaugenn/internal/extract"
+	"github.com/gaugenn/gaugenn/internal/nn/formats"
+	"github.com/gaugenn/gaugenn/internal/nn/zoo"
+	"github.com/gaugenn/gaugenn/internal/playstore"
+	"github.com/gaugenn/gaugenn/internal/power"
+	"github.com/gaugenn/gaugenn/internal/soc"
+)
+
+// Config parameterises a full study run.
+type Config struct {
+	// Seed drives the synthetic store; equal seeds reproduce identical
+	// studies.
+	Seed int64
+	// Scale sizes the store relative to the paper's 16.6k-app crawl
+	// (1.0 = full scale; 0.02-0.1 for quick runs).
+	Scale float64
+	// UseHTTP routes the crawl through the store's HTTP API (the
+	// realistic path); false extracts in process for speed.
+	UseHTTP bool
+	// KeepGraphs retains decoded graphs on the corpora for benchmarking.
+	KeepGraphs bool
+	// MaxPerCategory caps chart depth (500 in the paper).
+	MaxPerCategory int
+	// Progress, when non-nil, receives coarse stage updates.
+	Progress func(stage string, done, total int)
+}
+
+// DefaultConfig returns a quick-study configuration.
+func DefaultConfig(seed int64, scale float64) Config {
+	return Config{Seed: seed, Scale: scale, UseHTTP: true, KeepGraphs: true, MaxPerCategory: 500}
+}
+
+// StudyResult is everything a study produced.
+type StudyResult struct {
+	// Corpus20/Corpus21 are the analysed snapshots (Table 2's columns).
+	Corpus20, Corpus21 *analysis.Corpus
+	// Meta is the crawl metadata store (the ElasticSearch stand-in).
+	Meta *docstore.Store
+	// Store gives access to the generated ground truth (device-delivery
+	// probes, re-crawls).
+	Store *playstore.Study
+}
+
+// RunStudy executes the full offline pipeline over both snapshots.
+func RunStudy(cfg Config) (*StudyResult, error) {
+	if cfg.Scale <= 0 {
+		return nil, fmt.Errorf("core: scale must be positive")
+	}
+	study, err := playstore.GenerateStudy(playstore.DefaultConfig(cfg.Seed, cfg.Scale))
+	if err != nil {
+		return nil, err
+	}
+	res := &StudyResult{Meta: docstore.New(), Store: study}
+	res.Corpus20, err = runSnapshot(cfg, res.Meta, study.Snap20, "2020")
+	if err != nil {
+		return nil, err
+	}
+	res.Corpus21, err = runSnapshot(cfg, res.Meta, study.Snap21, "2021")
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func runSnapshot(cfg Config, meta *docstore.Store, snap *playstore.Snapshot, label string) (*analysis.Corpus, error) {
+	corpus := analysis.NewCorpus(label, cfg.KeepGraphs)
+	progress := func(done, total int) {
+		if cfg.Progress != nil {
+			cfg.Progress("crawl-"+label, done, total)
+		}
+	}
+	if cfg.UseHTTP {
+		srv := playstore.NewServer(snap)
+		base, shutdown, err := srv.Listen()
+		if err != nil {
+			return nil, err
+		}
+		defer shutdown()
+		cr := &crawler.Crawler{
+			Client:         crawler.NewClient(base),
+			Store:          meta,
+			MaxPerCategory: cfg.MaxPerCategory,
+			Progress:       progress,
+		}
+		_, err = cr.Run(label, func(m crawler.AppMeta, apkBytes []byte) error {
+			rep, err := extract.ExtractAPK(apkBytes)
+			if err != nil {
+				return err
+			}
+			return corpus.AddReport(m.Category, rep)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return corpus, nil
+	}
+	// In-process path: package and extract without the HTTP hop.
+	total := len(snap.Apps)
+	for i, a := range snap.Apps {
+		if !a.HasML() {
+			corpus.Apps = append(corpus.Apps, analysis.AppInfo{Package: a.Package, Category: string(a.Category)})
+		} else {
+			apkBytes, err := snap.BuildAPK(a)
+			if err != nil {
+				return nil, fmt.Errorf("core: packaging %s: %w", a.Package, err)
+			}
+			rep, err := extract.ExtractAPK(apkBytes)
+			if err != nil {
+				return nil, fmt.Errorf("core: extracting %s: %w", a.Package, err)
+			}
+			if err := corpus.AddReport(string(a.Category), rep); err != nil {
+				return nil, err
+			}
+		}
+		if err := meta.Put("apps-"+label, a.Package, docstore.Doc{
+			"package": a.Package, "category": string(a.Category),
+			"rank": a.Rank, "downloads": a.Downloads, "rating": a.Rating,
+		}); err != nil {
+			return nil, err
+		}
+		progress(i+1, total)
+	}
+	return corpus, nil
+}
+
+// DeliveryProbe re-downloads an app under a different device profile and
+// compares the served bytes — the Section 4.2 experiment that found "no
+// evidence of device-specific model customisation".
+func DeliveryProbe(study *playstore.Study, pkg string) (identical bool, err error) {
+	srv := playstore.NewServer(study.Snap21)
+	base, shutdown, err := srv.Listen()
+	if err != nil {
+		return false, err
+	}
+	defer shutdown()
+	modern := crawler.NewClient(base) // SM-G977B (S10 5G)
+	legacy := crawler.NewClient(base)
+	legacy.DeviceModel = "SM-G935F" // S7 edge, three generations older
+	legacy.UserAgent = "Android-Finsky/7.0 (api=3,versionCode=70000,device=hero2lte)"
+	a, err := modern.DownloadAPK(pkg)
+	if err != nil {
+		return false, err
+	}
+	b, err := legacy.DownloadAPK(pkg)
+	if err != nil {
+		return false, err
+	}
+	if len(a) != len(b) {
+		return false, nil
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// BenchModel is a corpus model selected for on-device benchmarking.
+type BenchModel struct {
+	Name     string
+	Task     zoo.Task
+	Checksum string
+	FLOPs    int64
+	Bytes    []byte // tflite-serialised
+}
+
+// SelectBenchModels picks up to n unique models (graphs retained) from the
+// corpus, serialised to tflite bytes for the harness, deterministically
+// ordered by checksum. Models whose inference the runtime cannot place
+// (e.g. absurd batch) surface later as job errors, matching the paper's
+// "models that successfully ran" framing.
+func SelectBenchModels(c *analysis.Corpus, n int) ([]BenchModel, error) {
+	tfl, _ := formats.ByName("tflite")
+	var out []BenchModel
+	for _, u := range c.SortedUniques() {
+		if u.Graph == nil {
+			continue
+		}
+		fs, err := tfl.Encode(u.Graph, "m")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, BenchModel{
+			Name:     u.Name,
+			Task:     u.Task,
+			Checksum: string(u.Checksum),
+			FLOPs:    u.Profile.FLOPs,
+			Bytes:    fs["m.tflite"],
+		})
+		if n > 0 && len(out) >= n {
+			break
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("core: corpus retains no graphs (KeepGraphs=false?)")
+	}
+	return out, nil
+}
+
+// DeviceRun benchmarks a model set on one device/backend via the in-process
+// harness and returns per-model results in input order.
+func DeviceRun(deviceModel, backend string, models []BenchModel, threads, batch, runs int) ([]bench.JobResult, error) {
+	dev, err := soc.NewDevice(deviceModel)
+	if err != nil {
+		return nil, err
+	}
+	mon := power.NewMonitor()
+	agent := bench.NewAgent(dev, nil, mon)
+	out := make([]bench.JobResult, 0, len(models))
+	for i, m := range models {
+		dev.Reset() // cold, cooled device per model, as the harness ensures
+		res := agent.ExecuteJob(bench.Job{
+			ID:        fmt.Sprintf("%s-%s-%d", deviceModel, backend, i),
+			ModelName: m.Name,
+			Model:     m.Bytes,
+			Backend:   backend,
+			Threads:   threads,
+			Batch:     batch,
+			Warmup:    2,
+			Runs:      runs,
+		})
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// ModelsByTask returns the corpus' retained graphs grouped by task, for the
+// Table 4 scenario runner.
+func ModelsByTask(c *analysis.Corpus) map[zoo.Task][]*BenchModelGraph {
+	out := map[zoo.Task][]*BenchModelGraph{}
+	for _, u := range c.SortedUniques() {
+		if u.Graph == nil {
+			continue
+		}
+		out[u.Task] = append(out[u.Task], &BenchModelGraph{Name: u.Name, Graph: u})
+	}
+	for _, v := range out {
+		sort.Slice(v, func(i, j int) bool { return v[i].Name < v[j].Name })
+	}
+	return out
+}
+
+// BenchModelGraph pairs a model name with its corpus record.
+type BenchModelGraph struct {
+	Name  string
+	Graph *analysis.Unique
+}

@@ -1,0 +1,274 @@
+// Package crawler implements gaugeNN's store-facing collection step
+// (Section 3.1): it "mimics the web API calls made from the Google Play
+// store of a typical mobile device", fetching the top free apps per
+// category (up to 500), downloading each app's package and companion
+// files, and filing the store metadata into the document store for ETL
+// analytics.
+package crawler
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"github.com/gaugenn/gaugenn/internal/docstore"
+)
+
+// AppMeta is the store metadata captured per app listing.
+type AppMeta struct {
+	Package   string  `json:"package"`
+	Title     string  `json:"title"`
+	Category  string  `json:"category"`
+	Rank      int     `json:"rank"`
+	Downloads int64   `json:"downloads"`
+	Rating    float64 `json:"rating"`
+}
+
+// DeliveryManifest mirrors the store's companion-file listing.
+type DeliveryManifest struct {
+	Package    string   `json:"package"`
+	OBBs       []string `json:"obbs"`
+	AssetPacks []string `json:"assetPacks"`
+}
+
+// Client speaks the store's device API. UserAgent and Locale are mandatory
+// ("both the user-agent and locale headers are defined, which determine the
+// variant of the store and apps retrieved"); DeviceModel identifies the
+// device profile, which Section 4.2 varies to probe device-specific
+// delivery.
+type Client struct {
+	BaseURL     string
+	UserAgent   string
+	Locale      string
+	DeviceModel string
+	HTTPClient  *http.Client
+	// Retries re-issues a request after transient failures (network
+	// errors, 5xx); a 16k-app crawl cannot afford to die on one hiccup.
+	Retries int
+	// RetryDelay spaces attempts (default 50 ms).
+	RetryDelay time.Duration
+}
+
+// NewClient builds a client with the paper's default device profile (a
+// UK-locale Samsung S10, SM-G977B).
+func NewClient(baseURL string) *Client {
+	return &Client{
+		BaseURL:     baseURL,
+		UserAgent:   "Android-Finsky/8.0 (api=3,versionCode=80000,device=beyond1)",
+		Locale:      "en_GB",
+		DeviceModel: "SM-G977B",
+		HTTPClient:  &http.Client{Timeout: 120 * time.Second},
+	}
+}
+
+func (c *Client) get(path string, q url.Values) ([]byte, error) {
+	u := c.BaseURL + path
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.Retries; attempt++ {
+		if attempt > 0 {
+			delay := c.RetryDelay
+			if delay <= 0 {
+				delay = 50 * time.Millisecond
+			}
+			time.Sleep(delay)
+		}
+		body, retryable, err := c.getOnce(u, path)
+		if err == nil {
+			return body, nil
+		}
+		lastErr = err
+		if !retryable {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+func (c *Client) getOnce(u, path string) (body []byte, retryable bool, err error) {
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return nil, false, fmt.Errorf("crawler: %w", err)
+	}
+	req.Header.Set("User-Agent", c.UserAgent)
+	req.Header.Set("X-DFE-Locale", c.Locale)
+	if c.DeviceModel != "" {
+		req.Header.Set("X-DFE-Device", c.DeviceModel)
+	}
+	hc := c.HTTPClient
+	if hc == nil {
+		hc = http.DefaultClient
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, true, fmt.Errorf("crawler: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	body, err = io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, true, fmt.Errorf("crawler: reading %s: %w", path, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, resp.StatusCode >= 500,
+			fmt.Errorf("crawler: GET %s: status %d: %s", path, resp.StatusCode, truncate(body, 200))
+	}
+	return body, false, nil
+}
+
+// Categories lists the store's category identifiers.
+func (c *Client) Categories() ([]string, error) {
+	body, err := c.get("/fdfe/categories", nil)
+	if err != nil {
+		return nil, err
+	}
+	var cats []string
+	if err := json.Unmarshal(body, &cats); err != nil {
+		return nil, fmt.Errorf("crawler: bad categories payload: %w", err)
+	}
+	return cats, nil
+}
+
+// TopChart fetches up to n chart entries for a category.
+func (c *Client) TopChart(category string, n int) ([]AppMeta, error) {
+	q := url.Values{"cat": {category}, "n": {fmt.Sprint(n)}}
+	body, err := c.get("/fdfe/topCharts", q)
+	if err != nil {
+		return nil, err
+	}
+	var out []AppMeta
+	if err := json.Unmarshal(body, &out); err != nil {
+		return nil, fmt.Errorf("crawler: bad chart payload: %w", err)
+	}
+	return out, nil
+}
+
+// Details fetches one app's metadata.
+func (c *Client) Details(pkg string) (AppMeta, error) {
+	var meta AppMeta
+	body, err := c.get("/fdfe/details", url.Values{"doc": {pkg}})
+	if err != nil {
+		return meta, err
+	}
+	if err := json.Unmarshal(body, &meta); err != nil {
+		return meta, fmt.Errorf("crawler: bad details payload: %w", err)
+	}
+	return meta, nil
+}
+
+// DownloadAPK fetches the app's base APK bytes.
+func (c *Client) DownloadAPK(pkg string) ([]byte, error) {
+	return c.get("/fdfe/purchase", url.Values{"doc": {pkg}})
+}
+
+// Delivery fetches the companion-file manifest (OBBs, asset packs).
+func (c *Client) Delivery(pkg string) (DeliveryManifest, error) {
+	var man DeliveryManifest
+	body, err := c.get("/fdfe/delivery", url.Values{"doc": {pkg}})
+	if err != nil {
+		return man, err
+	}
+	if err := json.Unmarshal(body, &man); err != nil {
+		return man, fmt.Errorf("crawler: bad delivery payload: %w", err)
+	}
+	return man, nil
+}
+
+// Crawler walks the whole store and files metadata into the docstore.
+type Crawler struct {
+	Client *Client
+	// Store receives one document per app under the "apps-<label>"
+	// collection.
+	Store *docstore.Store
+	// MaxPerCategory caps chart depth (500 in the paper).
+	MaxPerCategory int
+	// Progress, when non-nil, receives (done, total) after each app.
+	Progress func(done, total int)
+}
+
+// Result summarises a crawl.
+type Result struct {
+	Label      string
+	Categories int
+	Apps       int
+	APKBytes   int64
+	// CompanionFiles counts OBBs and asset packs encountered; the paper
+	// "found no models being distributed outside of the main apk".
+	CompanionFiles int
+}
+
+// Run crawls every category chart and invokes handle for each downloaded
+// app. Metadata lands in the docstore collection "apps-"+label.
+func (cr *Crawler) Run(label string, handle func(meta AppMeta, apkBytes []byte) error) (Result, error) {
+	res := Result{Label: label}
+	cats, err := cr.Client.Categories()
+	if err != nil {
+		return res, err
+	}
+	res.Categories = len(cats)
+	maxN := cr.MaxPerCategory
+	if maxN <= 0 {
+		maxN = 500
+	}
+	var charts [][]AppMeta
+	total := 0
+	for _, cat := range cats {
+		chart, err := cr.Client.TopChart(cat, maxN)
+		if err != nil {
+			return res, fmt.Errorf("crawler: chart %s: %w", cat, err)
+		}
+		charts = append(charts, chart)
+		total += len(chart)
+	}
+	done := 0
+	for _, chart := range charts {
+		for _, meta := range chart {
+			apkBytes, err := cr.Client.DownloadAPK(meta.Package)
+			if err != nil {
+				return res, fmt.Errorf("crawler: download %s: %w", meta.Package, err)
+			}
+			man, err := cr.Client.Delivery(meta.Package)
+			if err != nil {
+				return res, fmt.Errorf("crawler: delivery %s: %w", meta.Package, err)
+			}
+			res.CompanionFiles += len(man.OBBs) + len(man.AssetPacks)
+			if cr.Store != nil {
+				doc := docstore.Doc{
+					"package":   meta.Package,
+					"title":     meta.Title,
+					"category":  meta.Category,
+					"rank":      meta.Rank,
+					"downloads": meta.Downloads,
+					"rating":    meta.Rating,
+					"apkBytes":  len(apkBytes),
+				}
+				if err := cr.Store.Put("apps-"+label, meta.Package, doc); err != nil {
+					return res, err
+				}
+			}
+			if handle != nil {
+				if err := handle(meta, apkBytes); err != nil {
+					return res, fmt.Errorf("crawler: handling %s: %w", meta.Package, err)
+				}
+			}
+			res.Apps++
+			res.APKBytes += int64(len(apkBytes))
+			done++
+			if cr.Progress != nil {
+				cr.Progress(done, total)
+			}
+		}
+	}
+	return res, nil
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) > n {
+		b = b[:n]
+	}
+	return string(b)
+}

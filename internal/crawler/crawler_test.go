@@ -1,0 +1,167 @@
+package crawler
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/gaugenn/gaugenn/internal/docstore"
+	"github.com/gaugenn/gaugenn/internal/playstore"
+)
+
+func startStore(t *testing.T, scale float64) (*playstore.Study, string) {
+	t.Helper()
+	study, err := playstore.GenerateStudy(playstore.DefaultConfig(21, scale))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := playstore.NewServer(study.Snap21)
+	base, shutdown, err := srv.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { shutdown() })
+	return study, base
+}
+
+func TestClientEndpoints(t *testing.T) {
+	study, base := startStore(t, 0.02)
+	c := NewClient(base)
+
+	cats, err := c.Categories()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cats) != 33 {
+		t.Fatalf("categories = %d", len(cats))
+	}
+
+	chart, err := c.TopChart("COMMUNICATION", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chart) == 0 || chart[0].Rank != 1 {
+		t.Fatalf("chart: %+v", chart)
+	}
+
+	meta, err := c.Details(chart[0].Package)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Package != chart[0].Package || meta.Category != "COMMUNICATION" {
+		t.Fatalf("details: %+v", meta)
+	}
+
+	apk, err := c.DownloadAPK(chart[0].Package)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(apk) == 0 {
+		t.Fatal("empty apk")
+	}
+
+	man, err := c.Delivery(chart[0].Package)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man.OBBs) != 0 || len(man.AssetPacks) != 0 {
+		t.Fatal("expected no companion files")
+	}
+
+	if _, err := c.Details("ghost.pkg"); err == nil || !strings.Contains(err.Error(), "404") {
+		t.Fatalf("unknown package should 404: %v", err)
+	}
+	_ = study
+}
+
+func TestClientRequiresHeaders(t *testing.T) {
+	_, base := startStore(t, 0.01)
+	c := NewClient(base)
+	c.Locale = "" // the store must reject locale-less requests
+	if _, err := c.Categories(); err == nil {
+		t.Fatal("missing locale should fail")
+	}
+}
+
+func TestCrawlerRun(t *testing.T) {
+	study, base := startStore(t, 0.02)
+	store := docstore.New()
+	cr := &Crawler{
+		Client:         NewClient(base),
+		Store:          store,
+		MaxPerCategory: 500,
+	}
+	apps := 0
+	var apkTotal int64
+	res, err := cr.Run("2021", func(meta AppMeta, apkBytes []byte) error {
+		apps++
+		apkTotal += int64(len(apkBytes))
+		if meta.Package == "" || len(apkBytes) == 0 {
+			t.Errorf("bad handle args for %+v", meta)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Apps != len(study.Snap21.Apps) {
+		t.Fatalf("crawled %d apps, store has %d", res.Apps, len(study.Snap21.Apps))
+	}
+	if res.Apps != apps {
+		t.Fatal("handler call count mismatch")
+	}
+	if res.Categories != 33 {
+		t.Fatalf("categories = %d", res.Categories)
+	}
+	if res.CompanionFiles != 0 {
+		t.Fatal("paper finding: no companion-file models")
+	}
+	if res.APKBytes != apkTotal {
+		t.Fatal("APK byte accounting mismatch")
+	}
+	// Metadata landed in the docstore.
+	if n := store.Count("apps-2021"); n != res.Apps {
+		t.Fatalf("docstore holds %d apps, crawled %d", n, res.Apps)
+	}
+	agg := store.TermsAgg("apps-2021", "category")
+	if agg["COMMUNICATION"] == 0 {
+		t.Fatal("category aggregation empty")
+	}
+}
+
+func TestCrawlerChartCap(t *testing.T) {
+	_, base := startStore(t, 0.02)
+	cr := &Crawler{Client: NewClient(base), MaxPerCategory: 3}
+	res, err := cr.Run("capped", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Apps != 33*3 {
+		t.Fatalf("capped crawl = %d apps, want %d", res.Apps, 33*3)
+	}
+}
+
+func TestCrawlerProgress(t *testing.T) {
+	_, base := startStore(t, 0.01)
+	var last, total int
+	cr := &Crawler{
+		Client:         NewClient(base),
+		MaxPerCategory: 2,
+		Progress: func(done, t int) {
+			last, total = done, t
+		},
+	}
+	res, err := cr.Run("p", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if last != res.Apps || total != res.Apps {
+		t.Fatalf("progress: last=%d total=%d apps=%d", last, total, res.Apps)
+	}
+}
+
+func TestClientBadBaseURL(t *testing.T) {
+	c := NewClient("http://127.0.0.1:1")
+	if _, err := c.Categories(); err == nil {
+		t.Fatal("unreachable store should fail")
+	}
+}

@@ -1,0 +1,323 @@
+// Package docstore is the embedded document store gaugeNN keeps its crawl
+// metadata in — the stand-in for the ElasticSearch instance of Section 3.1
+// ("gaugeNN stores the store metadata for each app ... in an ElasticSearch
+// instance for quick ETL analytics and cross-snapshot investigations").
+//
+// Documents are JSON-like maps addressed by collection and id; queries
+// combine term/range/prefix/exists filters and the aggregation helpers
+// cover the term-bucket counting the analysis chapters rely on.
+package docstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Doc is a JSON-like document. Nested documents use map[string]any; numbers
+// follow JSON semantics (float64).
+type Doc map[string]any
+
+// Store is a concurrency-safe in-memory document store.
+type Store struct {
+	mu          sync.RWMutex
+	collections map[string]map[string]Doc
+}
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{collections: map[string]map[string]Doc{}}
+}
+
+// Put inserts or replaces a document. The document is deep-copied through
+// JSON marshalling so later mutations by the caller cannot corrupt the
+// index.
+func (s *Store) Put(coll, id string, doc Doc) error {
+	cp, err := deepCopy(doc)
+	if err != nil {
+		return fmt.Errorf("docstore: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.collections[coll]
+	if !ok {
+		c = map[string]Doc{}
+		s.collections[coll] = c
+	}
+	c[id] = cp
+	return nil
+}
+
+// Get returns a copy of the document.
+func (s *Store) Get(coll, id string) (Doc, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.collections[coll][id]
+	if !ok {
+		return nil, false
+	}
+	cp, err := deepCopy(d)
+	if err != nil {
+		return nil, false
+	}
+	return cp, true
+}
+
+// Delete removes a document, reporting whether it existed.
+func (s *Store) Delete(coll, id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := s.collections[coll]
+	if _, ok := c[id]; !ok {
+		return false
+	}
+	delete(c, id)
+	return true
+}
+
+// Count returns the number of documents matching the filters.
+func (s *Store) Count(coll string, filters ...Filter) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, d := range s.collections[coll] {
+		if matchAll(d, filters) {
+			n++
+		}
+	}
+	return n
+}
+
+// Collections lists collection names sorted.
+func (s *Store) Collections() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.collections))
+	for c := range s.collections {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Hit is a query result: the id and a copy of the document.
+type Hit struct {
+	ID  string
+	Doc Doc
+}
+
+// Query returns all matching documents ordered by id (deterministic).
+func (s *Store) Query(coll string, filters ...Filter) []Hit {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []Hit
+	for id, d := range s.collections[coll] {
+		if matchAll(d, filters) {
+			cp, err := deepCopy(d)
+			if err != nil {
+				continue
+			}
+			out = append(out, Hit{ID: id, Doc: cp})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Filter is a document predicate.
+type Filter func(Doc) bool
+
+func matchAll(d Doc, fs []Filter) bool {
+	for _, f := range fs {
+		if !f(d) {
+			return false
+		}
+	}
+	return true
+}
+
+// Term matches documents whose field equals value (numeric values compare
+// after float64 normalisation; string slices match any element).
+func Term(field string, value any) Filter {
+	return func(d Doc) bool {
+		v, ok := Lookup(d, field)
+		if !ok {
+			return false
+		}
+		if list, isList := v.([]any); isList {
+			for _, item := range list {
+				if equalJSON(item, value) {
+					return true
+				}
+			}
+			return false
+		}
+		return equalJSON(v, value)
+	}
+}
+
+// Exists matches documents carrying the field.
+func Exists(field string) Filter {
+	return func(d Doc) bool {
+		_, ok := Lookup(d, field)
+		return ok
+	}
+}
+
+// Range matches numeric fields within [lo, hi].
+func Range(field string, lo, hi float64) Filter {
+	return func(d Doc) bool {
+		v, ok := Lookup(d, field)
+		if !ok {
+			return false
+		}
+		f, ok := asFloat(v)
+		return ok && f >= lo && f <= hi
+	}
+}
+
+// Prefix matches string fields with the given prefix.
+func Prefix(field, prefix string) Filter {
+	return func(d Doc) bool {
+		v, ok := Lookup(d, field)
+		if !ok {
+			return false
+		}
+		s, ok := v.(string)
+		return ok && strings.HasPrefix(s, prefix)
+	}
+}
+
+// Lookup resolves a dotted field path ("meta.category") in a document.
+func Lookup(d Doc, path string) (any, bool) {
+	parts := strings.Split(path, ".")
+	var cur any = map[string]any(d)
+	for _, p := range parts {
+		m, ok := cur.(map[string]any)
+		if !ok {
+			return nil, false
+		}
+		cur, ok = m[p]
+		if !ok {
+			return nil, false
+		}
+	}
+	return cur, true
+}
+
+// TermsAgg counts documents per distinct string value of the field — the
+// ElasticSearch terms aggregation behind the per-category breakdowns.
+func (s *Store) TermsAgg(coll, field string, filters ...Filter) map[string]int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := map[string]int{}
+	for _, d := range s.collections[coll] {
+		if !matchAll(d, filters) {
+			continue
+		}
+		v, ok := Lookup(d, field)
+		if !ok {
+			continue
+		}
+		switch val := v.(type) {
+		case string:
+			out[val]++
+		case []any:
+			for _, item := range val {
+				if s2, ok := item.(string); ok {
+					out[s2]++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// SumAgg totals a numeric field across matching documents.
+func (s *Store) SumAgg(coll, field string, filters ...Filter) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var sum float64
+	for _, d := range s.collections[coll] {
+		if !matchAll(d, filters) {
+			continue
+		}
+		if v, ok := Lookup(d, field); ok {
+			if f, ok := asFloat(v); ok {
+				sum += f
+			}
+		}
+	}
+	return sum
+}
+
+// snapshotDump is the persistence wire format.
+type snapshotDump struct {
+	Collections map[string]map[string]Doc `json:"collections"`
+}
+
+// Save writes the full store as JSON.
+func (s *Store) Save(w io.Writer) error {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	enc := json.NewEncoder(w)
+	return enc.Encode(snapshotDump{Collections: s.collections})
+}
+
+// Load replaces the store contents with a previously saved dump.
+func (s *Store) Load(r io.Reader) error {
+	var dump snapshotDump
+	if err := json.NewDecoder(r).Decode(&dump); err != nil {
+		return fmt.Errorf("docstore: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if dump.Collections == nil {
+		dump.Collections = map[string]map[string]Doc{}
+	}
+	s.collections = dump.Collections
+	return nil
+}
+
+func deepCopy(d Doc) (Doc, error) {
+	raw, err := json.Marshal(d)
+	if err != nil {
+		return nil, err
+	}
+	var out Doc
+	if err := json.Unmarshal(raw, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func asFloat(v any) (float64, bool) {
+	switch n := v.(type) {
+	case float64:
+		return n, true
+	case float32:
+		return float64(n), true
+	case int:
+		return float64(n), true
+	case int64:
+		return float64(n), true
+	case json.Number:
+		f, err := n.Float64()
+		return f, err == nil
+	default:
+		return 0, false
+	}
+}
+
+func equalJSON(a, b any) bool {
+	if fa, ok := asFloat(a); ok {
+		if fb, ok := asFloat(b); ok {
+			return fa == fb
+		}
+		return false
+	}
+	return a == b
+}

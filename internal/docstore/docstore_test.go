@@ -1,0 +1,204 @@
+package docstore
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+)
+
+func seeded(t *testing.T) *Store {
+	t.Helper()
+	s := New()
+	apps := []struct {
+		id  string
+		doc Doc
+	}{
+		{"com.a", Doc{"category": "COMMUNICATION", "downloads": 1e9, "hasML": true, "frameworks": []any{"tflite"}, "meta": map[string]any{"rating": 4.5}}},
+		{"com.b", Doc{"category": "FINANCE", "downloads": 5e6, "hasML": true, "frameworks": []any{"tflite", "caffe"}}},
+		{"com.c", Doc{"category": "FINANCE", "downloads": 1e4, "hasML": false}},
+		{"com.d", Doc{"category": "GAME", "downloads": 2e8, "hasML": false, "meta": map[string]any{"rating": 3.9}}},
+	}
+	for _, a := range apps {
+		if err := s.Put("apps", a.id, a.doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestPutGetDelete(t *testing.T) {
+	s := seeded(t)
+	d, ok := s.Get("apps", "com.a")
+	if !ok || d["category"] != "COMMUNICATION" {
+		t.Fatalf("Get: %v %v", d, ok)
+	}
+	// Returned docs are copies: mutating must not corrupt the store.
+	d["category"] = "HACKED"
+	d2, _ := s.Get("apps", "com.a")
+	if d2["category"] != "COMMUNICATION" {
+		t.Fatal("Get must return copies")
+	}
+	if !s.Delete("apps", "com.a") {
+		t.Fatal("Delete existing")
+	}
+	if s.Delete("apps", "com.a") {
+		t.Fatal("Delete missing should be false")
+	}
+	if _, ok := s.Get("apps", "com.a"); ok {
+		t.Fatal("deleted doc still present")
+	}
+}
+
+func TestPutCopiesInput(t *testing.T) {
+	s := New()
+	doc := Doc{"k": "v"}
+	if err := s.Put("c", "1", doc); err != nil {
+		t.Fatal(err)
+	}
+	doc["k"] = "mutated"
+	got, _ := s.Get("c", "1")
+	if got["k"] != "v" {
+		t.Fatal("Put must deep-copy")
+	}
+}
+
+func TestQueryFilters(t *testing.T) {
+	s := seeded(t)
+	if hits := s.Query("apps", Term("category", "FINANCE")); len(hits) != 2 {
+		t.Fatalf("FINANCE hits = %d", len(hits))
+	}
+	if hits := s.Query("apps", Term("category", "FINANCE"), Term("hasML", true)); len(hits) != 1 || hits[0].ID != "com.b" {
+		t.Fatalf("combined filter hits = %v", hits)
+	}
+	if hits := s.Query("apps", Range("downloads", 1e6, 1e9)); len(hits) != 3 {
+		t.Fatalf("range hits = %d", len(hits))
+	}
+	if hits := s.Query("apps", Exists("meta.rating")); len(hits) != 2 {
+		t.Fatalf("exists hits = %d", len(hits))
+	}
+	if hits := s.Query("apps", Prefix("category", "F")); len(hits) != 2 {
+		t.Fatalf("prefix hits = %d", len(hits))
+	}
+	// Term over array fields matches any element.
+	if hits := s.Query("apps", Term("frameworks", "caffe")); len(hits) != 1 || hits[0].ID != "com.b" {
+		t.Fatalf("array term hits = %v", hits)
+	}
+	// Dotted-path term.
+	if hits := s.Query("apps", Term("meta.rating", 4.5)); len(hits) != 1 {
+		t.Fatalf("nested term hits = %d", len(hits))
+	}
+}
+
+func TestQueryDeterministicOrder(t *testing.T) {
+	s := seeded(t)
+	hits := s.Query("apps")
+	for i := 1; i < len(hits); i++ {
+		if hits[i-1].ID >= hits[i].ID {
+			t.Fatal("query results must be sorted by id")
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	s := seeded(t)
+	if n := s.Count("apps"); n != 4 {
+		t.Fatalf("Count = %d", n)
+	}
+	if n := s.Count("apps", Term("hasML", true)); n != 2 {
+		t.Fatalf("Count(hasML) = %d", n)
+	}
+	if n := s.Count("empty"); n != 0 {
+		t.Fatalf("Count(empty) = %d", n)
+	}
+}
+
+func TestTermsAgg(t *testing.T) {
+	s := seeded(t)
+	agg := s.TermsAgg("apps", "category")
+	if agg["FINANCE"] != 2 || agg["COMMUNICATION"] != 1 || agg["GAME"] != 1 {
+		t.Fatalf("agg = %v", agg)
+	}
+	// Aggregating an array field counts every element.
+	fw := s.TermsAgg("apps", "frameworks")
+	if fw["tflite"] != 2 || fw["caffe"] != 1 {
+		t.Fatalf("frameworks agg = %v", fw)
+	}
+	// Filtered aggregation.
+	ml := s.TermsAgg("apps", "category", Term("hasML", true))
+	if ml["FINANCE"] != 1 || ml["GAME"] != 0 {
+		t.Fatalf("filtered agg = %v", ml)
+	}
+}
+
+func TestSumAgg(t *testing.T) {
+	s := seeded(t)
+	got := s.SumAgg("apps", "downloads", Term("category", "FINANCE"))
+	if got != 5e6+1e4 {
+		t.Fatalf("SumAgg = %v", got)
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := seeded(t)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	s2 := New()
+	if err := s2.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Count("apps") != 4 {
+		t.Fatalf("loaded count = %d", s2.Count("apps"))
+	}
+	d, ok := s2.Get("apps", "com.b")
+	if !ok || d["category"] != "FINANCE" {
+		t.Fatalf("loaded doc: %v", d)
+	}
+	if got := s2.Collections(); len(got) != 1 || got[0] != "apps" {
+		t.Fatalf("Collections = %v", got)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	s := New()
+	if err := s.Load(bytes.NewBufferString("{broken")); err == nil {
+		t.Fatal("garbage load should fail")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				id := string(rune('a'+i)) + string(rune('0'+j%10))
+				_ = s.Put("c", id, Doc{"n": float64(j)})
+				s.Get("c", id)
+				s.Count("c")
+				s.Query("c", Range("n", 0, 25))
+				s.TermsAgg("c", "n")
+			}
+		}(i)
+	}
+	wg.Wait()
+	if s.Count("c") == 0 {
+		t.Fatal("no documents after concurrent writes")
+	}
+}
+
+func TestLookupEdgeCases(t *testing.T) {
+	d := Doc{"a": map[string]any{"b": map[string]any{"c": 1.0}}}
+	if v, ok := Lookup(d, "a.b.c"); !ok || v != 1.0 {
+		t.Fatalf("Lookup deep = %v %v", v, ok)
+	}
+	if _, ok := Lookup(d, "a.b.c.d"); ok {
+		t.Fatal("descending through scalar should fail")
+	}
+	if _, ok := Lookup(d, "x"); ok {
+		t.Fatal("missing field")
+	}
+}

@@ -1,0 +1,291 @@
+// Package extract implements gaugeNN's model-retrieval step (Section 3.1):
+// walking an app package's entries, pre-screening by the 69-format
+// extension table, validating candidates by binary signature, decoding the
+// survivors into the graph IR, and — independently of model payloads —
+// detecting ML framework libraries, acceleration delegates and cloud API
+// calls in the app's code (dex/smali and native symbols), following the
+// methodology of Xu et al. for native code.
+package extract
+
+import (
+	"fmt"
+	"path"
+	"sort"
+	"strings"
+
+	"github.com/gaugenn/gaugenn/internal/android/apk"
+	"github.com/gaugenn/gaugenn/internal/android/dex"
+	"github.com/gaugenn/gaugenn/internal/cloudml"
+	"github.com/gaugenn/gaugenn/internal/nn/formats"
+	"github.com/gaugenn/gaugenn/internal/nn/graph"
+)
+
+// Model is one validated, decoded DNN found in a package.
+type Model struct {
+	// Path is the primary file's location inside the package.
+	Path string
+	// Framework names the format that validated the file(s).
+	Framework string
+	// Graph is the decoded IR.
+	Graph *graph.Graph
+	// Checksum identifies the model across apps (md5 of graph + weights).
+	Checksum graph.Checksum
+	// FileBytes totals the on-disk footprint of all files in the set.
+	FileBytes int
+}
+
+// Report is everything extraction learned about one app.
+type Report struct {
+	Package string
+	// Models are the validated DNNs.
+	Models []Model
+	// CandidateFiles counts entries whose extension matched the Table 5
+	// pre-screen.
+	CandidateFiles int
+	// FailedValidation lists candidate paths whose payload failed signature
+	// or structural validation — encrypted/obfuscated models land here.
+	FailedValidation []string
+	// Frameworks lists ML framework libraries detected in code (dex calls
+	// or native symbols), present even when no model validates.
+	Frameworks []string
+	// CloudAPIs are the detected cloud ML API usages.
+	CloudAPIs []cloudml.Detection
+	// Acceleration traces (Section 6.3) and out-of-store model delivery.
+	UsesNNAPI, UsesXNNPACK, UsesSNPE bool
+	LazyModelDownload                bool
+	// OnDeviceTraining marks TFLiteTransferConverter-style fine-tuning
+	// support, which the paper searched for and never found.
+	OnDeviceTraining bool
+}
+
+// HasMLLibrary reports whether the app links any on-device ML framework.
+func (r *Report) HasMLLibrary() bool { return len(r.Frameworks) > 0 }
+
+// frameworkCodeMarkers are the substring signatures the library-inclusion
+// detector scans dex call sites and native symbols for.
+var frameworkCodeMarkers = map[string][]string{
+	"tflite": {"Lorg/tensorflow/lite/", "libtensorflowlite", "TfLite"},
+	"caffe":  {"Lcom/caffe/", "libcaffe", "caffe_net"},
+	"ncnn":   {"Lcom/tencent/ncnn/", "libncnn", "ncnn_net"},
+	"tf":     {"Lorg/tensorflow/contrib/android/", "libtensorflow_inference", "TF_NewSession"},
+	"snpe":   {"Lcom/qualcomm/qti/snpe/", "libSNPE", "Snpe_"},
+}
+
+var (
+	nnapiMarkers   = []string{"NnApiDelegate", "android/hardware/neuralnetworks", "ANeuralNetworks"}
+	xnnpackMarkers = []string{"setUseXNNPACK", "xnnpack"}
+	lazyMarkers    = []string{"ModelDownloader;->fetchModel", "FirebaseModelDownloader"}
+	// trainingMarkers detect on-device fine-tuning support — "we checked
+	// for traces of online fine-tuning done on device (e.g. through
+	// TFLiteTransferConverter) and found none" (Section 4.5).
+	trainingMarkers = []string{"TFLiteTransferConverter", "Lorg/tensorflow/lite/transfer/", "train_head"}
+)
+
+// ExtractAPK opens an APK and extracts everything from it.
+func ExtractAPK(apkBytes []byte) (*Report, error) {
+	r, err := apk.Open(apkBytes)
+	if err != nil {
+		return nil, fmt.Errorf("extract: %w", err)
+	}
+	files := map[string][]byte{}
+	for _, name := range r.Names() {
+		data, err := r.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("extract: reading %s: %w", name, err)
+		}
+		files[name] = data
+	}
+	rep := ExtractFiles(files)
+	rep.Package = r.Manifest().Package
+	return rep, nil
+}
+
+// ExtractFiles runs extraction over a generic file map (APK contents, OBB
+// contents or asset-pack contents share this path).
+func ExtractFiles(files map[string][]byte) *Report {
+	rep := &Report{}
+	names := make([]string, 0, len(files))
+	for n := range files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	// Code analysis: dex -> smali string matching; native symbol scan.
+	var smali map[string]string
+	for _, name := range names {
+		data := files[name]
+		switch {
+		case strings.HasSuffix(name, ".dex") && dex.IsDex(data):
+			d, err := dex.Decode(data)
+			if err != nil {
+				continue
+			}
+			if smali == nil {
+				smali = map[string]string{}
+			}
+			for p, body := range dex.Baksmali(d) {
+				smali[p] = body
+			}
+		case strings.HasPrefix(name, "lib/") && dex.IsNativeLib(data):
+			lib, err := dex.DecodeNativeLib(data)
+			if err != nil {
+				continue
+			}
+			text := lib.SoName + "\x00" + strings.Join(lib.Symbols, "\x00")
+			rep.scanCodeText(text)
+		}
+	}
+	if smali != nil {
+		var all strings.Builder
+		for _, body := range smali {
+			all.WriteString(body)
+		}
+		rep.scanCodeText(all.String())
+		rep.CloudAPIs = cloudml.DetectSmali(smali)
+	}
+
+	// Model extraction. Each candidate file that passes signature
+	// validation seeds a decode attempt; multi-file formats (caffe
+	// prototxt+caffemodel, ncnn param+bin) pull in unconsumed same-stem
+	// siblings whose extensions the identified format claims. Files are
+	// consumed at most once, so a tflite model sharing its stem with an
+	// ncnn pair still extracts separately.
+	var candidates []string
+	byStem := map[string][]string{}
+	for _, name := range names {
+		if strings.HasPrefix(name, "lib/") || strings.HasSuffix(name, ".dex") {
+			continue
+		}
+		if !formats.CandidateExtension(name) {
+			continue
+		}
+		rep.CandidateFiles++
+		candidates = append(candidates, name)
+		byStem[stemOf(name)] = append(byStem[stemOf(name)], name)
+	}
+	consumed := map[string]bool{}
+	identified := map[string]bool{}
+	for _, name := range candidates {
+		if consumed[name] {
+			continue
+		}
+		format, ok := formats.Identify(path.Base(name), files[name])
+		if !ok {
+			continue
+		}
+		identified[name] = true
+		set := formats.FileSet{path.Base(name): files[name]}
+		group := []string{name}
+		total := len(files[name])
+		for _, sib := range byStem[stemOf(name)] {
+			if sib == name || consumed[sib] {
+				continue
+			}
+			if !formatClaims(format, sib) {
+				continue
+			}
+			set[path.Base(sib)] = files[sib]
+			group = append(group, sib)
+			total += len(files[sib])
+		}
+		g, err := format.Decode(set)
+		if err != nil {
+			consumed[name] = true
+			rep.FailedValidation = append(rep.FailedValidation, name)
+			continue
+		}
+		for _, n := range group {
+			consumed[n] = true
+		}
+		rep.Models = append(rep.Models, Model{
+			Path:      name,
+			Framework: format.Name(),
+			Graph:     g,
+			Checksum:  graph.ModelChecksum(g),
+			FileBytes: total,
+		})
+		// Model payloads imply the framework is present even without code
+		// markers (e.g. apps loading models through vendored runtimes).
+		rep.addFramework(format.Name())
+	}
+	// Candidate files that neither validated nor joined a decoded set are
+	// potential obfuscated/encrypted models.
+	for _, name := range candidates {
+		if !consumed[name] && !identified[name] {
+			rep.FailedValidation = append(rep.FailedValidation, name)
+		}
+	}
+	sort.Strings(rep.FailedValidation)
+	sort.Strings(rep.Frameworks)
+	return rep
+}
+
+// formatClaims reports whether the format lists the file's extension.
+func formatClaims(f formats.Format, name string) bool {
+	for _, ext := range f.Extensions() {
+		if strings.HasSuffix(strings.ToLower(name), ext) {
+			return true
+		}
+	}
+	return false
+}
+
+// scanCodeText applies the marker tables to a blob of code-derived text.
+func (r *Report) scanCodeText(text string) {
+	for fw, markers := range frameworkCodeMarkers {
+		for _, m := range markers {
+			if strings.Contains(text, m) {
+				r.addFramework(fw)
+				break
+			}
+		}
+	}
+	for _, m := range nnapiMarkers {
+		if strings.Contains(text, m) {
+			r.UsesNNAPI = true
+		}
+	}
+	for _, m := range xnnpackMarkers {
+		if strings.Contains(text, m) {
+			r.UsesXNNPACK = true
+		}
+	}
+	for _, m := range lazyMarkers {
+		if strings.Contains(text, m) {
+			r.LazyModelDownload = true
+		}
+	}
+	for _, m := range trainingMarkers {
+		if strings.Contains(text, m) {
+			r.OnDeviceTraining = true
+		}
+	}
+	if strings.Contains(text, "Lcom/qualcomm/qti/snpe/") || strings.Contains(text, "libSNPE") {
+		r.UsesSNPE = true
+	}
+}
+
+func (r *Report) addFramework(fw string) {
+	for _, f := range r.Frameworks {
+		if f == fw {
+			return
+		}
+	}
+	r.Frameworks = append(r.Frameworks, fw)
+}
+
+// stemOf strips the directory and the (possibly compound) extension:
+// assets/models/detector.tflite -> assets/models/detector.
+func stemOf(name string) string {
+	dir, base := path.Split(name)
+	lower := strings.ToLower(base)
+	for _, compound := range []string{".pth.tar", ".cfg.ncnn", ".weights.ncnn"} {
+		if strings.HasSuffix(lower, compound) {
+			return dir + base[:len(base)-len(compound)]
+		}
+	}
+	if i := strings.LastIndex(base, "."); i > 0 {
+		return dir + base[:i]
+	}
+	return dir + base
+}

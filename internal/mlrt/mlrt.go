@@ -1,0 +1,187 @@
+// Package mlrt implements the inference runtimes gaugeNN benchmarks models
+// under (Sections 5-6): the framework CPU interpreter with thread/affinity
+// and batch knobs, the XNNPACK delegate, the NNAPI middleware path whose
+// performance hinges on vendor driver quality, the GPU delegate, and
+// Qualcomm's SNPE runtime targeting CPU/GPU/DSP (int8 on the DSP).
+// Backends differ in kernel quality, operator support (unsupported
+// operators fall back to the CPU with partition-crossing overhead — "the
+// rudimentary support for operators across heterogeneous targets ... can
+// hinder their widespread adoption") and power draw.
+package mlrt
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/gaugenn/gaugenn/internal/nn/graph"
+	"github.com/gaugenn/gaugenn/internal/soc"
+)
+
+// Target selects the compute block a backend dispatches to.
+type Target uint8
+
+// Compute targets.
+const (
+	TargetCPU Target = iota
+	TargetGPU
+	TargetDSP
+)
+
+// Backend describes one runtime path.
+type Backend struct {
+	// Name is the identifier used across benches ("cpu", "xnnpack",
+	// "nnapi", "gpu", "snpe-cpu", "snpe-gpu", "snpe-dsp").
+	Name   string
+	Target Target
+	// SpeedFactor scales the target's effective throughput (kernel
+	// quality relative to the baseline runtime for that target).
+	SpeedFactor float64
+	// PowerFactor scales the target's active power.
+	PowerFactor float64
+	// UsesNNAPIDriver routes through the vendor NNAPI driver, applying
+	// the SoC's driver-quality factor.
+	UsesNNAPIDriver bool
+	// RequiresQualcomm gates SNPE ("it can only target Qualcomm SoCs,
+	// trading off generality for performance").
+	RequiresQualcomm bool
+	// Unsupported lists operators this backend cannot execute; they fall
+	// back to the baseline CPU path with a partition boundary penalty.
+	Unsupported map[graph.OpType]bool
+	// ExtraLayerOverhead is added per delegated layer (driver hops).
+	ExtraLayerOverhead time.Duration
+}
+
+var recurrentOps = map[graph.OpType]bool{
+	graph.OpLSTM:      true,
+	graph.OpGRU:       true,
+	graph.OpEmbedding: true,
+}
+
+var backends = map[string]Backend{
+	"cpu": {Name: "cpu", Target: TargetCPU, SpeedFactor: 1, PowerFactor: 1},
+	"xnnpack": {
+		Name: "xnnpack", Target: TargetCPU, SpeedFactor: 1.07, PowerFactor: 0.97,
+		Unsupported: recurrentOps,
+	},
+	"nnapi": {
+		Name: "nnapi", Target: TargetCPU, SpeedFactor: 1, PowerFactor: 0.90,
+		UsesNNAPIDriver: true, Unsupported: recurrentOps,
+		ExtraLayerOverhead: 60 * time.Microsecond,
+	},
+	"gpu": {
+		Name: "gpu", Target: TargetGPU, SpeedFactor: 1, PowerFactor: 1,
+		Unsupported: recurrentOps,
+	},
+	"snpe-cpu": {
+		Name: "snpe-cpu", Target: TargetCPU, SpeedFactor: 0.93, PowerFactor: 1.02,
+		RequiresQualcomm: true,
+	},
+	"snpe-gpu": {
+		Name: "snpe-gpu", Target: TargetGPU, SpeedFactor: 1.19, PowerFactor: 0.95,
+		RequiresQualcomm: true, Unsupported: recurrentOps,
+	},
+	"snpe-dsp": {
+		Name: "snpe-dsp", Target: TargetDSP, SpeedFactor: 1, PowerFactor: 1,
+		RequiresQualcomm: true, Unsupported: recurrentOps,
+	},
+}
+
+// Backends lists the available backend names, sorted.
+func Backends() []string {
+	out := make([]string, 0, len(backends))
+	for n := range backends {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Engine binds a backend to a device.
+type Engine struct {
+	Device  *soc.Device
+	Backend Backend
+}
+
+// NewEngine validates backend availability on the device: SNPE needs a
+// Qualcomm SoC; GPU/DSP paths need the block to exist; NNAPI needs a
+// vendor driver.
+func NewEngine(dev *soc.Device, backendName string) (*Engine, error) {
+	b, ok := backends[backendName]
+	if !ok {
+		return nil, fmt.Errorf("mlrt: unknown backend %q (have %v)", backendName, Backends())
+	}
+	if err := dev.Validate(); err != nil {
+		return nil, err
+	}
+	if b.RequiresQualcomm && !dev.SoC.Qualcomm {
+		return nil, fmt.Errorf("mlrt: %s requires a Qualcomm SoC; %s has %s", b.Name, dev.Model, dev.SoC.Name)
+	}
+	switch b.Target {
+	case TargetGPU:
+		if dev.SoC.GPU == nil {
+			return nil, fmt.Errorf("mlrt: %s has no GPU block", dev.Model)
+		}
+	case TargetDSP:
+		if dev.SoC.DSP == nil {
+			return nil, fmt.Errorf("mlrt: %s has no DSP block", dev.Model)
+		}
+	}
+	if b.UsesNNAPIDriver && dev.SoC.NNAPIDriverQuality <= 0 {
+		return nil, fmt.Errorf("mlrt: %s ships no NNAPI driver", dev.Model)
+	}
+	return &Engine{Device: dev, Backend: b}, nil
+}
+
+// Options tune one loaded session.
+type Options struct {
+	// Threads is the CPU worker count (default 4, the paper's benchmark
+	// setting).
+	Threads int
+	// Affinity pins threads to the top-N cores (0 = unpinned).
+	Affinity int
+	// Batch is the inference batch size (default 1).
+	Batch int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Threads <= 0 {
+		o.Threads = 4
+	}
+	if o.Batch <= 0 {
+		o.Batch = 1
+	}
+	return o
+}
+
+// Result is one inference's measurement.
+type Result struct {
+	Latency   time.Duration
+	EnergyJ   float64
+	AvgWatts  float64
+	Throttled bool
+	// FallbackOps counts layers that executed on the CPU because the
+	// backend does not support their operator.
+	FallbackOps int
+	// FLOPs is the model's per-inference work (batch included), for
+	// efficiency (MFLOP/sW) reporting.
+	FLOPs int64
+	// PeakMemBytes is the inference working set: weights plus the batched
+	// activations (the "memory" column of the Section 3.3 measurements).
+	PeakMemBytes int64
+	// CPUUtil is the fraction of the run the CPU spent computing rather
+	// than stalled on memory or dispatch (1.0 = fully compute-bound).
+	CPUUtil float64
+}
+
+// EnergymJ returns the energy in millijoules, the paper's reporting unit.
+func (r Result) EnergymJ() float64 { return r.EnergyJ * 1000 }
+
+// EfficiencyMFLOPsW returns MFLOP/s per watt — "effectively the same as
+// calculating FLOPs per Joule" (Section 5.2.1).
+func (r Result) EfficiencyMFLOPsW() float64 {
+	if r.EnergyJ <= 0 {
+		return 0
+	}
+	return float64(r.FLOPs) / r.EnergyJ / 1e6
+}

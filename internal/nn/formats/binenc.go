@@ -1,0 +1,308 @@
+package formats
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"github.com/gaugenn/gaugenn/internal/nn/graph"
+)
+
+// bwriter accumulates little-endian length-prefixed records; the binary
+// formats share it for their payload sections.
+type bwriter struct {
+	buf []byte
+}
+
+func (w *bwriter) u8(v uint8) { w.buf = append(w.buf, v) }
+
+func (w *bwriter) bool(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+
+func (w *bwriter) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *bwriter) i64(v int64)  { w.buf = binary.LittleEndian.AppendUint64(w.buf, uint64(v)) }
+func (w *bwriter) f64(v float64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(v))
+}
+func (w *bwriter) str(s string) { w.u32(uint32(len(s))); w.buf = append(w.buf, s...) }
+func (w *bwriter) bytes(b []byte) {
+	w.u32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+func (w *bwriter) ints(v []int) {
+	w.u32(uint32(len(v)))
+	for _, x := range v {
+		w.i64(int64(x))
+	}
+}
+
+// breader is the matching decoder; every method reports malformed input via
+// the sticky err field, and readers must check err before trusting values.
+type breader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *breader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: truncated %s at offset %d", ErrNotValid, what, r.off)
+	}
+}
+
+func (r *breader) u8() uint8 {
+	if r.err != nil || r.off+1 > len(r.buf) {
+		r.fail("u8")
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *breader) bool() bool { return r.u8() != 0 }
+
+func (r *breader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.fail("u32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *breader) i64() int64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.fail("i64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return int64(v)
+}
+
+func (r *breader) f64() float64 { return math.Float64frombits(uint64(r.i64())) }
+
+func (r *breader) str() string {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
+		r.fail("string")
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func (r *breader) bytesv() []byte {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
+		r.fail("bytes")
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, r.buf[r.off:r.off+n])
+	r.off += n
+	return b
+}
+
+func (r *breader) ints() []int {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || n > (len(r.buf)-r.off)/8 {
+		r.fail("int list")
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = int(r.i64())
+	}
+	return out
+}
+
+func writeAttrs(w *bwriter, a graph.Attrs) {
+	w.i64(int64(a.KernelH))
+	w.i64(int64(a.KernelW))
+	w.i64(int64(a.StrideH))
+	w.i64(int64(a.StrideW))
+	w.bool(a.PadSame)
+	w.i64(int64(a.PadH))
+	w.i64(int64(a.PadW))
+	w.i64(int64(a.Filters))
+	w.i64(int64(a.Units))
+	w.i64(int64(a.Axis))
+	w.i64(int64(a.TargetH))
+	w.i64(int64(a.TargetW))
+	w.i64(int64(a.TimeSteps))
+	w.i64(int64(a.VocabSize))
+	w.u8(uint8(a.Fused))
+	w.f64(a.Scale)
+	w.i64(int64(a.ZeroPoint))
+	w.ints(a.Begin)
+	w.ints(a.Size)
+	w.ints(a.NewShape)
+	w.i64(int64(a.DepthMult))
+	w.bool(a.KeepDims)
+	w.ints(a.ReduceAxes)
+	w.u8(uint8(a.OutDType))
+	w.bool(a.OutDTypeSet)
+	w.i64(int64(a.Dilation))
+	w.i64(int64(a.Groups))
+	w.bool(a.SqueezeBatch)
+}
+
+func readAttrs(r *breader) graph.Attrs {
+	var a graph.Attrs
+	a.KernelH = int(r.i64())
+	a.KernelW = int(r.i64())
+	a.StrideH = int(r.i64())
+	a.StrideW = int(r.i64())
+	a.PadSame = r.bool()
+	a.PadH = int(r.i64())
+	a.PadW = int(r.i64())
+	a.Filters = int(r.i64())
+	a.Units = int(r.i64())
+	a.Axis = int(r.i64())
+	a.TargetH = int(r.i64())
+	a.TargetW = int(r.i64())
+	a.TimeSteps = int(r.i64())
+	a.VocabSize = int(r.i64())
+	a.Fused = graph.OpType(r.u8())
+	a.Scale = r.f64()
+	a.ZeroPoint = int(r.i64())
+	a.Begin = r.ints()
+	a.Size = r.ints()
+	a.NewShape = r.ints()
+	a.DepthMult = int(r.i64())
+	a.KeepDims = r.bool()
+	a.ReduceAxes = r.ints()
+	a.OutDType = graph.DType(r.u8())
+	a.OutDTypeSet = r.bool()
+	a.Dilation = int(r.i64())
+	a.Groups = int(r.i64())
+	a.SqueezeBatch = r.bool()
+	return a
+}
+
+func writeTensor(w *bwriter, t graph.Tensor) {
+	w.str(t.Name)
+	w.ints([]int(t.Shape))
+	w.u8(uint8(t.DType))
+}
+
+func readTensor(r *breader) graph.Tensor {
+	var t graph.Tensor
+	t.Name = r.str()
+	t.Shape = graph.Shape(r.ints())
+	t.DType = graph.DType(r.u8())
+	return t
+}
+
+func writeWeight(w *bwriter, wt graph.Weight) {
+	w.str(wt.Name)
+	w.ints([]int(wt.Shape))
+	w.u8(uint8(wt.DType))
+	w.bytes(wt.Data)
+}
+
+func readWeight(r *breader) graph.Weight {
+	var wt graph.Weight
+	wt.Name = r.str()
+	wt.Shape = graph.Shape(r.ints())
+	wt.DType = graph.DType(r.u8())
+	wt.Data = r.bytesv()
+	return wt
+}
+
+// writeGraphBody serialises the full IR (with weights) into w.
+func writeGraphBody(w *bwriter, g *graph.Graph) {
+	w.str(g.Name)
+	w.u32(uint32(len(g.Inputs)))
+	for _, t := range g.Inputs {
+		writeTensor(w, t)
+	}
+	w.u32(uint32(len(g.Outputs)))
+	for _, t := range g.Outputs {
+		writeTensor(w, t)
+	}
+	w.u32(uint32(len(g.Layers)))
+	for i := range g.Layers {
+		l := &g.Layers[i]
+		w.str(l.Name)
+		w.u8(uint8(l.Op))
+		w.u32(uint32(len(l.Inputs)))
+		for _, in := range l.Inputs {
+			w.str(in)
+		}
+		w.u32(uint32(len(l.Outputs)))
+		for _, out := range l.Outputs {
+			w.str(out)
+		}
+		writeAttrs(w, l.Attrs)
+		w.u32(uint32(len(l.Weights)))
+		for _, wt := range l.Weights {
+			writeWeight(w, wt)
+		}
+	}
+}
+
+// readGraphBody reverses writeGraphBody. The caller validates the result.
+func readGraphBody(r *breader) (*graph.Graph, error) {
+	g := &graph.Graph{}
+	g.Name = r.str()
+	nin := int(r.u32())
+	if r.err != nil || nin > 1<<16 {
+		return nil, fmt.Errorf("%w: implausible input count", ErrNotValid)
+	}
+	for i := 0; i < nin; i++ {
+		g.Inputs = append(g.Inputs, readTensor(r))
+	}
+	nout := int(r.u32())
+	if r.err != nil || nout > 1<<16 {
+		return nil, fmt.Errorf("%w: implausible output count", ErrNotValid)
+	}
+	for i := 0; i < nout; i++ {
+		g.Outputs = append(g.Outputs, readTensor(r))
+	}
+	nl := int(r.u32())
+	if r.err != nil || nl > 1<<20 {
+		return nil, fmt.Errorf("%w: implausible layer count", ErrNotValid)
+	}
+	for i := 0; i < nl; i++ {
+		var l graph.Layer
+		l.Name = r.str()
+		l.Op = graph.OpType(r.u8())
+		ni := int(r.u32())
+		if r.err != nil || ni > 1<<12 {
+			return nil, fmt.Errorf("%w: implausible layer fan-in", ErrNotValid)
+		}
+		for j := 0; j < ni; j++ {
+			l.Inputs = append(l.Inputs, r.str())
+		}
+		no := int(r.u32())
+		if r.err != nil || no > 1<<12 {
+			return nil, fmt.Errorf("%w: implausible layer fan-out", ErrNotValid)
+		}
+		for j := 0; j < no; j++ {
+			l.Outputs = append(l.Outputs, r.str())
+		}
+		l.Attrs = readAttrs(r)
+		nw := int(r.u32())
+		if r.err != nil || nw > 1<<12 {
+			return nil, fmt.Errorf("%w: implausible weight count", ErrNotValid)
+		}
+		for j := 0; j < nw; j++ {
+			l.Weights = append(l.Weights, readWeight(r))
+		}
+		g.Layers = append(g.Layers, l)
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return g, nil
+}

@@ -1,0 +1,150 @@
+package formats
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/gaugenn/gaugenn/internal/nn/graph"
+)
+
+// attrsToKV flattens non-zero layer attributes into ordered key/value
+// string pairs for the text formats (caffe prototxt, ncnn param).
+func attrsToKV(a graph.Attrs) [][2]string {
+	var out [][2]string
+	addInt := func(k string, v int) {
+		if v != 0 {
+			out = append(out, [2]string{k, strconv.Itoa(v)})
+		}
+	}
+	addBool := func(k string, v bool) {
+		if v {
+			out = append(out, [2]string{k, "1"})
+		}
+	}
+	addList := func(k string, v []int) {
+		if len(v) == 0 {
+			return
+		}
+		parts := make([]string, len(v))
+		for i, x := range v {
+			parts[i] = strconv.Itoa(x)
+		}
+		out = append(out, [2]string{k, strings.Join(parts, ",")})
+	}
+	addInt("kernel_h", a.KernelH)
+	addInt("kernel_w", a.KernelW)
+	addInt("stride_h", a.StrideH)
+	addInt("stride_w", a.StrideW)
+	addBool("pad_same", a.PadSame)
+	addInt("pad_h", a.PadH)
+	addInt("pad_w", a.PadW)
+	addInt("filters", a.Filters)
+	addInt("units", a.Units)
+	addInt("axis", a.Axis)
+	addInt("target_h", a.TargetH)
+	addInt("target_w", a.TargetW)
+	addInt("time_steps", a.TimeSteps)
+	addInt("vocab", a.VocabSize)
+	if a.Fused != graph.OpInvalid {
+		out = append(out, [2]string{"fused", a.Fused.String()})
+	}
+	if a.Scale != 0 {
+		out = append(out, [2]string{"scale", strconv.FormatFloat(a.Scale, 'g', -1, 64)})
+	}
+	addInt("zero_point", a.ZeroPoint)
+	addList("begin", a.Begin)
+	addList("size", a.Size)
+	addList("new_shape", a.NewShape)
+	addInt("depth_mult", a.DepthMult)
+	addBool("keep_dims", a.KeepDims)
+	addList("reduce_axes", a.ReduceAxes)
+	if a.OutDTypeSet {
+		out = append(out, [2]string{"out_dtype", a.OutDType.String()})
+	}
+	addInt("dilation", a.Dilation)
+	addInt("groups", a.Groups)
+	addBool("squeeze_batch", a.SqueezeBatch)
+	return out
+}
+
+// kvToAttrs reverses attrsToKV.
+func kvToAttrs(kv map[string]string) (graph.Attrs, error) {
+	var a graph.Attrs
+	var err error
+	getInt := func(k string) int {
+		v, ok := kv[k]
+		if !ok {
+			return 0
+		}
+		n, e := strconv.Atoi(v)
+		if e != nil && err == nil {
+			err = fmt.Errorf("bad int attr %s=%q", k, v)
+		}
+		return n
+	}
+	getBool := func(k string) bool { return kv[k] == "1" }
+	getList := func(k string) []int {
+		v, ok := kv[k]
+		if !ok || v == "" {
+			return nil
+		}
+		parts := strings.Split(v, ",")
+		out := make([]int, len(parts))
+		for i, p := range parts {
+			n, e := strconv.Atoi(p)
+			if e != nil && err == nil {
+				err = fmt.Errorf("bad list attr %s=%q", k, v)
+			}
+			out[i] = n
+		}
+		return out
+	}
+	a.KernelH = getInt("kernel_h")
+	a.KernelW = getInt("kernel_w")
+	a.StrideH = getInt("stride_h")
+	a.StrideW = getInt("stride_w")
+	a.PadSame = getBool("pad_same")
+	a.PadH = getInt("pad_h")
+	a.PadW = getInt("pad_w")
+	a.Filters = getInt("filters")
+	a.Units = getInt("units")
+	a.Axis = getInt("axis")
+	a.TargetH = getInt("target_h")
+	a.TargetW = getInt("target_w")
+	a.TimeSteps = getInt("time_steps")
+	a.VocabSize = getInt("vocab")
+	if v, ok := kv["fused"]; ok {
+		op, e := graph.ParseOp(v)
+		if e != nil {
+			return a, e
+		}
+		a.Fused = op
+	}
+	if v, ok := kv["scale"]; ok {
+		f, e := strconv.ParseFloat(v, 64)
+		if e != nil {
+			return a, fmt.Errorf("bad scale %q", v)
+		}
+		a.Scale = f
+	}
+	a.ZeroPoint = getInt("zero_point")
+	a.Begin = getList("begin")
+	a.Size = getList("size")
+	a.NewShape = getList("new_shape")
+	a.DepthMult = getInt("depth_mult")
+	a.KeepDims = getBool("keep_dims")
+	a.ReduceAxes = getList("reduce_axes")
+	if v, ok := kv["out_dtype"]; ok {
+		dt, e := graph.ParseDType(v)
+		if e != nil {
+			return a, e
+		}
+		a.OutDType = dt
+		a.OutDTypeSet = true
+	}
+	a.Dilation = getInt("dilation")
+	a.Groups = getInt("groups")
+	a.SqueezeBatch = getBool("squeeze_batch")
+	return a, err
+}

@@ -1,0 +1,79 @@
+// Package graph defines the intermediate representation gaugeNN uses for
+// every extracted DNN model: a directed acyclic graph of layers with named
+// tensors, typed weights, shape inference and trace-based FLOP/parameter
+// accounting (Section 3.2 of the paper).
+//
+// Every framework-specific format in internal/nn/formats decodes into this
+// IR, and every analysis and runtime backend consumes it, mirroring how
+// gaugeNN normalises TFLite, caffe, ncnn, TF and SNPE models before
+// benchmarking them.
+package graph
+
+import "fmt"
+
+// DType identifies the element type of a tensor.
+type DType uint8
+
+// Supported element types. Float32 is the default for in-the-wild models;
+// Int8/UInt8 appear in quantised deployments and Float16 in GPU delegates.
+const (
+	Float32 DType = iota
+	Float16
+	Int8
+	UInt8
+	Int16
+	Int32
+	Int64
+	Bool
+)
+
+var dtypeNames = [...]string{
+	Float32: "float32",
+	Float16: "float16",
+	Int8:    "int8",
+	UInt8:   "uint8",
+	Int16:   "int16",
+	Int32:   "int32",
+	Int64:   "int64",
+	Bool:    "bool",
+}
+
+var dtypeSizes = [...]int{
+	Float32: 4,
+	Float16: 2,
+	Int8:    1,
+	UInt8:   1,
+	Int16:   2,
+	Int32:   4,
+	Int64:   8,
+	Bool:    1,
+}
+
+// String returns the lowercase name of the type.
+func (d DType) String() string {
+	if int(d) < len(dtypeNames) {
+		return dtypeNames[d]
+	}
+	return fmt.Sprintf("dtype(%d)", uint8(d))
+}
+
+// Size returns the element size in bytes.
+func (d DType) Size() int {
+	if int(d) < len(dtypeSizes) {
+		return dtypeSizes[d]
+	}
+	return 0
+}
+
+// Valid reports whether d is a known element type.
+func (d DType) Valid() bool { return int(d) < len(dtypeNames) }
+
+// ParseDType maps a lowercase name back to a DType.
+func ParseDType(s string) (DType, error) {
+	for i, n := range dtypeNames {
+		if n == s {
+			return DType(i), nil
+		}
+	}
+	return 0, fmt.Errorf("graph: unknown dtype %q", s)
+}

@@ -1,0 +1,454 @@
+package graph
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func testRNG() *rand.Rand { return rand.New(rand.NewSource(42)) }
+
+// tinyCNN builds a minimal valid conv net used across tests.
+func tinyCNN(t *testing.T) *Graph {
+	t.Helper()
+	g, err := NewBuilder("tiny_cnn", testRNG()).
+		Input("input", Shape{1, 32, 32, 3}, Float32).
+		Conv("conv1", 8, 3, 2, OpReLU).
+		DWConv("dw1", 3, 1, OpReLU6).
+		Conv("pw1", 16, 1, 1, OpReLU).
+		GlobalAvgPool("gap").
+		Reshape("flatten", []int{1, -1}).
+		Dense("fc", 10, OpInvalid).
+		Softmax("prob").
+		Finish()
+	if err != nil {
+		t.Fatalf("tinyCNN: %v", err)
+	}
+	return g
+}
+
+func TestDTypeBasics(t *testing.T) {
+	if Float32.Size() != 4 || Int8.Size() != 1 || Float16.Size() != 2 || Int64.Size() != 8 {
+		t.Fatal("dtype sizes wrong")
+	}
+	if Float32.String() != "float32" {
+		t.Fatalf("String() = %q", Float32.String())
+	}
+	dt, err := ParseDType("int8")
+	if err != nil || dt != Int8 {
+		t.Fatalf("ParseDType: %v %v", dt, err)
+	}
+	if _, err := ParseDType("bogus"); err == nil {
+		t.Fatal("ParseDType should reject unknown names")
+	}
+	if DType(200).Size() != 0 || DType(200).Valid() {
+		t.Fatal("invalid dtype must have zero size")
+	}
+}
+
+func TestOpParseRoundTrip(t *testing.T) {
+	for op := OpType(1); op < numOps; op++ {
+		got, err := ParseOp(op.String())
+		if err != nil {
+			t.Fatalf("ParseOp(%q): %v", op.String(), err)
+		}
+		if got != op {
+			t.Fatalf("round trip %s -> %s", op, got)
+		}
+	}
+	if _, err := ParseOp("nonsense"); err == nil {
+		t.Fatal("ParseOp should reject unknown ops")
+	}
+}
+
+func TestOpClassBuckets(t *testing.T) {
+	cases := map[OpType]OpClass{
+		OpConv2D:          ClassConv,
+		OpDepthwiseConv2D: ClassDepthConv,
+		OpDense:           ClassDense,
+		OpLSTM:            ClassDense,
+		OpReLU:            ClassActivation,
+		OpMaxPool:         ClassPooling,
+		OpAdd:             ClassMath,
+		OpQuantize:        ClassQuant,
+		OpResizeBilinear:  ClassResize,
+		OpReshape:         ClassSlice,
+	}
+	for op, want := range cases {
+		if op.Class() != want {
+			t.Errorf("%s.Class() = %s, want %s", op, op.Class(), want)
+		}
+	}
+	if len(AllClasses()) != 10 {
+		t.Fatalf("AllClasses() = %d buckets, want 10 (Figure 6)", len(AllClasses()))
+	}
+}
+
+func TestShapeHelpers(t *testing.T) {
+	s := Shape{1, 224, 224, 3}
+	if s.Elements() != 150528 {
+		t.Fatalf("Elements = %d", s.Elements())
+	}
+	if s.String() != "1x224x224x3" {
+		t.Fatalf("String = %q", s.String())
+	}
+	if (Shape{}).String() != "scalar" {
+		t.Fatal("empty shape should render as scalar")
+	}
+	if !s.Equal(s.Clone()) {
+		t.Fatal("clone should equal original")
+	}
+	if s.Equal(Shape{1, 224, 224}) {
+		t.Fatal("different ranks must not be equal")
+	}
+	// Unknown dims count as 1.
+	if (Shape{-1, 10}).Elements() != 10 {
+		t.Fatal("unknown dim should count as 1")
+	}
+}
+
+func TestBuilderProducesValidGraph(t *testing.T) {
+	g := tinyCNN(t)
+	if err := g.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(g.Layers) != 7 {
+		t.Fatalf("layer count = %d", len(g.Layers))
+	}
+	if g.ParamCount() == 0 {
+		t.Fatal("model should have parameters")
+	}
+}
+
+func TestValidateRejectsBrokenGraphs(t *testing.T) {
+	base := tinyCNN(t)
+
+	t.Run("no name", func(t *testing.T) {
+		g := *base
+		g.Name = ""
+		if err := g.Validate(); err == nil {
+			t.Fatal("want error")
+		}
+	})
+	t.Run("undefined input tensor", func(t *testing.T) {
+		g := *base
+		layers := make([]Layer, len(base.Layers))
+		copy(layers, base.Layers)
+		layers[0].Inputs = []string{"ghost"}
+		g.Layers = layers
+		if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "undefined tensor") {
+			t.Fatalf("want undefined tensor error, got %v", err)
+		}
+	})
+	t.Run("duplicate layer name", func(t *testing.T) {
+		g := *base
+		layers := make([]Layer, len(base.Layers))
+		copy(layers, base.Layers)
+		layers[1].Name = layers[0].Name
+		g.Layers = layers
+		if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate layer") {
+			t.Fatalf("want duplicate layer error, got %v", err)
+		}
+	})
+	t.Run("bad weight size", func(t *testing.T) {
+		g := *base
+		layers := make([]Layer, len(base.Layers))
+		copy(layers, base.Layers)
+		w := layers[0].Weights[0]
+		w.Data = w.Data[:len(w.Data)-1]
+		layers[0].Weights = []Weight{w, layers[0].Weights[1]}
+		g.Layers = layers
+		if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "bytes") {
+			t.Fatalf("want weight size error, got %v", err)
+		}
+	})
+	t.Run("missing output", func(t *testing.T) {
+		g := *base
+		g.Outputs = []Tensor{{Name: "nope"}}
+		if err := g.Validate(); err == nil || !strings.Contains(err.Error(), "never produced") {
+			t.Fatalf("want missing output error, got %v", err)
+		}
+	})
+}
+
+func TestInferShapesTinyCNN(t *testing.T) {
+	g := tinyCNN(t)
+	env, err := g.InferShapes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// conv1 stride 2 SAME: 32 -> 16, 8 filters.
+	conv1Out := g.Layers[0].Outputs[0]
+	if got := env[conv1Out].Shape; !got.Equal(Shape{1, 16, 16, 8}) {
+		t.Fatalf("conv1 out = %v", got)
+	}
+	// final softmax over 10 classes.
+	last := g.Layers[len(g.Layers)-1].Outputs[0]
+	if got := env[last].Shape; !got.Equal(Shape{1, 10}) {
+		t.Fatalf("softmax out = %v", got)
+	}
+}
+
+func TestConvSpatialValidPadding(t *testing.T) {
+	out, err := convSpatial(32, 3, 1, 0, false)
+	if err != nil || out != 30 {
+		t.Fatalf("VALID conv: %d %v", out, err)
+	}
+	if _, err := convSpatial(2, 5, 1, 0, false); err == nil {
+		t.Fatal("kernel larger than input without padding must fail")
+	}
+	if _, err := convSpatial(8, 3, 0, 0, true); err == nil {
+		t.Fatal("zero stride must fail")
+	}
+}
+
+func TestProfileTinyCNN(t *testing.T) {
+	g := tinyCNN(t)
+	p, err := ProfileGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FLOPs <= 0 || p.Params != g.ParamCount() {
+		t.Fatalf("profile: %+v", p)
+	}
+	// conv1: out 1x16x16x8, kernel 3x3x3 => 2*16*16*8*9*3 = 110592.
+	if p.Layers[0].FLOPs != 110592 {
+		t.Fatalf("conv1 FLOPs = %d, want 110592", p.Layers[0].FLOPs)
+	}
+	// dw1: out 1x16x16x8, 3x3 kernel => 2*16*16*8*9 = 36864.
+	if p.Layers[1].FLOPs != 36864 {
+		t.Fatalf("dw1 FLOPs = %d, want 36864", p.Layers[1].FLOPs)
+	}
+	// dense: 16 -> 10 => 2*16*10 = 320.
+	var denseFLOPs int64
+	for _, lp := range p.Layers {
+		if lp.Op == OpDense {
+			denseFLOPs = lp.FLOPs
+		}
+	}
+	if denseFLOPs != 320 {
+		t.Fatalf("dense FLOPs = %d, want 320", denseFLOPs)
+	}
+}
+
+func TestProfileClassHistogram(t *testing.T) {
+	g := tinyCNN(t)
+	p, err := ProfileGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := p.ClassHistogram()
+	if h[ClassConv] != 2 || h[ClassDepthConv] != 1 || h[ClassDense] != 1 {
+		t.Fatalf("histogram = %v", h)
+	}
+}
+
+func TestChecksumStability(t *testing.T) {
+	g1 := tinyCNN(t)
+	g2 := tinyCNN(t) // same seed -> identical weights
+	if ModelChecksum(g1) != ModelChecksum(g2) {
+		t.Fatal("identical construction must yield identical checksum")
+	}
+	g3, err := NewBuilder("tiny_cnn", rand.New(rand.NewSource(43))).
+		Input("input", Shape{1, 32, 32, 3}, Float32).
+		Conv("conv1", 8, 3, 2, OpReLU).
+		Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ModelChecksum(g1) == ModelChecksum(g3) {
+		t.Fatal("different models must differ in checksum")
+	}
+}
+
+func TestSharedLayerFraction(t *testing.T) {
+	g1 := tinyCNN(t)
+	g2 := tinyCNN(t)
+	if f := SharedLayerFraction(g1, g2); f != 1 {
+		t.Fatalf("identical models share fraction %v, want 1", f)
+	}
+	// Fine-tune: replace the dense layer's weights.
+	rng := rand.New(rand.NewSource(7))
+	ft := tinyCNN(t)
+	for i := range ft.Layers {
+		if ft.Layers[i].Op == OpDense {
+			for wi := range ft.Layers[i].Weights {
+				rng.Read(ft.Layers[i].Weights[wi].Data)
+			}
+		}
+	}
+	f := SharedLayerFraction(ft, g1)
+	if f <= 0.5 || f >= 1 {
+		t.Fatalf("fine-tuned share = %v, want in (0.5,1)", f)
+	}
+	if d := DifferingLayers(ft, g1); d != 1 {
+		t.Fatalf("DifferingLayers = %d, want 1", d)
+	}
+}
+
+func TestDifferingLayersCountsExtra(t *testing.T) {
+	g1 := tinyCNN(t)
+	short, err := NewBuilder("short", testRNG()).
+		Input("input", Shape{1, 32, 32, 3}, Float32).
+		Conv("conv1", 8, 3, 2, OpReLU).
+		Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := DifferingLayers(short, g1); d != len(g1.Layers)-1 {
+		t.Fatalf("DifferingLayers(short, full) = %d, want %d", d, len(g1.Layers)-1)
+	}
+}
+
+func TestCollectWeightStats(t *testing.T) {
+	b := NewBuilder("sparse", testRNG())
+	b.Sparsity = 0.5
+	g, err := b.
+		Input("input", Shape{1, 16, 16, 3}, Float32).
+		Conv("conv", 32, 3, 1, OpInvalid).
+		Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := CollectWeightStats(g)
+	if ws.TotalParams != g.ParamCount() {
+		t.Fatalf("TotalParams = %d, want %d", ws.TotalParams, g.ParamCount())
+	}
+	sf := ws.SparsityFraction()
+	if sf < 0.4 || sf > 0.6 {
+		t.Fatalf("sparsity = %v, want ~0.5", sf)
+	}
+	if ws.DTypeParams[Float32] != ws.TotalParams {
+		t.Fatal("all weights should be float32")
+	}
+	if ws.Int8WeightFraction() != 0 {
+		t.Fatal("no int8 weights expected")
+	}
+}
+
+func TestWeightStatsOptimisationMarkers(t *testing.T) {
+	b := NewBuilder("clustered", testRNG())
+	b.LayerPrefix = "cluster_"
+	g, err := b.
+		Input("input", Shape{1, 8, 8, 3}, Float32).
+		Conv("conv", 4, 3, 1, OpInvalid).
+		Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := CollectWeightStats(g)
+	if ws.ClusteredLayers != 1 {
+		t.Fatalf("ClusteredLayers = %d", ws.ClusteredLayers)
+	}
+
+	// Quantised model: int8 weights plus quantize/dequantize pair.
+	qb := NewBuilder("quant", testRNG())
+	qb.WeightDType = Int8
+	qg, err := qb.
+		Input("input", Shape{1, 8, 8, 3}, Float32).
+		Quantize("q", 0.02).
+		Conv("conv", 4, 3, 1, OpInvalid).
+		Dequantize("dq", 0.02).
+		Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qws := CollectWeightStats(qg)
+	if qws.DequantizeOps != 1 {
+		t.Fatalf("DequantizeOps = %d", qws.DequantizeOps)
+	}
+	if !qws.Int8Activations {
+		t.Fatal("quantize layer should mark int8 activations")
+	}
+	if qws.Int8WeightFraction() != 1 {
+		t.Fatalf("Int8WeightFraction = %v, want 1", qws.Int8WeightFraction())
+	}
+}
+
+func TestInferModality(t *testing.T) {
+	cases := []struct {
+		shape Shape
+		dt    DType
+		want  Modality
+	}{
+		{Shape{1, 224, 224, 3}, Float32, ModalityImage},
+		{Shape{1, 64}, Int32, ModalityText},
+		{Shape{1, 16000}, Float32, ModalityAudio},
+		{Shape{1, 160, 64}, Float32, ModalityAudio},
+		{Shape{1, 6}, Float32, ModalitySensor},
+		{Shape{1, 9, 3}, Float32, ModalitySensor},
+	}
+	for _, c := range cases {
+		g := &Graph{Name: "m", Inputs: []Tensor{{Name: "in", Shape: c.shape, DType: c.dt}}}
+		if got := g.InferModality(); got != c.want {
+			t.Errorf("shape %v dtype %s => %s, want %s", c.shape, c.dt, got, c.want)
+		}
+	}
+	empty := &Graph{Name: "none"}
+	if empty.InferModality() != ModalityUnknown {
+		t.Fatal("no inputs should be unknown modality")
+	}
+}
+
+func TestBuilderStickyError(t *testing.T) {
+	b := NewBuilder("broken", testRNG()).
+		Input("input", Shape{1, 8}, Float32).
+		Conv("conv", 4, 3, 1, OpInvalid) // rank-2 input: error
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("conv on rank-2 input must fail")
+	}
+	// Further calls must not panic and must preserve the first error.
+	b.Dense("fc", 10, OpInvalid)
+	if _, err := b.Finish(); err == nil || !strings.Contains(err.Error(), "Conv") {
+		t.Fatalf("sticky error lost: %v", err)
+	}
+}
+
+func TestBuilderBranches(t *testing.T) {
+	b := NewBuilder("branchy", testRNG()).
+		Input("input", Shape{1, 16, 16, 8}, Float32)
+	trunk := b.Current()
+	b.Conv("branch_a", 8, 3, 1, OpReLU)
+	a := b.Current()
+	b.SetCurrent(trunk).Conv("branch_b", 8, 3, 1, OpReLU)
+	g, err := b.Concat("merge", 3, a).Conv("head", 4, 1, 1, OpInvalid).Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := g.InferShapes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	merge := g.FindLayer("merge")
+	if merge == nil {
+		t.Fatal("merge layer missing")
+	}
+	if got := env[merge.Outputs[0]].Shape; !got.Equal(Shape{1, 16, 16, 16}) {
+		t.Fatalf("concat shape = %v", got)
+	}
+}
+
+func TestRecurrentAndEmbedding(t *testing.T) {
+	g, err := NewBuilder("text_model", testRNG()).
+		Input("tokens", Shape{1, 12}, Int32).
+		Embedding("embed", 5000, 64).
+		LSTM("lstm", 128).
+		Slice("last", []int{0, 11, 0}, []int{1, 1, 128}).
+		Reshape("flat", []int{1, 128}).
+		Dense("out", 5000, OpInvalid).
+		Softmax("prob").
+		Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := ProfileGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Params < 5000*64 {
+		t.Fatalf("params = %d, embedding alone should exceed 320k", p.Params)
+	}
+	if g.InferModality() != ModalityText {
+		t.Fatal("token input should classify as text")
+	}
+}

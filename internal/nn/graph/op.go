@@ -1,0 +1,172 @@
+package graph
+
+import "fmt"
+
+// OpType identifies the operation a layer performs.
+type OpType uint8
+
+// The operator vocabulary covers what the paper's Figure 6 observes in the
+// wild across TFLite, ncnn and caffe models.
+const (
+	OpInvalid OpType = iota
+	OpConv2D
+	OpDepthwiseConv2D
+	OpDense // fully connected / inner product
+	OpMaxPool
+	OpAvgPool
+	OpGlobalAvgPool
+	OpReLU
+	OpReLU6
+	OpSigmoid
+	OpTanh
+	OpSoftmax
+	OpHardSwish
+	OpBatchNorm
+	OpAdd
+	OpMul
+	OpConcat
+	OpReshape
+	OpSlice
+	OpStridedSlice
+	OpResizeBilinear
+	OpResizeNearest
+	OpQuantize
+	OpDequantize
+	OpPad
+	OpMean
+	OpTransposeConv2D
+	OpLSTM
+	OpGRU
+	OpEmbedding
+	OpPRelu
+	OpLogistic // distinct from sigmoid in TFLite naming, kept for parity
+	numOps
+)
+
+var opNames = [...]string{
+	OpInvalid:         "invalid",
+	OpConv2D:          "conv2d",
+	OpDepthwiseConv2D: "depthwise_conv2d",
+	OpDense:           "dense",
+	OpMaxPool:         "max_pool",
+	OpAvgPool:         "avg_pool",
+	OpGlobalAvgPool:   "global_avg_pool",
+	OpReLU:            "relu",
+	OpReLU6:           "relu6",
+	OpSigmoid:         "sigmoid",
+	OpTanh:            "tanh",
+	OpSoftmax:         "softmax",
+	OpHardSwish:       "hard_swish",
+	OpBatchNorm:       "batch_norm",
+	OpAdd:             "add",
+	OpMul:             "mul",
+	OpConcat:          "concat",
+	OpReshape:         "reshape",
+	OpSlice:           "slice",
+	OpStridedSlice:    "strided_slice",
+	OpResizeBilinear:  "resize_bilinear",
+	OpResizeNearest:   "resize_nearest",
+	OpQuantize:        "quantize",
+	OpDequantize:      "dequantize",
+	OpPad:             "pad",
+	OpMean:            "mean",
+	OpTransposeConv2D: "transpose_conv2d",
+	OpLSTM:            "lstm",
+	OpGRU:             "gru",
+	OpEmbedding:       "embedding",
+	OpPRelu:           "prelu",
+	OpLogistic:        "logistic",
+}
+
+// String returns the lowercase snake_case operator name.
+func (o OpType) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o names a known operator.
+func (o OpType) Valid() bool { return o > OpInvalid && o < numOps }
+
+// ParseOp maps an operator name back to its OpType.
+func ParseOp(s string) (OpType, error) {
+	for i := 1; i < len(opNames); i++ {
+		if opNames[i] == s {
+			return OpType(i), nil
+		}
+	}
+	return OpInvalid, fmt.Errorf("graph: unknown op %q", s)
+}
+
+// OpClass is the coarse layer grouping of the paper's Figure 6 ("Model layer
+// composition per input modality"): conv, depth_conv, dense, activation,
+// pooling, math, quant, resize, slice, other.
+type OpClass uint8
+
+// Figure 6 classes.
+const (
+	ClassOther OpClass = iota
+	ClassConv
+	ClassDepthConv
+	ClassDense
+	ClassActivation
+	ClassPooling
+	ClassMath
+	ClassQuant
+	ClassResize
+	ClassSlice
+)
+
+var classNames = [...]string{
+	ClassOther:      "other",
+	ClassConv:       "conv",
+	ClassDepthConv:  "depth_conv",
+	ClassDense:      "dense",
+	ClassActivation: "activation",
+	ClassPooling:    "pooling",
+	ClassMath:       "math",
+	ClassQuant:      "quant",
+	ClassResize:     "resize",
+	ClassSlice:      "slice",
+}
+
+// String returns the Figure 6 bucket name.
+func (c OpClass) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return "other"
+}
+
+// AllClasses lists every Figure 6 bucket in display order.
+func AllClasses() []OpClass {
+	return []OpClass{ClassConv, ClassDepthConv, ClassDense, ClassActivation,
+		ClassPooling, ClassMath, ClassQuant, ClassResize, ClassSlice, ClassOther}
+}
+
+// Class maps an operator into its Figure 6 bucket.
+func (o OpType) Class() OpClass {
+	switch o {
+	case OpConv2D, OpTransposeConv2D:
+		return ClassConv
+	case OpDepthwiseConv2D:
+		return ClassDepthConv
+	case OpDense, OpLSTM, OpGRU, OpEmbedding:
+		return ClassDense
+	case OpReLU, OpReLU6, OpSigmoid, OpTanh, OpSoftmax, OpHardSwish, OpPRelu, OpLogistic:
+		return ClassActivation
+	case OpMaxPool, OpAvgPool, OpGlobalAvgPool:
+		return ClassPooling
+	case OpAdd, OpMul, OpBatchNorm, OpMean:
+		return ClassMath
+	case OpQuantize, OpDequantize:
+		return ClassQuant
+	case OpResizeBilinear, OpResizeNearest:
+		return ClassResize
+	case OpSlice, OpStridedSlice, OpReshape, OpConcat, OpPad:
+		return ClassSlice
+	default:
+		return ClassOther
+	}
+}

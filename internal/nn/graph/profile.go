@@ -1,0 +1,171 @@
+package graph
+
+import "fmt"
+
+// LayerProfile is the per-layer cost record collected during the trace-based
+// forward pass: floating-point operations (2×MACs for linear-algebra ops),
+// trainable parameters, and the activation/weight bytes moved. The byte
+// counts feed the roofline latency model in internal/mlrt.
+type LayerProfile struct {
+	Name        string
+	Op          OpType
+	Class       OpClass
+	FLOPs       int64
+	Params      int64
+	InputBytes  int64
+	OutputBytes int64
+	WeightBytes int64
+	OutputShape Shape
+}
+
+// Profile is the whole-model cost record of Section 4.7 ("DNN #operations
+// and #parameters"): total FLOPs and parameters plus the per-layer trace.
+type Profile struct {
+	ModelName string
+	FLOPs     int64
+	Params    int64
+	// ActivationBytes is the sum of all intermediate tensor footprints; the
+	// peak working set is approximated by PeakBytes.
+	ActivationBytes int64
+	PeakBytes       int64
+	WeightBytes     int64
+	Layers          []LayerProfile
+}
+
+// ProfileGraph performs the trace-based profiling pass: it infers shapes
+// from the declared inputs and accumulates analytic FLOP counts per layer,
+// exactly as gaugeNN "generate[s] a random input with the DNN-specified
+// input dimensions and perform[s] a DNN inference ... measuring analytically
+// the amount of operations being performed per layer".
+func ProfileGraph(g *Graph) (*Profile, error) {
+	env, err := g.InferShapes()
+	if err != nil {
+		return nil, err
+	}
+	p := &Profile{ModelName: g.Name, Layers: make([]LayerProfile, 0, len(g.Layers))}
+	for i := range g.Layers {
+		l := &g.Layers[i]
+		lp, err := profileLayer(l, env)
+		if err != nil {
+			return nil, fmt.Errorf("graph %s: layer %q: %w", g.Name, l.Name, err)
+		}
+		p.FLOPs += lp.FLOPs
+		p.Params += lp.Params
+		p.ActivationBytes += lp.OutputBytes
+		p.WeightBytes += lp.WeightBytes
+		if ws := lp.InputBytes + lp.OutputBytes + lp.WeightBytes; ws > p.PeakBytes {
+			p.PeakBytes = ws
+		}
+		p.Layers = append(p.Layers, lp)
+	}
+	return p, nil
+}
+
+func profileLayer(l *Layer, env map[string]Tensor) (LayerProfile, error) {
+	lp := LayerProfile{Name: l.Name, Op: l.Op, Class: l.Op.Class(), Params: l.ParamCount(), WeightBytes: l.WeightBytes()}
+	for _, in := range l.Inputs {
+		t, ok := env[in]
+		if !ok {
+			return lp, fmt.Errorf("undefined tensor %q", in)
+		}
+		lp.InputBytes += t.Bytes()
+	}
+	var out Tensor
+	for _, o := range l.Outputs {
+		t, ok := env[o]
+		if !ok {
+			return lp, fmt.Errorf("unprofiled output tensor %q", o)
+		}
+		lp.OutputBytes += t.Bytes()
+		out = t
+	}
+	lp.OutputShape = out.Shape
+	in := env[l.Inputs[0]]
+	outElems := out.Shape.Elements()
+	a := l.Attrs
+
+	switch l.Op {
+	case OpConv2D:
+		// 2 FLOPs per MAC: out elements × kernel volume × input channels.
+		inC := int64(in.Shape[3])
+		groups := int64(a.Groups)
+		if groups <= 0 {
+			groups = 1
+		}
+		lp.FLOPs = 2 * outElems * int64(a.KernelH) * int64(a.KernelW) * inC / groups
+	case OpTransposeConv2D:
+		inC := int64(in.Shape[3])
+		lp.FLOPs = 2 * in.Shape.Elements() / inC * int64(a.KernelH) * int64(a.KernelW) * inC * int64(a.Filters) / int64(max(1, in.Shape[3]))
+		// Conservative: same MACs as the forward conv producing the input.
+		if lp.FLOPs <= 0 {
+			lp.FLOPs = 2 * outElems * int64(a.KernelH) * int64(a.KernelW)
+		}
+	case OpDepthwiseConv2D:
+		lp.FLOPs = 2 * outElems * int64(a.KernelH) * int64(a.KernelW)
+	case OpDense:
+		inF := in.Shape.Elements()
+		if len(in.Shape) >= 2 && in.Shape[0] > 0 {
+			inF /= int64(in.Shape[0])
+		}
+		batch := int64(1)
+		if len(in.Shape) >= 1 && in.Shape[0] > 0 {
+			batch = int64(in.Shape[0])
+		}
+		lp.FLOPs = 2 * batch * inF * int64(a.Units)
+	case OpLSTM:
+		inF := int64(in.Shape[2])
+		u := int64(a.Units)
+		t := int64(in.Shape[1])
+		lp.FLOPs = 2 * 4 * t * (inF*u + u*u + u)
+	case OpGRU:
+		inF := int64(in.Shape[2])
+		u := int64(a.Units)
+		t := int64(in.Shape[1])
+		lp.FLOPs = 2 * 3 * t * (inF*u + u*u + u)
+	case OpEmbedding:
+		lp.FLOPs = outElems // gather cost
+	case OpMaxPool, OpAvgPool:
+		lp.FLOPs = outElems * int64(a.KernelH) * int64(a.KernelW)
+	case OpGlobalAvgPool:
+		lp.FLOPs = in.Shape.Elements()
+	case OpSoftmax:
+		lp.FLOPs = 5 * outElems // exp + sum + div
+	case OpSigmoid, OpTanh, OpHardSwish, OpLogistic:
+		lp.FLOPs = 4 * outElems
+	case OpReLU, OpReLU6, OpPRelu:
+		lp.FLOPs = outElems
+	case OpBatchNorm:
+		lp.FLOPs = 2 * outElems
+	case OpAdd, OpMul:
+		lp.FLOPs = outElems
+	case OpMean:
+		lp.FLOPs = in.Shape.Elements()
+	case OpResizeBilinear:
+		lp.FLOPs = 7 * outElems
+	case OpResizeNearest:
+		lp.FLOPs = outElems
+	case OpQuantize, OpDequantize:
+		lp.FLOPs = 2 * outElems
+	case OpConcat, OpReshape, OpSlice, OpStridedSlice, OpPad:
+		lp.FLOPs = 0 // data movement only; captured by byte counters
+	default:
+		return lp, fmt.Errorf("profiling not implemented for op %s", l.Op)
+	}
+	return lp, nil
+}
+
+// ClassHistogram aggregates layer counts per Figure 6 bucket.
+func (p *Profile) ClassHistogram() map[OpClass]int {
+	h := make(map[OpClass]int)
+	for _, lp := range p.Layers {
+		h[lp.Class]++
+	}
+	return h
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

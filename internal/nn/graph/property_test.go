@@ -1,0 +1,145 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomNet builds a structurally random-but-valid conv net from three
+// bounded knobs, for property testing the IR invariants.
+func randomNet(seed int64, depth, width, res uint8) (*Graph, error) {
+	d := int(depth%4) + 1
+	w := int(width%24) + 4
+	r := 16 << (res % 3) // 16, 32, 64
+	b := NewBuilder("prop_net", rand.New(rand.NewSource(seed)))
+	b.Input("input", Shape{1, r, r, 3}, Float32)
+	for i := 0; i < d; i++ {
+		stride := 1 + i%2
+		b.Conv(name("conv", i), w, 3, stride, OpReLU)
+		if i%2 == 1 {
+			b.DWConv(name("dw", i), 3, 1, OpReLU6)
+		}
+	}
+	b.GlobalAvgPool("gap")
+	b.Reshape("flatten", []int{1, -1})
+	b.Dense("fc", 5, OpInvalid)
+	b.Softmax("prob")
+	return b.Finish()
+}
+
+func name(prefix string, i int) string {
+	return prefix + string(rune('a'+i))
+}
+
+// Property: every randomly built net validates, shape-infers, profiles
+// with non-negative costs, and its profiled params match the weight sum.
+func TestRandomNetInvariantsProperty(t *testing.T) {
+	f := func(seed int64, depth, width, res uint8) bool {
+		g, err := randomNet(seed, depth, width, res)
+		if err != nil {
+			return false
+		}
+		if g.Validate() != nil {
+			return false
+		}
+		p, err := ProfileGraph(g)
+		if err != nil {
+			return false
+		}
+		if p.FLOPs <= 0 || p.Params <= 0 || p.ActivationBytes <= 0 {
+			return false
+		}
+		if p.Params != g.ParamCount() {
+			return false
+		}
+		for _, lp := range p.Layers {
+			if lp.FLOPs < 0 || lp.InputBytes < 0 || lp.OutputBytes < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: checksums are stable under re-build and change under any
+// single-byte weight mutation.
+func TestChecksumSensitivityProperty(t *testing.T) {
+	f := func(seed int64, depth, width, res uint8, flip uint16) bool {
+		g1, err := randomNet(seed, depth, width, res)
+		if err != nil {
+			return false
+		}
+		g2, err := randomNet(seed, depth, width, res)
+		if err != nil {
+			return false
+		}
+		if ModelChecksum(g1) != ModelChecksum(g2) {
+			return false
+		}
+		// Flip one weight byte somewhere.
+		for i := range g2.Layers {
+			for wi := range g2.Layers[i].Weights {
+				data := g2.Layers[i].Weights[wi].Data
+				if len(data) == 0 {
+					continue
+				}
+				data[int(flip)%len(data)] ^= 0xFF
+				return ModelChecksum(g1) != ModelChecksum(g2)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: shape inference output elements are positive for every layer
+// of a valid net (no degenerate tensors survive inference).
+func TestShapeInferencePositivityProperty(t *testing.T) {
+	f := func(seed int64, depth, width, res uint8) bool {
+		g, err := randomNet(seed, depth, width, res)
+		if err != nil {
+			return false
+		}
+		env, err := g.InferShapes()
+		if err != nil {
+			return false
+		}
+		for _, t := range env {
+			if t.Shape.Elements() <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: weighted layer checksums are a subsequence of all layer
+// checksums and only cover layers with weights.
+func TestWeightedChecksumSubsetProperty(t *testing.T) {
+	f := func(seed int64, depth, width, res uint8) bool {
+		g, err := randomNet(seed, depth, width, res)
+		if err != nil {
+			return false
+		}
+		weighted := WeightedLayerChecksums(g)
+		nWeighted := 0
+		for i := range g.Layers {
+			if len(g.Layers[i].Weights) > 0 {
+				nWeighted++
+			}
+		}
+		return len(weighted) == nWeighted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,460 @@
+package zoo
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/gaugenn/gaugenn/internal/nn/graph"
+)
+
+// Arch identifies an architecture family.
+type Arch uint8
+
+// Architecture families the paper observes in the wild (Section 4.5):
+// MobileNet dominates; FSSD is the most popular detector; BlazeFace the
+// most popular face detector.
+const (
+	ArchUnknown Arch = iota
+	ArchMobileNetV1
+	ArchMobileNetV2
+	ArchFSSD
+	ArchBlazeFace
+	ArchUNet
+	ArchCRNN
+	ArchLandmarkNet
+	ArchPoseNet
+	ArchEncoderDecoder
+	ArchEmbedLSTM
+	ArchTextCNN
+	ArchSeq2Seq
+	ArchAudioCNN
+	ArchSpeechRNN
+	ArchKeywordCNN
+	ArchSensorMLP
+	ArchSensorGRU
+	numArchs
+)
+
+var archNames = [...]string{
+	ArchUnknown:        "unknown",
+	ArchMobileNetV1:    "mobilenet_v1",
+	ArchMobileNetV2:    "mobilenet_v2",
+	ArchFSSD:           "fssd",
+	ArchBlazeFace:      "blazeface",
+	ArchUNet:           "unet",
+	ArchCRNN:           "crnn",
+	ArchLandmarkNet:    "landmarknet",
+	ArchPoseNet:        "posenet",
+	ArchEncoderDecoder: "encdec",
+	ArchEmbedLSTM:      "embed_lstm",
+	ArchTextCNN:        "text_cnn",
+	ArchSeq2Seq:        "seq2seq",
+	ArchAudioCNN:       "audio_cnn",
+	ArchSpeechRNN:      "speech_rnn",
+	ArchKeywordCNN:     "keyword_cnn",
+	ArchSensorMLP:      "sensor_mlp",
+	ArchSensorGRU:      "sensor_gru",
+}
+
+// String returns the family name used in generated model filenames.
+func (a Arch) String() string {
+	if int(a) < len(archNames) {
+		return archNames[a]
+	}
+	return "unknown"
+}
+
+// ArchOpts scales an architecture. Width multiplies channel counts
+// (MobileNet's α); Resolution sets the square input size for vision nets;
+// Classes sizes the output head; Vocab sizes text models.
+type ArchOpts struct {
+	Width      float64
+	Resolution int
+	Classes    int
+	Vocab      int
+	TimeSteps  int
+}
+
+func (o ArchOpts) withDefaults() ArchOpts {
+	if o.Width <= 0 {
+		o.Width = 1
+	}
+	if o.Resolution <= 0 {
+		o.Resolution = 128
+	}
+	if o.Classes <= 0 {
+		o.Classes = 10
+	}
+	if o.Vocab <= 0 {
+		o.Vocab = 4000
+	}
+	if o.TimeSteps <= 0 {
+		o.TimeSteps = 16
+	}
+	return o
+}
+
+func (o ArchOpts) ch(base int) int {
+	c := int(float64(base) * o.Width)
+	if c < 4 {
+		c = 4
+	}
+	return c
+}
+
+// BuildArch constructs a deterministic model of the given family. The same
+// (arch, opts, seed) triple always yields byte-identical weights.
+func BuildArch(arch Arch, name string, opts ArchOpts, rng *rand.Rand) (*graph.Graph, error) {
+	opts = opts.withDefaults()
+	switch arch {
+	case ArchMobileNetV1:
+		return buildMobileNetV1(name, opts, rng)
+	case ArchMobileNetV2:
+		return buildMobileNetV2(name, opts, rng)
+	case ArchFSSD:
+		return buildFSSD(name, opts, rng)
+	case ArchBlazeFace:
+		return buildBlazeFace(name, opts, rng)
+	case ArchUNet:
+		return buildUNet(name, opts, rng)
+	case ArchCRNN:
+		return buildCRNN(name, opts, rng)
+	case ArchLandmarkNet:
+		return buildLandmarkNet(name, opts, rng)
+	case ArchPoseNet:
+		return buildPoseNet(name, opts, rng)
+	case ArchEncoderDecoder:
+		return buildEncoderDecoder(name, opts, rng)
+	case ArchEmbedLSTM:
+		return buildEmbedLSTM(name, opts, rng)
+	case ArchTextCNN:
+		return buildTextCNN(name, opts, rng)
+	case ArchSeq2Seq:
+		return buildSeq2Seq(name, opts, rng)
+	case ArchAudioCNN:
+		return buildAudioCNN(name, opts, rng)
+	case ArchSpeechRNN:
+		return buildSpeechRNN(name, opts, rng)
+	case ArchKeywordCNN:
+		return buildKeywordCNN(name, opts, rng)
+	case ArchSensorMLP:
+		return buildSensorMLP(name, opts, rng)
+	case ArchSensorGRU:
+		return buildSensorGRU(name, opts, rng)
+	default:
+		return nil, fmt.Errorf("zoo: unknown architecture %d", arch)
+	}
+}
+
+func buildMobileNetV1(name string, o ArchOpts, rng *rand.Rand) (*graph.Graph, error) {
+	b := graph.NewBuilder(name, rng)
+	b.Input("input", graph.Shape{1, o.Resolution, o.Resolution, 3}, graph.Float32)
+	b.Conv("conv0", o.ch(16), 3, 2, graph.OpReLU6)
+	cfg := []struct{ c, s int }{{32, 1}, {64, 2}, {64, 1}, {128, 2}, {128, 1}, {256, 2}}
+	for i, st := range cfg {
+		b.DWConv(fmt.Sprintf("dw%d", i+1), 3, st.s, graph.OpReLU6)
+		b.Conv(fmt.Sprintf("pw%d", i+1), o.ch(st.c), 1, 1, graph.OpReLU6)
+	}
+	b.GlobalAvgPool("gap")
+	b.Reshape("flatten", []int{1, -1})
+	b.Dense("logits", o.Classes, graph.OpInvalid)
+	b.Softmax("prob")
+	return b.Finish()
+}
+
+func buildMobileNetV2(name string, o ArchOpts, rng *rand.Rand) (*graph.Graph, error) {
+	b := graph.NewBuilder(name, rng)
+	b.Input("input", graph.Shape{1, o.Resolution, o.Resolution, 3}, graph.Float32)
+	b.Conv("conv0", o.ch(16), 3, 2, graph.OpReLU6)
+	blocks := []struct{ c, s, expand int }{
+		{16, 1, 1}, {24, 2, 4}, {24, 1, 4}, {48, 2, 4}, {48, 1, 4}, {96, 2, 4},
+	}
+	for i, blk := range blocks {
+		in := b.Current()
+		inShape := b.CurrentShape()
+		exp := o.ch(blk.c * blk.expand)
+		b.Conv(fmt.Sprintf("b%d_expand", i), exp, 1, 1, graph.OpReLU6)
+		b.DWConv(fmt.Sprintf("b%d_dw", i), 3, blk.s, graph.OpReLU6)
+		b.Conv(fmt.Sprintf("b%d_project", i), o.ch(blk.c), 1, 1, graph.OpInvalid)
+		if blk.s == 1 && len(inShape) == 4 && inShape[3] == o.ch(blk.c) {
+			b.Add(fmt.Sprintf("b%d_residual", i), in)
+		}
+	}
+	b.Conv("head_conv", o.ch(192), 1, 1, graph.OpReLU6)
+	b.GlobalAvgPool("gap")
+	b.Reshape("flatten", []int{1, -1})
+	b.Dense("logits", o.Classes, graph.OpInvalid)
+	b.Softmax("prob")
+	return b.Finish()
+}
+
+// buildFSSD follows Li & Zhou's feature-fusion SSD: a MobileNet-style
+// backbone whose multi-scale feature maps are fused and fed to box and
+// class heads. The paper finds FSSD to be the most popular detector in the
+// wild, shipping even inside Google's own apps.
+func buildFSSD(name string, o ArchOpts, rng *rand.Rand) (*graph.Graph, error) {
+	b := graph.NewBuilder(name, rng)
+	b.Input("input", graph.Shape{1, o.Resolution, o.Resolution, 3}, graph.Float32)
+	b.Conv("conv0", o.ch(16), 3, 2, graph.OpReLU6)
+	b.DWConv("dw1", 3, 1, graph.OpReLU6)
+	b.Conv("pw1", o.ch(32), 1, 1, graph.OpReLU6)
+	b.DWConv("dw2", 3, 2, graph.OpReLU6)
+	b.Conv("pw2", o.ch(64), 1, 1, graph.OpReLU6)
+	f1 := b.Current() // stride-4 feature map
+	b.DWConv("dw3", 3, 2, graph.OpReLU6)
+	b.Conv("pw3", o.ch(128), 1, 1, graph.OpReLU6)
+	f2 := b.Current() // stride-8
+	b.DWConv("dw4", 3, 2, graph.OpReLU6)
+	b.Conv("pw4", o.ch(128), 1, 1, graph.OpReLU6)
+	// Fusion: upsample deeper maps to f1's resolution and concatenate.
+	fuseRes := o.Resolution / 4
+	b.Resize("up4", fuseRes, fuseRes)
+	up4 := b.Current()
+	b.SetCurrent(f2)
+	b.Resize("up3", fuseRes, fuseRes)
+	up3 := b.Current()
+	b.SetCurrent(f1)
+	b.Concat("fusion", 3, up3, up4)
+	b.BatchNorm("fusion_bn")
+	b.Conv("fusion_conv", o.ch(96), 1, 1, graph.OpReLU)
+	trunk := b.Current()
+	// Pyramid heads: each scale predicts 4 box coords + classes per anchor.
+	anchors := 3
+	b.Conv("head0_feat", o.ch(96), 3, 1, graph.OpReLU)
+	b.Conv("head0_box", anchors*(4+o.Classes), 1, 1, graph.OpInvalid)
+	h0 := b.Current()
+	b.SetCurrent(trunk)
+	b.Conv("head1_down", o.ch(96), 3, 2, graph.OpReLU)
+	b.Conv("head1_box", anchors*(4+o.Classes), 1, 1, graph.OpInvalid)
+	h1 := b.Current()
+	s0 := b.CurrentShape()
+	_ = s0
+	b.SetCurrent(h0)
+	b.Reshape("head0_flat", []int{1, -1})
+	h0f := b.Current()
+	b.SetCurrent(h1)
+	b.Reshape("head1_flat", []int{1, -1})
+	b.Concat("predictions", 1, h0f)
+	return b.Finish()
+}
+
+// buildBlazeFace is a compact single-shot face detector in the spirit of
+// Bazarevsky et al.'s sub-millisecond BlazeFace.
+func buildBlazeFace(name string, o ArchOpts, rng *rand.Rand) (*graph.Graph, error) {
+	b := graph.NewBuilder(name, rng)
+	res := o.Resolution
+	if res > 128 {
+		res = 128 // BlazeFace runs on small crops
+	}
+	b.Input("input", graph.Shape{1, res, res, 3}, graph.Float32)
+	b.Conv("conv0", o.ch(24), 5, 2, graph.OpReLU)
+	for i := 0; i < 3; i++ {
+		in := b.Current()
+		b.DWConv(fmt.Sprintf("blaze%d_dw", i), 3, 1, graph.OpInvalid)
+		b.Conv(fmt.Sprintf("blaze%d_pw", i), o.ch(24), 1, 1, graph.OpInvalid)
+		b.Add(fmt.Sprintf("blaze%d_res", i), in)
+		b.Activation(fmt.Sprintf("blaze%d_act", i), graph.OpReLU)
+	}
+	b.DWConv("down_dw", 3, 2, graph.OpInvalid)
+	b.Conv("down_pw", o.ch(48), 1, 1, graph.OpReLU)
+	b.Conv("boxes", 2*(4+1), 1, 1, graph.OpInvalid)
+	b.Reshape("flat", []int{1, -1})
+	return b.Finish()
+}
+
+func buildUNet(name string, o ArchOpts, rng *rand.Rand) (*graph.Graph, error) {
+	b := graph.NewBuilder(name, rng)
+	b.Input("input", graph.Shape{1, o.Resolution, o.Resolution, 3}, graph.Float32)
+	b.Conv("enc0", o.ch(16), 3, 1, graph.OpReLU)
+	e0 := b.Current()
+	b.MaxPool("pool0", 2, 2)
+	b.Conv("enc1", o.ch(32), 3, 1, graph.OpReLU)
+	e1 := b.Current()
+	b.MaxPool("pool1", 2, 2)
+	b.Conv("bottleneck", o.ch(64), 3, 1, graph.OpReLU)
+	b.TransposeConv("up1", o.ch(32), 2, 2)
+	b.Concat("skip1", 3, e1)
+	b.Conv("dec1", o.ch(32), 3, 1, graph.OpReLU)
+	b.TransposeConv("up0", o.ch(16), 2, 2)
+	b.Concat("skip0", 3, e0)
+	b.Conv("dec0", o.ch(16), 3, 1, graph.OpReLU)
+	b.Conv("mask", 2, 1, 1, graph.OpInvalid)
+	b.Activation("mask_prob", graph.OpSigmoid)
+	return b.Finish()
+}
+
+// buildCRNN is the conv-recurrent text recogniser used for OCR and credit
+// card scanning (the paper's PayCards example).
+func buildCRNN(name string, o ArchOpts, rng *rand.Rand) (*graph.Graph, error) {
+	b := graph.NewBuilder(name, rng)
+	h := 32
+	w := o.Resolution
+	b.Input("input", graph.Shape{1, h, w, 1}, graph.Float32)
+	b.Conv("conv0", o.ch(16), 3, 1, graph.OpReLU)
+	b.MaxPool("pool0", 2, 2)
+	b.Conv("conv1", o.ch(32), 3, 1, graph.OpReLU)
+	b.MaxPool("pool1", 2, 2)
+	b.Conv("conv2", o.ch(48), 3, 1, graph.OpReLU)
+	shape := b.CurrentShape()
+	// Collapse height into features: [1, W', H'*C].
+	b.Reshape("to_seq", []int{1, shape[2], shape[1] * shape[3]})
+	b.LSTM("lstm0", o.ch(64))
+	b.LSTM("lstm1", o.ch(64))
+	b.Dense("chars", 64, graph.OpInvalid)
+	b.Softmax("prob")
+	return b.Finish()
+}
+
+func buildLandmarkNet(name string, o ArchOpts, rng *rand.Rand) (*graph.Graph, error) {
+	b := graph.NewBuilder(name, rng)
+	b.Input("input", graph.Shape{1, o.Resolution, o.Resolution, 3}, graph.Float32)
+	b.Conv("conv0", o.ch(16), 3, 2, graph.OpReLU)
+	b.DWConv("dw0", 3, 1, graph.OpReLU)
+	b.Conv("pw0", o.ch(32), 1, 1, graph.OpReLU)
+	b.DWConv("dw1", 3, 2, graph.OpReLU)
+	b.Conv("pw1", o.ch(64), 1, 1, graph.OpReLU)
+	b.GlobalAvgPool("gap")
+	b.Reshape("flatten", []int{1, -1})
+	b.Dense("coords", 2*max(4, o.Classes), graph.OpInvalid)
+	return b.Finish()
+}
+
+func buildPoseNet(name string, o ArchOpts, rng *rand.Rand) (*graph.Graph, error) {
+	b := graph.NewBuilder(name, rng)
+	b.Input("input", graph.Shape{1, o.Resolution, o.Resolution, 3}, graph.Float32)
+	b.Conv("conv0", o.ch(16), 3, 2, graph.OpReLU)
+	b.DWConv("dw0", 3, 1, graph.OpReLU)
+	b.Conv("pw0", o.ch(32), 1, 1, graph.OpReLU)
+	b.DWConv("dw1", 3, 2, graph.OpReLU)
+	b.Conv("pw1", o.ch(64), 1, 1, graph.OpReLU)
+	b.TransposeConv("up0", o.ch(32), 2, 2)
+	b.Conv("heatmaps", 17, 1, 1, graph.OpInvalid) // 17 COCO keypoints
+	b.Activation("heatmap_prob", graph.OpSigmoid)
+	return b.Finish()
+}
+
+// buildEncoderDecoder is the generic image-to-image net behind style
+// transfer, photo beauty and hair reconstruction deployments.
+func buildEncoderDecoder(name string, o ArchOpts, rng *rand.Rand) (*graph.Graph, error) {
+	b := graph.NewBuilder(name, rng)
+	b.Input("input", graph.Shape{1, o.Resolution, o.Resolution, 3}, graph.Float32)
+	b.Conv("enc0", o.ch(24), 3, 2, graph.OpReLU)
+	b.Conv("enc1", o.ch(48), 3, 2, graph.OpReLU)
+	for i := 0; i < 2; i++ {
+		in := b.Current()
+		b.Conv(fmt.Sprintf("res%d_a", i), o.ch(48), 3, 1, graph.OpReLU)
+		b.Conv(fmt.Sprintf("res%d_b", i), o.ch(48), 3, 1, graph.OpInvalid)
+		b.Add(fmt.Sprintf("res%d_add", i), in)
+	}
+	b.TransposeConv("dec1", o.ch(24), 2, 2)
+	b.TransposeConv("dec0", o.ch(12), 2, 2)
+	b.Conv("rgb", 3, 3, 1, graph.OpInvalid)
+	b.Activation("out_act", graph.OpTanh)
+	return b.Finish()
+}
+
+func buildEmbedLSTM(name string, o ArchOpts, rng *rand.Rand) (*graph.Graph, error) {
+	b := graph.NewBuilder(name, rng)
+	b.Input("tokens", graph.Shape{1, o.TimeSteps}, graph.Int32)
+	b.Embedding("embed", o.Vocab, o.ch(64))
+	b.LSTM("lstm0", o.ch(96))
+	b.Slice("last_step", []int{0, o.TimeSteps - 1, 0}, []int{1, 1, o.ch(96)})
+	b.Reshape("flat", []int{1, o.ch(96)})
+	b.Dense("vocab_logits", o.Vocab, graph.OpInvalid)
+	b.Softmax("next_word")
+	return b.Finish()
+}
+
+func buildTextCNN(name string, o ArchOpts, rng *rand.Rand) (*graph.Graph, error) {
+	b := graph.NewBuilder(name, rng)
+	b.Input("tokens", graph.Shape{1, o.TimeSteps}, graph.Int32)
+	b.Embedding("embed", o.Vocab, o.ch(32))
+	b.Mean("mean_pool", []int{1}, false)
+	b.Dense("hidden", o.ch(32), graph.OpReLU)
+	b.Dense("logits", max(2, o.Classes), graph.OpInvalid)
+	b.Softmax("prob")
+	return b.Finish()
+}
+
+func buildSeq2Seq(name string, o ArchOpts, rng *rand.Rand) (*graph.Graph, error) {
+	b := graph.NewBuilder(name, rng)
+	b.Input("tokens", graph.Shape{1, o.TimeSteps}, graph.Int32)
+	b.Embedding("embed", o.Vocab, o.ch(48))
+	b.GRU("encoder", o.ch(64))
+	b.GRU("decoder", o.ch(64))
+	b.Dense("vocab_logits", o.Vocab, graph.OpInvalid)
+	b.Softmax("prob")
+	return b.Finish()
+}
+
+// buildAudioCNN classifies log-mel spectrogram patches, the shape of the
+// ambient sound recognisers dominating the audio tasks of Table 3.
+func buildAudioCNN(name string, o ArchOpts, rng *rand.Rand) (*graph.Graph, error) {
+	b := graph.NewBuilder(name, rng)
+	frames := maxInt(o.TimeSteps*8, 96)
+	mels := 64
+	b.Input("spectrogram", graph.Shape{1, frames, mels, 1}, graph.Float32)
+	b.Conv("conv0", o.ch(16), 3, 2, graph.OpReLU)
+	b.DWConv("dw0", 3, 1, graph.OpReLU)
+	b.Conv("pw0", o.ch(32), 1, 1, graph.OpReLU)
+	b.DWConv("dw1", 3, 2, graph.OpReLU)
+	b.Conv("pw1", o.ch(64), 1, 1, graph.OpReLU)
+	b.GlobalAvgPool("gap")
+	b.Reshape("flatten", []int{1, -1})
+	b.Dense("logits", max(8, o.Classes), graph.OpInvalid)
+	b.Softmax("prob")
+	return b.Finish()
+}
+
+func buildSpeechRNN(name string, o ArchOpts, rng *rand.Rand) (*graph.Graph, error) {
+	b := graph.NewBuilder(name, rng)
+	frames := maxInt(o.TimeSteps*8, 128)
+	b.Input("features", graph.Shape{1, frames, 40}, graph.Float32)
+	b.LSTM("lstm0", o.ch(96))
+	b.LSTM("lstm1", o.ch(96))
+	b.Dense("chars", 40, graph.OpInvalid)
+	b.Softmax("prob")
+	return b.Finish()
+}
+
+func buildKeywordCNN(name string, o ArchOpts, rng *rand.Rand) (*graph.Graph, error) {
+	b := graph.NewBuilder(name, rng)
+	b.Input("spectrogram", graph.Shape{1, 49, 40, 1}, graph.Float32)
+	b.Conv("conv0", o.ch(16), 3, 2, graph.OpReLU)
+	b.DWConv("dw0", 3, 1, graph.OpReLU)
+	b.Conv("pw0", o.ch(24), 1, 1, graph.OpReLU)
+	b.GlobalAvgPool("gap")
+	b.Reshape("flatten", []int{1, -1})
+	b.Dense("keywords", max(2, o.Classes), graph.OpInvalid)
+	b.Softmax("prob")
+	return b.Finish()
+}
+
+func buildSensorMLP(name string, o ArchOpts, rng *rand.Rand) (*graph.Graph, error) {
+	b := graph.NewBuilder(name, rng)
+	b.Input("imu", graph.Shape{1, 9}, graph.Float32)
+	b.Dense("fc0", o.ch(32), graph.OpReLU)
+	b.Dense("fc1", o.ch(16), graph.OpReLU)
+	b.Dense("logits", max(2, o.Classes), graph.OpInvalid)
+	b.Softmax("prob")
+	return b.Finish()
+}
+
+func buildSensorGRU(name string, o ArchOpts, rng *rand.Rand) (*graph.Graph, error) {
+	b := graph.NewBuilder(name, rng)
+	b.Input("imu_seq", graph.Shape{1, maxInt(o.TimeSteps, 8), 6}, graph.Float32)
+	b.GRU("gru0", o.ch(32))
+	b.Mean("mean", []int{1}, false)
+	b.Dense("logits", max(2, o.Classes), graph.OpInvalid)
+	b.Softmax("prob")
+	return b.Finish()
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int { return max(a, b) }

@@ -1,0 +1,59 @@
+package zoo
+
+// PaperTaskCounts is the Table 3 task mix of the 2021 snapshot: the number
+// of model *instances* (duplicates included) gaugeNN classified per task.
+// The Figure 7-only tasks (landmark detection, style transfer, face
+// recognition, hair reconstruction) carve up the vision "other" row (26
+// models) so the population also covers Figure 7's task axis.
+var PaperTaskCounts = map[Task]int{
+	TaskObjectDetection:      788,
+	TaskFaceDetection:        197,
+	TaskContourDetection:     192,
+	TaskTextRecognition:      185,
+	TaskAugmentedReality:     51,
+	TaskSemanticSegmentation: 14,
+	TaskObjectRecognition:    14,
+	TaskPoseEstimation:       8,
+	TaskPhotoBeauty:          8,
+	TaskImageClassification:  7,
+	TaskNudityDetection:      5,
+	TaskLandmarkDetection:    8,
+	TaskStyleTransfer:        6,
+	TaskFaceRecognition:      6,
+	TaskHairReconstruction:   3,
+	TaskOtherVision:          3,
+
+	TaskAutoComplete:        9,
+	TaskSentimentPrediction: 4,
+	TaskContentFilter:       2,
+	TaskTextClassification:  1,
+	TaskTranslation:         1,
+
+	TaskSoundRecognition:  12,
+	TaskSpeechRecognition: 2,
+	TaskKeywordDetection:  1,
+
+	TaskMovementTracking: 3,
+	TaskCrashDetection:   1,
+}
+
+// PaperUnidentified is the count of 2021-snapshot models the three-vote
+// classification could not identify (1666 total − 1531 identified).
+const PaperUnidentified = 135
+
+// PaperTotalModels2021 and PaperUniqueModels2021 are Table 2's 2021 totals.
+const (
+	PaperTotalModels2021  = 1666
+	PaperUniqueModels2021 = 318
+	PaperTotalModels2020  = 821
+	PaperUniqueModels2020 = 129
+)
+
+// IdentifiedTotal sums PaperTaskCounts.
+func IdentifiedTotal() int {
+	n := 0
+	for _, c := range PaperTaskCounts {
+		n += c
+	}
+	return n
+}

@@ -1,0 +1,209 @@
+package zoo
+
+import (
+	"crypto/md5"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+
+	"github.com/gaugenn/gaugenn/internal/nn/graph"
+)
+
+// Spec fully determines one unique model in the wild population: the same
+// Spec always builds a byte-identical graph, which is what makes checksum
+// dedup (Section 4.5) meaningful on generated data.
+type Spec struct {
+	// Task the model serves; drives architecture choice and naming.
+	Task Task
+	// Arch family; if ArchUnknown, DefaultArchFor(Task) is used.
+	Arch Arch
+	// Opts scales the architecture.
+	Opts ArchOpts
+	// Seed drives weight generation (and fine-tuning when BaseSeed != 0).
+	Seed int64
+	// Hinted controls whether the file stem leaks the task (≈67% of models
+	// in the wild carry a hinting name per Section 4.4).
+	Hinted bool
+	// Quantized produces an int8-weight model wrapped in quantize /
+	// dequantize layers (post-training quantisation, Section 6.1).
+	Quantized bool
+	// WeightQuantized converts weights to int8 without the quantize /
+	// dequantize activation wrapping — the weight-only compression variant
+	// that explains why int8-weight adoption (20.27%) exceeds
+	// dequantize-layer adoption (10.3%) in Section 6.1.
+	WeightQuantized bool
+	// SparsityFrac zeroes this fraction of float32 weights after building.
+	SparsityFrac float64
+	// BaseSeed, when non-zero, makes this model a fine-tuned derivative of
+	// the Spec with Seed=BaseSeed: the last FineTuneLayers weighted layers
+	// are re-trained (re-seeded from Seed).
+	BaseSeed       int64
+	FineTuneLayers int
+	// Ambiguous strips classification signals (opaque name, generic head)
+	// modelling the ~8% of models gaugeNN could not identify.
+	Ambiguous bool
+}
+
+// DefaultArchFor returns the most common architecture family serving a task
+// in the wild (Section 4.5: FSSD for detection, BlazeFace for faces,
+// MobileNet variants spanning tasks).
+func DefaultArchFor(t Task) Arch {
+	switch t {
+	case TaskObjectDetection:
+		return ArchFSSD
+	case TaskFaceDetection:
+		return ArchBlazeFace
+	case TaskContourDetection, TaskLandmarkDetection:
+		return ArchLandmarkNet
+	case TaskTextRecognition:
+		return ArchCRNN
+	case TaskAugmentedReality:
+		return ArchMobileNetV1
+	case TaskSemanticSegmentation, TaskHairReconstruction:
+		return ArchUNet
+	case TaskObjectRecognition, TaskImageClassification, TaskNudityDetection,
+		TaskFaceRecognition, TaskOtherVision:
+		return ArchMobileNetV2
+	case TaskPoseEstimation:
+		return ArchPoseNet
+	case TaskPhotoBeauty, TaskStyleTransfer:
+		return ArchEncoderDecoder
+	case TaskAutoComplete:
+		return ArchEmbedLSTM
+	case TaskSentimentPrediction, TaskContentFilter, TaskTextClassification:
+		return ArchTextCNN
+	case TaskTranslation:
+		return ArchSeq2Seq
+	case TaskSoundRecognition:
+		return ArchAudioCNN
+	case TaskSpeechRecognition:
+		return ArchSpeechRNN
+	case TaskKeywordDetection:
+		return ArchKeywordCNN
+	case TaskMovementTracking:
+		return ArchSensorGRU
+	case TaskCrashDetection:
+		return ArchSensorMLP
+	default:
+		return ArchMobileNetV1
+	}
+}
+
+// DefaultOptsFor samples architecture scaling typical of the task, so that
+// the generated population reproduces the Figure 7 cost ordering (image
+// classification / hair reconstruction / segmentation heaviest in vision,
+// auto-complete heaviest in NLP, sound recognition heaviest in audio).
+func DefaultOptsFor(t Task, rng *rand.Rand) ArchOpts {
+	pick := func(vals ...int) int { return vals[rng.Intn(len(vals))] }
+	switch t {
+	case TaskImageClassification, TaskObjectRecognition:
+		return ArchOpts{Width: 0.75 + rng.Float64()*0.75, Resolution: pick(160, 192, 224), Classes: pick(100, 200, 400)}
+	case TaskHairReconstruction:
+		return ArchOpts{Width: 1 + rng.Float64(), Resolution: pick(192, 224)}
+	case TaskSemanticSegmentation:
+		return ArchOpts{Width: 0.5 + rng.Float64()*0.5, Resolution: pick(96, 128, 160)}
+	case TaskPhotoBeauty, TaskStyleTransfer:
+		return ArchOpts{Width: 0.75 + rng.Float64()*0.5, Resolution: pick(128, 192)}
+	case TaskObjectDetection:
+		return ArchOpts{Width: 0.5 + rng.Float64()*0.5, Resolution: pick(128, 160, 192), Classes: pick(10, 20, 40)}
+	case TaskFaceDetection:
+		return ArchOpts{Width: 0.5 + rng.Float64()*0.5, Resolution: 128}
+	case TaskContourDetection, TaskLandmarkDetection:
+		return ArchOpts{Width: 0.5 + rng.Float64()*0.5, Resolution: pick(96, 128), Classes: pick(16, 34, 68)}
+	case TaskTextRecognition:
+		return ArchOpts{Width: 0.5 + rng.Float64()*0.5, Resolution: pick(128, 192, 256)}
+	case TaskAugmentedReality:
+		return ArchOpts{Width: 0.25 + rng.Float64()*0.5, Resolution: pick(96, 128), Classes: 8}
+	case TaskPoseEstimation:
+		return ArchOpts{Width: 0.5 + rng.Float64()*0.5, Resolution: pick(128, 160)}
+	case TaskNudityDetection:
+		return ArchOpts{Width: 0.25 + rng.Float64()*0.25, Resolution: 96, Classes: 2}
+	case TaskFaceRecognition:
+		return ArchOpts{Width: 0.5 + rng.Float64()*0.5, Resolution: 112, Classes: 128}
+	case TaskAutoComplete:
+		return ArchOpts{Width: 1 + rng.Float64(), Vocab: pick(8000, 12000, 16000), TimeSteps: pick(8, 12, 16)}
+	case TaskSentimentPrediction, TaskContentFilter, TaskTextClassification:
+		return ArchOpts{Width: 0.5 + rng.Float64()*0.5, Vocab: pick(2000, 4000), TimeSteps: 32, Classes: pick(2, 3, 5)}
+	case TaskTranslation:
+		return ArchOpts{Width: 0.75 + rng.Float64()*0.5, Vocab: pick(6000, 8000), TimeSteps: 24}
+	case TaskSoundRecognition:
+		return ArchOpts{Width: 1 + rng.Float64(), TimeSteps: pick(16, 24, 32), Classes: pick(50, 100, 500)}
+	case TaskSpeechRecognition:
+		return ArchOpts{Width: 0.75 + rng.Float64()*0.5, TimeSteps: pick(16, 24)}
+	case TaskKeywordDetection:
+		return ArchOpts{Width: 0.25 + rng.Float64()*0.25, Classes: pick(2, 8, 12)}
+	case TaskMovementTracking, TaskCrashDetection:
+		return ArchOpts{Width: 0.5 + rng.Float64()*0.5, TimeSteps: pick(16, 32), Classes: pick(2, 4, 6)}
+	default:
+		return ArchOpts{Width: 0.25 + rng.Float64()*0.5, Resolution: pick(96, 128), Classes: pick(2, 10)}
+	}
+}
+
+// FileStem returns the deterministic file stem (without extension) the model
+// ships under. Hinted names leak the task and architecture (e.g.
+// "hair_segmentation_mobilenet"); others are opaque ("model_ab12cd34").
+func (s Spec) FileStem() string {
+	arch := s.Arch
+	if arch == ArchUnknown {
+		arch = DefaultArchFor(s.Task)
+	}
+	if s.Hinted && !s.Ambiguous {
+		hints := NameHints(s.Task)
+		if len(hints) > 0 {
+			hint := hints[int(uint64(s.Seed)%uint64(len(hints)))]
+			return fmt.Sprintf("%s_%s", hint, arch)
+		}
+	}
+	sum := md5.Sum([]byte(fmt.Sprintf("%d/%d/%d", s.Task, arch, s.Seed)))
+	return "model_" + hex.EncodeToString(sum[:4])
+}
+
+// Build constructs the model graph for the spec.
+func Build(s Spec) (*graph.Graph, error) {
+	arch := s.Arch
+	if arch == ArchUnknown {
+		arch = DefaultArchFor(s.Task)
+	}
+	if s.Ambiguous {
+		// Ambiguous models use a generic trunk whose head matches no task
+		// signature; built on MobileNetV1 with an unusual class count.
+		arch = ArchMobileNetV1
+	}
+	seed := s.Seed
+	if s.BaseSeed != 0 {
+		seed = s.BaseSeed
+	}
+	rng := rand.New(rand.NewSource(seed))
+	opts := s.Opts
+	if s.Ambiguous && opts.Classes == 0 {
+		opts.Classes = 37 // deliberately untypical head size
+	}
+	g, err := BuildArch(arch, s.FileStem(), opts, rng)
+	if err != nil {
+		return nil, err
+	}
+	if s.BaseSeed != 0 {
+		k := s.FineTuneLayers
+		if k <= 0 {
+			k = 2
+		}
+		FineTune(g, rand.New(rand.NewSource(s.Seed)), k)
+	}
+	if s.SparsityFrac > 0 {
+		Sparsify(g, rand.New(rand.NewSource(seed+1)), s.SparsityFrac)
+	}
+	// The 0.01 quantisation step keeps the near-zero (exact-zero int8)
+	// population small, so quantised models do not distort the Section 6.1
+	// sparsity measurement.
+	if s.Quantized {
+		if err := QuantizeModel(g, 0.01); err != nil {
+			return nil, err
+		}
+	} else if s.WeightQuantized {
+		WeightOnlyQuantize(g, 0.01)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("zoo: built invalid graph: %w", err)
+	}
+	return g, nil
+}

@@ -1,0 +1,164 @@
+// Package zoo generates the population of DNN models gaugeNN finds in the
+// wild: the architecture families of Section 4.5 (MobileNet variants, FSSD,
+// BlazeFace, CRNN text recognisers, LSTM autocompletion, audio CNNs, sensor
+// networks), parameterised and seeded so identical specs reproduce
+// byte-identical models. The catalogue mirrors the task mix of Table 3 and
+// the FLOPs/parameter spread of Figure 7.
+package zoo
+
+import "github.com/gaugenn/gaugenn/internal/nn/graph"
+
+// Task is the use-case a model serves, the classification target of the
+// paper's three-researcher majority vote (Section 4.4, Table 3).
+type Task uint8
+
+// Tasks of Table 3 plus the extra vision tasks Figure 7 reports (landmark
+// detection, style transfer, face recognition, hair reconstruction), which
+// Table 3 folds into its "other" row.
+const (
+	TaskUnknown Task = iota
+	// Vision.
+	TaskObjectDetection
+	TaskFaceDetection
+	TaskContourDetection
+	TaskTextRecognition
+	TaskAugmentedReality
+	TaskSemanticSegmentation
+	TaskObjectRecognition
+	TaskPoseEstimation
+	TaskPhotoBeauty
+	TaskImageClassification
+	TaskNudityDetection
+	TaskLandmarkDetection
+	TaskStyleTransfer
+	TaskFaceRecognition
+	TaskHairReconstruction
+	TaskOtherVision
+	// NLP.
+	TaskAutoComplete
+	TaskSentimentPrediction
+	TaskContentFilter
+	TaskTextClassification
+	TaskTranslation
+	// Audio.
+	TaskSoundRecognition
+	TaskSpeechRecognition
+	TaskKeywordDetection
+	// Sensor.
+	TaskMovementTracking
+	TaskCrashDetection
+	numTasks
+)
+
+var taskNames = [...]string{
+	TaskUnknown:              "unknown",
+	TaskObjectDetection:      "object detection",
+	TaskFaceDetection:        "face detection",
+	TaskContourDetection:     "contour detection",
+	TaskTextRecognition:      "text recognition",
+	TaskAugmentedReality:     "augmented reality",
+	TaskSemanticSegmentation: "semantic segmentation",
+	TaskObjectRecognition:    "object recognition",
+	TaskPoseEstimation:       "pose estimation",
+	TaskPhotoBeauty:          "photo beauty",
+	TaskImageClassification:  "image classification",
+	TaskNudityDetection:      "nudity detection",
+	TaskLandmarkDetection:    "landmark detection",
+	TaskStyleTransfer:        "style transfer",
+	TaskFaceRecognition:      "face recognition",
+	TaskHairReconstruction:   "hair reconstruction",
+	TaskOtherVision:          "other",
+	TaskAutoComplete:         "auto-complete",
+	TaskSentimentPrediction:  "sentiment prediction",
+	TaskContentFilter:        "content filter",
+	TaskTextClassification:   "text classification",
+	TaskTranslation:          "translation",
+	TaskSoundRecognition:     "sound recognition",
+	TaskSpeechRecognition:    "speech recognition",
+	TaskKeywordDetection:     "keyword detection",
+	TaskMovementTracking:     "movement tracking",
+	TaskCrashDetection:       "crash detection",
+}
+
+// String returns the Table 3 display name of the task.
+func (t Task) String() string {
+	if int(t) < len(taskNames) {
+		return taskNames[t]
+	}
+	return "unknown"
+}
+
+// Valid reports whether t is a known, non-unknown task.
+func (t Task) Valid() bool { return t > TaskUnknown && t < numTasks }
+
+// Modality returns the input modality the task operates on.
+func (t Task) Modality() graph.Modality {
+	switch t {
+	case TaskAutoComplete, TaskSentimentPrediction, TaskContentFilter,
+		TaskTextClassification, TaskTranslation:
+		return graph.ModalityText
+	case TaskSoundRecognition, TaskSpeechRecognition, TaskKeywordDetection:
+		return graph.ModalityAudio
+	case TaskMovementTracking, TaskCrashDetection:
+		return graph.ModalitySensor
+	case TaskUnknown:
+		return graph.ModalityUnknown
+	default:
+		return graph.ModalityImage
+	}
+}
+
+// TableRow maps the task onto its Table 3 row: the Figure 7-only vision
+// tasks report under vision/"other".
+func (t Task) TableRow() Task {
+	switch t {
+	case TaskLandmarkDetection, TaskStyleTransfer, TaskFaceRecognition, TaskHairReconstruction:
+		return TaskOtherVision
+	default:
+		return t
+	}
+}
+
+// AllTasks lists every concrete task in declaration order.
+func AllTasks() []Task {
+	out := make([]Task, 0, int(numTasks)-1)
+	for t := Task(1); t < numTasks; t++ {
+		out = append(out, t)
+	}
+	return out
+}
+
+// nameHints are the filename fragments the majority-vote classifier keys on
+// (Section 4.4: ~67% of models carry a hinting name such as
+// "hair_segmentation_mobilenet.tflite").
+var nameHints = map[Task][]string{
+	TaskObjectDetection:      {"object_detection", "ssd", "fssd", "detector"},
+	TaskFaceDetection:        {"face_detection", "blazeface", "face_detector"},
+	TaskContourDetection:     {"contour", "card_contour", "edge_contour"},
+	TaskTextRecognition:      {"ocr", "text_recognition", "paycards", "card_recognizer"},
+	TaskAugmentedReality:     {"ar_tracking", "augmented", "plane_tracker"},
+	TaskSemanticSegmentation: {"segmentation", "segm", "portrait_seg"},
+	TaskObjectRecognition:    {"object_recognition", "recognizer", "wine_recognition"},
+	TaskPoseEstimation:       {"pose", "posenet", "skeleton"},
+	TaskPhotoBeauty:          {"beauty", "beautify", "skin_smooth"},
+	TaskImageClassification:  {"classifier", "mobilenet_v1", "mobilenet_v2", "imagenet"},
+	TaskNudityDetection:      {"nsfw", "nudity"},
+	TaskLandmarkDetection:    {"landmark", "face_mesh", "keypoints"},
+	TaskStyleTransfer:        {"style_transfer", "stylize", "cartoon"},
+	TaskFaceRecognition:      {"face_recognition", "facenet", "face_embedding"},
+	TaskHairReconstruction:   {"hair_reconstruction", "hair_segmentation"},
+	TaskOtherVision:          {"vision_misc", "filter_net"},
+	TaskAutoComplete:         {"autocomplete", "next_word", "keyboard_lm"},
+	TaskSentimentPrediction:  {"sentiment"},
+	TaskContentFilter:        {"content_filter", "toxicity"},
+	TaskTextClassification:   {"text_classification", "intent"},
+	TaskTranslation:          {"translate", "nmt"},
+	TaskSoundRecognition:     {"sound_recognition", "audio_event", "yamnet_like"},
+	TaskSpeechRecognition:    {"speech_recognition", "asr"},
+	TaskKeywordDetection:     {"keyword", "hotword", "wake_word"},
+	TaskMovementTracking:     {"movement", "horse_tracker", "activity"},
+	TaskCrashDetection:       {"crash_detection", "collision"},
+}
+
+// NameHints returns the filename fragments associated with a task.
+func NameHints(t Task) []string { return nameHints[t] }

@@ -1,0 +1,204 @@
+package zoo
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"github.com/gaugenn/gaugenn/internal/nn/graph"
+)
+
+// FineTune re-seeds the weights of the last k weighted layers of g in
+// place, modelling transfer learning: "developers only fine-tune small
+// portions of the network ... exploiting transfer learning from other
+// (typically off-the-shelf) networks" (Section 4.5). Earlier layers keep
+// their original bytes, so layer-level checksums still match the base
+// model.
+func FineTune(g *graph.Graph, rng *rand.Rand, k int) {
+	if k <= 0 {
+		return
+	}
+	retuned := 0
+	for i := len(g.Layers) - 1; i >= 0 && retuned < k; i-- {
+		l := &g.Layers[i]
+		if len(l.Weights) == 0 {
+			continue
+		}
+		for wi := range l.Weights {
+			regenerate(&l.Weights[wi], rng)
+		}
+		retuned++
+	}
+}
+
+func regenerate(w *graph.Weight, rng *rand.Rand) {
+	switch w.DType {
+	case graph.Float32:
+		std := 0.05
+		for off := 0; off+4 <= len(w.Data); off += 4 {
+			binary.LittleEndian.PutUint32(w.Data[off:], math.Float32bits(float32(rng.NormFloat64()*std)))
+		}
+	default:
+		rng.Read(w.Data)
+	}
+}
+
+// Sparsify zeroes a fraction frac of each float32 weight tensor's elements,
+// the magnitude-pruning prospect Section 6.1 quantifies (the in-the-wild
+// population averages ~3.15% near-zero weights).
+func Sparsify(g *graph.Graph, rng *rand.Rand, frac float64) {
+	if frac <= 0 {
+		return
+	}
+	for i := range g.Layers {
+		for wi := range g.Layers[i].Weights {
+			w := &g.Layers[i].Weights[wi]
+			if w.DType != graph.Float32 {
+				continue
+			}
+			for off := 0; off+4 <= len(w.Data); off += 4 {
+				if rng.Float64() < frac {
+					binary.LittleEndian.PutUint32(w.Data[off:], 0)
+				}
+			}
+		}
+	}
+}
+
+// WeightOnlyQuantize requantises every float32 weight tensor to int8 in
+// place without touching the activation path: the model still computes in
+// float (weights dequantise on load), so no dequantize layers appear. This
+// is the compression-only quantisation that makes Section 6.1's int8-weight
+// share exceed its dequantize-layer share.
+func WeightOnlyQuantize(g *graph.Graph, scale float64) {
+	if scale <= 0 {
+		scale = 0.05
+	}
+	for i := range g.Layers {
+		for wi := range g.Layers[i].Weights {
+			w := &g.Layers[i].Weights[wi]
+			if w.DType != graph.Float32 {
+				continue
+			}
+			q := make([]byte, w.Shape.Elements())
+			for j := int64(0); j < w.Shape.Elements(); j++ {
+				bits := binary.LittleEndian.Uint32(w.Data[j*4:])
+				v := float64(math.Float32frombits(bits)) / scale
+				if v > 127 {
+					v = 127
+				}
+				if v < -128 {
+					v = -128
+				}
+				q[j] = byte(int8(v))
+			}
+			w.DType = graph.Int8
+			w.Data = q
+		}
+	}
+}
+
+// HybridQuantizeA16W8 converts g in place to the hybrid scheme recent NPUs
+// support (Hexagon 698, Arm Ethos): 8-bit weights with 16-bit activations —
+// "these schemes enable a better compromise between faster low-precision
+// compute and having enough representational power to achieve good
+// accuracy. In spite of the new opportunities ... we also found no
+// evidence of their adoption" (Section 6.1). The transform exists so the
+// runtime can quantify the opportunity the wild is leaving unused.
+func HybridQuantizeA16W8(g *graph.Graph, scale float64) error {
+	if scale <= 0 {
+		return fmt.Errorf("zoo: quantisation scale must be positive")
+	}
+	WeightOnlyQuantize(g, scale)
+	rewrite := make(map[string]string, len(g.Inputs))
+	var pre []graph.Layer
+	for i, in := range g.Inputs {
+		if in.DType != graph.Float32 {
+			continue
+		}
+		out := fmt.Sprintf("%s_q16", in.Name)
+		pre = append(pre, graph.Layer{
+			Name:    fmt.Sprintf("quantize16_in%d", i),
+			Op:      graph.OpQuantize,
+			Inputs:  []string{in.Name},
+			Outputs: []string{out},
+			Attrs:   graph.Attrs{Scale: scale / 256, OutDType: graph.Int16, OutDTypeSet: true},
+		})
+		rewrite[in.Name] = out
+	}
+	for i := range g.Layers {
+		for j, name := range g.Layers[i].Inputs {
+			if q, ok := rewrite[name]; ok {
+				g.Layers[i].Inputs[j] = q
+			}
+		}
+	}
+	g.Layers = append(pre, g.Layers...)
+	for i := range g.Outputs {
+		src := g.Outputs[i].Name
+		out := fmt.Sprintf("%s_dq16", src)
+		g.Layers = append(g.Layers, graph.Layer{
+			Name:    fmt.Sprintf("dequantize16_out%d", i),
+			Op:      graph.OpDequantize,
+			Inputs:  []string{src},
+			Outputs: []string{out},
+			Attrs:   graph.Attrs{Scale: scale / 256, OutDType: graph.Float32, OutDTypeSet: true},
+		})
+		g.Outputs[i].Name = out
+		g.Outputs[i].DType = graph.Float32
+	}
+	return nil
+}
+
+// QuantizeModel converts g in place to a post-training-quantised deployment:
+// all float32 weights are requantised to int8 with the given scale, a
+// quantize layer is inserted after each float graph input and a dequantize
+// layer before each output, matching the dequantize-marker deployments
+// Section 6.1 detects (10.3% of models).
+func QuantizeModel(g *graph.Graph, scale float64) error {
+	if scale <= 0 {
+		return fmt.Errorf("zoo: quantisation scale must be positive")
+	}
+	WeightOnlyQuantize(g, scale)
+	// Wrap inputs with quantize layers.
+	rewrite := make(map[string]string, len(g.Inputs))
+	var pre []graph.Layer
+	for i, in := range g.Inputs {
+		if in.DType != graph.Float32 {
+			continue
+		}
+		out := fmt.Sprintf("%s_q", in.Name)
+		pre = append(pre, graph.Layer{
+			Name:    fmt.Sprintf("quantize_in%d", i),
+			Op:      graph.OpQuantize,
+			Inputs:  []string{in.Name},
+			Outputs: []string{out},
+			Attrs:   graph.Attrs{Scale: scale, OutDType: graph.Int8, OutDTypeSet: true},
+		})
+		rewrite[in.Name] = out
+	}
+	for i := range g.Layers {
+		for j, name := range g.Layers[i].Inputs {
+			if q, ok := rewrite[name]; ok {
+				g.Layers[i].Inputs[j] = q
+			}
+		}
+	}
+	g.Layers = append(pre, g.Layers...)
+	// Append dequantize layers producing the declared outputs.
+	for i := range g.Outputs {
+		src := g.Outputs[i].Name
+		out := fmt.Sprintf("%s_dq", src)
+		g.Layers = append(g.Layers, graph.Layer{
+			Name:    fmt.Sprintf("dequantize_out%d", i),
+			Op:      graph.OpDequantize,
+			Inputs:  []string{src},
+			Outputs: []string{out},
+			Attrs:   graph.Attrs{Scale: scale, OutDType: graph.Float32, OutDTypeSet: true},
+		})
+		g.Outputs[i].Name = out
+		g.Outputs[i].DType = graph.Float32
+	}
+	return nil
+}

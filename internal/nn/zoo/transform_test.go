@@ -1,0 +1,120 @@
+package zoo
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/gaugenn/gaugenn/internal/nn/graph"
+)
+
+func baseModel(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := Build(Spec{Task: TaskObjectDetection, Seed: 404})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestHybridQuantizeA16W8(t *testing.T) {
+	g := baseModel(t)
+	params := g.ParamCount()
+	if err := HybridQuantizeA16W8(g, 0.02); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatalf("hybrid model invalid: %v", err)
+	}
+	if g.ParamCount() != params {
+		t.Fatal("quantisation must preserve parameter count")
+	}
+	ws := graph.CollectWeightStats(g)
+	if ws.Int8WeightFraction() != 1 {
+		t.Fatalf("int8 weight fraction = %v", ws.Int8WeightFraction())
+	}
+	if !ws.Int16Activations {
+		t.Fatal("hybrid model must carry int16 activations")
+	}
+	if ws.Int8Activations {
+		t.Fatal("hybrid model must not carry int8 activations")
+	}
+	// The model still profiles, and its activation bytes land between the
+	// int8 and fp32 variants.
+	p, err := graph.ProfileGraph(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp32 := baseModel(t)
+	pf, _ := graph.ProfileGraph(fp32)
+	int8 := baseModel(t)
+	if err := QuantizeModel(int8, 0.02); err != nil {
+		t.Fatal(err)
+	}
+	pi, _ := graph.ProfileGraph(int8)
+	if !(p.ActivationBytes < pf.ActivationBytes && p.ActivationBytes > pi.ActivationBytes) {
+		t.Fatalf("A16W8 activation bytes %d should sit between int8 %d and fp32 %d",
+			p.ActivationBytes, pi.ActivationBytes, pf.ActivationBytes)
+	}
+}
+
+func TestHybridQuantizeRejectsBadScale(t *testing.T) {
+	if err := HybridQuantizeA16W8(baseModel(t), 0); err == nil {
+		t.Fatal("zero scale must fail")
+	}
+}
+
+func TestFineTunePreservesTopology(t *testing.T) {
+	g := baseModel(t)
+	before := len(g.Layers)
+	checks := graph.LayerChecksums(g)
+	FineTune(g, rand.New(rand.NewSource(7)), 3)
+	if len(g.Layers) != before {
+		t.Fatal("fine-tuning must not change topology")
+	}
+	after := graph.LayerChecksums(g)
+	changed := 0
+	for i := range checks {
+		if checks[i] != after[i] {
+			changed++
+		}
+	}
+	if changed != 3 {
+		t.Fatalf("fine-tune changed %d layers, want 3", changed)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFineTuneZeroLayersNoop(t *testing.T) {
+	g := baseModel(t)
+	sum := graph.ModelChecksum(g)
+	FineTune(g, rand.New(rand.NewSource(1)), 0)
+	if graph.ModelChecksum(g) != sum {
+		t.Fatal("k=0 must be a no-op")
+	}
+}
+
+func TestSparsifySkipsNonFloat(t *testing.T) {
+	g := baseModel(t)
+	WeightOnlyQuantize(g, 0.01)
+	before := graph.ModelChecksum(g)
+	Sparsify(g, rand.New(rand.NewSource(2)), 0.9)
+	if graph.ModelChecksum(g) != before {
+		t.Fatal("sparsify must not touch int8 weights")
+	}
+}
+
+func TestQuantizeModelPreservesIO(t *testing.T) {
+	g := baseModel(t)
+	inName := g.Inputs[0].Name
+	if err := QuantizeModel(g, 0.02); err != nil {
+		t.Fatal(err)
+	}
+	if g.Inputs[0].Name != inName {
+		t.Fatal("graph input names must survive quantisation")
+	}
+	if g.Outputs[0].DType != graph.Float32 {
+		t.Fatal("quantised model must still emit float32 outputs")
+	}
+}

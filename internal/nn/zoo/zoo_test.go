@@ -1,0 +1,273 @@
+package zoo
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/gaugenn/gaugenn/internal/nn/graph"
+)
+
+func TestAllArchitecturesBuildAndValidate(t *testing.T) {
+	for a := Arch(1); a < numArchs; a++ {
+		a := a
+		t.Run(a.String(), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(a)))
+			g, err := BuildArch(a, "m_"+a.String(), ArchOpts{}, rng)
+			if err != nil {
+				t.Fatalf("build: %v", err)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatalf("validate: %v", err)
+			}
+			p, err := graph.ProfileGraph(g)
+			if err != nil {
+				t.Fatalf("profile: %v", err)
+			}
+			if p.FLOPs <= 0 {
+				t.Fatalf("FLOPs = %d", p.FLOPs)
+			}
+			if p.Params <= 0 {
+				t.Fatalf("Params = %d", p.Params)
+			}
+		})
+	}
+}
+
+func TestBuildArchUnknownFails(t *testing.T) {
+	if _, err := BuildArch(ArchUnknown, "x", ArchOpts{}, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("unknown arch must fail")
+	}
+}
+
+func TestSpecDeterminism(t *testing.T) {
+	s := Spec{Task: TaskFaceDetection, Seed: 99, Hinted: true}
+	g1, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if graph.ModelChecksum(g1) != graph.ModelChecksum(g2) {
+		t.Fatal("same spec must build identical models")
+	}
+	s2 := s
+	s2.Seed = 100
+	g3, err := Build(s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if graph.ModelChecksum(g1) == graph.ModelChecksum(g3) {
+		t.Fatal("different seeds must differ")
+	}
+}
+
+func TestSpecFileStem(t *testing.T) {
+	hinted := Spec{Task: TaskHairReconstruction, Seed: 1, Hinted: true}
+	stem := hinted.FileStem()
+	if stem == "" {
+		t.Fatal("empty stem")
+	}
+	found := false
+	for _, h := range NameHints(TaskHairReconstruction) {
+		if len(stem) >= len(h) && stem[:len(h)] == h {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("hinted stem %q lacks task hint", stem)
+	}
+	opaque := Spec{Task: TaskHairReconstruction, Seed: 1}
+	if s := opaque.FileStem(); len(s) < 6 || s[:6] != "model_" {
+		t.Fatalf("opaque stem %q should be anonymised", s)
+	}
+}
+
+func TestTaskModality(t *testing.T) {
+	cases := map[Task]graph.Modality{
+		TaskObjectDetection:  graph.ModalityImage,
+		TaskAutoComplete:     graph.ModalityText,
+		TaskSoundRecognition: graph.ModalityAudio,
+		TaskCrashDetection:   graph.ModalitySensor,
+	}
+	for task, want := range cases {
+		if task.Modality() != want {
+			t.Errorf("%s modality = %s, want %s", task, task.Modality(), want)
+		}
+	}
+}
+
+func TestBuiltModelModalityMatchesTask(t *testing.T) {
+	for _, task := range AllTasks() {
+		rng := rand.New(rand.NewSource(int64(task) * 7))
+		s := Spec{Task: task, Seed: int64(task) + 1, Opts: DefaultOptsFor(task, rng)}
+		g, err := Build(s)
+		if err != nil {
+			t.Fatalf("%s: %v", task, err)
+		}
+		if got := g.InferModality(); got != task.Modality() {
+			t.Errorf("%s: built model modality %s, want %s (input %v)",
+				task, got, task.Modality(), g.Inputs[0].Shape)
+		}
+	}
+}
+
+func TestTableRowFoldsFigure7Tasks(t *testing.T) {
+	for _, task := range []Task{TaskLandmarkDetection, TaskStyleTransfer, TaskFaceRecognition, TaskHairReconstruction} {
+		if task.TableRow() != TaskOtherVision {
+			t.Errorf("%s should fold into other", task)
+		}
+	}
+	if TaskObjectDetection.TableRow() != TaskObjectDetection {
+		t.Fatal("regular tasks map to themselves")
+	}
+}
+
+func TestFineTuneSharesEarlyLayers(t *testing.T) {
+	base := Spec{Task: TaskImageClassification, Seed: 10}
+	bg, err := Build(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ft := Spec{Task: TaskImageClassification, Seed: 11, BaseSeed: 10, FineTuneLayers: 2}
+	fg, err := Build(ft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if graph.ModelChecksum(bg) == graph.ModelChecksum(fg) {
+		t.Fatal("fine-tuned model must differ from base")
+	}
+	share := graph.SharedLayerFraction(fg, bg)
+	if share < 0.2 {
+		t.Fatalf("fine-tuned model shares %.2f of layers, want >= 0.2 (paper's relatedness bar)", share)
+	}
+	if d := graph.DifferingLayers(fg, bg); d > 3 {
+		t.Fatalf("fine-tuned model differs in %d layers, want <= 3", d)
+	}
+}
+
+func TestQuantizedSpec(t *testing.T) {
+	s := Spec{Task: TaskObjectDetection, Seed: 5, Quantized: true}
+	g, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := graph.CollectWeightStats(g)
+	if ws.Int8WeightFraction() != 1 {
+		t.Fatalf("int8 weight fraction = %v, want 1", ws.Int8WeightFraction())
+	}
+	if ws.DequantizeOps == 0 {
+		t.Fatal("quantised model must carry dequantize layers")
+	}
+	if !ws.Int8Activations {
+		t.Fatal("quantised model must carry int8 activations")
+	}
+	if _, err := graph.ProfileGraph(g); err != nil {
+		t.Fatalf("quantised model should still profile: %v", err)
+	}
+}
+
+func TestSparsifiedSpec(t *testing.T) {
+	s := Spec{Task: TaskImageClassification, Seed: 20, SparsityFrac: 0.3}
+	g, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := graph.CollectWeightStats(g)
+	if sf := ws.SparsityFraction(); sf < 0.25 || sf > 0.35 {
+		t.Fatalf("sparsity = %v, want ~0.3", sf)
+	}
+}
+
+func TestQuantizeModelRejectsBadScale(t *testing.T) {
+	g, err := Build(Spec{Task: TaskNudityDetection, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := QuantizeModel(g, 0); err == nil {
+		t.Fatal("zero scale must fail")
+	}
+}
+
+func TestAmbiguousSpecHasNoHints(t *testing.T) {
+	s := Spec{Task: TaskObjectDetection, Seed: 9, Hinted: true, Ambiguous: true}
+	stem := s.FileStem()
+	if len(stem) < 6 || stem[:6] != "model_" {
+		t.Fatalf("ambiguous model should get opaque name, got %q", stem)
+	}
+	g, err := Build(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ambiguous models must not look like detectors structurally.
+	if g.Outputs[0].Shape.Elements() < 2 {
+		t.Fatal("ambiguous model should still be a classifier-shaped net")
+	}
+}
+
+func TestFigure7CostOrdering(t *testing.T) {
+	// Medians over a few seeds: classification must out-weigh face detection
+	// (Fig 7: classification is among the heaviest, face detection among the
+	// lightest); auto-complete must dominate sentiment in NLP.
+	med := func(task Task) int64 {
+		var flops []int64
+		for seed := int64(0); seed < 3; seed++ {
+			rng := rand.New(rand.NewSource(seed*31 + int64(task)))
+			g, err := Build(Spec{Task: task, Seed: seed + 1, Opts: DefaultOptsFor(task, rng)})
+			if err != nil {
+				t.Fatalf("%s: %v", task, err)
+			}
+			p, err := graph.ProfileGraph(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			flops = append(flops, p.FLOPs)
+		}
+		return flops[1]
+	}
+	if med(TaskImageClassification) <= med(TaskFaceDetection) {
+		t.Error("classification should cost more FLOPs than face detection")
+	}
+	if med(TaskAutoComplete) <= med(TaskSentimentPrediction) {
+		t.Error("auto-complete should cost more FLOPs than sentiment prediction")
+	}
+	if med(TaskSoundRecognition) <= med(TaskKeywordDetection) {
+		t.Error("sound recognition should cost more FLOPs than keyword detection")
+	}
+}
+
+func TestPaperCountsConsistent(t *testing.T) {
+	if got := IdentifiedTotal(); got != 1531 {
+		t.Fatalf("identified total = %d, want 1531", got)
+	}
+	if IdentifiedTotal()+PaperUnidentified != PaperTotalModels2021 {
+		t.Fatal("identified + unidentified must equal 1666")
+	}
+	// Vision instance share must exceed 89% of identified vision+rest per
+	// the paper ("> 89% of all models" are vision among identified).
+	vision := 0
+	for task, c := range PaperTaskCounts {
+		if task.Modality() == graph.ModalityImage {
+			vision += c
+		}
+	}
+	if frac := float64(vision) / 1531; frac < 0.89 {
+		t.Fatalf("vision fraction = %v, want >= 0.89", frac)
+	}
+}
+
+func TestArchAndTaskStrings(t *testing.T) {
+	if ArchFSSD.String() != "fssd" || Arch(200).String() != "unknown" {
+		t.Fatal("arch names")
+	}
+	if TaskAutoComplete.String() != "auto-complete" || Task(200).String() != "unknown" {
+		t.Fatal("task names")
+	}
+	if !TaskObjectDetection.Valid() || TaskUnknown.Valid() {
+		t.Fatal("task validity")
+	}
+	if len(AllTasks()) != int(numTasks)-1 {
+		t.Fatal("AllTasks size")
+	}
+}

@@ -1,0 +1,181 @@
+package playstore
+
+import (
+	"fmt"
+
+	"github.com/gaugenn/gaugenn/internal/android/apk"
+	"github.com/gaugenn/gaugenn/internal/android/dex"
+	"github.com/gaugenn/gaugenn/internal/cloudml"
+	"github.com/gaugenn/gaugenn/internal/nn/formats"
+	"github.com/gaugenn/gaugenn/internal/nn/zoo"
+)
+
+// frameworkLibs maps each ML framework to the native library it ships and
+// the interpreter call its dex code carries — the two signals the paper's
+// library-inclusion detector (after Xu et al.) keys on.
+var frameworkLibs = map[string]struct {
+	SoName  string
+	Symbol  string
+	DexCall string
+}{
+	"tflite": {"libtensorflowlite_jni.so", "TfLiteInterpreterCreate",
+		"Lorg/tensorflow/lite/Interpreter;-><init>(Ljava/nio/ByteBuffer;)V"},
+	"caffe": {"libcaffe_jni.so", "caffe_net_forward",
+		"Lcom/caffe/android/CaffeMobile;->predictImage(Ljava/lang/String;)"},
+	"ncnn": {"libncnn.so", "ncnn_net_load_param",
+		"Lcom/tencent/ncnn/NcnnNet;->load(Landroid/content/res/AssetManager;)"},
+	"tf": {"libtensorflow_inference.so", "TF_NewSession",
+		"Lorg/tensorflow/contrib/android/TensorFlowInferenceInterface;-><init>"},
+	"snpe": {"libSNPE.so", "Snpe_SNPEBuilder_Build",
+		"Lcom/qualcomm/qti/snpe/SNPE$NeuralNetworkBuilder;->build()"},
+}
+
+// Acceleration markers of Section 6.3.
+const (
+	nnapiDexCall    = "Lorg/tensorflow/lite/nnapi/NnApiDelegate;-><init>()V"
+	xnnpackDexCall  = "Lorg/tensorflow/lite/Interpreter$Options;->setUseXNNPACK(Z)"
+	lazyDownloadDex = "Lcom/example/ml/ModelDownloader;->fetchModel(Ljava/lang/String;)" // out-of-store delivery
+)
+
+// ModelFiles returns (building and caching on first use) the encoded file
+// set of a unique model in its assigned framework format.
+func (s *Snapshot) ModelFiles(specIdx int) (formats.FileSet, error) {
+	if specIdx < 0 || specIdx >= len(s.Specs) {
+		return nil, fmt.Errorf("playstore: spec index %d out of range", specIdx)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fs, ok := s.fileCache[specIdx]; ok {
+		return fs, nil
+	}
+	g, err := zoo.Build(s.Specs[specIdx])
+	if err != nil {
+		return nil, fmt.Errorf("playstore: building spec %d: %w", specIdx, err)
+	}
+	f, ok := formats.ByName(s.SpecFramework[specIdx])
+	if !ok {
+		return nil, fmt.Errorf("playstore: unknown framework %q", s.SpecFramework[specIdx])
+	}
+	fs, err := f.Encode(g, s.Specs[specIdx].FileStem())
+	if err != nil {
+		return nil, err
+	}
+	s.fileCache[specIdx] = fs
+	return fs, nil
+}
+
+// snpeFiles converts a model to the SNPE dlc container regardless of its
+// native framework, for the dual tflite+dlc shippers of Section 6.3.
+func (s *Snapshot) snpeFiles(specIdx int) (formats.FileSet, error) {
+	g, err := zoo.Build(s.Specs[specIdx])
+	if err != nil {
+		return nil, err
+	}
+	f, _ := formats.ByName("snpe")
+	return f.Encode(g, s.Specs[specIdx].FileStem())
+}
+
+// BuildAPK assembles the app's base APK exactly as the store would serve
+// it: manifest, classes.dex with the app's API call sites, native ML
+// libraries and the model assets (encrypted ones XOR-obfuscated).
+func (s *Snapshot) BuildAPK(a *App) ([]byte, error) {
+	b := apk.NewBuilder(apk.Manifest{
+		Package:     a.Package,
+		VersionCode: 20 + a.Rank,
+		MinSDK:      24,
+		Permissions: []string{"android.permission.INTERNET"},
+	})
+
+	// classes.dex: the main activity invokes the frameworks, cloud APIs
+	// and acceleration delegates the app uses.
+	var calls []string
+	for _, fw := range a.Frameworks {
+		if lib, ok := frameworkLibs[fw]; ok {
+			calls = append(calls, lib.DexCall)
+		}
+	}
+	for _, apiName := range a.CloudAPIs {
+		if sig, ok := cloudml.PrimaryCallSite(apiName); ok {
+			calls = append(calls, sig)
+		}
+	}
+	if a.UsesNNAPI {
+		calls = append(calls, nnapiDexCall)
+	}
+	if a.UsesXNNPACK {
+		calls = append(calls, xnnpackDexCall)
+	}
+	if a.LazyModelDownload {
+		calls = append(calls, lazyDownloadDex)
+	}
+	d := &dex.Dex{Classes: []dex.Class{
+		{
+			Name: fmt.Sprintf("Lcom/%s/MainActivity;", sanitizeCat(a.Category)),
+			Methods: []dex.Method{
+				{Name: "onCreate", Calls: []string{"Landroid/app/Activity;->onCreate(Landroid/os/Bundle;)V"}},
+				{Name: "initML", Calls: calls},
+			},
+		},
+	}}
+	b.SetDex(d.Encode())
+
+	// Native libraries for each linked framework.
+	for _, fw := range a.Frameworks {
+		lib, ok := frameworkLibs[fw]
+		if !ok {
+			continue
+		}
+		so := dex.EncodeNativeLib(dex.NativeLib{
+			SoName:  lib.SoName,
+			Symbols: []string{lib.Symbol, "JNI_OnLoad"},
+		})
+		b.AddNativeLib("arm64-v8a", lib.SoName, so)
+	}
+
+	// Model assets. Distinct models occasionally share a file stem (two
+	// apps copying the same public example name), so colliding names move
+	// into numbered subdirectories instead of silently overwriting.
+	usedAssets := map[string]bool{}
+	for mi, m := range a.Models {
+		var fs formats.FileSet
+		var err error
+		if m.Framework == "snpe" && s.SpecFramework[m.SpecIndex] != "snpe" {
+			fs, err = s.snpeFiles(m.SpecIndex)
+		} else {
+			fs, err = s.ModelFiles(m.SpecIndex)
+		}
+		if err != nil {
+			return nil, err
+		}
+		dir := m.AssetDir
+		for name := range fs {
+			if usedAssets[dir+"/"+name] {
+				dir = fmt.Sprintf("%s/v%d", m.AssetDir, mi)
+				break
+			}
+		}
+		for name, data := range fs {
+			payload := data
+			if m.Encrypted {
+				payload = xorObfuscate(data)
+			}
+			usedAssets[dir+"/"+name] = true
+			b.AddAsset(dir+"/"+name, payload)
+		}
+	}
+
+	// A resource stub so even empty apps look like apps.
+	b.AddRaw("res/layout/activity_main.xml", []byte("<LinearLayout/>"))
+	b.AddRaw("META-INF/MANIFEST.MF", []byte("Manifest-Version: 1.0\n"))
+	return b.Build()
+}
+
+// xorObfuscate is the stand-in for developer-side model encryption: the
+// payload keeps its extension but fails every signature sniff.
+func xorObfuscate(data []byte) []byte {
+	out := make([]byte, len(data))
+	for i, b := range data {
+		out[i] = b ^ 0x5a
+	}
+	return out
+}

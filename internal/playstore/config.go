@@ -1,0 +1,122 @@
+package playstore
+
+import "github.com/gaugenn/gaugenn/internal/nn/zoo"
+
+func paperTaskCountsForConfig() []int {
+	out := make([]int, 0, len(zoo.PaperTaskCounts))
+	for _, t := range zoo.AllTasks() {
+		if c := zoo.PaperTaskCounts[t]; c > 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func paperUnidentifiedForConfig() int { return zoo.PaperUnidentified }
+
+// Config parameterises catalogue generation. The zero value is not usable;
+// start from DefaultConfig.
+type Config struct {
+	// Seed drives every random decision; equal seeds generate identical
+	// stores byte for byte.
+	Seed int64
+	// Scale multiplies every population count. 1.0 reproduces the paper's
+	// 16.6k-app, 1666-model store; CI-sized studies use 0.02-0.1.
+	Scale float64
+	// AppsPerCategory is the chart depth (the store API returns "a maximum
+	// of 500 apps" per category).
+	AppsPerCategory int
+
+	// Calibration constants (Table 2 and Sections 4-6 of the paper); they
+	// are scaled by Scale at generation time.
+	TotalModels21     int // 1666
+	UniqueModels21    int // 318
+	UniqueModels20    int // 129
+	AppsWithModels21  int // 342
+	AppsWithFw21      int // 377
+	AppsWithModels20  int // 165
+	AppsWithFw20      int // 236
+	CloudAppsGoogle21 int // 452
+	CloudAppsAWS21    int // 72
+	NNAPIApps         int // 71
+	XNNPACKApps       int // 1
+	SNPEApps          int // 3
+
+	// HintedNameFrac is the fraction of models whose file name leaks the
+	// task (~67%, Section 4.4).
+	HintedNameFrac float64
+	// FineTunedFrac is the fraction of unique models derived from another
+	// unique model by last-layers fine-tuning (9.02%, Section 4.5).
+	FineTunedFrac float64
+	// SmallDeltaFrac is the fraction of unique models differing from their
+	// base in at most 3 layers (4.2%, Section 4.5).
+	SmallDeltaFrac float64
+	// FullQuantFrac is the fraction of unique models shipped fully
+	// quantised (dequantize layers + int8 activations; 10.3%, Section 6.1).
+	FullQuantFrac float64
+	// WeightQuantFrac adds weight-only int8 models so int8-weight adoption
+	// reaches ~20.27% (Section 6.1).
+	WeightQuantFrac float64
+	// MeanSparsity sets the average near-zero weight fraction (3.15%).
+	MeanSparsity float64
+}
+
+// DefaultConfig returns the paper-calibrated configuration at the given
+// scale.
+func DefaultConfig(seed int64, scale float64) Config {
+	if scale <= 0 {
+		scale = 1
+	}
+	return Config{
+		Seed:              seed,
+		Scale:             scale,
+		AppsPerCategory:   500,
+		TotalModels21:     1666,
+		UniqueModels21:    318,
+		UniqueModels20:    129,
+		AppsWithModels21:  342,
+		AppsWithFw21:      377,
+		AppsWithModels20:  165,
+		AppsWithFw20:      236,
+		CloudAppsGoogle21: 452,
+		CloudAppsAWS21:    72,
+		NNAPIApps:         71,
+		XNNPACKApps:       1,
+		SNPEApps:          3,
+		HintedNameFrac:    0.67,
+		FineTunedFrac:     0.0902,
+		SmallDeltaFrac:    0.042,
+		FullQuantFrac:     0.103,
+		WeightQuantFrac:   0.10,
+		MeanSparsity:      0.0315,
+	}
+}
+
+// scaled applies the scale factor, keeping nonzero inputs at >= 1.
+func (c Config) scaled(n int) int {
+	if n == 0 {
+		return 0
+	}
+	v := int(float64(n)*c.Scale + 0.5)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// scaledAllowZero applies the scale factor with plain rounding (small
+// populations may vanish at small scales).
+func (c Config) scaledAllowZero(n int) int {
+	return int(float64(n)*c.Scale + 0.5)
+}
+
+// ExpectedModels21 returns the number of 2021 model instances the generator
+// will produce at this scale. It can exceed scaled(TotalModels21) at small
+// scales because every Table 3 task keeps at least one instance.
+func (c Config) ExpectedModels21() int {
+	n := 0
+	for _, cnt := range paperTaskCountsForConfig() {
+		n += c.scaled(cnt)
+	}
+	return n + c.scaled(paperUnidentifiedForConfig())
+}

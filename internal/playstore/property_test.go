@@ -1,0 +1,131 @@
+package playstore
+
+import (
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// Property: generation is deterministic — for any seed, two runs agree on
+// the full app/model assignment.
+func TestGenerationDeterminismProperty(t *testing.T) {
+	f := func(seed int16) bool {
+		cfg := DefaultConfig(int64(seed), 0.01)
+		a, err := GenerateStudy(cfg)
+		if err != nil {
+			return false
+		}
+		b, err := GenerateStudy(cfg)
+		if err != nil {
+			return false
+		}
+		if len(a.Snap21.Apps) != len(b.Snap21.Apps) || len(a.Snap21.Specs) != len(b.Snap21.Specs) {
+			return false
+		}
+		for i := range a.Snap21.Apps {
+			x, y := a.Snap21.Apps[i], b.Snap21.Apps[i]
+			if x.Package != y.Package || len(x.Models) != len(y.Models) ||
+				x.UsesNNAPI != y.UsesNNAPI || len(x.CloudAPIs) != len(y.CloudAPIs) {
+				return false
+			}
+			for j := range x.Models {
+				if x.Models[j].SpecIndex != y.Models[j].SpecIndex ||
+					x.Models[j].Framework != y.Models[j].Framework {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every generated model instance references a valid spec with an
+// assigned framework that the formats registry knows.
+func TestInstanceReferentialIntegrityProperty(t *testing.T) {
+	f := func(seed int16) bool {
+		st, err := GenerateStudy(DefaultConfig(int64(seed), 0.01))
+		if err != nil {
+			return false
+		}
+		for _, snap := range []*Snapshot{st.Snap20, st.Snap21} {
+			for _, a := range snap.Apps {
+				for _, m := range a.Models {
+					if m.SpecIndex < 0 || m.SpecIndex >= len(snap.Specs) {
+						return false
+					}
+					fw := m.Framework
+					switch fw {
+					case "tflite", "caffe", "ncnn", "tf", "snpe":
+					default:
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 8}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The store server must survive concurrent crawlers (the paper's harness
+// parallelises downloads across devices).
+func TestServerConcurrentDownloads(t *testing.T) {
+	st, err := GenerateStudy(DefaultConfig(17, 0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(st.Snap21)
+	base, shutdown, err := srv.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	var mlApps []*App
+	for _, a := range st.Snap21.Apps {
+		if len(a.Models) > 0 {
+			mlApps = append(mlApps, a)
+		}
+		if len(mlApps) >= 6 {
+			break
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(mlApps)*3)
+	for w := 0; w < 3; w++ {
+		for _, app := range mlApps {
+			wg.Add(1)
+			go func(pkg string) {
+				defer wg.Done()
+				req, _ := http.NewRequest("GET", base+"/fdfe/purchase?doc="+pkg, nil)
+				req.Header.Set("User-Agent", "test")
+				req.Header.Set("X-DFE-Locale", "en_GB")
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					errs <- err
+					return
+				}
+				defer resp.Body.Close()
+				if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+					errs <- err
+					return
+				}
+				if resp.StatusCode != 200 {
+					errs <- io.ErrUnexpectedEOF
+				}
+			}(app.Package)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent download failed: %v", err)
+	}
+}

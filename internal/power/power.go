@@ -1,0 +1,189 @@
+// Package power models gaugeNN's energy-measurement rig (Section 3.3): a
+// Monsoon AAA10F power monitor sampling the supply rail of the open-deck
+// boards, the battery-discharge arithmetic behind Table 4, the YKUSH-style
+// programmable USB switch that cuts charge current during measurements, and
+// the constant screen load the methodology keeps on and accounts for.
+package power
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// DefaultRailVoltage is the nominal Li-ion rail the monitor supplies.
+const DefaultRailVoltage = 3.85
+
+// Sample is one averaged monitor interval.
+type Sample struct {
+	Start    time.Duration
+	Duration time.Duration
+	Watts    float64
+}
+
+// Monitor integrates rail power over virtual time. It implements
+// soc.PowerSink, so wiring it to a device captures every execution.
+type Monitor struct {
+	// SampleRateHz is the nominal sampling rate (the AAA10F samples at
+	// 5 kHz); recorded intervals shorter than a sample period are kept
+	// exactly, so integration error never exceeds the true value.
+	SampleRateHz int
+	Voltage      float64
+
+	mu      sync.Mutex
+	samples []Sample
+	energyJ float64
+	last    time.Duration
+}
+
+// NewMonitor returns a 5 kHz monitor at the default rail voltage.
+func NewMonitor() *Monitor {
+	return &Monitor{SampleRateHz: 5000, Voltage: DefaultRailVoltage}
+}
+
+// RecordPower implements soc.PowerSink.
+func (m *Monitor) RecordPower(start, duration time.Duration, watts float64) {
+	if duration <= 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.samples = append(m.samples, Sample{Start: start, Duration: duration, Watts: watts})
+	m.energyJ += watts * duration.Seconds()
+	if end := start + duration; end > m.last {
+		m.last = end
+	}
+}
+
+// EnergyJ returns the integrated energy in joules.
+func (m *Monitor) EnergyJ() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.energyJ
+}
+
+// AvgWatts returns total energy over the observed span.
+func (m *Monitor) AvgWatts() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.last <= 0 {
+		return 0
+	}
+	return m.energyJ / m.last.Seconds()
+}
+
+// Samples returns a copy of the recorded intervals.
+func (m *Monitor) Samples() []Sample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Sample(nil), m.samples...)
+}
+
+// Reset clears the record between jobs.
+func (m *Monitor) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.samples = nil
+	m.energyJ = 0
+	m.last = 0
+}
+
+// Battery converts energy to capacity discharge: mAh = J / (V * 3.6).
+type Battery struct {
+	CapacitymAh int
+	Voltage     float64
+}
+
+// DischargemAh returns the capacity consumed by the given energy.
+func (b Battery) DischargemAh(energyJ float64) float64 {
+	v := b.Voltage
+	if v <= 0 {
+		v = DefaultRailVoltage
+	}
+	return energyJ / (v * 3.6)
+}
+
+// DischargeFraction returns the battery fraction consumed (0..+).
+func (b Battery) DischargeFraction(energyJ float64) float64 {
+	if b.CapacitymAh <= 0 {
+		return 0
+	}
+	return b.DischargemAh(energyJ) / float64(b.CapacitymAh)
+}
+
+// USBSwitch models the Yepkit YKUSH-class hub the harness uses to
+// "programmatically disable data and power channels during measurements"
+// (connecting USB charges the device, corrupting energy readings).
+type USBSwitch struct {
+	mu       sync.Mutex
+	power    bool
+	data     bool
+	waiters  []chan struct{}
+	onNotify func(power, data bool)
+}
+
+// NewUSBSwitch starts with both channels enabled, as a plugged device is.
+func NewUSBSwitch() *USBSwitch {
+	return &USBSwitch{power: true, data: true}
+}
+
+// SetPower toggles the power channel; cutting power also cuts data, as the
+// physical switch does.
+func (u *USBSwitch) SetPower(on bool) {
+	u.mu.Lock()
+	u.power = on
+	if !on {
+		u.data = false
+	} else {
+		u.data = true
+	}
+	var toNotify []chan struct{}
+	if !on {
+		toNotify = u.waiters
+		u.waiters = nil
+	}
+	cb := u.onNotify
+	power, data := u.power, u.data
+	u.mu.Unlock()
+	for _, ch := range toNotify {
+		close(ch)
+	}
+	if cb != nil {
+		cb(power, data)
+	}
+}
+
+// PowerOn reports the power channel state.
+func (u *USBSwitch) PowerOn() bool {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.power
+}
+
+// DataOn reports the data channel state.
+func (u *USBSwitch) DataOn() bool {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.data
+}
+
+// WaitPowerOff returns a channel closed when power is next cut — the
+// device-side "wait until the USB power is off" step of Figure 3.
+func (u *USBSwitch) WaitPowerOff() <-chan struct{} {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	ch := make(chan struct{})
+	if !u.power {
+		close(ch)
+		return ch
+	}
+	u.waiters = append(u.waiters, ch)
+	return ch
+}
+
+// String renders the channel states.
+func (u *USBSwitch) String() string {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return fmt.Sprintf("usb{power:%v data:%v}", u.power, u.data)
+}

@@ -1,0 +1,111 @@
+package power
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMonitorIntegration(t *testing.T) {
+	m := NewMonitor()
+	m.RecordPower(0, time.Second, 2.0)           // 2 J
+	m.RecordPower(time.Second, time.Second, 4.0) // 4 J
+	if e := m.EnergyJ(); math.Abs(e-6) > 1e-12 {
+		t.Fatalf("energy = %v, want 6", e)
+	}
+	if p := m.AvgWatts(); math.Abs(p-3) > 1e-12 {
+		t.Fatalf("avg power = %v, want 3", p)
+	}
+	if len(m.Samples()) != 2 {
+		t.Fatal("sample record missing")
+	}
+	m.Reset()
+	if m.EnergyJ() != 0 || m.AvgWatts() != 0 || len(m.Samples()) != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestMonitorIgnoresZeroDuration(t *testing.T) {
+	m := NewMonitor()
+	m.RecordPower(0, 0, 5)
+	m.RecordPower(0, -time.Second, 5)
+	if m.EnergyJ() != 0 {
+		t.Fatal("zero/negative intervals must not integrate")
+	}
+}
+
+func TestMonitorConcurrent(t *testing.T) {
+	m := NewMonitor()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				m.RecordPower(0, time.Millisecond, 1)
+			}
+		}()
+	}
+	wg.Wait()
+	if want, got := 0.8, m.EnergyJ(); math.Abs(want-got) > 1e-9 {
+		t.Fatalf("energy = %v, want %v", got, want)
+	}
+}
+
+func TestBatteryDischarge(t *testing.T) {
+	b := Battery{CapacitymAh: 4000, Voltage: 3.85}
+	// 1 Wh = 3600 J = 1000/3.85 mAh ≈ 259.74 mAh.
+	mah := b.DischargemAh(3600)
+	if math.Abs(mah-1000/3.85) > 1e-9 {
+		t.Fatalf("discharge = %v", mah)
+	}
+	frac := b.DischargeFraction(3600)
+	if math.Abs(frac-mah/4000) > 1e-12 {
+		t.Fatalf("fraction = %v", frac)
+	}
+	// Default voltage fallback.
+	b2 := Battery{CapacitymAh: 4000}
+	if b2.DischargemAh(3600) != mah {
+		t.Fatal("default voltage fallback broken")
+	}
+	// No capacity -> zero fraction (externally powered HDKs).
+	if (Battery{}).DischargeFraction(100) != 0 {
+		t.Fatal("capacity-less battery should report 0 fraction")
+	}
+}
+
+func TestUSBSwitchPowerCycle(t *testing.T) {
+	u := NewUSBSwitch()
+	if !u.PowerOn() || !u.DataOn() {
+		t.Fatal("switch must start on")
+	}
+	ch := u.WaitPowerOff()
+	select {
+	case <-ch:
+		t.Fatal("wait fired before power cut")
+	default:
+	}
+	u.SetPower(false)
+	select {
+	case <-ch:
+	case <-time.After(time.Second):
+		t.Fatal("wait did not fire on power cut")
+	}
+	if u.PowerOn() || u.DataOn() {
+		t.Fatal("cutting power must cut data")
+	}
+	// Waiting while already off fires immediately.
+	select {
+	case <-u.WaitPowerOff():
+	default:
+		t.Fatal("wait on dead power should be immediate")
+	}
+	u.SetPower(true)
+	if !u.PowerOn() || !u.DataOn() {
+		t.Fatal("restoring power restores data")
+	}
+	if u.String() == "" {
+		t.Fatal("String should render state")
+	}
+}

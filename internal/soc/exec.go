@@ -1,0 +1,153 @@
+package soc
+
+import (
+	"fmt"
+	"time"
+)
+
+// Work is one layer's resource demand, produced by the runtime from the
+// graph profile: compute, memory traffic, a dispatch overhead and the op's
+// achievable efficiency/parallelism on the target.
+type Work struct {
+	FLOPs       int64
+	Bytes       int64
+	Overhead    time.Duration
+	Efficiency  float64 // fraction of peak compute the kernel achieves
+	Parallelism int     // maximum useful thread count (1 for recurrent ops)
+}
+
+// RunStats summarises one execution (one inference, usually).
+type RunStats struct {
+	Latency   time.Duration
+	EnergyJ   float64
+	AvgWatts  float64
+	Throttled bool
+}
+
+// PowerSink receives the power-rail activity of an execution; the Monsoon
+// monitor in internal/power implements it.
+type PowerSink interface {
+	RecordPower(start, duration time.Duration, watts float64)
+}
+
+// ExecuteCPU runs the work list on the CPU under the given configuration,
+// advancing virtual time, heating the chassis and metering energy. The
+// roofline per layer is max(compute, memory) plus dispatch overhead.
+func (d *Device) ExecuteCPU(cfg CPUConfig, work []Work, sink PowerSink) (RunStats, error) {
+	if err := d.Validate(); err != nil {
+		return RunStats{}, err
+	}
+	plan, err := d.planCPU(cfg)
+	if err != nil {
+		return RunStats{}, err
+	}
+	env := d.Envelope()
+	var stats RunStats
+	start := d.Clock.Now()
+	for _, w := range work {
+		tf := d.Thermal.Factor(env)
+		if tf < 0.999 {
+			stats.Throttled = true
+		}
+		gf := plan.gflops * tf
+		if w.Efficiency > 0 {
+			gf *= w.Efficiency
+		}
+		if w.Parallelism > 0 && w.Parallelism < plan.threads {
+			gf *= float64(w.Parallelism) / float64(plan.threads)
+		}
+		if gf <= 0 {
+			return stats, fmt.Errorf("soc: degenerate throughput for work item")
+		}
+		computeSec := float64(w.FLOPs) / (gf * 1e9)
+		memSec := float64(w.Bytes) / (d.SoC.MemBWGBps * 1e9)
+		sec := computeSec
+		if memSec > sec {
+			sec = memSec
+		}
+		dur := time.Duration(sec*1e9) + w.Overhead
+		util := 0.0
+		if sec > 0 {
+			util = computeSec / sec
+		}
+		watts := d.SoC.BasePowerWatts + plan.watts*(0.45+0.55*util)*tf
+		d.account(dur, watts, env, sink, &stats)
+	}
+	total := d.Clock.Now() - start
+	stats.Latency = total
+	if total > 0 {
+		stats.AvgWatts = stats.EnergyJ / total.Seconds()
+	}
+	return stats, nil
+}
+
+// ExecuteAccel runs the work list on an accelerator block (GPU/DSP/NPU);
+// the CPU idles at base power alongside.
+func (d *Device) ExecuteAccel(acc *Accelerator, work []Work, sink PowerSink) (RunStats, error) {
+	if err := d.Validate(); err != nil {
+		return RunStats{}, err
+	}
+	if acc == nil {
+		return RunStats{}, fmt.Errorf("soc: device %s lacks the requested accelerator", d.Model)
+	}
+	env := d.Envelope()
+	var stats RunStats
+	start := d.Clock.Now()
+	for _, w := range work {
+		tf := d.Thermal.Factor(env)
+		if tf < 0.999 {
+			stats.Throttled = true
+		}
+		gf := acc.GFLOPS * tf * d.VendorFactor
+		if w.Efficiency > 0 {
+			gf *= w.Efficiency
+		}
+		computeSec := float64(w.FLOPs) / (gf * 1e9)
+		memSec := float64(w.Bytes) / (d.SoC.MemBWGBps * 1e9)
+		sec := computeSec
+		if memSec > sec {
+			sec = memSec
+		}
+		overhead := w.Overhead
+		if overhead == 0 {
+			overhead = acc.DispatchOverhead
+		}
+		dur := time.Duration(sec*1e9) + overhead
+		util := 0.0
+		if sec > 0 {
+			util = computeSec / sec
+		}
+		watts := d.SoC.BasePowerWatts + acc.ActiveWatts*(0.5+0.5*util)*tf
+		d.account(dur, watts, env, sink, &stats)
+	}
+	total := d.Clock.Now() - start
+	stats.Latency = total
+	if total > 0 {
+		stats.AvgWatts = stats.EnergyJ / total.Seconds()
+	}
+	return stats, nil
+}
+
+// Idle advances virtual time at idle power (inter-experiment sleeps), with
+// the screen contribution when on.
+func (d *Device) Idle(dur time.Duration, screenOn bool, sink PowerSink) {
+	env := d.Envelope()
+	watts := d.SoC.BasePowerWatts * 0.3
+	if screenOn {
+		watts += d.ScreenWatts
+	}
+	if sink != nil {
+		sink.RecordPower(d.Clock.Now(), dur, watts)
+	}
+	d.Thermal.Cool(env, dur)
+	d.Clock.Advance(dur)
+}
+
+func (d *Device) account(dur time.Duration, watts float64, env ThermalEnvelope, sink PowerSink, stats *RunStats) {
+	if sink != nil {
+		sink.RecordPower(d.Clock.Now(), dur, watts)
+	}
+	stats.EnergyJ += watts * dur.Seconds()
+	d.Thermal.Absorb(env, watts, dur)
+	d.Clock.Advance(dur)
+}

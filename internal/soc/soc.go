@@ -1,0 +1,234 @@
+// Package soc models the mobile systems-on-chip gaugeNN benchmarks on:
+// heterogeneous CPU islands (ARM big.LITTLE / DynamIQ), GPU/DSP/NPU blocks,
+// a shared memory-bandwidth roofline, a DVFS-style scheduler with thread
+// pinning and a leaky-bucket thermal model. The paper explains its latency
+// findings through exactly these mechanisms — "underutilisation of hardware
+// due to e.g. memory-bound operations, thermal throttling due to continuous
+// inference or even ... scheduling on cores of different dynamics" (§5.1) —
+// so the simulator implements the mechanisms and lets the figures emerge.
+package soc
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Clock is the virtual time source a simulated device advances while
+// executing work. Benchmarks therefore cost wall-clock time proportional to
+// the amount of modelling, not to the modelled duration.
+type Clock struct {
+	now time.Duration
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Advance moves virtual time forward.
+func (c *Clock) Advance(d time.Duration) {
+	if d > 0 {
+		c.now += d
+	}
+}
+
+// CoreType describes one CPU microarchitecture at its nominal frequency.
+type CoreType struct {
+	Name string
+	// GFLOPS is the single-core fp32 SIMD throughput at max frequency.
+	GFLOPS float64
+	// ActiveWatts is the core's power draw under full load.
+	ActiveWatts float64
+}
+
+// Island is a cluster of identical cores (one DynamIQ/big.LITTLE island).
+type Island struct {
+	Type  CoreType
+	Count int
+}
+
+// Accelerator is a non-CPU compute block (GPU, DSP or NPU).
+type Accelerator struct {
+	Name string
+	// GFLOPS is the effective throughput on supported ops.
+	GFLOPS float64
+	// ActiveWatts is the block's draw under load.
+	ActiveWatts float64
+	// DispatchOverhead is the per-layer driver/queue overhead.
+	DispatchOverhead time.Duration
+	// Int8Only marks fixed-point blocks (Hexagon DSP): models execute
+	// quantised, with the accuracy caveat the paper notes.
+	Int8Only bool
+}
+
+// SoC is a chip: CPU islands plus optional accelerator blocks and the
+// shared memory system.
+type SoC struct {
+	Name    string
+	Islands []Island // ordered big -> little
+	// MemBWGBps is the DRAM bandwidth shared by all blocks.
+	MemBWGBps float64
+	// BasePowerWatts is the uncore/rails floor while the SoC is awake.
+	BasePowerWatts float64
+	GPU            *Accelerator
+	DSP            *Accelerator
+	NPU            *Accelerator
+	// NNAPIDriverQuality scales NNAPI-delegated throughput: 1.0 is a
+	// well-tuned vendor driver; Q845's measured 0.49x slowdown reflects
+	// "unoptimised NN drivers from the vendor" (§6.3).
+	NNAPIDriverQuality float64
+	// Qualcomm gates SNPE support.
+	Qualcomm bool
+}
+
+// TotalCores returns the CPU core count.
+func (s *SoC) TotalCores() int {
+	n := 0
+	for _, isl := range s.Islands {
+		n += isl.Count
+	}
+	return n
+}
+
+// coreList expands islands into a big-to-little per-core slice.
+func (s *SoC) coreList() []CoreType {
+	var out []CoreType
+	for _, isl := range s.Islands {
+		for i := 0; i < isl.Count; i++ {
+			out = append(out, isl.Type)
+		}
+	}
+	return out
+}
+
+// Device is a benchmarkable unit: a SoC in a chassis with RAM, battery,
+// screen and thermal envelope (Table 1).
+type Device struct {
+	Model       string
+	SoC         *SoC
+	RAMGB       int
+	BatterymAh  int // 0 when powered externally (Q855/Q888 HDKs)
+	ScreenWatts float64
+	// OpenDeck marks development boards: better heat dissipation and a
+	// vanilla OS image, which the paper credits for the Q888 HDK slightly
+	// outperforming the S21 on the same silicon.
+	OpenDeck bool
+	// VendorFactor scales throughput for vendor-specific configuration
+	// (custom schedulers, preinstalled load): 1.0 is the clean baseline.
+	VendorFactor float64
+
+	Clock   Clock
+	Thermal ThermalState
+}
+
+// Validate checks the profile is usable.
+func (d *Device) Validate() error {
+	if d.SoC == nil || len(d.SoC.Islands) == 0 {
+		return fmt.Errorf("soc: device %s has no CPU islands", d.Model)
+	}
+	if d.SoC.MemBWGBps <= 0 {
+		return fmt.Errorf("soc: device %s has no memory bandwidth", d.Model)
+	}
+	if d.VendorFactor <= 0 {
+		return fmt.Errorf("soc: device %s has non-positive vendor factor", d.Model)
+	}
+	return nil
+}
+
+// Reset restores virtual time and thermal state (a fresh benchmark run).
+func (d *Device) Reset() {
+	d.Clock = Clock{}
+	d.Thermal = ThermalState{}
+}
+
+// CPUConfig selects the thread count and affinity of a CPU run, the Fig.
+// 12 sweep axes: Threads counts worker threads; Affinity > 0 pins them to
+// the top-N cores ("4a2 means 4 threads with affinity 2"); Affinity == 0
+// lets the scheduler use every core.
+type CPUConfig struct {
+	Threads  int
+	Affinity int
+}
+
+// String renders the paper's "4a2" notation.
+func (c CPUConfig) String() string {
+	if c.Affinity > 0 {
+		return fmt.Sprintf("%da%d", c.Threads, c.Affinity)
+	}
+	return fmt.Sprintf("%d", c.Threads)
+}
+
+// cpuPlan is the resolved execution shape of a CPU configuration.
+type cpuPlan struct {
+	gflops     float64 // aggregate effective throughput
+	watts      float64 // active power of the engaged cores
+	threads    int
+	oversub    bool
+	littleFrac float64
+}
+
+// planCPU models TFLite's thread pool on a HMP scheduler:
+//
+//   - threads land on the fastest allowed cores first;
+//   - per-barrier synchronisation costs grow superlinearly with threads;
+//   - partitions that land on little cores drag the barrier (static work
+//     partitioning), modelled as a weighted little-core penalty;
+//   - more threads than allowed cores time-share ("4a2 and 8a4 result in
+//     significant performance degradation ... due to time-sharing");
+//   - engaging every core contends with the OS and framework threads,
+//     producing the 8-thread collapse of Figure 12.
+func (d *Device) planCPU(cfg CPUConfig) (cpuPlan, error) {
+	cores := d.SoC.coreList()
+	if cfg.Threads <= 0 {
+		return cpuPlan{}, fmt.Errorf("soc: thread count must be positive")
+	}
+	usable := len(cores)
+	if cfg.Affinity > 0 && cfg.Affinity < usable {
+		usable = cfg.Affinity
+	}
+	chosen := cores[:minInt(cfg.Threads, usable)]
+	var agg, watts float64
+	little := 0
+	bigGF := cores[0].GFLOPS
+	for _, c := range chosen {
+		agg += c.GFLOPS
+		watts += c.ActiveWatts
+		if c.GFLOPS < bigGF/2 {
+			little++
+		}
+	}
+	t := float64(cfg.Threads)
+	sync := 1 / (1 + 0.03*math.Pow(t-1, 1.6))
+	littleFrac := float64(little) / float64(len(chosen))
+	eff := agg * sync * (1 - 0.3*littleFrac)
+	plan := cpuPlan{threads: cfg.Threads, littleFrac: littleFrac}
+	if cfg.Threads > usable {
+		eff *= 0.5 // time-sharing: pinned threads queue behind each other
+		plan.oversub = true
+	}
+	if cfg.Affinity > 0 {
+		eff *= 0.97 // pinning forfeits load-balancing escapes
+	}
+	if cfg.Threads >= d.SoC.TotalCores() && cfg.Affinity == 0 {
+		eff *= 0.55 // system + framework threads preempt somewhere
+	}
+	plan.gflops = eff * d.VendorFactor
+	plan.watts = watts
+	return plan, nil
+}
+
+// CPUThroughputGFLOPS exposes the effective aggregate throughput of a CPU
+// configuration (before thermal effects), for tests and reports.
+func (d *Device) CPUThroughputGFLOPS(cfg CPUConfig) (float64, error) {
+	p, err := d.planCPU(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return p.gflops, nil
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,316 @@
+package soc
+
+import (
+	"testing"
+	"time"
+)
+
+func device(t *testing.T, model string) *Device {
+	t.Helper()
+	d, err := NewDevice(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestAllProfilesValid(t *testing.T) {
+	for _, m := range AllDeviceModels() {
+		d := device(t, m)
+		if err := d.Validate(); err != nil {
+			t.Errorf("%s: %v", m, err)
+		}
+		if d.SoC.TotalCores() != 8 {
+			t.Errorf("%s: %d cores, all Table 1 SoCs are octa-core", m, d.SoC.TotalCores())
+		}
+	}
+	if _, err := NewDevice("PIXEL9"); err == nil {
+		t.Fatal("unknown model must fail")
+	}
+}
+
+func TestHDKsAreOpenDeckQualcomm(t *testing.T) {
+	for _, m := range HDKModels() {
+		d := device(t, m)
+		if !d.OpenDeck {
+			t.Errorf("%s should be open deck", m)
+		}
+		if !d.SoC.Qualcomm {
+			t.Errorf("%s should be Qualcomm", m)
+		}
+		if d.SoC.DSP == nil {
+			t.Errorf("%s should have a Hexagon DSP", m)
+		}
+	}
+}
+
+func TestS21AndQ888ShareSilicon(t *testing.T) {
+	s21 := device(t, DeviceS21)
+	q888 := device(t, DeviceQ888)
+	if s21.SoC.Name != q888.SoC.Name {
+		t.Fatal("S21 and Q888 must share the Snapdragon 888")
+	}
+	if s21.VendorFactor >= q888.VendorFactor {
+		t.Fatal("open-deck Q888 should be at least as fast as the S21 (Section 5.1)")
+	}
+}
+
+func TestCPUThroughputTierOrdering(t *testing.T) {
+	cfg := CPUConfig{Threads: 4}
+	tput := map[string]float64{}
+	for _, m := range AllDeviceModels() {
+		v, err := device(t, m).CPUThroughputGFLOPS(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tput[m] = v
+	}
+	// Tier ordering (Fig 9): A20 < A70 < S21; Q845 < Q855 < Q888.
+	if !(tput[DeviceA20] < tput[DeviceA70] && tput[DeviceA70] < tput[DeviceS21]) {
+		t.Errorf("tier ordering broken: %v", tput)
+	}
+	if !(tput[DeviceQ845] < tput[DeviceQ855] && tput[DeviceQ855] < tput[DeviceQ888]) {
+		t.Errorf("generation ordering broken: %v", tput)
+	}
+	if tput[DeviceS21] > tput[DeviceQ888] {
+		t.Errorf("S21 (%f) should trail the open-deck Q888 (%f)", tput[DeviceS21], tput[DeviceQ888])
+	}
+	// Next-gen mid-tier can beat a previous-gen flagship (Section 5.1).
+	if tput[DeviceA70] < tput[DeviceQ845]*0.9 {
+		t.Errorf("A70 (%f) should be competitive with Q845 (%f)", tput[DeviceA70], tput[DeviceQ845])
+	}
+}
+
+func TestThreadSweepShape(t *testing.T) {
+	// Figure 12: per-device optimal thread counts are 4 (A20), 2 (A70),
+	// 4 (S21); 8 threads collapse everywhere.
+	get := func(m string, cfg CPUConfig) float64 {
+		v, err := device(t, m).CPUThroughputGFLOPS(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	for _, m := range []string{DeviceA20, DeviceA70, DeviceS21} {
+		t2 := get(m, CPUConfig{Threads: 2})
+		t4 := get(m, CPUConfig{Threads: 4})
+		t8 := get(m, CPUConfig{Threads: 8})
+		best := t2
+		if t4 > best {
+			best = t4
+		}
+		if t8 >= best {
+			t.Errorf("%s: 8 threads (%f) should be worst (t2=%f t4=%f)", m, t8, t2, t4)
+		}
+		switch m {
+		case DeviceA20, DeviceS21:
+			if t4 < t2 {
+				t.Errorf("%s: expected 4 threads optimal (t2=%f t4=%f)", m, t2, t4)
+			}
+		case DeviceA70:
+			if t2 < t4 {
+				t.Errorf("%s: expected 2 threads optimal (t2=%f t4=%f)", m, t2, t4)
+			}
+		}
+	}
+}
+
+func TestAffinityOversubscription(t *testing.T) {
+	d := device(t, DeviceS21)
+	t4, _ := d.CPUThroughputGFLOPS(CPUConfig{Threads: 4})
+	t4a2, _ := d.CPUThroughputGFLOPS(CPUConfig{Threads: 4, Affinity: 2})
+	t4a4, _ := d.CPUThroughputGFLOPS(CPUConfig{Threads: 4, Affinity: 4})
+	t8a4, _ := d.CPUThroughputGFLOPS(CPUConfig{Threads: 8, Affinity: 4})
+	// "any setup that sets the number of threads higher than the CPU
+	// affinity cores (4a2 and 8a4) results in significant performance
+	// degradation".
+	if t4a2 > t4*0.7 {
+		t.Errorf("4a2 (%f) should degrade heavily vs 4 (%f)", t4a2, t4)
+	}
+	if t8a4 > t4*0.8 {
+		t.Errorf("8a4 (%f) should degrade vs 4 (%f)", t8a4, t4)
+	}
+	// "setting the affinity to the same number of top cores does not yield
+	// any significant gain" — 4a4 is within a few percent of 4, not above.
+	if t4a4 > t4 {
+		t.Errorf("4a4 (%f) should not beat 4 (%f)", t4a4, t4)
+	}
+	if t4a4 < t4*0.9 {
+		t.Errorf("4a4 (%f) should be close to 4 (%f)", t4a4, t4)
+	}
+}
+
+func TestCPUConfigString(t *testing.T) {
+	if (CPUConfig{Threads: 4, Affinity: 2}).String() != "4a2" {
+		t.Fatal("affinity notation")
+	}
+	if (CPUConfig{Threads: 8}).String() != "8" {
+		t.Fatal("plain notation")
+	}
+}
+
+func TestPlanCPURejectsBadThreads(t *testing.T) {
+	d := device(t, DeviceA20)
+	if _, err := d.CPUThroughputGFLOPS(CPUConfig{Threads: 0}); err == nil {
+		t.Fatal("zero threads must fail")
+	}
+}
+
+func TestExecuteCPURooflineAndClock(t *testing.T) {
+	d := device(t, DeviceQ845)
+	compute := []Work{{FLOPs: 1e9, Bytes: 1e5, Efficiency: 1}}
+	st, err := d.ExecuteCPU(CPUConfig{Threads: 4}, compute, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Latency <= 0 || st.EnergyJ <= 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if d.Clock.Now() != st.Latency {
+		t.Fatal("virtual clock must advance by the latency")
+	}
+	// A memory-bound layer with the same FLOPs must be slower.
+	d2 := device(t, DeviceQ845)
+	memBound := []Work{{FLOPs: 1e9, Bytes: 3e9, Efficiency: 1}}
+	st2, err := d2.ExecuteCPU(CPUConfig{Threads: 4}, memBound, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Latency <= st.Latency {
+		t.Fatalf("memory-bound work (%v) should exceed compute-bound (%v)", st2.Latency, st.Latency)
+	}
+}
+
+func TestExecuteCPULowParallelism(t *testing.T) {
+	d1 := device(t, DeviceQ845)
+	par := []Work{{FLOPs: 5e8, Bytes: 1e4, Efficiency: 1}}
+	full, _ := d1.ExecuteCPU(CPUConfig{Threads: 4}, par, nil)
+	d2 := device(t, DeviceQ845)
+	serial := []Work{{FLOPs: 5e8, Bytes: 1e4, Efficiency: 1, Parallelism: 1}}
+	one, _ := d2.ExecuteCPU(CPUConfig{Threads: 4}, serial, nil)
+	if one.Latency <= full.Latency*2 {
+		t.Fatalf("serial op (%v) should be much slower than parallel (%v)", one.Latency, full.Latency)
+	}
+}
+
+func TestThermalThrottling(t *testing.T) {
+	d := device(t, DeviceS21)
+	work := []Work{{FLOPs: 5e9, Bytes: 1e6, Efficiency: 1}}
+	first, err := d.ExecuteCPU(CPUConfig{Threads: 4}, work, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sustained load must eventually throttle a phone.
+	var last RunStats
+	for i := 0; i < 40; i++ {
+		last, err = d.ExecuteCPU(CPUConfig{Threads: 4}, work, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !last.Throttled {
+		t.Fatal("sustained inference should throttle the S21")
+	}
+	if last.Latency <= first.Latency {
+		t.Fatalf("throttled latency (%v) should exceed cold latency (%v)", last.Latency, first.Latency)
+	}
+	// The open-deck Q888 with the same silicon throttles later.
+	q := device(t, DeviceQ888)
+	for i := 0; i < 8; i++ {
+		if st, _ := q.ExecuteCPU(CPUConfig{Threads: 4}, work, nil); st.Throttled {
+			t.Fatal("Q888 should not throttle this early")
+		}
+	}
+	// Cooling recovers.
+	d.Thermal.Cool(d.Envelope(), 10*time.Minute)
+	if d.Thermal.HeatJ != 0 {
+		t.Fatal("long cooldown should drain the bucket")
+	}
+}
+
+func TestExecuteAccel(t *testing.T) {
+	d := device(t, DeviceQ845)
+	work := []Work{{FLOPs: 1e9, Bytes: 1e5, Efficiency: 0.8}}
+	gpu, err := d.ExecuteAccel(d.SoC.GPU, work, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := device(t, DeviceQ845)
+	dsp, err := d2.ExecuteAccel(d2.SoC.DSP, work, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dsp.Latency >= gpu.Latency {
+		t.Fatalf("DSP (%v) should beat GPU (%v) on pure compute", dsp.Latency, gpu.Latency)
+	}
+	if _, err := d.ExecuteAccel(nil, work, nil); err == nil {
+		t.Fatal("missing accelerator must fail")
+	}
+}
+
+func TestIdleAdvancesAndCools(t *testing.T) {
+	d := device(t, DeviceS21)
+	d.Thermal.HeatJ = 30
+	d.Idle(5*time.Second, true, nil)
+	if d.Clock.Now() != 5*time.Second {
+		t.Fatal("idle must advance the clock")
+	}
+	if d.Thermal.HeatJ >= 30 {
+		t.Fatal("idle must cool")
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	d := device(t, DeviceA20)
+	d.ExecuteCPU(CPUConfig{Threads: 2}, []Work{{FLOPs: 1e8, Efficiency: 1}}, nil)
+	d.Reset()
+	if d.Clock.Now() != 0 || d.Thermal.HeatJ != 0 {
+		t.Fatal("reset must zero clock and heat")
+	}
+}
+
+type captureSink struct {
+	total float64
+	n     int
+}
+
+func (c *captureSink) RecordPower(_, dur time.Duration, watts float64) {
+	c.total += watts * dur.Seconds()
+	c.n++
+}
+
+func TestPowerSinkReceivesEnergy(t *testing.T) {
+	d := device(t, DeviceQ845)
+	sink := &captureSink{}
+	st, err := d.ExecuteCPU(CPUConfig{Threads: 4}, []Work{{FLOPs: 1e9, Bytes: 1e5, Efficiency: 1}}, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.n == 0 {
+		t.Fatal("sink never called")
+	}
+	if diff := sink.total - st.EnergyJ; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("sink energy %v != stats energy %v", sink.total, st.EnergyJ)
+	}
+}
+
+func TestThermalFactorBounds(t *testing.T) {
+	env := ThermalEnvelope{CapacityJ: 100, DissipationW: 2, MinFactor: 0.5}
+	ts := &ThermalState{}
+	if ts.Factor(env) != 1 {
+		t.Fatal("cold factor must be 1")
+	}
+	ts.HeatJ = 100
+	if f := ts.Factor(env); f != 0.5 {
+		t.Fatalf("full-bucket factor = %v, want MinFactor", f)
+	}
+	ts.HeatJ = 75
+	if f := ts.Factor(env); f <= 0.5 || f >= 1 {
+		t.Fatalf("mid factor = %v, want in (0.5, 1)", f)
+	}
+	// Absorb clamps at 1.5x capacity.
+	ts.Absorb(env, 1000, 10*time.Second)
+	if ts.HeatJ > 150 {
+		t.Fatalf("heat %v exceeded clamp", ts.HeatJ)
+	}
+}

@@ -1,0 +1,69 @@
+package soc
+
+import "time"
+
+// ThermalState is a leaky-bucket heat model: work deposits joules, the
+// chassis dissipates them at a sustained rate, and past a threshold the
+// SoC throttles — the "thermal throttling due to continuous inference"
+// confounder of Section 5.1 and the reason the open-deck Q888 HDK can
+// outpace the S21 phone on identical silicon.
+type ThermalState struct {
+	HeatJ float64
+}
+
+// ThermalEnvelope describes a chassis' cooling ability.
+type ThermalEnvelope struct {
+	// CapacityJ is the stored heat at which throttling reaches its floor.
+	CapacityJ float64
+	// DissipationW is the sustained heat removal rate.
+	DissipationW float64
+	// MinFactor is the fully-throttled clock factor.
+	MinFactor float64
+}
+
+// Envelope returns the device's thermal envelope: phones soak ~45 J before
+// heavy throttling, open-deck boards ~3x that with faster dissipation.
+func (d *Device) Envelope() ThermalEnvelope {
+	if d.OpenDeck {
+		return ThermalEnvelope{CapacityJ: 140, DissipationW: 4.5, MinFactor: 0.85}
+	}
+	return ThermalEnvelope{CapacityJ: 45, DissipationW: 2.2, MinFactor: 0.55}
+}
+
+// Factor returns the current clock multiplier in (MinFactor, 1].
+func (t *ThermalState) Factor(env ThermalEnvelope) float64 {
+	if env.CapacityJ <= 0 {
+		return 1
+	}
+	frac := t.HeatJ / env.CapacityJ
+	if frac <= 0.5 {
+		return 1 // headroom: no throttling below half capacity
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	// Linear descent from 1.0 at half capacity to MinFactor at capacity.
+	return 1 - (1-env.MinFactor)*(frac-0.5)*2
+}
+
+// Absorb deposits heat for running at the given power over dt and applies
+// dissipation for the same interval.
+func (t *ThermalState) Absorb(env ThermalEnvelope, watts float64, dt time.Duration) {
+	sec := dt.Seconds()
+	t.HeatJ += watts * sec
+	t.HeatJ -= env.DissipationW * sec
+	if t.HeatJ < 0 {
+		t.HeatJ = 0
+	}
+	if t.HeatJ > env.CapacityJ*1.5 {
+		t.HeatJ = env.CapacityJ * 1.5 // equilibrium clamp
+	}
+}
+
+// Cool applies idle dissipation for dt (inter-experiment sleeps).
+func (t *ThermalState) Cool(env ThermalEnvelope, dt time.Duration) {
+	t.HeatJ -= env.DissipationW * dt.Seconds()
+	if t.HeatJ < 0 {
+		t.HeatJ = 0
+	}
+}

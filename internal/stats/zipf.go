@@ -1,0 +1,82 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Zipf samples ranks 1..N with probability proportional to rank^-s, the
+// standard model for app-download popularity (Viennot et al., SIGMETRICS'14,
+// which the paper cites for the power-law shape of Play Store downloads).
+//
+// Unlike math/rand's Zipf, this implementation exposes the CDF so tests can
+// verify the tail mass directly, and it is safe to construct for small N.
+type Zipf struct {
+	cdf []float64
+	rng *rand.Rand
+}
+
+// NewZipf builds a bounded Zipf distribution over ranks 1..n with exponent
+// s > 0. rng must be non-nil.
+func NewZipf(rng *rand.Rand, s float64, n int) (*Zipf, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("stats: zipf support must be positive, got %d", n)
+	}
+	if s <= 0 {
+		return nil, fmt.Errorf("stats: zipf exponent must be positive, got %g", s)
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("stats: zipf requires a rand source")
+	}
+	z := &Zipf{cdf: make([]float64, n), rng: rng}
+	var total float64
+	for i := 0; i < n; i++ {
+		total += math.Pow(float64(i+1), -s)
+		z.cdf[i] = total
+	}
+	for i := range z.cdf {
+		z.cdf[i] /= total
+	}
+	return z, nil
+}
+
+// Rank draws a rank in [1, n].
+func (z *Zipf) Rank() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo + 1
+}
+
+// CDF returns P(rank <= r). Ranks outside [1,n] clamp to 0 or 1.
+func (z *Zipf) CDF(r int) float64 {
+	if r < 1 {
+		return 0
+	}
+	if r > len(z.cdf) {
+		return 1
+	}
+	return z.cdf[r-1]
+}
+
+// DownloadsForRank converts a popularity rank into a synthetic install count
+// with a head of maxDownloads installs, following downloads ~ rank^-s. It is
+// what the store generator uses to assign per-app install counters.
+func DownloadsForRank(rank int, maxDownloads float64, s float64) int64 {
+	if rank < 1 {
+		rank = 1
+	}
+	d := maxDownloads * math.Pow(float64(rank), -s)
+	if d < 1 {
+		d = 1
+	}
+	return int64(d)
+}
