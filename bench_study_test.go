@@ -1,0 +1,37 @@
+// Pipeline throughput benchmarks: the end-to-end study (generate ->
+// crawl/package -> extract -> analyse, both snapshots) at a fixed 10%
+// scale under increasing worker counts. BENCH_baseline.json records the
+// trajectory; the acceptance bar is >= 2x at workers=4 vs workers=1 on a
+// 4+-core runner, with byte-identical corpora across worker counts
+// (asserted by TestRunStudyDeterministicAcrossWorkerCounts).
+//
+//	go test -bench RunStudy -benchtime 3x -timeout 0
+package gaugenn_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/gaugenn/gaugenn/internal/core"
+)
+
+func BenchmarkRunStudy(b *testing.B) {
+	const benchScale = 0.1
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cfg := core.DefaultConfig(studySeed, benchScale)
+				cfg.UseHTTP = false // packaging+extraction dominate; HTTP adds server noise
+				cfg.Workers = workers
+				res, err := core.RunStudy(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if res.Corpus21.TotalModels() == 0 {
+					b.Fatal("degenerate study")
+				}
+			}
+		})
+	}
+}

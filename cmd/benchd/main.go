@@ -23,6 +23,7 @@ import (
 
 func main() {
 	device := flag.String("device", "Q845", "device model (A20, A70, S21, Q845, Q855, Q888)")
+	workers := flag.Int("workers", 0, "max concurrent control connections (0 = unlimited)")
 	flag.Parse()
 
 	dev, err := soc.NewDevice(*device)
@@ -33,6 +34,10 @@ func main() {
 	usb := power.NewUSBSwitch()
 	mon := power.NewMonitor()
 	agent := bench.NewAgent(dev, usb, mon)
+	// 0 keeps the historical unbounded behavior; a bound is opt-in since a
+	// long-lived idle connection would pin a slot (connections have no
+	// read deadline).
+	agent.MaxConns = *workers
 	addr, err := agent.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchd:", err)

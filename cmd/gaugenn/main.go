@@ -1,6 +1,6 @@
 // Command gaugenn drives the full measurement study from the terminal:
 //
-//	gaugenn study   -seed 42 -scale 0.05 [-http] [-out DIR]
+//	gaugenn study   -seed 42 -scale 0.05 [-http] [-workers N] [-out DIR]
 //	gaugenn bench   -device Q845 -backend cpu -model m.tflite [-threads 4]
 //	gaugenn devices
 //
@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"time"
 
 	"github.com/gaugenn/gaugenn/internal/bench"
@@ -49,7 +50,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
-  gaugenn study   -seed N -scale F [-http] [-out DIR]
+  gaugenn study   -seed N -scale F [-http] [-workers N] [-out DIR]
   gaugenn bench   -device MODEL -backend NAME -model FILE [-threads N] [-batch N] [-runs N]
   gaugenn devices`)
 }
@@ -59,23 +60,30 @@ func runStudy(args []string) error {
 	seed := fs.Int64("seed", 42, "store generation seed")
 	scale := fs.Float64("scale", 0.05, "store scale (1.0 = paper scale)")
 	useHTTP := fs.Bool("http", false, "crawl through the store HTTP API")
+	workers := fs.Int("workers", 0, "pipeline worker count per snapshot (0 = GOMAXPROCS)")
 	out := fs.String("out", "", "directory for report files (stdout if empty)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	cfg := core.DefaultConfig(*seed, *scale)
 	cfg.UseHTTP = *useHTTP
+	cfg.Workers = *workers
 	start := time.Now()
-	lastStage := ""
+	// Both snapshot pipelines report progress concurrently; throttle
+	// first, serialise the writes, and let each stage's completion line
+	// end in a newline so the two interleaved stages stay legible.
+	var progressMu sync.Mutex
 	cfg.Progress = func(stage string, done, total int) {
-		if stage != lastStage {
-			if lastStage != "" {
-				fmt.Fprintln(os.Stderr)
-			}
-			lastStage = stage
+		if done != total && done%500 != 0 {
+			return
 		}
-		if done == total || done%500 == 0 {
-			fmt.Fprintf(os.Stderr, "\r%s: %d/%d apps", stage, done, total)
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		// \x1b[K clears to end-of-line: interleaved stages overwrite each
+		// other and a shorter line must not leave the longer one's tail.
+		fmt.Fprintf(os.Stderr, "\r\x1b[K%s: %d/%d apps", stage, done, total)
+		if done == total {
+			fmt.Fprintln(os.Stderr)
 		}
 	}
 	res, err := core.RunStudy(cfg)

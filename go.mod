@@ -1,0 +1,3 @@
+module github.com/gaugenn/gaugenn
+
+go 1.24

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"sync"
+
+	"github.com/gaugenn/gaugenn/internal/extract"
+	"github.com/gaugenn/gaugenn/internal/nn/graph"
+	"github.com/gaugenn/gaugenn/internal/nn/zoo"
+)
+
+// uniqueData is everything derived once per distinct model checksum —
+// profiling, classification, architecture fingerprinting and layer
+// checksums. It is immutable after construction, so a single instance can
+// back the Unique records of any number of corpus shards and snapshots.
+// Framework is deliberately absent: the checksum hashes the decoded
+// graph+weights, so one checksum can ship under several formats (the
+// Section 6.3 tflite+dlc twins) and the field would be first-winner
+// nondeterministic here; corpora assign it from their first record in
+// deterministic order instead.
+type uniqueData struct {
+	name      string
+	task      zoo.Task
+	arch      zoo.Arch
+	modality  graph.Modality
+	profile   *graph.Profile
+	layerSums []graph.Checksum
+	weights   graph.WeightStats
+	graph     *graph.Graph // nil unless the cache retains graphs
+}
+
+// UniqueCache deduplicates per-checksum model analysis across corpus
+// shards and snapshots. The paper's two crawls overlap heavily (duplicate
+// checksums across 2020 and 2021), so a shared cache profiles, classifies
+// and fingerprints each distinct model exactly once, no matter how many
+// shards or snapshots ingest it concurrently.
+//
+// Computation is single-flight: the first ingester of a checksum computes,
+// every concurrent ingester of the same checksum waits on it. All methods
+// are safe for concurrent use.
+type UniqueCache struct {
+	keepGraphs bool
+
+	mu      sync.Mutex
+	entries map[graph.Checksum]*cacheEntry
+}
+
+type cacheEntry struct {
+	once sync.Once
+	data *uniqueData
+	err  error
+}
+
+// NewUniqueCache creates an empty cache. keepGraphs controls whether the
+// decoded graph is retained for benchmarking (costs memory at scale).
+func NewUniqueCache(keepGraphs bool) *UniqueCache {
+	return &UniqueCache{keepGraphs: keepGraphs, entries: map[graph.Checksum]*cacheEntry{}}
+}
+
+// Size returns the number of distinct checksums analysed so far.
+func (uc *UniqueCache) Size() int {
+	uc.mu.Lock()
+	defer uc.mu.Unlock()
+	return len(uc.entries)
+}
+
+// get returns the analysis results for the model, computing them on first
+// sight of its checksum. Models sharing a checksum are byte-identical by
+// construction, so any instance can serve as the compute input.
+func (uc *UniqueCache) get(m extract.Model) (*uniqueData, error) {
+	uc.mu.Lock()
+	e, ok := uc.entries[m.Checksum]
+	if !ok {
+		e = &cacheEntry{}
+		uc.entries[m.Checksum] = e
+	}
+	uc.mu.Unlock()
+	e.once.Do(func() {
+		prof, err := graph.ProfileGraph(m.Graph)
+		if err != nil {
+			e.err = err
+			return
+		}
+		task, _ := ClassifyTask(m.Graph)
+		d := &uniqueData{
+			name:      m.Graph.Name,
+			task:      task,
+			arch:      FingerprintArch(m.Graph),
+			modality:  m.Graph.InferModality(),
+			profile:   prof,
+			layerSums: graph.WeightedLayerChecksums(m.Graph),
+			weights:   graph.CollectWeightStats(m.Graph),
+		}
+		if uc.keepGraphs {
+			d.graph = m.Graph
+		}
+		e.data = d
+	})
+	return e.data, e.err
+}

@@ -32,6 +32,12 @@ type Agent struct {
 	// methodology requires ("we keep the phone screen on during the
 	// benchmark"); its draw is measured and accounted.
 	ScreenOn bool
+	// MaxConns bounds the control connections *served* concurrently
+	// (<= 0 means unbounded). Excess dials are still accepted — each
+	// parks a goroutine waiting for a serve slot, so the accept loop
+	// never blocks and Close stays responsive; the bound caps protocol
+	// concurrency, not accepted sockets.
+	MaxConns int
 
 	mu      sync.Mutex
 	pending map[string]Job
@@ -59,13 +65,26 @@ func (a *Agent) Start() (addr string, err error) {
 	if err != nil {
 		return "", fmt.Errorf("bench: agent listen: %w", err)
 	}
+	var sem chan struct{}
+	if a.MaxConns > 0 {
+		sem = make(chan struct{}, a.MaxConns)
+	}
 	go func() {
 		for {
 			conn, err := a.ln.Accept()
 			if err != nil {
 				return
 			}
-			go a.serveConn(conn)
+			// The semaphore is acquired on the per-conn goroutine so the
+			// accept loop never blocks: a saturated agent keeps accepting
+			// (and noticing Close) while excess connections wait here.
+			go func() {
+				if sem != nil {
+					sem <- struct{}{}
+					defer func() { <-sem }()
+				}
+				a.serveConn(conn)
+			}()
 		}
 	}()
 	return a.ln.Addr().String(), nil

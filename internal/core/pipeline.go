@@ -3,16 +3,27 @@
 // characterisation) and model benchmarking (on-device latency and energy).
 // It is the library's primary entry point; the root gaugenn package
 // re-exports it.
+//
+// The study hot path is a concurrent, sharded pipeline: both snapshots run
+// in parallel, each over a bounded crawl/extract worker pool feeding
+// per-shard corpora that merge deterministically, with per-checksum
+// analysis deduplicated across shards and snapshots. See docs/pipeline.md
+// for the architecture and the Workers/Scale tuning knobs.
 package core
 
 import (
+	"bytes"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"github.com/gaugenn/gaugenn/internal/analysis"
 	"github.com/gaugenn/gaugenn/internal/bench"
 	"github.com/gaugenn/gaugenn/internal/crawler"
 	"github.com/gaugenn/gaugenn/internal/docstore"
+	"github.com/gaugenn/gaugenn/internal/errgroup"
 	"github.com/gaugenn/gaugenn/internal/extract"
 	"github.com/gaugenn/gaugenn/internal/nn/formats"
 	"github.com/gaugenn/gaugenn/internal/nn/zoo"
@@ -36,13 +47,31 @@ type Config struct {
 	KeepGraphs bool
 	// MaxPerCategory caps chart depth (500 in the paper).
 	MaxPerCategory int
-	// Progress, when non-nil, receives coarse stage updates.
+	// Workers bounds the per-snapshot crawl/extract/ingest fan-out.
+	// Zero (the default) uses GOMAXPROCS; results are byte-identical for
+	// a fixed seed regardless of the value. Both snapshots run
+	// concurrently, so up to 2*Workers goroutines are in flight while
+	// both are active — deliberate: goroutine parallelism stays capped by
+	// GOMAXPROCS, and the full per-snapshot budget lets the larger 2021
+	// snapshot saturate every core once 2020 completes (a split budget
+	// would idle half the cores for 2021's tail).
+	Workers int
+	// Progress, when non-nil, receives coarse stage updates. It may be
+	// called concurrently from both snapshot pipelines.
 	Progress func(stage string, done, total int)
 }
 
 // DefaultConfig returns a quick-study configuration.
 func DefaultConfig(seed int64, scale float64) Config {
 	return Config{Seed: seed, Scale: scale, UseHTTP: true, KeepGraphs: true, MaxPerCategory: 500}
+}
+
+// workerCount resolves the Workers knob (0 = GOMAXPROCS).
+func (cfg Config) workerCount() int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // StudyResult is everything a study produced.
@@ -56,7 +85,12 @@ type StudyResult struct {
 	Store *playstore.Study
 }
 
-// RunStudy executes the full offline pipeline over both snapshots.
+// RunStudy executes the full offline pipeline over both snapshots. The
+// snapshots run concurrently, sharing a per-checksum analysis cache so a
+// model carried over from 2020 to 2021 is profiled and classified exactly
+// once; within each snapshot, crawl/extract/ingest fan out over
+// Config.Workers goroutines. Results are byte-identical for a fixed seed
+// regardless of the worker count.
 func RunStudy(cfg Config) (*StudyResult, error) {
 	if cfg.Scale <= 0 {
 		return nil, fmt.Errorf("core: scale must be positive")
@@ -66,19 +100,33 @@ func RunStudy(cfg Config) (*StudyResult, error) {
 		return nil, err
 	}
 	res := &StudyResult{Meta: docstore.New(), Store: study}
-	res.Corpus20, err = runSnapshot(cfg, res.Meta, study.Snap20, "2020")
-	if err != nil {
-		return nil, err
-	}
-	res.Corpus21, err = runSnapshot(cfg, res.Meta, study.Snap21, "2021")
-	if err != nil {
+	cache := analysis.NewUniqueCache(cfg.KeepGraphs)
+	// abort is shared by both snapshot pipelines: the first failure
+	// anywhere halts the sibling too instead of letting it run the rest
+	// of its crawl against a doomed study.
+	var abort atomic.Bool
+	var g errgroup.Group
+	g.Go(func() error {
+		c, err := runSnapshot(cfg, res.Meta, study.Snap20, "2020", cache, &abort)
+		res.Corpus20 = c
+		return err
+	})
+	g.Go(func() error {
+		c, err := runSnapshot(cfg, res.Meta, study.Snap21, "2021", cache, &abort)
+		res.Corpus21 = c
+		return err
+	})
+	if err := g.Wait(); err != nil {
 		return nil, err
 	}
 	return res, nil
 }
 
-func runSnapshot(cfg Config, meta *docstore.Store, snap *playstore.Snapshot, label string) (*analysis.Corpus, error) {
-	corpus := analysis.NewCorpus(label, cfg.KeepGraphs)
+func runSnapshot(cfg Config, meta *docstore.Store, snap *playstore.Snapshot, label string, cache *analysis.UniqueCache, abort *atomic.Bool) (*analysis.Corpus, error) {
+	workers := cfg.workerCount()
+	shards := analysis.NewShardedCorpus(label, cfg.KeepGraphs, workers, cache)
+	// Both callers below already serialise their progress calls (the
+	// crawler under its own mutex, the in-process path under doneMu).
 	progress := func(done, total int) {
 		if cfg.Progress != nil {
 			cfg.Progress("crawl-"+label, done, total)
@@ -95,47 +143,92 @@ func runSnapshot(cfg Config, meta *docstore.Store, snap *playstore.Snapshot, lab
 			Client:         crawler.NewClient(base),
 			Store:          meta,
 			MaxPerCategory: cfg.MaxPerCategory,
+			Workers:        workers,
+			Abort:          abort,
 			Progress:       progress,
 		}
-		_, err = cr.Run(label, func(m crawler.AppMeta, apkBytes []byte) error {
+		_, err = cr.Run(label, func(idx int, m crawler.AppMeta, apkBytes []byte) error {
 			rep, err := extract.ExtractAPK(apkBytes)
 			if err != nil {
 				return err
 			}
-			return corpus.AddReport(m.Category, rep)
+			return shards.AddReport(idx, m.Category, rep)
 		})
 		if err != nil {
 			return nil, err
 		}
-		return corpus, nil
+		return shards.Merge(), nil
 	}
-	// In-process path: package and extract without the HTTP hop.
+	// In-process path: package and extract without the HTTP hop, fanned
+	// out over the same worker pool. The app's position in snap.Apps is
+	// its global index, so shard contents (and the merged corpus) do not
+	// depend on scheduling.
 	total := len(snap.Apps)
-	for i, a := range snap.Apps {
-		if !a.HasML() {
-			corpus.Apps = append(corpus.Apps, analysis.AppInfo{Package: a.Package, Category: string(a.Category)})
-		} else {
-			apkBytes, err := snap.BuildAPK(a)
-			if err != nil {
-				return nil, fmt.Errorf("core: packaging %s: %w", a.Package, err)
-			}
-			rep, err := extract.ExtractAPK(apkBytes)
-			if err != nil {
-				return nil, fmt.Errorf("core: extracting %s: %w", a.Package, err)
-			}
-			if err := corpus.AddReport(string(a.Category), rep); err != nil {
-				return nil, err
-			}
-		}
-		if err := meta.Put("apps-"+label, a.Package, docstore.Doc{
-			"package": a.Package, "category": string(a.Category),
-			"rank": a.Rank, "downloads": a.Downloads, "rating": a.Rating,
-		}); err != nil {
-			return nil, err
-		}
-		progress(i+1, total)
+	// step increments and reports under one lock so counts never go
+	// backwards (the crawler path does the same internally).
+	var doneMu sync.Mutex
+	done := 0
+	step := func() {
+		doneMu.Lock()
+		done++
+		d := done
+		progress(d, total)
+		doneMu.Unlock()
 	}
-	return corpus, nil
+	// abort short-circuits queued apps after the first failure in either
+	// snapshot's pipeline, like the crawler's pool does.
+	var g errgroup.Group
+	g.SetLimit(workers)
+	for idx, a := range snap.Apps {
+		idx, a := idx, a
+		g.Go(func() error {
+			if abort.Load() {
+				return nil
+			}
+			fail := func(err error) error {
+				abort.Store(true)
+				return err
+			}
+			if !needsExtraction(a) {
+				shards.AddApp(idx, analysis.AppInfo{Package: a.Package, Category: string(a.Category)})
+			} else {
+				apkBytes, err := snap.BuildAPK(a)
+				if err != nil {
+					return fail(fmt.Errorf("core: packaging %s: %w", a.Package, err))
+				}
+				rep, err := extract.ExtractAPK(apkBytes)
+				if err != nil {
+					return fail(fmt.Errorf("core: extracting %s: %w", a.Package, err))
+				}
+				if err := shards.AddReport(idx, string(a.Category), rep); err != nil {
+					return fail(err)
+				}
+			}
+			if err := meta.Put("apps-"+label, a.Package, docstore.Doc{
+				"package": a.Package, "category": string(a.Category),
+				"rank": a.Rank, "downloads": a.Downloads, "rating": a.Rating,
+			}); err != nil {
+				return fail(err)
+			}
+			step()
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	return shards.Merge(), nil
+}
+
+// needsExtraction reports whether the in-process fast path must package
+// and extract the app instead of shortcutting to a bare AppInfo. It
+// mirrors what the extractor can detect from the APK: models, framework
+// libraries, cloud API call sites, and the acceleration/lazy-download dex
+// traces (an NNAPI delegate call site, for instance, legitimately trips
+// the tflite library detector) — so the fast path and the HTTP path
+// produce the same corpus.
+func needsExtraction(a *playstore.App) bool {
+	return a.HasML() || a.UsesNNAPI || a.UsesXNNPACK || a.UsesSNPE || a.LazyModelDownload
 }
 
 // DeliveryProbe re-downloads an app under a different device profile and
@@ -160,15 +253,7 @@ func DeliveryProbe(study *playstore.Study, pkg string) (identical bool, err erro
 	if err != nil {
 		return false, err
 	}
-	if len(a) != len(b) {
-		return false, nil
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			return false, nil
-		}
-	}
-	return true, nil
+	return bytes.Equal(a, b), nil
 }
 
 // BenchModel is a corpus model selected for on-device benchmarking.

@@ -12,9 +12,12 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/gaugenn/gaugenn/internal/docstore"
+	"github.com/gaugenn/gaugenn/internal/errgroup"
 )
 
 // AppMeta is the store metadata captured per app listing.
@@ -186,7 +189,18 @@ type Crawler struct {
 	Store *docstore.Store
 	// MaxPerCategory caps chart depth (500 in the paper).
 	MaxPerCategory int
+	// Workers bounds the crawl fan-out: chart fetches and per-app
+	// download+handle work run on up to Workers goroutines (<= 1 crawls
+	// sequentially). The handle callback must be safe for concurrent use
+	// when Workers > 1.
+	Workers int
+	// Abort, when non-nil, is a shared kill switch: the crawl stops
+	// dispatching new apps once it reads true, and sets it on its own
+	// first failure — so sibling pipelines (the other snapshot's crawl)
+	// halt too instead of running to completion against a doomed study.
+	Abort *atomic.Bool
 	// Progress, when non-nil, receives (done, total) after each app.
+	// Calls are serialised even when Workers > 1.
 	Progress func(done, total int)
 }
 
@@ -203,7 +217,14 @@ type Result struct {
 
 // Run crawls every category chart and invokes handle for each downloaded
 // app. Metadata lands in the docstore collection "apps-"+label.
-func (cr *Crawler) Run(label string, handle func(meta AppMeta, apkBytes []byte) error) (Result, error) {
+//
+// handle receives the app's global crawl index — its deterministic
+// position in chart order (categories in store order, apps in rank order)
+// — which downstream sharded ingestion uses to keep results byte-identical
+// regardless of the worker count. With Workers > 1, handle runs
+// concurrently and its invocation order is scheduling-dependent; only the
+// index stream is deterministic.
+func (cr *Crawler) Run(label string, handle func(idx int, meta AppMeta, apkBytes []byte) error) (Result, error) {
 	res := Result{Label: label}
 	cats, err := cr.Client.Categories()
 	if err != nil {
@@ -214,28 +235,84 @@ func (cr *Crawler) Run(label string, handle func(meta AppMeta, apkBytes []byte) 
 	if maxN <= 0 {
 		maxN = 500
 	}
-	var charts [][]AppMeta
-	total := 0
-	for _, cat := range cats {
-		chart, err := cr.Client.TopChart(cat, maxN)
-		if err != nil {
-			return res, fmt.Errorf("crawler: chart %s: %w", cat, err)
-		}
-		charts = append(charts, chart)
-		total += len(chart)
+	workers := cr.Workers
+	if workers < 1 {
+		workers = 1
 	}
-	done := 0
+
+	// Chart fetches are independent; fan out while keeping category order.
+	// They honor the shared Abort contract too: a failure here halts the
+	// sibling pipeline, and a sibling's failure stops further fetches.
+	charts := make([][]AppMeta, len(cats))
+	var cg errgroup.Group
+	cg.SetLimit(workers)
+	for i, cat := range cats {
+		i, cat := i, cat
+		cg.Go(func() error {
+			if cr.Abort != nil && cr.Abort.Load() {
+				return nil
+			}
+			chart, err := cr.Client.TopChart(cat, maxN)
+			if err != nil {
+				if cr.Abort != nil {
+					cr.Abort.Store(true)
+				}
+				return fmt.Errorf("crawler: chart %s: %w", cat, err)
+			}
+			charts[i] = chart
+			return nil
+		})
+	}
+	if err := cg.Wait(); err != nil {
+		return res, err
+	}
+	if cr.Abort != nil && cr.Abort.Load() {
+		// A sibling failed while we were fetching charts; its error is
+		// the one the study surfaces. Returning keeps partial charts out
+		// of the app phase.
+		return res, nil
+	}
+	var items []AppMeta
 	for _, chart := range charts {
-		for _, meta := range chart {
+		items = append(items, chart...)
+	}
+	total := len(items)
+
+	// Per-app fan-out: download, delivery check, metadata filing and the
+	// handle callback all run on the worker pool. Result accounting and
+	// Progress are serialised under mu; stop short-circuits queued work
+	// after the first failure.
+	var (
+		mu   sync.Mutex
+		done int
+		stop atomic.Bool
+	)
+	halted := func() bool {
+		return stop.Load() || (cr.Abort != nil && cr.Abort.Load())
+	}
+	var g errgroup.Group
+	g.SetLimit(workers)
+	for idx, meta := range items {
+		idx, meta := idx, meta
+		g.Go(func() error {
+			if halted() {
+				return nil
+			}
+			fail := func(err error) error {
+				stop.Store(true)
+				if cr.Abort != nil {
+					cr.Abort.Store(true)
+				}
+				return err
+			}
 			apkBytes, err := cr.Client.DownloadAPK(meta.Package)
 			if err != nil {
-				return res, fmt.Errorf("crawler: download %s: %w", meta.Package, err)
+				return fail(fmt.Errorf("crawler: download %s: %w", meta.Package, err))
 			}
 			man, err := cr.Client.Delivery(meta.Package)
 			if err != nil {
-				return res, fmt.Errorf("crawler: delivery %s: %w", meta.Package, err)
+				return fail(fmt.Errorf("crawler: delivery %s: %w", meta.Package, err))
 			}
-			res.CompanionFiles += len(man.OBBs) + len(man.AssetPacks)
 			if cr.Store != nil {
 				doc := docstore.Doc{
 					"package":   meta.Package,
@@ -247,21 +324,28 @@ func (cr *Crawler) Run(label string, handle func(meta AppMeta, apkBytes []byte) 
 					"apkBytes":  len(apkBytes),
 				}
 				if err := cr.Store.Put("apps-"+label, meta.Package, doc); err != nil {
-					return res, err
+					return fail(err)
 				}
 			}
 			if handle != nil {
-				if err := handle(meta, apkBytes); err != nil {
-					return res, fmt.Errorf("crawler: handling %s: %w", meta.Package, err)
+				if err := handle(idx, meta, apkBytes); err != nil {
+					return fail(fmt.Errorf("crawler: handling %s: %w", meta.Package, err))
 				}
 			}
+			mu.Lock()
+			res.CompanionFiles += len(man.OBBs) + len(man.AssetPacks)
 			res.Apps++
 			res.APKBytes += int64(len(apkBytes))
 			done++
 			if cr.Progress != nil {
 				cr.Progress(done, total)
 			}
-		}
+			mu.Unlock()
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return res, err
 	}
 	return res, nil
 }

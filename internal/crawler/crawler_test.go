@@ -1,7 +1,10 @@
 package crawler
 
 import (
+	"fmt"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"github.com/gaugenn/gaugenn/internal/docstore"
@@ -92,12 +95,17 @@ func TestCrawlerRun(t *testing.T) {
 	}
 	apps := 0
 	var apkTotal int64
-	res, err := cr.Run("2021", func(meta AppMeta, apkBytes []byte) error {
+	seenIdx := map[int]bool{}
+	res, err := cr.Run("2021", func(idx int, meta AppMeta, apkBytes []byte) error {
 		apps++
 		apkTotal += int64(len(apkBytes))
 		if meta.Package == "" || len(apkBytes) == 0 {
 			t.Errorf("bad handle args for %+v", meta)
 		}
+		if seenIdx[idx] {
+			t.Errorf("index %d delivered twice", idx)
+		}
+		seenIdx[idx] = true
 		return nil
 	})
 	if err != nil {
@@ -125,6 +133,67 @@ func TestCrawlerRun(t *testing.T) {
 	agg := store.TermsAgg("apps-2021", "category")
 	if agg["COMMUNICATION"] == 0 {
 		t.Fatal("category aggregation empty")
+	}
+	// Every crawl index in [0, total) was delivered exactly once.
+	for i := 0; i < res.Apps; i++ {
+		if !seenIdx[i] {
+			t.Fatalf("index %d never delivered", i)
+		}
+	}
+}
+
+func TestCrawlerRunParallelMatchesSequential(t *testing.T) {
+	study, base := startStore(t, 0.02)
+	crawl := func(workers int) (Result, map[int]string) {
+		t.Helper()
+		var mu sync.Mutex
+		pkgAt := map[int]string{}
+		cr := &Crawler{Client: NewClient(base), MaxPerCategory: 500, Workers: workers}
+		res, err := cr.Run("par", func(idx int, meta AppMeta, apkBytes []byte) error {
+			if len(apkBytes) == 0 {
+				return fmt.Errorf("empty apk for %s", meta.Package)
+			}
+			mu.Lock()
+			pkgAt[idx] = meta.Package
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, pkgAt
+	}
+	seqRes, seqPkgs := crawl(1)
+	parRes, parPkgs := crawl(8)
+	if seqRes.Apps != len(study.Snap21.Apps) || parRes.Apps != seqRes.Apps {
+		t.Fatalf("app counts diverge: seq=%d par=%d store=%d", seqRes.Apps, parRes.Apps, len(study.Snap21.Apps))
+	}
+	if parRes.APKBytes != seqRes.APKBytes || parRes.CompanionFiles != seqRes.CompanionFiles {
+		t.Fatalf("accounting diverges: seq=%+v par=%+v", seqRes, parRes)
+	}
+	if len(seqPkgs) != len(parPkgs) {
+		t.Fatalf("handle count diverges: seq=%d par=%d", len(seqPkgs), len(parPkgs))
+	}
+	// The index -> package assignment is deterministic across worker counts.
+	for idx, pkg := range seqPkgs {
+		if parPkgs[idx] != pkg {
+			t.Fatalf("index %d: seq=%s par=%s", idx, pkg, parPkgs[idx])
+		}
+	}
+}
+
+func TestCrawlerParallelStopsOnHandleError(t *testing.T) {
+	_, base := startStore(t, 0.02)
+	cr := &Crawler{Client: NewClient(base), MaxPerCategory: 500, Workers: 4}
+	var calls atomic.Int64
+	_, err := cr.Run("err", func(idx int, meta AppMeta, apkBytes []byte) error {
+		if calls.Add(1) == 3 {
+			return fmt.Errorf("synthetic handler failure")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "synthetic handler failure") {
+		t.Fatalf("handler error not surfaced: %v", err)
 	}
 }
 

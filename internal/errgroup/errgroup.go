@@ -1,0 +1,65 @@
+// Package errgroup is a dependency-free stand-in for
+// golang.org/x/sync/errgroup, providing the subset the pipeline needs:
+// spawning goroutines under an optional concurrency limit, collecting the
+// first error, and waiting for completion. The build environment cannot
+// fetch external modules, so the API mirrors x/sync exactly to make a
+// future swap a one-line import change.
+package errgroup
+
+import (
+	"fmt"
+	"sync"
+)
+
+// A Group is a collection of goroutines working on subtasks of a common
+// task. The zero value is valid and imposes no concurrency limit.
+type Group struct {
+	wg sync.WaitGroup
+
+	sem chan struct{}
+
+	errOnce sync.Once
+	err     error
+}
+
+// SetLimit limits the number of active goroutines in the group to at most
+// n. A negative n removes the limit. It must not be called while any group
+// goroutines are active.
+func (g *Group) SetLimit(n int) {
+	if n < 0 {
+		g.sem = nil
+		return
+	}
+	if len(g.sem) != 0 {
+		panic(fmt.Errorf("errgroup: modify limit while %v goroutines in the group are still active", len(g.sem)))
+	}
+	g.sem = make(chan struct{}, n)
+}
+
+// Go calls the given function in a new goroutine, blocking until the group
+// is under its concurrency limit. The first call to return a non-nil error
+// cancels nothing by itself but its error is the one Wait returns.
+func (g *Group) Go(f func() error) {
+	if g.sem != nil {
+		g.sem <- struct{}{}
+	}
+	g.wg.Add(1)
+	go func() {
+		defer func() {
+			if g.sem != nil {
+				<-g.sem
+			}
+			g.wg.Done()
+		}()
+		if err := f(); err != nil {
+			g.errOnce.Do(func() { g.err = err })
+		}
+	}()
+}
+
+// Wait blocks until all goroutines launched with Go have returned, then
+// returns the first non-nil error (if any) from them.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	return g.err
+}

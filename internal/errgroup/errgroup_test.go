@@ -1,0 +1,56 @@
+package errgroup
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGroupCollectsFirstError(t *testing.T) {
+	var g Group
+	want := errors.New("boom")
+	g.Go(func() error { return nil })
+	g.Go(func() error { return want })
+	if err := g.Wait(); err != want {
+		t.Fatalf("Wait() = %v, want %v", err, want)
+	}
+}
+
+func TestGroupLimitBoundsConcurrency(t *testing.T) {
+	var g Group
+	g.SetLimit(3)
+	var active, peak atomic.Int64
+	for i := 0; i < 50; i++ {
+		g.Go(func() error {
+			n := active.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			active.Add(-1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Fatalf("peak concurrency = %d, want <= 3", p)
+	}
+}
+
+func TestZeroGroupIsUnlimited(t *testing.T) {
+	var g Group
+	var n atomic.Int64
+	for i := 0; i < 20; i++ {
+		g.Go(func() error { n.Add(1); return nil })
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 20 {
+		t.Fatalf("ran %d tasks, want 20", n.Load())
+	}
+}

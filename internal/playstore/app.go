@@ -38,30 +38,35 @@ const (
 )
 
 // ModelFiles returns (building and caching on first use) the encoded file
-// set of a unique model in its assigned framework format.
+// set of a unique model in its assigned framework format. Building is
+// single-flight per spec: concurrent packagers of the same model wait for
+// the first build instead of repeating it, and builds of distinct specs
+// proceed in parallel — the lock only guards the cache map.
 func (s *Snapshot) ModelFiles(specIdx int) (formats.FileSet, error) {
 	if specIdx < 0 || specIdx >= len(s.Specs) {
 		return nil, fmt.Errorf("playstore: spec index %d out of range", specIdx)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if fs, ok := s.fileCache[specIdx]; ok {
-		return fs, nil
-	}
-	g, err := zoo.Build(s.Specs[specIdx])
-	if err != nil {
-		return nil, fmt.Errorf("playstore: building spec %d: %w", specIdx, err)
-	}
-	f, ok := formats.ByName(s.SpecFramework[specIdx])
+	e, ok := s.fileCache[specIdx]
 	if !ok {
-		return nil, fmt.Errorf("playstore: unknown framework %q", s.SpecFramework[specIdx])
+		e = &fileCacheEntry{}
+		s.fileCache[specIdx] = e
 	}
-	fs, err := f.Encode(g, s.Specs[specIdx].FileStem())
-	if err != nil {
-		return nil, err
-	}
-	s.fileCache[specIdx] = fs
-	return fs, nil
+	s.mu.Unlock()
+	e.once.Do(func() {
+		g, err := zoo.Build(s.Specs[specIdx])
+		if err != nil {
+			e.err = fmt.Errorf("playstore: building spec %d: %w", specIdx, err)
+			return
+		}
+		f, ok := formats.ByName(s.SpecFramework[specIdx])
+		if !ok {
+			e.err = fmt.Errorf("playstore: unknown framework %q", s.SpecFramework[specIdx])
+			return
+		}
+		e.fs, e.err = f.Encode(g, s.Specs[specIdx].FileStem())
+	})
+	return e.fs, e.err
 }
 
 // snpeFiles converts a model to the SNPE dlc container regardless of its

@@ -68,18 +68,34 @@ type Snapshot struct {
 
 	cfg Config
 
+	// fileCache single-flights per-spec model encoding: concurrent
+	// builders of the same spec wait on the first instead of serialising
+	// every encode behind one snapshot-wide lock.
 	mu        sync.Mutex
-	fileCache map[int]formats.FileSet
+	fileCache map[int]*fileCacheEntry
+
+	// pkgIndex accelerates AppByPackage for concurrent store clients; it
+	// is built lazily once generation has finished mutating Apps.
+	pkgOnce  sync.Once
+	pkgIndex map[string]*App
+}
+
+type fileCacheEntry struct {
+	once sync.Once
+	fs   formats.FileSet
+	err  error
 }
 
 // AppByPackage returns the app with the given package name.
 func (s *Snapshot) AppByPackage(pkg string) (*App, bool) {
-	for _, a := range s.Apps {
-		if a.Package == pkg {
-			return a, true
+	s.pkgOnce.Do(func() {
+		s.pkgIndex = make(map[string]*App, len(s.Apps))
+		for _, a := range s.Apps {
+			s.pkgIndex[a.Package] = a
 		}
-	}
-	return nil, false
+	})
+	a, ok := s.pkgIndex[pkg]
+	return a, ok
 }
 
 // TopChart returns the category's apps in rank order, capped at n.
@@ -386,7 +402,7 @@ func (g *generator) generate21() (*Snapshot, error) {
 		Label:     "snapshot-2021",
 		Date:      "2021-04-04",
 		cfg:       cfg,
-		fileCache: map[int]formats.FileSet{},
+		fileCache: map[int]*fileCacheEntry{},
 	}
 	appsPerCat := cfg.scaled(cfg.AppsPerCategory)
 	zipfDl, err := stats.NewZipf(g.rng, 1.1, maxInt(2, appsPerCat))
@@ -537,7 +553,7 @@ func (g *generator) derive20(snap21 *Snapshot) (*Snapshot, error) {
 		Label:         "snapshot-2020",
 		Date:          "2020-02-14",
 		cfg:           cfg,
-		fileCache:     map[int]formats.FileSet{},
+		fileCache:     map[int]*fileCacheEntry{},
 		Specs:         snap21.Specs,
 		SpecFramework: snap21.SpecFramework,
 	}
