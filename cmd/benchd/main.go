@@ -6,7 +6,10 @@
 // It prints the adb endpoint a bench master connects to. The agent wires a
 // Monsoon-style power monitor to the device's supply rail and keeps the
 // screen on with the black-background app, per the measurement
-// methodology.
+// methodology. Remote masters — a `gaugenn fleet -agents` pool — discover
+// the device and its supported backends over the QUERY message and pace it
+// thermally over COOL; the agent self-cycles its USB switch around each
+// headless run, since no remote process can reach the device-side switch.
 package main
 
 import (
@@ -14,9 +17,11 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"github.com/gaugenn/gaugenn/internal/bench"
+	"github.com/gaugenn/gaugenn/internal/mlrt"
 	"github.com/gaugenn/gaugenn/internal/power"
 	"github.com/gaugenn/gaugenn/internal/soc"
 )
@@ -24,6 +29,7 @@ import (
 func main() {
 	device := flag.String("device", "Q845", "device model (A20, A70, S21, Q845, Q855, Q888)")
 	workers := flag.Int("workers", 0, "max concurrent control connections (0 = unlimited)")
+	selfPower := flag.Bool("self-power", true, "agent cycles its own USB switch around headless runs (required for remote masters; disable only when an in-process master shares the switch)")
 	flag.Parse()
 
 	dev, err := soc.NewDevice(*device)
@@ -38,6 +44,7 @@ func main() {
 	// long-lived idle connection would pin a slot (connections have no
 	// read deadline).
 	agent.MaxConns = *workers
+	agent.SelfPower = *selfPower
 	addr, err := agent.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchd:", err)
@@ -45,7 +52,12 @@ func main() {
 	}
 	defer agent.Close()
 	fmt.Printf("benchd: %s (%s) agent listening on %s\n", dev.Model, dev.SoC.Name, addr)
-	fmt.Println("benchd: note — this process owns the USB switch; in-process masters must share it")
+	fmt.Printf("benchd: backends: %s\n", strings.Join(mlrt.SupportedBackends(dev), " "))
+	if *selfPower {
+		fmt.Println("benchd: self-power on — join a pool with `gaugenn fleet -agents " + addr + "`")
+	} else {
+		fmt.Println("benchd: note — this process owns the USB switch; in-process masters must share it")
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)

@@ -2,23 +2,28 @@
 //
 //	gaugenn study   -seed 42 -scale 0.05 [-http] [-workers N] [-out DIR]
 //	gaugenn bench   -device Q845 -backend cpu -model m.tflite [-threads 4]
+//	gaugenn fleet   -devices A70,Q845,Q888 -backends cpu,xnnpack,gpu -models 3 [-replicas N] [-agents addr,...]
 //	gaugenn devices
 //
 // "study" runs crawl -> extract -> analyse for both snapshots and prints
 // the Table 2/3 and Figure 4/5/6/7/15 summaries; "bench" measures one
-// model file on one simulated device; "devices" lists Table 1 profiles.
+// model file on one simulated device; "fleet" sweeps a benchmark matrix
+// across a pool of device rigs; "devices" lists Table 1 profiles.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"time"
 
 	"github.com/gaugenn/gaugenn/internal/bench"
 	"github.com/gaugenn/gaugenn/internal/core"
+	"github.com/gaugenn/gaugenn/internal/fleet"
 	"github.com/gaugenn/gaugenn/internal/nn/zoo"
 	"github.com/gaugenn/gaugenn/internal/power"
 	"github.com/gaugenn/gaugenn/internal/report"
@@ -36,6 +41,8 @@ func main() {
 		err = runStudy(os.Args[2:])
 	case "bench":
 		err = runBench(os.Args[2:])
+	case "fleet":
+		err = runFleet(os.Args[2:])
 	case "devices":
 		err = runDevices()
 	default:
@@ -52,6 +59,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   gaugenn study   -seed N -scale F [-http] [-workers N] [-out DIR]
   gaugenn bench   -device MODEL -backend NAME -model FILE [-threads N] [-batch N] [-runs N]
+  gaugenn fleet   -devices A,B,... -backends a,b,... -models N [-seed N] [-replicas N]
+                  [-agents host:port,...] [-runs N] [-scenarios=false] [-json FILE] [-out DIR]
   gaugenn devices`)
 }
 
@@ -214,6 +223,164 @@ func runBench(args []string) error {
 	fmt.Printf("avg power    : %.3f W (monitor: %.1f mJ total)\n", res.AvgPowerW, res.MonitorEnergyMJ)
 	fmt.Printf("flops        : %d, fallback ops: %d, throttled: %v\n", res.FLOPs, res.FallbackOps, res.Throttled)
 	return nil
+}
+
+// fleetTasks is the vision-leaning task cycle fleet matrices draw models
+// from (the commonly-compatible subset the paper sweeps across backends).
+var fleetTasks = []zoo.Task{
+	zoo.TaskImageClassification, zoo.TaskFaceDetection, zoo.TaskObjectDetection,
+	zoo.TaskSemanticSegmentation, zoo.TaskKeywordDetection, zoo.TaskPhotoBeauty,
+}
+
+func runFleet(args []string) error {
+	fs := flag.NewFlagSet("fleet", flag.ExitOnError)
+	devices := fs.String("devices", "A70,Q845,Q888", "comma-separated device models")
+	backends := fs.String("backends", "cpu,xnnpack,gpu", "comma-separated runtime backends")
+	nModels := fs.Int("models", 3, "number of zoo models in the matrix")
+	seed := fs.Int64("seed", 42, "model generation seed")
+	replicas := fs.Int("replicas", 1, "in-process rigs per device model (0 = none: pool is -agents only)")
+	agents := fs.String("agents", "", "comma-separated remote benchd endpoints to add to the pool")
+	threads := fs.Int("threads", 4, "CPU threads per job")
+	warmup := fs.Int("warmup", 2, "warmup inferences per job")
+	runs := fs.Int("runs", 5, "measured inferences per job")
+	scenarios := fs.Bool("scenarios", true, "project Table 4 usage scenarios from measured energy")
+	jsonPath := fs.String("json", "", "write the machine-readable results file here")
+	out := fs.String("out", "", "directory for report tables (stdout if empty)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	split := func(s string) []string {
+		var outS []string
+		for _, p := range strings.Split(s, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				outS = append(outS, p)
+			}
+		}
+		return outS
+	}
+
+	// The matrix is a pure function of (seed, models, devices, backends):
+	// the aggregated output is byte-identical for any pool size.
+	rng := rand.New(rand.NewSource(*seed))
+	var models []fleet.ModelSpec
+	for i := 0; i < *nModels; i++ {
+		task := fleetTasks[i%len(fleetTasks)]
+		ms, err := fleet.ZooModel(zoo.Spec{
+			Task: task, Seed: *seed + int64(i), Opts: zoo.DefaultOptsFor(task, rng),
+		})
+		if err != nil {
+			return err
+		}
+		models = append(models, ms)
+	}
+	matrix := fleet.Matrix{
+		Models:   models,
+		Devices:  split(*devices),
+		Backends: split(*backends),
+		Threads:  *threads,
+		Warmup:   *warmup,
+		Runs:     *runs,
+	}
+	if *scenarios {
+		matrix.Scenarios = bench.AllScenarios()
+	}
+	feasible, total, err := matrix.FeasibleCells()
+	if err != nil {
+		return err
+	}
+
+	var runners []fleet.Runner
+	if *replicas > 0 {
+		pool, err := fleet.NewLocalPool(matrix.Devices, *replicas)
+		if err != nil {
+			return err
+		}
+		defer pool.Close()
+		runners = append(runners, pool.Runners()...)
+	}
+	seenAgents := map[string]bool{}
+	for i, addr := range split(*agents) {
+		// One runner per agent: two runners sharing one benchd would race
+		// for the same physical device.
+		if seenAgents[addr] {
+			return fmt.Errorf("agent %s listed twice", addr)
+		}
+		seenAgents[addr] = true
+		r, err := fleet.NewRemoteRunner(fmt.Sprintf("remote#%d", i), addr, 5*time.Second, 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "fleet: attached %s (%s)\n", addr, r.DeviceModel())
+		runners = append(runners, r)
+	}
+	full, err := fleet.NewPool(runners...)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(os.Stderr, "fleet: %d models x %d devices x %d backends = %d cells (%d feasible) on %d rigs\n",
+		len(matrix.Models), len(matrix.Devices), len(matrix.Backends), total, feasible, len(runners))
+	start := time.Now()
+	var progressMu sync.Mutex
+	done := 0
+	agg, runErr := full.Run(matrix, fleet.Config{OnUnit: func(ur fleet.UnitResult) {
+		progressMu.Lock()
+		done++
+		fmt.Fprintf(os.Stderr, "\r\x1b[Kfleet: %d/%d cells", done, total)
+		if done == total {
+			fmt.Fprintln(os.Stderr)
+		}
+		progressMu.Unlock()
+	}})
+	if agg == nil {
+		return runErr
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "fleet: partial failure: %v\n", runErr)
+	}
+	fmt.Fprintf(os.Stderr, "fleet: matrix complete in %v\n", time.Since(start).Round(time.Millisecond))
+
+	emit := func(name, content string) error {
+		if content == "" {
+			return nil
+		}
+		if *out == "" {
+			fmt.Println(content)
+			return nil
+		}
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(*out, name), []byte(content), 0o644)
+	}
+	if err := emit("fleet_latency.txt", agg.LatencyTable()); err != nil {
+		return err
+	}
+	if err := emit("fleet_energy.txt", agg.EnergyTable()); err != nil {
+		return err
+	}
+	scTable, err := agg.ScenarioTable()
+	if err != nil {
+		return err
+	}
+	if err := emit("fleet_table4.txt", scTable); err != nil {
+		return err
+	}
+	if *jsonPath != "" {
+		js, err := agg.ResultsJSON()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonPath, js, 0o644); err != nil {
+			return err
+		}
+	}
+	sum, err := agg.Checksum()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("results checksum: sha256:%s\n", sum)
+	return runErr
 }
 
 func demoModel(task zoo.Task) ([]byte, error) {

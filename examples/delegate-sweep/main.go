@@ -1,8 +1,13 @@
 // Delegate-sweep reproduces Figures 13 and 14 on the Q845 HDK: CPU
 // runtimes (plain vs XNNPACK vs NNAPI) and SNPE hardware targets (CPU,
-// GPU, DSP) over a model population — driven through the full TCP
+// GPU, DSP) over a model population. The sweep is expressed as a fleet
+// benchmark matrix — 18 models x 1 device x 7 backends — dispatched
+// across a pool of Q845 rigs, each job driven through the full TCP
 // master-slave harness, USB power cycling and Monsoon-style energy
-// capture, exactly as Figure 3 choreographs it.
+// capture, exactly as Figure 3 choreographs it. The fleet's thermal
+// pacing cools the device between jobs, so every backend sees the same
+// cold-start conditions and the aggregated output is byte-identical for
+// any pool size.
 package main
 
 import (
@@ -10,12 +15,9 @@ import (
 	"log"
 	"math/rand"
 
-	"github.com/gaugenn/gaugenn/internal/bench"
-	"github.com/gaugenn/gaugenn/internal/core"
+	"github.com/gaugenn/gaugenn/internal/fleet"
 	"github.com/gaugenn/gaugenn/internal/nn/zoo"
-	"github.com/gaugenn/gaugenn/internal/power"
 	"github.com/gaugenn/gaugenn/internal/report"
-	"github.com/gaugenn/gaugenn/internal/soc"
 	"github.com/gaugenn/gaugenn/internal/stats"
 )
 
@@ -27,64 +29,59 @@ func main() {
 		zoo.TaskObjectDetection, zoo.TaskFaceDetection, zoo.TaskImageClassification,
 		zoo.TaskSemanticSegmentation, zoo.TaskContourDetection, zoo.TaskPhotoBeauty,
 	}
-	var jobs []bench.Job
+	var models []fleet.ModelSpec
 	for i := 0; i < 18; i++ {
 		task := tasks[i%len(tasks)]
-		g, err := zoo.Build(zoo.Spec{Task: task, Seed: int64(i + 1), Opts: zoo.DefaultOptsFor(task, rng)})
+		ms, err := fleet.ZooModel(zoo.Spec{Task: task, Seed: int64(i + 1), Opts: zoo.DefaultOptsFor(task, rng)})
 		if err != nil {
 			log.Fatal(err)
 		}
-		data, err := core.EncodeTFLite(g)
-		if err != nil {
-			log.Fatal(err)
-		}
-		jobs = append(jobs, bench.Job{ModelName: g.Name, Model: data, Threads: 4, Warmup: 2, Runs: 5})
+		models = append(models, ms)
 	}
-
-	// Device rig: agent + USB switch + monitor, driven by a master over
-	// TCP (the real harness path).
-	dev, err := soc.NewDevice("Q845")
-	if err != nil {
-		log.Fatal(err)
-	}
-	usb := power.NewUSBSwitch()
-	mon := power.NewMonitor()
-	agent := bench.NewAgent(dev, usb, mon)
-	addr, err := agent.Start()
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer agent.Close()
-	master := bench.NewMaster(addr, usb)
 
 	sweep := []string{"cpu", "xnnpack", "nnapi", "gpu", "snpe-cpu", "snpe-gpu", "snpe-dsp"}
-	meanLat := map[string]float64{}
-	meanEng := map[string]float64{}
-	for _, backend := range sweep {
-		var lats, engs []float64
-		batch := make([]bench.Job, len(jobs))
-		for i, j := range jobs {
-			j.ID = fmt.Sprintf("%s-%d", backend, i)
-			j.Backend = backend
-			batch[i] = j
-		}
-		dev.Reset()
-		results, err := master.RunJobs(batch)
-		if err != nil {
-			log.Fatal(err)
-		}
-		for _, r := range results {
-			if r.Error != "" {
-				continue
-			}
-			lats = append(lats, r.MeanLatency().Seconds()*1000)
-			engs = append(engs, r.MeanEnergymJ())
-		}
-		meanLat[backend] = stats.Mean(lats)
-		meanEng[backend] = stats.Mean(engs)
-		fmt.Print(report.ECDFSummary("latency "+backend, lats, "ms"))
+	matrix := fleet.Matrix{
+		Models:   models,
+		Devices:  []string{"Q845"},
+		Backends: sweep,
+		Threads:  4,
+		Warmup:   2,
+		Runs:     5,
 	}
 
+	// Device pool: two Q845 rigs (agent + USB switch + monitor, driven by
+	// a master over TCP — the real harness path) halve the sweep's
+	// wall-clock without changing a byte of the output.
+	pool, err := fleet.NewLocalPool(matrix.Devices, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer pool.Close()
+	agg, err := pool.Run(matrix, fleet.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	meanLat := map[string]float64{}
+	meanEng := map[string]float64{}
+	perLat := map[string][]float64{}
+	perEng := map[string][]float64{}
+	for _, ur := range agg.Units() {
+		if ur.Unit.Skip != "" || ur.Result.Error != "" {
+			continue
+		}
+		b := ur.Unit.Backend
+		perLat[b] = append(perLat[b], ur.Result.MeanLatency().Seconds()*1000)
+		perEng[b] = append(perEng[b], ur.Result.MeanEnergymJ())
+	}
+	for _, backend := range sweep {
+		meanLat[backend] = stats.Mean(perLat[backend])
+		meanEng[backend] = stats.Mean(perEng[backend])
+		fmt.Print(report.ECDFSummary("latency "+backend, perLat[backend], "ms"))
+	}
+
+	fmt.Println()
+	fmt.Print(agg.LatencyTable())
 	fmt.Println()
 	fmt.Print(report.Comparisons("Figure 13/14 speedups vs plain CPU (Q845)", []report.Comparison{
 		{Metric: "XNNPACK speedup", Paper: 1.03, Measured: meanLat["cpu"] / meanLat["xnnpack"], Unit: "x"},

@@ -1,0 +1,60 @@
+// Fleet scheduler benchmarks: the paper's §5-6 benchmark matrix (models x
+// devices x backends) dispatched across in-process device pools of
+// increasing size. BENCH_fleet.json records the trajectory; the output is
+// byte-identical across pool sizes (TestFleetByteIdenticalAcrossPoolSizes
+// in internal/fleet), so the only thing a bigger pool buys is wall-clock.
+//
+//	go test -bench Fleet -benchtime 3x -timeout 0
+package gaugenn_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/gaugenn/gaugenn/internal/fleet"
+	"github.com/gaugenn/gaugenn/internal/nn/zoo"
+)
+
+func fleetBenchMatrix(b *testing.B) fleet.Matrix {
+	b.Helper()
+	tasks := []zoo.Task{zoo.TaskImageClassification, zoo.TaskFaceDetection, zoo.TaskKeywordDetection}
+	var models []fleet.ModelSpec
+	for i, task := range tasks {
+		ms, err := fleet.ZooModel(zoo.Spec{Task: task, Seed: int64(i + 1)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		models = append(models, ms)
+	}
+	return fleet.Matrix{
+		Models:   models,
+		Devices:  []string{"A70", "Q845", "Q888"},
+		Backends: []string{"cpu", "xnnpack", "gpu"},
+		Threads:  4,
+		Warmup:   1,
+		Runs:     5,
+	}
+}
+
+func BenchmarkFleet(b *testing.B) {
+	for _, devices := range []int{1, 4} {
+		b.Run(fmt.Sprintf("devices=%d", devices), func(b *testing.B) {
+			b.ReportAllocs()
+			m := fleetBenchMatrix(b)
+			for i := 0; i < b.N; i++ {
+				pool, err := fleet.NewLocalPool(m.Devices, devices)
+				if err != nil {
+					b.Fatal(err)
+				}
+				agg, err := pool.Run(m, fleet.Config{})
+				pool.Close()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if agg.Done() != 27 {
+					b.Fatalf("aggregated %d units", agg.Done())
+				}
+			}
+		})
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"github.com/gaugenn/gaugenn/internal/analysis"
 	"github.com/gaugenn/gaugenn/internal/bench"
 	"github.com/gaugenn/gaugenn/internal/core"
+	"github.com/gaugenn/gaugenn/internal/fleet"
 	"github.com/gaugenn/gaugenn/internal/nn/graph"
 	"github.com/gaugenn/gaugenn/internal/nn/zoo"
 	"github.com/gaugenn/gaugenn/internal/soc"
@@ -74,3 +75,32 @@ func Devices() []string { return soc.AllDeviceModels() }
 
 // HDKs lists the energy-instrumented open-deck boards.
 func HDKs() []string { return soc.HDKModels() }
+
+// FleetMatrix is a benchmark matrix spec (models x devices x backends, with
+// optional Table 4 scenarios) for the device-lab orchestrator.
+type FleetMatrix = fleet.Matrix
+
+// FleetPool is a pool of benchmark rigs a matrix dispatches across.
+type FleetPool = fleet.Pool
+
+// FleetConfig tunes one fleet run (retry cap, thermal pacing, streaming).
+type FleetConfig = fleet.Config
+
+// FleetModel is one model entry of a fleet matrix.
+type FleetModel = fleet.ModelSpec
+
+// NewFleetPool builds an in-process pool with `replicas` rigs per device
+// model; aggregated fleet output is byte-identical for any replica count.
+func NewFleetPool(deviceModels []string, replicas int) (*FleetPool, error) {
+	return fleet.NewLocalPool(deviceModels, replicas)
+}
+
+// FleetModels converts bench-selected corpus models into fleet matrix
+// entries.
+func FleetModels(models []BenchModel) []FleetModel {
+	out := make([]FleetModel, 0, len(models))
+	for _, m := range models {
+		out = append(out, FleetModel{Name: m.Name, Data: m.Bytes})
+	}
+	return out
+}

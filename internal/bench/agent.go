@@ -38,9 +38,19 @@ type Agent struct {
 	// never blocks and Close stays responsive; the bound caps protocol
 	// concurrency, not accepted sockets.
 	MaxConns int
+	// SelfPower makes the agent cycle its own USB switch around the
+	// headless run instead of waiting for the master to cut power. A
+	// remote master (a fleet pool driving benchd over TCP) has no handle
+	// on the device-side switch, so the agent simulates the server's
+	// switch command itself: cut on POWEROFF, restore before notifying.
+	SelfPower bool
 
+	// mu guards the job maps AND serialises device access (job
+	// execution, QUERY, COOL), so concurrent control connections —
+	// e.g. two masters sharing one benchd — cannot race on the device.
 	mu      sync.Mutex
 	pending map[string]Job
+	order   []string // pending job IDs in arrival order
 	results map[string]JobResult
 
 	ln net.Listener
@@ -119,6 +129,9 @@ func (a *Agent) serveConn(conn net.Conn) {
 				return
 			}
 			a.mu.Lock()
+			if _, dup := a.pending[job.ID]; !dup {
+				a.order = append(a.order, job.ID)
+			}
 			a.pending[job.ID] = job
 			a.mu.Unlock()
 			a.reply(conn, msgReady, job.ID)
@@ -143,9 +156,37 @@ func (a *Agent) serveConn(conn net.Conn) {
 		case msgClean:
 			a.mu.Lock()
 			a.pending = map[string]Job{}
+			a.order = nil
 			a.results = map[string]JobResult{}
 			a.mu.Unlock()
 			a.reply(conn, msgOK, nil)
+		case msgQuery:
+			a.mu.Lock()
+			env := a.Device.Envelope()
+			info := AgentInfo{
+				Device:    a.Device.Model,
+				SoC:       a.Device.SoC.Name,
+				OpenDeck:  a.Device.OpenDeck,
+				Backends:  mlrt.SupportedBackends(a.Device),
+				HeatJ:     a.Device.Thermal.HeatJ,
+				CapacityJ: env.CapacityJ,
+			}
+			a.mu.Unlock()
+			a.reply(conn, msgInfo, info)
+		case msgCool:
+			// Thermal pacing: idle (in virtual time) until stored heat
+			// drops to the requested level. Must not overlap a headless
+			// run; fleet schedulers serialise per device.
+			var targetJ float64
+			_ = json.Unmarshal(env.Payload, &targetJ)
+			a.mu.Lock()
+			thermalEnv := a.Device.Envelope()
+			dt := a.Device.Thermal.CooldownNeeded(thermalEnv, targetJ)
+			if dt > 0 {
+				a.Device.Idle(dt, a.ScreenOn, nil)
+			}
+			a.mu.Unlock()
+			a.reply(conn, msgOK, int64(dt))
 		default:
 			a.reply(conn, "ERROR", "unknown message "+env.Kind)
 		}
@@ -164,14 +205,23 @@ func (a *Agent) reply(conn net.Conn, kind string, payload any) {
 // all pending jobs, then turn WiFi on and notify the master.
 func (a *Agent) runHeadless(notifyAddr string) {
 	if a.USB != nil {
-		<-a.USB.WaitPowerOff()
+		if a.SelfPower {
+			a.USB.SetPower(false)
+		} else {
+			<-a.USB.WaitPowerOff()
+		}
 	}
+	// Drain in arrival order: within a batch the device heats up across
+	// jobs, so execution order must be the push order, not map order.
 	a.mu.Lock()
 	jobs := make([]Job, 0, len(a.pending))
-	for _, j := range a.pending {
-		jobs = append(jobs, j)
+	for _, id := range a.order {
+		if j, ok := a.pending[id]; ok {
+			jobs = append(jobs, j)
+		}
 	}
 	a.pending = map[string]Job{}
+	a.order = nil
 	a.mu.Unlock()
 
 	for _, job := range jobs {
@@ -179,6 +229,9 @@ func (a *Agent) runHeadless(notifyAddr string) {
 		a.mu.Lock()
 		a.results[job.ID] = res
 		a.mu.Unlock()
+	}
+	if a.USB != nil && a.SelfPower {
+		a.USB.SetPower(true) // restore adb so the master can collect
 	}
 
 	// "it turns on WiFi upon completion and communicates a TCP message
@@ -193,7 +246,12 @@ func (a *Agent) runHeadless(notifyAddr string) {
 }
 
 // executeJob runs warmup + measured inferences on the simulated device.
+// It holds a.mu for the whole run: the device (clock, thermal state,
+// monitor wiring) is a single physical resource, so job execution excludes
+// the QUERY/COOL handlers and any concurrently prepared batch.
 func (a *Agent) executeJob(job Job) JobResult {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	res := JobResult{ID: job.ID, ModelName: job.ModelName, Device: a.Device.Model, Backend: job.Backend}
 	fail := func(err error) JobResult {
 		res.Error = err.Error()

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -108,6 +109,38 @@ func TestMasterSlaveMultipleJobs(t *testing.T) {
 	// (both are small vision nets).
 	if res[1].MeanLatency() >= res[0].MeanLatency()*3 {
 		t.Fatalf("unexpected latencies: %v vs %v", res[1].MeanLatency(), res[0].MeanLatency())
+	}
+}
+
+func TestMultiJobBatchRunsInPushOrder(t *testing.T) {
+	// Within a batch the device heats across jobs, so execution order is
+	// observable; it must be the push order, reproducibly — not Go map
+	// iteration order.
+	run := func() []JobResult {
+		_, master, _ := newRig(t, "S21")
+		var jobs []Job
+		for i := 0; i < 4; i++ {
+			b, _ := modelBytes(t, zoo.TaskSemanticSegmentation, 70+int64(i))
+			jobs = append(jobs, Job{
+				ID: fmt.Sprintf("batch-%d", i), Model: b,
+				Backend: "cpu", Threads: 4, Warmup: 1, Runs: 6,
+			})
+		}
+		res, err := master.RunJobs(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i].Error != "" || b[i].Error != "" {
+			t.Fatalf("job %d errored: %q %q", i, a[i].Error, b[i].Error)
+		}
+		if fmt.Sprint(a[i].LatenciesNS) != fmt.Sprint(b[i].LatenciesNS) {
+			t.Fatalf("job %d latencies differ across identical batches:\n%v\n%v",
+				i, a[i].LatenciesNS, b[i].LatenciesNS)
+		}
 	}
 }
 
@@ -229,4 +262,91 @@ func TestRunJobsEmpty(t *testing.T) {
 	if err != nil || res != nil {
 		t.Fatalf("empty jobs: %v %v", res, err)
 	}
+}
+
+func TestSuperResolutionScenarioDerivesFromInputDims(t *testing.T) {
+	segm, err := zoo.Build(zoo.Spec{Task: zoo.TaskSemanticSegmentation, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := SuperResolutionScenario()
+	n := sc.Inferences(segm)
+	in := segm.Inputs[0].Shape // [1 H W C]
+	tilesX := int((1920 + in[2] - 1) / in[2])
+	tilesY := int((1080 + in[1] - 1) / in[1])
+	want := 24 * 60 * tilesX * tilesY
+	if n != want {
+		t.Fatalf("super-resolution inferences = %d, want %d for %dx%d tiles", n, want, in[2], in[1])
+	}
+	// A non-vision input falls back to the 192px tile.
+	typing, _ := zoo.Build(zoo.Spec{Task: zoo.TaskAutoComplete, Seed: 12})
+	if got := sc.Inferences(typing); got != 24*60*10*6 {
+		t.Fatalf("fallback tile count = %d", got)
+	}
+}
+
+func TestAllScenariosAndLookup(t *testing.T) {
+	all := AllScenarios()
+	if len(all) != 4 {
+		t.Fatalf("want 4 Table-4 scenarios, got %d", len(all))
+	}
+	for _, sc := range all {
+		got, err := ScenarioByName(sc.Name)
+		if err != nil || got.Name != sc.Name {
+			t.Fatalf("lookup %q: %v", sc.Name, err)
+		}
+	}
+	if _, err := ScenarioByName("nope"); err == nil {
+		t.Fatal("unknown scenario must error")
+	}
+}
+
+func TestMasterQueryAndCoolDevice(t *testing.T) {
+	agent, master, _ := newRig(t, "Q845")
+	info, err := master.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Device != "Q845" || info.SoC != "Snapdragon 845" || !info.OpenDeck {
+		t.Fatalf("identity: %+v", info)
+	}
+	if len(info.Backends) == 0 || info.CapacityJ <= 0 {
+		t.Fatalf("incomplete info: %+v", info)
+	}
+	// Run a hot job, then verify COOL restores a cold thermal state and
+	// reports the idle time it inserted.
+	b, _ := modelBytes(t, zoo.TaskSemanticSegmentation, 13)
+	res, err := master.RunJob(Job{ID: "hot", Model: b, Backend: "cpu", Threads: 4, Warmup: 1, Runs: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Error != "" {
+		t.Fatal(res.Error)
+	}
+	hot, err := master.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.HeatJ <= 0 {
+		t.Fatalf("continuous inference should deposit heat, got %v J", hot.HeatJ)
+	}
+	idled, err := master.CoolDevice(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idled <= 0 {
+		t.Fatalf("cooldown of a hot device should idle, got %v", idled)
+	}
+	cold, err := master.Query()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.HeatJ != 0 {
+		t.Fatalf("heat after cooldown = %v J, want 0", cold.HeatJ)
+	}
+	// Cooling a cold device is a no-op.
+	if idled, err = master.CoolDevice(0); err != nil || idled != 0 {
+		t.Fatalf("second cooldown: %v, %v", idled, err)
+	}
+	_ = agent
 }

@@ -55,6 +55,58 @@ func fakeSilentAgent(t *testing.T) string {
 	return ln.Addr().String()
 }
 
+// fakeDeafAgent accepts connections and then ignores every frame — a
+// device that wedged before the prepare handshake.
+func fakeDeafAgent(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			_ = conn // hold open, never reply
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func TestMasterTimesOutDuringPrepareHandshake(t *testing.T) {
+	addr := fakeDeafAgent(t)
+	master := NewMaster(addr, nil)
+	master.Timeout = 150 * time.Millisecond
+	b, _ := modelBytes(t, zoo.TaskFaceDetection, 66)
+	start := time.Now()
+	_, err := master.RunJob(Job{ID: "deaf", Model: b, Backend: "cpu", Runs: 1})
+	if err == nil {
+		t.Fatal("deaf agent must fail the prepare handshake")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("prepare handshake ignored m.Timeout: took %v", elapsed)
+	}
+}
+
+func TestMasterDialTimeoutConfigurable(t *testing.T) {
+	// A blackholed dial must respect the configured bound rather than the
+	// historical hardcoded 5 s. 203.0.113.0/24 is TEST-NET-3: unroutable.
+	master := NewMaster("203.0.113.1:9", nil)
+	master.DialTimeout = 100 * time.Millisecond
+	b, _ := modelBytes(t, zoo.TaskFaceDetection, 67)
+	start := time.Now()
+	_, err := master.RunJob(Job{ID: "x", Model: b, Backend: "cpu", Runs: 1})
+	if err == nil {
+		t.Fatal("unroutable agent should fail")
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("dial ignored DialTimeout: took %v", elapsed)
+	}
+}
+
 func TestMasterTimesOutOnSilentDevice(t *testing.T) {
 	addr := fakeSilentAgent(t)
 	master := NewMaster(addr, nil)

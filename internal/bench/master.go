@@ -18,8 +18,13 @@ type Master struct {
 	AgentAddr string
 	// USB is the switch wired between server and device.
 	USB *power.USBSwitch
-	// Timeout bounds each benchmark round.
+	// Timeout bounds each benchmark round: the prepare and collect
+	// handshakes as well as the wait for the WiFi notification.
 	Timeout time.Duration
+	// DialTimeout bounds each agent dial (0 = the 5 s default). Fleet
+	// pools shorten it so a dead remote agent fails fast and its jobs
+	// requeue elsewhere.
+	DialTimeout time.Duration
 }
 
 // NewMaster pairs a master with an agent endpoint and switch.
@@ -41,10 +46,13 @@ func (m *Master) RunJobs(jobs []Job) ([]JobResult, error) {
 	defer notifyLn.Close()
 
 	// Prepare: push all dependencies over adb and arm the headless script.
+	// The round timeout covers this handshake too: a device that accepts
+	// the dial but never acknowledges a job must not hang the master.
 	conn, err := m.dialAgent()
 	if err != nil {
 		return nil, err
 	}
+	m.armDeadline(conn)
 	rd := bufio.NewScanner(conn)
 	rd.Buffer(make([]byte, 1<<20), 256<<20)
 	for _, job := range jobs {
@@ -121,6 +129,7 @@ func (m *Master) RunJobs(jobs []Job) ([]JobResult, error) {
 		return nil, err
 	}
 	defer conn.Close()
+	m.armDeadline(conn)
 	rd = bufio.NewScanner(conn)
 	rd.Buffer(make([]byte, 1<<20), 256<<20)
 	results := make([]JobResult, 0, len(jobs))
@@ -160,11 +169,68 @@ func (m *Master) dialAgent() (net.Conn, error) {
 	if m.USB != nil && !m.USB.DataOn() {
 		return nil, fmt.Errorf("bench: USB data channel is down")
 	}
-	conn, err := net.DialTimeout("tcp", m.AgentAddr, 5*time.Second)
+	dial := m.DialTimeout
+	if dial <= 0 {
+		dial = 5 * time.Second
+	}
+	conn, err := net.DialTimeout("tcp", m.AgentAddr, dial)
 	if err != nil {
 		return nil, fmt.Errorf("bench: dialing agent: %w", err)
 	}
 	return conn, nil
+}
+
+// armDeadline bounds a control-channel exchange by the round timeout.
+func (m *Master) armDeadline(conn net.Conn) {
+	if m.Timeout > 0 {
+		conn.SetDeadline(time.Now().Add(m.Timeout))
+	}
+}
+
+// roundtrip runs one request/reply exchange on a fresh control connection.
+func (m *Master) roundtrip(sendKind string, payload any, wantKind string) (json.RawMessage, error) {
+	conn, err := m.dialAgent()
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	m.armDeadline(conn)
+	if err := m.send(conn, sendKind, payload); err != nil {
+		return nil, err
+	}
+	rd := bufio.NewScanner(conn)
+	rd.Buffer(make([]byte, 1<<20), 256<<20)
+	return m.expect(rd, wantKind)
+}
+
+// Query asks the agent for its identity, supported backends and thermal
+// state — how a fleet scheduler discovers what a remote benchd serves.
+func (m *Master) Query() (AgentInfo, error) {
+	payload, err := m.roundtrip(msgQuery, nil, msgInfo)
+	if err != nil {
+		return AgentInfo{}, err
+	}
+	var info AgentInfo
+	if err := json.Unmarshal(payload, &info); err != nil {
+		return AgentInfo{}, fmt.Errorf("bench: bad info payload: %w", err)
+	}
+	return info, nil
+}
+
+// CoolDevice idles the device (in virtual time) until its stored heat is
+// at most targetJ, returning the idle duration inserted. Cooling to zero
+// between continuous-inference jobs makes per-job thermal behaviour
+// independent of queue position.
+func (m *Master) CoolDevice(targetJ float64) (time.Duration, error) {
+	payload, err := m.roundtrip(msgCool, targetJ, msgOK)
+	if err != nil {
+		return 0, err
+	}
+	var ns int64
+	if err := json.Unmarshal(payload, &ns); err != nil {
+		return 0, fmt.Errorf("bench: bad cool payload: %w", err)
+	}
+	return time.Duration(ns), nil
 }
 
 func (m *Master) send(conn net.Conn, kind string, payload any) error {
@@ -178,6 +244,9 @@ func (m *Master) send(conn net.Conn, kind string, payload any) error {
 
 func (m *Master) expect(rd *bufio.Scanner, kind string) (json.RawMessage, error) {
 	if !rd.Scan() {
+		if err := rd.Err(); err != nil {
+			return nil, fmt.Errorf("bench: waiting for %s: %w", kind, err)
+		}
 		return nil, fmt.Errorf("bench: connection closed waiting for %s", kind)
 	}
 	var env envelope

@@ -101,7 +101,26 @@ const (
 	msgClean    = "CLEAN"
 	msgOK       = "OK"
 	msgDone     = "DONE"
+	// Fleet-orchestration messages: a pool scheduler identifies agents and
+	// paces jobs thermally without assuming in-process access to the device.
+	msgQuery = "QUERY" // -> INFO: device identity, backends, thermal state
+	msgInfo  = "INFO"
+	msgCool  = "COOL" // payload: target stored heat in J -> OK: idled ns
 )
+
+// AgentInfo is the QUERY reply: everything a fleet scheduler needs to
+// place jobs on the device — identity, the backend axis it supports and
+// its current thermal state.
+type AgentInfo struct {
+	Device   string   `json:"device"`
+	SoC      string   `json:"soc"`
+	OpenDeck bool     `json:"openDeck"`
+	Backends []string `json:"backends"`
+	// HeatJ is the leaky-bucket stored heat at query time; CapacityJ is
+	// the envelope's throttling knee, so HeatJ/CapacityJ is headroom.
+	HeatJ     float64 `json:"heatJ"`
+	CapacityJ float64 `json:"capacityJ"`
+}
 
 // envelope frames every wire message as line-delimited JSON.
 type envelope struct {

@@ -71,6 +71,52 @@ func SegmentationScenario() Scenario {
 	}
 }
 
+// SuperResolutionScenario enhances a one-minute 24 FPS 1080p camera clip:
+// each inference upscales one model-input-sized tile, so the inference
+// count derives from the model's input dimensions — the frame tiles into
+// ceil(1920/W) x ceil(1080/H) patches, mirroring how the Table 4 audio
+// scenario derives its count from the input window.
+func SuperResolutionScenario() Scenario {
+	const (
+		frameW, frameH = 1920.0, 1080.0
+		frames         = 24 * 60
+	)
+	return Scenario{
+		Name: "Super-R.",
+		Inferences: func(g *graph.Graph) int {
+			tileH, tileW := 192.0, 192.0 // common SR patch fallback
+			if len(g.Inputs) > 0 {
+				if in := g.Inputs[0].Shape; len(in) >= 3 && in[1] > 1 && in[2] > 1 {
+					tileH, tileW = float64(in[1]), float64(in[2])
+				}
+			}
+			tiles := math.Ceil(frameW/tileW) * math.Ceil(frameH/tileH)
+			return frames * int(tiles)
+		},
+	}
+}
+
+// AllScenarios lists the Table 4 usage scenarios in table order — the
+// scenario axis a fleet benchmark matrix sweeps.
+func AllScenarios() []Scenario {
+	return []Scenario{
+		SoundRecognitionScenario(),
+		TypingScenario(),
+		SegmentationScenario(),
+		SuperResolutionScenario(),
+	}
+}
+
+// ScenarioByName resolves a scenario by its table label.
+func ScenarioByName(name string) (Scenario, error) {
+	for _, sc := range AllScenarios() {
+		if sc.Name == name {
+			return sc, nil
+		}
+	}
+	return Scenario{}, fmt.Errorf("bench: unknown scenario %q", name)
+}
+
 // ScenarioStats is one Table 4 cell group: battery discharge statistics
 // across the models serving the scenario.
 type ScenarioStats struct {

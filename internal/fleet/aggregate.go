@@ -1,0 +1,313 @@
+package fleet
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/gaugenn/gaugenn/internal/power"
+	"github.com/gaugenn/gaugenn/internal/report"
+)
+
+// Aggregator ingests unit results as runners finish them (streaming —
+// tables and the JSON file can be rendered at any point) and renders the
+// matrix's aggregated views. Every view orders by matrix index and carries
+// nothing scheduling-dependent, so for a fixed matrix the output is
+// byte-identical regardless of pool size.
+type Aggregator struct {
+	mu     sync.Mutex
+	matrix Matrix
+	units  map[int]UnitResult
+	// gmu serialises lazy graph decodes in the matrix's model specs, so
+	// concurrent renders of scenario views stay race-free.
+	gmu sync.Mutex
+}
+
+// NewAggregator prepares an aggregator for one matrix run.
+func NewAggregator(m Matrix) *Aggregator {
+	return &Aggregator{matrix: m, units: map[int]UnitResult{}}
+}
+
+// Add ingests one completed unit.
+func (a *Aggregator) Add(ur UnitResult) {
+	a.mu.Lock()
+	a.units[ur.Unit.Index] = ur
+	a.mu.Unlock()
+}
+
+// Done reports how many units have been ingested.
+func (a *Aggregator) Done() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.units)
+}
+
+// Units returns the ingested results in matrix order.
+func (a *Aggregator) Units() []UnitResult {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]UnitResult, 0, len(a.units))
+	for _, ur := range a.units {
+		out = append(out, ur)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Unit.Index < out[j].Unit.Index })
+	return out
+}
+
+// cellKey groups units per (device, backend) cell.
+type cellKey struct{ device, backend string }
+
+// measured collects the successful per-model results of each cell, in
+// matrix order.
+func (a *Aggregator) measured() map[cellKey][]UnitResult {
+	out := map[cellKey][]UnitResult{}
+	for _, ur := range a.Units() {
+		if ur.Unit.Skip != "" || ur.Err != nil || ur.Result.Error != "" {
+			continue
+		}
+		k := cellKey{ur.Unit.Device, ur.Unit.Backend}
+		out[k] = append(out[k], ur)
+	}
+	return out
+}
+
+// forEachCell walks device x backend cells in matrix order.
+func (a *Aggregator) forEachCell(fn func(device, backend string, cell []UnitResult)) {
+	cells := a.measured()
+	for _, d := range a.matrix.Devices {
+		for _, b := range a.matrix.Backends {
+			fn(d, b, cells[cellKey{d, b}])
+		}
+	}
+}
+
+// LatencyTable renders mean per-inference latency (ms) distributions
+// across the matrix's models, one row per device x backend cell.
+func (a *Aggregator) LatencyTable() string {
+	headers := append([]string{"device", "backend", "models", "throttled"}, report.DistHeaders("lat ms")...)
+	var rows [][]string
+	a.forEachCell(func(d, b string, cell []UnitResult) {
+		var lats []float64
+		throttled := 0
+		for _, ur := range cell {
+			lats = append(lats, ur.Result.MeanLatency().Seconds()*1000)
+			if ur.Result.Throttled {
+				throttled++
+			}
+		}
+		row := []string{d, b, fmt.Sprint(len(lats)), fmt.Sprint(throttled)}
+		rows = append(rows, append(row, report.DistCells(lats, "%.3g")...))
+	})
+	return report.Table("Fleet matrix: per-inference latency", headers, rows)
+}
+
+// EnergyTable renders mean per-inference energy (mJ) distributions, one
+// row per device x backend cell.
+func (a *Aggregator) EnergyTable() string {
+	headers := append([]string{"device", "backend", "models", "fallback ops"}, report.DistHeaders("mJ")...)
+	var rows [][]string
+	a.forEachCell(func(d, b string, cell []UnitResult) {
+		var engs []float64
+		fallback := 0
+		for _, ur := range cell {
+			engs = append(engs, ur.Result.MeanEnergymJ())
+			fallback += ur.Result.FallbackOps
+		}
+		row := []string{d, b, fmt.Sprint(len(engs)), fmt.Sprint(fallback)}
+		rows = append(rows, append(row, report.DistCells(engs, "%.3g")...))
+	})
+	return report.Table("Fleet matrix: per-inference energy", headers, rows)
+}
+
+// scenarioRow is one Table 4 projection cell: battery discharge across the
+// matrix's models for a scenario on a device x backend cell.
+type scenarioRow struct {
+	Scenario   string    `json:"scenario"`
+	Device     string    `json:"device"`
+	Backend    string    `json:"backend"`
+	Models     int       `json:"models"`
+	Discharges []float64 `json:"dischargesMah"` // sorted ascending
+}
+
+// scenarioRows projects measured per-inference energy through each
+// scenario's inference count, as the paper derives Table 4 from its
+// energy measurements.
+func (a *Aggregator) scenarioRows() ([]scenarioRow, error) {
+	if len(a.matrix.Scenarios) == 0 {
+		return nil, nil
+	}
+	a.gmu.Lock()
+	defer a.gmu.Unlock()
+	graphs := map[string]int{} // model name -> matrix index
+	for i := range a.matrix.Models {
+		graphs[a.matrix.Models[i].Name] = i
+	}
+	bat := power.Battery{Voltage: power.DefaultRailVoltage}
+	var rows []scenarioRow
+	var err error
+	for _, sc := range a.matrix.Scenarios {
+		a.forEachCell(func(d, b string, cell []UnitResult) {
+			row := scenarioRow{Scenario: sc.Name, Device: d, Backend: b}
+			for _, ur := range cell {
+				mi, ok := graphs[ur.Unit.Model]
+				if !ok {
+					continue
+				}
+				g, gerr := a.matrix.Models[mi].graphOrDecode()
+				if gerr != nil {
+					err = gerr
+					return
+				}
+				n := sc.Inferences(g)
+				perInfJ := ur.Result.MeanEnergymJ() / 1000
+				row.Discharges = append(row.Discharges, bat.DischargemAh(perInfJ*float64(n)))
+			}
+			row.Models = len(row.Discharges)
+			row.Discharges = sortedCopy(row.Discharges)
+			rows = append(rows, row)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return rows, nil
+}
+
+// ScenarioTable renders the Table 4 usage-scenario projection: battery
+// discharge (mAh) distributions per scenario x device x backend.
+func (a *Aggregator) ScenarioTable() (string, error) {
+	rows, err := a.scenarioRows()
+	if err != nil {
+		return "", err
+	}
+	if rows == nil {
+		return "", nil
+	}
+	headers := append([]string{"scenario", "device", "backend", "models"}, report.DistHeaders("mAh")...)
+	var trows [][]string
+	for _, r := range rows {
+		row := []string{r.Scenario, r.Device, r.Backend, fmt.Sprint(r.Models)}
+		trows = append(trows, append(row, report.DistCells(r.Discharges, "%.4g")...))
+	}
+	return report.Table("Fleet matrix: Table 4 usage scenarios (battery discharge)", headers, trows), nil
+}
+
+// unitJSON is the machine-readable record of one matrix cell. Scheduling
+// details (runner identity, attempts) are deliberately absent: the file
+// must be byte-identical across pool sizes.
+type unitJSON struct {
+	Index   int    `json:"index"`
+	Model   string `json:"model"`
+	Device  string `json:"device"`
+	Backend string `json:"backend"`
+	Skip    string `json:"skip,omitempty"`
+	Error   string `json:"error,omitempty"`
+
+	LatenciesNS     []int64   `json:"latenciesNs,omitempty"`
+	EnergiesMJ      []float64 `json:"energiesMj,omitempty"`
+	MeanLatencyNS   int64     `json:"meanLatencyNs,omitempty"`
+	MeanEnergyMJ    float64   `json:"meanEnergyMj,omitempty"`
+	MonitorEnergyMJ float64   `json:"monitorEnergyMj,omitempty"`
+	AvgPowerW       float64   `json:"avgPowerW,omitempty"`
+	FLOPs           int64     `json:"flops,omitempty"`
+	PeakMemBytes    int64     `json:"peakMemBytes,omitempty"`
+	CPUUtil         float64   `json:"cpuUtil,omitempty"`
+	FallbackOps     int       `json:"fallbackOps,omitempty"`
+	Throttled       bool      `json:"throttled,omitempty"`
+}
+
+// resultsFile is the fleet's machine-readable output.
+type resultsFile struct {
+	Schema    string        `json:"schema"`
+	Devices   []string      `json:"devices"`
+	Backends  []string      `json:"backends"`
+	Models    []string      `json:"models"`
+	Scenarios []string      `json:"scenarios,omitempty"`
+	Threads   int           `json:"threads,omitempty"`
+	Warmup    int           `json:"warmup,omitempty"`
+	Runs      int           `json:"runs,omitempty"`
+	Units     []unitJSON    `json:"units"`
+	Table4    []scenarioRow `json:"table4,omitempty"`
+}
+
+// ResultsSchema identifies the JSON results format.
+const ResultsSchema = "gaugenn/fleet-results/v1"
+
+// ResultsJSON renders the machine-readable results file: matrix identity,
+// every unit in matrix order, and the Table 4 projections.
+func (a *Aggregator) ResultsJSON() ([]byte, error) {
+	t4, err := a.scenarioRows()
+	if err != nil {
+		return nil, err
+	}
+	file := resultsFile{
+		Schema:    ResultsSchema,
+		Devices:   a.matrix.Devices,
+		Backends:  a.matrix.Backends,
+		Models:    a.matrix.modelNames(),
+		Scenarios: a.matrix.scenarioNames(),
+		Threads:   a.matrix.Threads,
+		Warmup:    a.matrix.Warmup,
+		Runs:      a.matrix.Runs,
+		Table4:    t4,
+	}
+	for _, ur := range a.Units() {
+		uj := unitJSON{
+			Index:   ur.Unit.Index,
+			Model:   ur.Unit.Model,
+			Device:  ur.Unit.Device,
+			Backend: ur.Unit.Backend,
+			Skip:    ur.Unit.Skip,
+		}
+		switch {
+		case ur.Err != nil:
+			// A stable marker, not the error text: ExhaustedError carries
+			// runner IDs and attempt counts, which depend on pool size and
+			// scheduling — the file must stay deterministic even for runs
+			// with transport failures. Full detail stays available via
+			// FailedUnits() and Pool.Run's returned error.
+			uj.Error = fmt.Sprintf("exhausted: transport failure on every eligible %s runner", ur.Unit.Device)
+		case ur.Unit.Skip == "":
+			r := ur.Result
+			uj.Error = r.Error
+			uj.LatenciesNS = r.LatenciesNS
+			uj.EnergiesMJ = r.EnergiesMJ
+			uj.MeanLatencyNS = int64(r.MeanLatency())
+			uj.MeanEnergyMJ = r.MeanEnergymJ()
+			uj.MonitorEnergyMJ = r.MonitorEnergyMJ
+			uj.AvgPowerW = r.AvgPowerW
+			uj.FLOPs = r.FLOPs
+			uj.PeakMemBytes = r.PeakMemBytes
+			uj.CPUUtil = r.CPUUtil
+			uj.FallbackOps = r.FallbackOps
+			uj.Throttled = r.Throttled
+		}
+		file.Units = append(file.Units, uj)
+	}
+	return json.MarshalIndent(file, "", "  ")
+}
+
+// Checksum returns the hex SHA-256 of ResultsJSON — the determinism gate's
+// one-line witness: equal checksums mean byte-identical aggregated output.
+func (a *Aggregator) Checksum() (string, error) {
+	b, err := a.ResultsJSON()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// FailedUnits lists cells that ended with a transport-level error.
+func (a *Aggregator) FailedUnits() []UnitResult {
+	var out []UnitResult
+	for _, ur := range a.Units() {
+		if ur.Err != nil {
+			out = append(out, ur)
+		}
+	}
+	return out
+}

@@ -1,0 +1,368 @@
+package fleet
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/gaugenn/gaugenn/internal/bench"
+	"github.com/gaugenn/gaugenn/internal/nn/zoo"
+	"github.com/gaugenn/gaugenn/internal/power"
+	"github.com/gaugenn/gaugenn/internal/soc"
+)
+
+// testMatrix builds a small but real matrix: 3 models x 2 devices x 3
+// backends, including one device-infeasible combination (A70 has no DSP).
+func testMatrix(t *testing.T) Matrix {
+	t.Helper()
+	var models []ModelSpec
+	for i, task := range []zoo.Task{zoo.TaskKeywordDetection, zoo.TaskCrashDetection, zoo.TaskFaceDetection} {
+		ms, err := ZooModel(zoo.Spec{Task: task, Seed: int64(i + 1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		models = append(models, ms)
+	}
+	return Matrix{
+		Models:   models,
+		Devices:  []string{"A70", "Q888"},
+		Backends: []string{"cpu", "xnnpack", "snpe-dsp"},
+		Threads:  4,
+		Warmup:   1,
+		Runs:     2,
+	}
+}
+
+func TestMatrixExpandDeterministicAndTotal(t *testing.T) {
+	m := testMatrix(t)
+	units, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(units) != 3*2*3 {
+		t.Fatalf("units = %d, want 18", len(units))
+	}
+	again, err := m.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	skips := 0
+	for i, u := range units {
+		if u.Index != i {
+			t.Fatalf("unit %d carries index %d", i, u.Index)
+		}
+		if u.Skip != "" {
+			skips++
+			if u.Device != "A70" || u.Backend != "snpe-dsp" {
+				t.Fatalf("unexpected skip: %+v", u)
+			}
+			continue
+		}
+		if u.Job.ID == "" || u.Job.Backend != u.Backend || len(u.Job.Model) == 0 {
+			t.Fatalf("bad job: %+v", u)
+		}
+		if u.Job.ID != again[i].Job.ID {
+			t.Fatalf("expansion not deterministic at %d", i)
+		}
+	}
+	// A70 (no DSP) skips snpe-dsp for all 3 models.
+	if skips != 3 {
+		t.Fatalf("skips = %d, want 3", skips)
+	}
+	feasible, total, err := m.FeasibleCells()
+	if err != nil || feasible != 15 || total != 18 {
+		t.Fatalf("FeasibleCells = %d/%d (%v)", feasible, total, err)
+	}
+}
+
+func TestMatrixExpandRejectsBadSpecs(t *testing.T) {
+	good := testMatrix(t)
+	bad := good
+	bad.Backends = []string{"cpu", "warp-drive"}
+	if _, err := bad.Expand(); err == nil || !strings.Contains(err.Error(), "warp-drive") {
+		t.Fatalf("unknown backend: %v", err)
+	}
+	bad = good
+	bad.Devices = []string{"A70", "PDP11"}
+	if _, err := bad.Expand(); err == nil {
+		t.Fatal("unknown device must fail")
+	}
+	bad = good
+	bad.Devices = []string{"A70", "A70"}
+	if _, err := bad.Expand(); err == nil {
+		t.Fatal("duplicate device must fail")
+	}
+	bad = good
+	bad.Models = nil
+	if _, err := bad.Expand(); err == nil {
+		t.Fatal("empty models must fail")
+	}
+}
+
+// runMatrix executes the test matrix on a local pool of the given size and
+// returns the aggregated JSON and checksum.
+func runMatrix(t *testing.T, m Matrix, replicas int) ([]byte, string) {
+	t.Helper()
+	pool, err := NewLocalPool(m.Devices, replicas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	agg, err := pool.Run(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	js, err := agg.ResultsJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := agg.Checksum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return js, sum
+}
+
+func TestFleetByteIdenticalAcrossPoolSizes(t *testing.T) {
+	m := testMatrix(t)
+	js1, sum1 := runMatrix(t, m, 1)
+	js4, sum4 := runMatrix(t, m, 4)
+	if sum1 != sum4 {
+		t.Fatalf("pool-size determinism broken:\n1: %s\n4: %s", sum1, sum4)
+	}
+	if string(js1) != string(js4) {
+		t.Fatal("results JSON differs between pool sizes")
+	}
+	// Sanity: the run actually measured things.
+	var file struct {
+		Schema string `json:"schema"`
+		Units  []struct {
+			Skip          string  `json:"skip"`
+			Error         string  `json:"error"`
+			MeanLatencyNs int64   `json:"meanLatencyNs"`
+			MeanEnergyMj  float64 `json:"meanEnergyMj"`
+		} `json:"units"`
+	}
+	if err := json.Unmarshal(js1, &file); err != nil {
+		t.Fatal(err)
+	}
+	if file.Schema != ResultsSchema || len(file.Units) != 18 {
+		t.Fatalf("file shape: schema=%q units=%d", file.Schema, len(file.Units))
+	}
+	measured := 0
+	for _, u := range file.Units {
+		if u.Skip == "" && u.Error == "" {
+			measured++
+			if u.MeanLatencyNs <= 0 || u.MeanEnergyMj <= 0 {
+				t.Fatalf("degenerate measurement: %+v", u)
+			}
+		}
+	}
+	if measured != 15 {
+		t.Fatalf("measured units = %d, want 15", measured)
+	}
+}
+
+func TestFleetRemoteRunnerMatchesLocal(t *testing.T) {
+	m := testMatrix(t)
+	m.Devices = []string{"Q888"}
+	m.Backends = []string{"cpu", "snpe-dsp"}
+	_, localSum := runMatrix(t, m, 1)
+
+	// Remote flavour: a self-powering agent (what benchd runs) driven over
+	// TCP by a master with no handle on the device-side USB switch.
+	dev, err := soc.NewDevice("Q888")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := bench.NewAgent(dev, power.NewUSBSwitch(), power.NewMonitor())
+	agent.SelfPower = true
+	addr, err := agent.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	remote, err := NewRemoteRunner("remote-q888", addr, time.Second, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote.DeviceModel() != "Q888" {
+		t.Fatalf("discovered device = %s", remote.DeviceModel())
+	}
+	pool, err := NewPool(remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := pool.Run(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	remoteSum, err := agg.Checksum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remoteSum != localSum {
+		t.Fatal("remote benchd rig must aggregate byte-identically to the local rig")
+	}
+}
+
+func TestFleetThermalPacingKeepsJobsIndependent(t *testing.T) {
+	// A heavy continuous-inference matrix on a phone chassis: without
+	// pacing, later queue positions inherit heat and throttle differently;
+	// with pacing every job starts cold, so per-unit results match a
+	// fresh-device run of the same job.
+	ms, err := ZooModel(zoo.Spec{Task: zoo.TaskSemanticSegmentation, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Matrix{
+		Models:   []ModelSpec{ms},
+		Devices:  []string{"S21"},
+		Backends: []string{"cpu", "xnnpack", "gpu"},
+		Threads:  4,
+		Warmup:   1,
+		Runs:     8,
+	}
+	pool, err := NewLocalPool(m.Devices, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	agg, err := pool.Run(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	units := agg.Units()
+	// Reference: each job on its own fresh rig.
+	for _, ur := range units {
+		if ur.Unit.Skip != "" {
+			continue
+		}
+		fresh, err := NewLocalRunner("fresh", "S21")
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fresh.Run(ur.Unit.Job)
+		fresh.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want.Error != "" || ur.Result.Error != "" {
+			t.Fatalf("job errors: %q / %q", want.Error, ur.Result.Error)
+		}
+		if ur.Result.MeanLatency() != want.MeanLatency() {
+			t.Fatalf("%s: queued latency %v != fresh latency %v (pacing broken)",
+				ur.Unit.Job.ID, ur.Result.MeanLatency(), want.MeanLatency())
+		}
+	}
+}
+
+func TestFleetScenarioProjection(t *testing.T) {
+	var models []ModelSpec
+	for i, task := range []zoo.Task{zoo.TaskSemanticSegmentation, zoo.TaskKeywordDetection} {
+		ms, err := ZooModel(zoo.Spec{Task: task, Seed: int64(20 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		models = append(models, ms)
+	}
+	m := Matrix{
+		Models:    models,
+		Devices:   []string{"Q845"},
+		Backends:  []string{"cpu"},
+		Scenarios: bench.AllScenarios(),
+		Threads:   4,
+		Warmup:    1,
+		Runs:      3,
+	}
+	pool, err := NewLocalPool(m.Devices, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	agg, err := pool.Run(m, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := agg.ScenarioTable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range bench.AllScenarios() {
+		if !strings.Contains(table, sc.Name) {
+			t.Fatalf("scenario table missing %q:\n%s", sc.Name, table)
+		}
+	}
+	rows, err := agg.scenarioRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(bench.AllScenarios()) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byName := map[string][]float64{}
+	for _, r := range rows {
+		if r.Models != 2 {
+			t.Fatalf("row %s covers %d models", r.Scenario, r.Models)
+		}
+		for _, d := range r.Discharges {
+			if d <= 0 {
+				t.Fatalf("non-positive discharge in %s", r.Scenario)
+			}
+		}
+		byName[r.Scenario] = r.Discharges
+	}
+	// Table 4 ordering: continuous vision >> typing.
+	maxOf := func(xs []float64) float64 { return xs[len(xs)-1] }
+	if maxOf(byName["Segm."]) <= maxOf(byName["Typing"]) {
+		t.Fatal("segmentation must out-discharge typing")
+	}
+	if maxOf(byName["Super-R."]) <= maxOf(byName["Typing"]) {
+		t.Fatal("super-resolution must out-discharge typing")
+	}
+}
+
+func TestFleetStreamingCallbackAndTables(t *testing.T) {
+	m := testMatrix(t)
+	m.Devices = []string{"Q888"}
+	m.Backends = []string{"cpu", "gpu"}
+	pool, err := NewLocalPool(m.Devices, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	var mu struct {
+		n int
+		s []string
+	}
+	var seen = &mu
+	var lock = make(chan struct{}, 1)
+	lock <- struct{}{}
+	agg, err := pool.Run(m, Config{OnUnit: func(ur UnitResult) {
+		<-lock
+		seen.n++
+		seen.s = append(seen.s, ur.Unit.Job.ID)
+		lock <- struct{}{}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen.n != 6 {
+		t.Fatalf("streamed %d units, want 6", seen.n)
+	}
+	if agg.Done() != 6 {
+		t.Fatalf("aggregated %d units", agg.Done())
+	}
+	lat, eng := agg.LatencyTable(), agg.EnergyTable()
+	for _, tab := range []string{lat, eng} {
+		if !strings.Contains(tab, "Q888") || !strings.Contains(tab, "cpu") || !strings.Contains(tab, "gpu") {
+			t.Fatalf("table missing cells:\n%s", tab)
+		}
+	}
+	// No scenarios configured: scenario table renders empty.
+	st, err := agg.ScenarioTable()
+	if err != nil || st != "" {
+		t.Fatalf("scenario table without scenarios: %q %v", st, err)
+	}
+}

@@ -1,0 +1,318 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"github.com/gaugenn/gaugenn/internal/bench"
+)
+
+// NoDeviceError reports a matrix device model with no runner in the pool.
+type NoDeviceError struct {
+	Device string
+}
+
+func (e *NoDeviceError) Error() string {
+	return fmt.Sprintf("fleet: no runner in pool serves device model %s", e.Device)
+}
+
+// ExhaustedError reports a job whose every scheduling attempt failed at
+// the transport level: each tried runner was excluded in turn until no
+// eligible device of the model remained (or the attempt cap was hit).
+type ExhaustedError struct {
+	JobID    string
+	Device   string
+	Attempts int
+	Tried    []string // runner IDs in attempt order
+	Last     error
+}
+
+func (e *ExhaustedError) Error() string {
+	return fmt.Sprintf("fleet: job %s exhausted %d attempt(s) on %s runners [%s]: %v",
+		e.JobID, e.Attempts, e.Device, strings.Join(e.Tried, " "), e.Last)
+}
+
+func (e *ExhaustedError) Unwrap() error { return e.Last }
+
+// Config tunes one Pool.Run.
+type Config struct {
+	// MaxAttempts caps scheduling attempts per job (0 = one attempt per
+	// runner of the job's device model).
+	MaxAttempts int
+	// NoCooldown skips thermal pacing before each job. The default
+	// (pacing on) cools the device to CooldownTargetJ so within-job
+	// throttling is measured deliberately, not inherited from the queue.
+	NoCooldown bool
+	// CooldownTargetJ is the stored-heat target of the pre-job cooldown
+	// (0 = fully cold, the deterministic baseline).
+	CooldownTargetJ float64
+	// OnUnit, when non-nil, streams each unit result as it completes
+	// (including skipped cells). Called from runner goroutines.
+	OnUnit func(UnitResult)
+}
+
+// UnitResult is the outcome of one matrix cell.
+type UnitResult struct {
+	Unit   Unit
+	Result bench.JobResult
+	// Runner and Attempts describe scheduling (which rig served the cell,
+	// after how many tries); they never reach the deterministic output.
+	Runner   string
+	Attempts int
+	// Err is a transport-level failure after retries (*ExhaustedError);
+	// in-job failures stay in Result.Error, as the bench layer reports
+	// them.
+	Err error
+}
+
+// Pool is a set of runners the scheduler dispatches onto, grouped by the
+// device model they serve.
+type Pool struct {
+	runners []Runner
+	byModel map[string][]Runner
+}
+
+// NewPool groups runners by device model. Runner IDs must be unique.
+func NewPool(runners ...Runner) (*Pool, error) {
+	if len(runners) == 0 {
+		return nil, fmt.Errorf("fleet: pool needs at least one runner")
+	}
+	p := &Pool{byModel: map[string][]Runner{}}
+	seen := map[string]bool{}
+	for _, r := range runners {
+		if seen[r.ID()] {
+			return nil, fmt.Errorf("fleet: duplicate runner id %q", r.ID())
+		}
+		seen[r.ID()] = true
+		p.runners = append(p.runners, r)
+		p.byModel[r.DeviceModel()] = append(p.byModel[r.DeviceModel()], r)
+	}
+	return p, nil
+}
+
+// NewLocalPool builds an in-process pool with `replicas` rigs per device
+// model — the multi-device lab in one process. Runner IDs are "<model>#i".
+// replicas must be positive: a caller wanting a remote-only pool must not
+// get silently handed local simulated rigs instead.
+func NewLocalPool(deviceModels []string, replicas int) (*Pool, error) {
+	if replicas <= 0 {
+		return nil, fmt.Errorf("fleet: local pool needs a positive replica count, got %d", replicas)
+	}
+	var runners []Runner
+	fail := func(err error) (*Pool, error) {
+		for _, r := range runners {
+			r.Close()
+		}
+		return nil, err
+	}
+	for _, model := range deviceModels {
+		for i := 0; i < replicas; i++ {
+			r, err := NewLocalRunner(fmt.Sprintf("%s#%d", model, i), model)
+			if err != nil {
+				return fail(err)
+			}
+			runners = append(runners, r)
+		}
+	}
+	p, err := NewPool(runners...)
+	if err != nil {
+		return fail(err)
+	}
+	return p, nil
+}
+
+// Runners lists the pool members.
+func (p *Pool) Runners() []Runner { return p.runners }
+
+// Close shuts down every runner.
+func (p *Pool) Close() error {
+	var first error
+	for _, r := range p.runners {
+		if err := r.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// unit scheduling states.
+const (
+	statePending = iota
+	stateRunning
+	stateDone
+)
+
+type unitState struct {
+	unit     Unit
+	state    int
+	excluded map[string]bool
+	tried    []string
+	attempts int
+	lastErr  error
+}
+
+// schedQueue holds the per-device-model pending lists. All transitions
+// happen under mu; cond wakes runners when work may have become eligible.
+type schedQueue struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	byModel map[string][]*unitState
+}
+
+func newSchedQueue(units []Unit) *schedQueue {
+	q := &schedQueue{byModel: map[string][]*unitState{}}
+	q.cond = sync.NewCond(&q.mu)
+	for _, u := range units {
+		if u.Skip != "" {
+			continue
+		}
+		q.byModel[u.Device] = append(q.byModel[u.Device], &unitState{
+			unit:     u,
+			excluded: map[string]bool{},
+		})
+	}
+	return q
+}
+
+// claim hands the runner the lowest-index pending unit of its device model
+// that has not excluded it, blocking while a running unit might still fail
+// back into its feed; nil means the runner can never be useful again.
+func (q *schedQueue) claim(runnerID, deviceModel string) *unitState {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		var mayGetWork bool
+		for _, st := range q.byModel[deviceModel] {
+			if st.excluded[runnerID] {
+				continue
+			}
+			switch st.state {
+			case statePending:
+				st.state = stateRunning
+				st.attempts++
+				st.tried = append(st.tried, runnerID)
+				return st
+			case stateRunning:
+				// Might fail on its current runner and requeue for us.
+				mayGetWork = true
+			}
+		}
+		if !mayGetWork {
+			return nil
+		}
+		q.cond.Wait()
+	}
+}
+
+// complete finalises a successfully served unit.
+func (q *schedQueue) complete(st *unitState) {
+	q.mu.Lock()
+	st.state = stateDone
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// fail records a transport failure, excluding the runner. The unit
+// requeues while eligible runners and attempts remain; otherwise it
+// finishes with an ExhaustedError, returned for aggregation.
+func (q *schedQueue) fail(st *unitState, runnerID string, err error, eligible []Runner, maxAttempts int) *ExhaustedError {
+	q.mu.Lock()
+	defer func() {
+		q.mu.Unlock()
+		q.cond.Broadcast()
+	}()
+	st.excluded[runnerID] = true
+	st.lastErr = err
+	remaining := 0
+	for _, r := range eligible {
+		if !st.excluded[r.ID()] {
+			remaining++
+		}
+	}
+	if remaining > 0 && (maxAttempts <= 0 || st.attempts < maxAttempts) {
+		st.state = statePending
+		return nil
+	}
+	st.state = stateDone
+	return &ExhaustedError{
+		JobID:    st.unit.Job.ID,
+		Device:   st.unit.Device,
+		Attempts: st.attempts,
+		Tried:    append([]string(nil), st.tried...),
+		Last:     err,
+	}
+}
+
+// Run expands the matrix and executes it across the pool: per-device
+// serialized queues, thermal pacing before each job, transport-failure
+// retries with device exclusion, streaming aggregation. The returned
+// aggregator always holds every unit (including skipped and exhausted
+// cells); the error joins matrix-level problems and per-unit
+// ExhaustedErrors, so errors.As surfaces typed failures.
+func (p *Pool) Run(m Matrix, cfg Config) (*Aggregator, error) {
+	units, err := m.Expand()
+	if err != nil {
+		return nil, err
+	}
+	for _, d := range m.Devices {
+		if len(p.byModel[d]) == 0 {
+			return nil, &NoDeviceError{Device: d}
+		}
+	}
+	agg := NewAggregator(m)
+	emit := func(ur UnitResult) {
+		agg.Add(ur)
+		if cfg.OnUnit != nil {
+			cfg.OnUnit(ur)
+		}
+	}
+	for _, u := range units {
+		if u.Skip != "" {
+			emit(UnitResult{Unit: u})
+		}
+	}
+	q := newSchedQueue(units)
+	var wg sync.WaitGroup
+	for _, r := range p.runners {
+		wg.Add(1)
+		go func(r Runner) {
+			defer wg.Done()
+			for {
+				st := q.claim(r.ID(), r.DeviceModel())
+				if st == nil {
+					return
+				}
+				res, err := p.serve(r, st.unit, cfg)
+				if err != nil {
+					if ex := q.fail(st, r.ID(), err, p.byModel[r.DeviceModel()], cfg.MaxAttempts); ex != nil {
+						emit(UnitResult{Unit: st.unit, Runner: r.ID(), Attempts: ex.Attempts, Err: ex})
+					}
+					continue
+				}
+				ur := UnitResult{Unit: st.unit, Result: res, Runner: r.ID(), Attempts: st.attempts}
+				q.complete(st)
+				emit(ur)
+			}
+		}(r)
+	}
+	wg.Wait()
+	var errs []error
+	for _, ur := range agg.Units() {
+		if ur.Err != nil {
+			errs = append(errs, ur.Err)
+		}
+	}
+	return agg, errors.Join(errs...)
+}
+
+// serve runs one unit on one rig: thermal pacing, then the full workflow.
+func (p *Pool) serve(r Runner, u Unit, cfg Config) (bench.JobResult, error) {
+	if !cfg.NoCooldown {
+		if err := r.Cooldown(cfg.CooldownTargetJ); err != nil {
+			return bench.JobResult{}, fmt.Errorf("cooldown: %w", err)
+		}
+	}
+	return r.Run(u.Job)
+}

@@ -97,6 +97,28 @@ func Backends() []string {
 	return out
 }
 
+// Supports reports whether the named backend can execute on the device
+// (nil when it can). It applies the same gating as NewEngine — SNPE needs
+// Qualcomm silicon, GPU/DSP paths need the block, NNAPI needs a vendor
+// driver — without constructing an engine, so schedulers can prune a
+// benchmark matrix before dispatch.
+func Supports(dev *soc.Device, backendName string) error {
+	_, err := NewEngine(dev, backendName)
+	return err
+}
+
+// SupportedBackends returns the sorted subset of Backends() the device can
+// execute — the per-device backend axis of the paper's benchmark matrix.
+func SupportedBackends(dev *soc.Device) []string {
+	var out []string
+	for _, name := range Backends() {
+		if Supports(dev, name) == nil {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
 // Engine binds a backend to a device.
 type Engine struct {
 	Device  *soc.Device

@@ -265,3 +265,37 @@ func TestMemoryAndUtilisationReported(t *testing.T) {
 		t.Fatalf("batch-8 peak %d should exceed batch-1 peak %d", rb.PeakMemBytes, r.PeakMemBytes)
 	}
 }
+
+func TestSupportsAndSupportedBackends(t *testing.T) {
+	a20, err := soc.NewDevice("A20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Supports(a20, "cpu"); err != nil {
+		t.Fatalf("A20 must run plain CPU: %v", err)
+	}
+	if Supports(a20, "snpe-dsp") == nil {
+		t.Fatal("A20 (Exynos) must not support SNPE")
+	}
+	if Supports(a20, "no-such-backend") == nil {
+		t.Fatal("unknown backend must error")
+	}
+	got := SupportedBackends(a20)
+	want := []string{"cpu", "gpu", "nnapi", "xnnpack"}
+	if len(got) != len(want) {
+		t.Fatalf("A20 backends = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("A20 backends = %v, want %v", got, want)
+		}
+	}
+	// The Q888 HDK covers the full sweep of Figures 13/14.
+	q888, err := soc.NewDevice("Q888")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if all := SupportedBackends(q888); len(all) != len(Backends()) {
+		t.Fatalf("Q888 should support every backend, got %v", all)
+	}
+}

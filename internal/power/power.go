@@ -33,7 +33,9 @@ type Monitor struct {
 	mu      sync.Mutex
 	samples []Sample
 	energyJ float64
+	first   time.Duration
 	last    time.Duration
+	armed   bool // first interval recorded since Reset
 }
 
 // NewMonitor returns a 5 kHz monitor at the default rail voltage.
@@ -50,6 +52,10 @@ func (m *Monitor) RecordPower(start, duration time.Duration, watts float64) {
 	defer m.mu.Unlock()
 	m.samples = append(m.samples, Sample{Start: start, Duration: duration, Watts: watts})
 	m.energyJ += watts * duration.Seconds()
+	if !m.armed || start < m.first {
+		m.first = start
+		m.armed = true
+	}
 	if end := start + duration; end > m.last {
 		m.last = end
 	}
@@ -62,14 +68,17 @@ func (m *Monitor) EnergyJ() float64 {
 	return m.energyJ
 }
 
-// AvgWatts returns total energy over the observed span.
+// AvgWatts returns total energy over the observed span (first to last
+// recorded interval), so a mid-session measurement is not diluted by
+// virtual time that elapsed before the monitor was reset.
 func (m *Monitor) AvgWatts() float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.last <= 0 {
+	span := m.last - m.first
+	if span <= 0 {
 		return 0
 	}
-	return m.energyJ / m.last.Seconds()
+	return m.energyJ / span.Seconds()
 }
 
 // Samples returns a copy of the recorded intervals.
@@ -85,7 +94,9 @@ func (m *Monitor) Reset() {
 	defer m.mu.Unlock()
 	m.samples = nil
 	m.energyJ = 0
+	m.first = 0
 	m.last = 0
+	m.armed = false
 }
 
 // Battery converts energy to capacity discharge: mAh = J / (V * 3.6).

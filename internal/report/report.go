@@ -98,6 +98,30 @@ func Histogram(name string, xs []float64, bins int, unit string) string {
 	return b.String()
 }
 
+// DistCells renders a sample set as the paper's Table 4 presentation —
+// "avg±std", median, min, max — formatting each number with format (e.g.
+// "%.3g"). Empty samples render as dashes so sparse matrix cells stay
+// aligned.
+func DistCells(xs []float64, format string) []string {
+	if len(xs) == 0 {
+		return []string{"-", "-", "-", "-"}
+	}
+	s := stats.MustSummarize(xs)
+	f := func(v float64) string { return fmt.Sprintf(format, v) }
+	return []string{
+		f(s.Mean) + "±" + f(s.StdDev),
+		f(s.Median),
+		f(s.Min),
+		f(s.Max),
+	}
+}
+
+// DistHeaders returns the column headers matching DistCells, prefixed with
+// the metric label (e.g. "lat ms" -> "lat ms avg±std").
+func DistHeaders(label string) []string {
+	return []string{label + " avg±std", label + " med", label + " min", label + " max"}
+}
+
 // Comparison is a paper-vs-measured line item for EXPERIMENTS.md-style
 // reporting.
 type Comparison struct {

@@ -83,3 +83,26 @@ func TestCountBarsSorted(t *testing.T) {
 		t.Fatalf("bars not sorted by count:\n%s", out)
 	}
 }
+
+func TestDistCellsAndHeaders(t *testing.T) {
+	cells := DistCells([]float64{1, 2, 3, 4}, "%.3g")
+	if len(cells) != 4 {
+		t.Fatalf("cells = %v", cells)
+	}
+	if cells[1] != "2.5" || cells[2] != "1" || cells[3] != "4" {
+		t.Fatalf("median/min/max cells = %v", cells)
+	}
+	if !strings.Contains(cells[0], "±") || !strings.HasPrefix(cells[0], "2.5±") {
+		t.Fatalf("avg cell = %q", cells[0])
+	}
+	empty := DistCells(nil, "%.3g")
+	for _, c := range empty {
+		if c != "-" {
+			t.Fatalf("empty cells = %v", empty)
+		}
+	}
+	h := DistHeaders("mAh")
+	if len(h) != 4 || h[0] != "mAh avg±std" || h[1] != "mAh med" {
+		t.Fatalf("headers = %v", h)
+	}
+}

@@ -314,3 +314,27 @@ func TestThermalFactorBounds(t *testing.T) {
 		t.Fatalf("heat %v exceeded clamp", ts.HeatJ)
 	}
 }
+
+func TestCooldownNeeded(t *testing.T) {
+	env := ThermalEnvelope{CapacityJ: 100, DissipationW: 2, MinFactor: 0.5}
+	ts := &ThermalState{}
+	if d := ts.CooldownNeeded(env, 0); d != 0 {
+		t.Fatalf("cold device needs no cooldown, got %v", d)
+	}
+	ts.HeatJ = 40
+	if d := ts.CooldownNeeded(env, 0); d != 20*time.Second {
+		t.Fatalf("40 J at 2 W = 20s, got %v", d)
+	}
+	if d := ts.CooldownNeeded(env, 30); d != 5*time.Second {
+		t.Fatalf("cool-to-30J = 5s, got %v", d)
+	}
+	// A negative target is clamped to zero heat.
+	if d := ts.CooldownNeeded(env, -10); d != 20*time.Second {
+		t.Fatalf("negative target clamps to 0 J, got %v", d)
+	}
+	// Cooling for exactly the returned duration reaches the target.
+	ts.Cool(env, ts.CooldownNeeded(env, 0))
+	if ts.HeatJ != 0 {
+		t.Fatalf("heat after full cooldown = %v, want 0", ts.HeatJ)
+	}
+}

@@ -1,6 +1,9 @@
 package soc
 
-import "time"
+import (
+	"math"
+	"time"
+)
 
 // ThermalState is a leaky-bucket heat model: work deposits joules, the
 // chassis dissipates them at a sustained rate, and past a threshold the
@@ -66,4 +69,22 @@ func (t *ThermalState) Cool(env ThermalEnvelope, dt time.Duration) {
 	if t.HeatJ < 0 {
 		t.HeatJ = 0
 	}
+}
+
+// CooldownNeeded returns the idle time required for the stored heat to
+// dissipate down to targetJ. Fleet schedulers use it to pace continuous-
+// inference jobs: cooling to zero before each job makes within-job
+// throttling (Figure 9) a property of the job, not of queue position.
+func (t *ThermalState) CooldownNeeded(env ThermalEnvelope, targetJ float64) time.Duration {
+	if targetJ < 0 {
+		targetJ = 0
+	}
+	excess := t.HeatJ - targetJ
+	if excess <= 0 || env.DissipationW <= 0 {
+		return 0
+	}
+	// Round up to the next microsecond so cooling for exactly the returned
+	// duration always reaches the target despite float truncation.
+	us := math.Ceil(excess / env.DissipationW * 1e6)
+	return time.Duration(us) * time.Microsecond
 }
