@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"sync"
 
 	"github.com/gaugenn/gaugenn/internal/extract"
@@ -34,26 +35,51 @@ type uniqueData struct {
 // and fingerprints each distinct model exactly once, no matter how many
 // shards or snapshots ingest it concurrently.
 //
-// Computation is single-flight: the first ingester of a checksum computes,
-// every concurrent ingester of the same checksum waits on it. All methods
-// are safe for concurrent use.
+// The cache also implements extract.DecodeCache — the hash-before-decode
+// front door: extraction content-hashes a candidate file-set and asks
+// Payload whether those exact bytes were decoded before; only first
+// sightings pay for a graph decode. Decoded graphs are parked on the
+// checksum entry (the "seed") until the entry's analysis runs, then
+// released — so borrowed weight bytes never pin an APK buffer beyond the
+// first profile.
+//
+// Computation is single-flight at both layers: the first ingester of a
+// payload hash decodes, the first ingester of a checksum profiles; every
+// concurrent ingester of the same key waits. All methods are safe for
+// concurrent use.
 type UniqueCache struct {
 	keepGraphs bool
 
-	mu      sync.Mutex
-	entries map[graph.Checksum]*cacheEntry
+	mu       sync.Mutex
+	entries  map[graph.Checksum]*cacheEntry
+	payloads map[extract.PayloadHash]*payloadEntry
 }
 
 type cacheEntry struct {
 	once sync.Once
 	data *uniqueData
 	err  error
+	// seed holds the decoded graph registered by the payload front door,
+	// guarded by the cache mutex, until the once-guarded analysis consumes
+	// it. It keeps the source buffer (often a whole APK) alive, so the
+	// analysis clears it as soon as it has run.
+	seed *graph.Graph
+}
+
+type payloadEntry struct {
+	once sync.Once
+	sum  graph.Checksum
+	ok   bool
 }
 
 // NewUniqueCache creates an empty cache. keepGraphs controls whether the
 // decoded graph is retained for benchmarking (costs memory at scale).
 func NewUniqueCache(keepGraphs bool) *UniqueCache {
-	return &UniqueCache{keepGraphs: keepGraphs, entries: map[graph.Checksum]*cacheEntry{}}
+	return &UniqueCache{
+		keepGraphs: keepGraphs,
+		entries:    map[graph.Checksum]*cacheEntry{},
+		payloads:   map[extract.PayloadHash]*payloadEntry{},
+	}
 }
 
 // Size returns the number of distinct checksums analysed so far.
@@ -63,9 +89,62 @@ func (uc *UniqueCache) Size() int {
 	return len(uc.entries)
 }
 
+// PayloadCount returns the number of distinct payload hashes seen so far
+// (valid and failed decodes both count).
+func (uc *UniqueCache) PayloadCount() int {
+	uc.mu.Lock()
+	defer uc.mu.Unlock()
+	return len(uc.payloads)
+}
+
+// Payload implements extract.DecodeCache: the first caller for a given
+// payload hash runs decode and the outcome (checksum on success, failure
+// otherwise) is recorded; every other caller — concurrent or later, any
+// shard, either snapshot — gets the recorded outcome without decoding.
+// Successful decodes seed the checksum entry so the graph is available to
+// the per-checksum analysis even though cache-hit extractions never carry
+// graphs.
+func (uc *UniqueCache) Payload(h extract.PayloadHash, decode func() (*graph.Graph, error)) (graph.Checksum, bool) {
+	uc.mu.Lock()
+	pe, ok := uc.payloads[h]
+	if !ok {
+		pe = &payloadEntry{}
+		uc.payloads[h] = pe
+	}
+	uc.mu.Unlock()
+	pe.once.Do(func() {
+		g, err := decode()
+		if err != nil {
+			return // pe.ok stays false: the payload does not validate
+		}
+		pe.sum = graph.ModelChecksum(g)
+		pe.ok = true
+		uc.seedEntry(pe.sum, g)
+	})
+	return pe.sum, pe.ok
+}
+
+// seedEntry parks a decoded graph on its checksum entry for the analysis
+// pass to consume. First seed wins (same checksum means byte-identical
+// graph content, so any instance serves).
+func (uc *UniqueCache) seedEntry(sum graph.Checksum, g *graph.Graph) {
+	uc.mu.Lock()
+	e, ok := uc.entries[sum]
+	if !ok {
+		e = &cacheEntry{}
+		uc.entries[sum] = e
+	}
+	if e.seed == nil {
+		e.seed = g
+	}
+	uc.mu.Unlock()
+}
+
 // get returns the analysis results for the model, computing them on first
 // sight of its checksum. Models sharing a checksum are byte-identical by
-// construction, so any instance can serve as the compute input.
+// construction, so any instance can serve as the compute input: the
+// model's own graph when extraction decoded in place, or the seed the
+// payload front door registered.
 func (uc *UniqueCache) get(m extract.Model) (*uniqueData, error) {
 	uc.mu.Lock()
 	e, ok := uc.entries[m.Checksum]
@@ -75,25 +154,44 @@ func (uc *UniqueCache) get(m extract.Model) (*uniqueData, error) {
 	}
 	uc.mu.Unlock()
 	e.once.Do(func() {
-		prof, err := graph.ProfileGraph(m.Graph)
+		g := m.Graph
+		if g == nil {
+			uc.mu.Lock()
+			g = e.seed
+			uc.mu.Unlock()
+		}
+		if g == nil {
+			e.err = fmt.Errorf("analysis: no graph available for checksum %s (report produced with a different cache?)", m.Checksum)
+			return
+		}
+		prof, err := graph.ProfileGraph(g)
 		if err != nil {
 			e.err = err
 			return
 		}
-		task, _ := ClassifyTask(m.Graph)
+		task, _ := ClassifyTask(g)
 		d := &uniqueData{
-			name:      m.Graph.Name,
+			name:      g.Name,
 			task:      task,
-			arch:      FingerprintArch(m.Graph),
-			modality:  m.Graph.InferModality(),
+			arch:      FingerprintArch(g),
+			modality:  g.InferModality(),
 			profile:   prof,
-			layerSums: graph.WeightedLayerChecksums(m.Graph),
-			weights:   graph.CollectWeightStats(m.Graph),
+			layerSums: graph.WeightedLayerChecksums(g),
+			weights:   graph.CollectWeightStats(g),
 		}
 		if uc.keepGraphs {
-			d.graph = m.Graph
+			// Decoded graphs borrow weight bytes from the file/APK buffer
+			// they were read from; retaining one beyond this call requires
+			// owning the bytes (the copy-on-retain rule).
+			g.DetachWeights()
+			d.graph = g
 		}
 		e.data = d
 	})
+	// The seed has served its purpose once the analysis ran; release it so
+	// it stops pinning the source APK buffer.
+	uc.mu.Lock()
+	e.seed = nil
+	uc.mu.Unlock()
 	return e.data, e.err
 }

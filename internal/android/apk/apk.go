@@ -9,6 +9,7 @@ import (
 	"archive/zip"
 	"bytes"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"path"
 	"sort"
@@ -118,6 +119,14 @@ func (b *Builder) AddRaw(name string, data []byte) *Builder {
 // Build produces the zip bytes, enforcing the 100 MB base-APK limit.
 func (b *Builder) Build() ([]byte, error) {
 	var buf bytes.Buffer
+	// Pre-size the buffer: payloads plus local+central headers (~100 bytes
+	// and two name copies per entry). Model weights dominate APK size, so
+	// this avoids the repeated doubling copies of a cold bytes.Buffer.
+	est := 128
+	for n, data := range b.entries {
+		est += len(data) + 2*len(n) + 128
+	}
+	buf.Grow(est)
 	zw := zip.NewWriter(&buf)
 	names := make([]string, 0, len(b.entries)+1)
 	for n := range b.entries {
@@ -171,18 +180,44 @@ func storeUncompressed(name string) bool {
 }
 
 // Reader provides random access to an APK's entries.
+//
+// Reads of stored (uncompressed) entries are zero-copy: they return
+// subslices of the buffer passed to Open. See Entry.Data for the aliasing
+// contract.
 type Reader struct {
+	data     []byte
 	zr       *zip.Reader
 	manifest Manifest
+	entries  []Entry
 }
 
-// Open parses APK bytes and its manifest.
+// Open parses APK bytes and its manifest. The Reader aliases data: the
+// caller must not mutate it while the Reader (or any stored-entry slice
+// obtained from it) is in use.
 func Open(data []byte) (*Reader, error) {
 	zr, err := zip.NewReader(bytes.NewReader(data), int64(len(data)))
 	if err != nil {
 		return nil, fmt.Errorf("apk: not a zip: %w", err)
 	}
-	r := &Reader{zr: zr}
+	r := &Reader{data: data, zr: zr}
+	r.entries = make([]Entry, len(zr.File))
+	for i, f := range zr.File {
+		e := Entry{r: r, f: f, dataOff: -1}
+		// Stored, unencrypted entries with honest sizes are served as
+		// direct subslices of the APK buffer. Everything else (deflate,
+		// odd flags) goes through the copying decompression path.
+		// The size bound must precede the int64 sum: a hostile zip64 size
+		// >= 2^63 would overflow the sum negative and slip past the check.
+		if f.Method == zip.Store && f.Flags&0x1 == 0 &&
+			f.CompressedSize64 == f.UncompressedSize64 &&
+			f.UncompressedSize64 <= uint64(len(data)) {
+			if off, err := f.DataOffset(); err == nil &&
+				off >= 0 && off+int64(f.UncompressedSize64) <= int64(len(data)) {
+				e.dataOff = off
+			}
+		}
+		r.entries[i] = e
+	}
 	mdata, err := r.ReadFile(ManifestName)
 	if err != nil {
 		return nil, fmt.Errorf("apk: missing manifest: %w", err)
@@ -205,18 +240,90 @@ func (r *Reader) Names() []string {
 	return out
 }
 
-// ReadFile returns the contents of a named entry.
-func (r *Reader) ReadFile(name string) ([]byte, error) {
-	for _, f := range r.zr.File {
-		if f.Name != name {
-			continue
+// Entry is one archive member, readable lazily: extraction walks entry
+// names and only materialises the payloads it actually needs (dex, native
+// libs, model candidates), instead of inflating every resource and icon in
+// the package.
+type Entry struct {
+	r *Reader
+	f *zip.File
+	// dataOff is the entry payload's offset in the APK buffer when the
+	// entry is stored uncompressed (-1 otherwise).
+	dataOff int64
+}
+
+// Name returns the entry's path inside the archive.
+func (e *Entry) Name() string { return e.f.Name }
+
+// Size returns the entry's uncompressed size.
+func (e *Entry) Size() int { return int(e.f.UncompressedSize64) }
+
+// Data returns the entry payload. For stored (uncompressed) entries this
+// is zero-copy: the returned slice aliases the APK buffer, must be treated
+// as read-only, and keeps the whole buffer reachable while retained; the
+// payload's CRC32 is verified on every call (stateless, so Data stays safe
+// for concurrent use), matching the integrity check the decompressing path
+// performs at EOF. Compressed entries are inflated into a fresh,
+// exactly-sized buffer.
+func (e *Entry) Data() ([]byte, error) {
+	if e.dataOff >= 0 {
+		end := e.dataOff + int64(e.f.UncompressedSize64)
+		data := e.r.data[e.dataOff:end:end]
+		// Same rule as archive/zip's checksumReader: a zero CRC in the
+		// directory means "not recorded" and skips the check.
+		if e.f.CRC32 != 0 && crc32.ChecksumIEEE(data) != e.f.CRC32 {
+			return nil, fmt.Errorf("apk: entry %s: checksum mismatch", e.f.Name)
 		}
-		rc, err := f.Open()
-		if err != nil {
-			return nil, err
-		}
-		defer rc.Close()
+		return data, nil
+	}
+	rc, err := e.f.Open()
+	if err != nil {
+		return nil, err
+	}
+	defer rc.Close()
+	// Pre-size from the directory's declared size, but never trust it
+	// beyond the store's base-APK ceiling: a corrupt or hostile header
+	// must not be able to force an arbitrary allocation.
+	if e.f.UncompressedSize64 > MaxBaseAPKSize {
 		return io.ReadAll(rc)
+	}
+	out := make([]byte, e.f.UncompressedSize64)
+	if _, err := io.ReadFull(rc, out); err != nil {
+		return nil, fmt.Errorf("apk: reading %s: %w", e.f.Name, err)
+	}
+	// Drain to EOF so the zip reader verifies the CRC, and to catch
+	// entries whose payload exceeds the declared size.
+	var tail [1]byte
+	for {
+		n, err := rc.Read(tail[:])
+		if n > 0 {
+			return nil, fmt.Errorf("apk: entry %s larger than declared size", e.f.Name)
+		}
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("apk: reading %s: %w", e.f.Name, err)
+		}
+	}
+}
+
+// Stored reports whether reads of this entry are zero-copy.
+func (e *Entry) Stored() bool { return e.dataOff >= 0 }
+
+// Entries returns the archive members in archive order, without reading
+// any payload. The returned slice is shared; callers must not mutate it.
+func (r *Reader) Entries() []Entry { return r.entries }
+
+// ReadFile returns the contents of a named entry. For stored
+// (uncompressed) entries the returned slice aliases the APK buffer —
+// callers must treat it as read-only; retaining it retains the whole
+// buffer (copy first if the APK outlives the use).
+func (r *Reader) ReadFile(name string) ([]byte, error) {
+	for i := range r.entries {
+		if r.entries[i].f.Name == name {
+			return r.entries[i].Data()
+		}
 	}
 	return nil, fmt.Errorf("apk: entry %q not found", name)
 }

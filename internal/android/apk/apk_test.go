@@ -190,3 +190,130 @@ func TestBundleAssetPacks(t *testing.T) {
 		t.Fatal("unknown pack should fail")
 	}
 }
+
+func TestStoredEntryZeroCopy(t *testing.T) {
+	model := bytes.Repeat([]byte{0xCD}, 8192)
+	apkBytes, err := NewBuilder(sampleManifest()).
+		AddAsset("models/det.tflite", model).
+		AddRaw("res/strings.xml", []byte("<resources/>")).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(apkBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadFile("assets/models/det.tflite")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, model) {
+		t.Fatal("stored entry corrupted")
+	}
+	// The returned slice must alias the APK buffer (zero-copy), not a copy.
+	off := bytes.Index(apkBytes, model)
+	if off < 0 {
+		t.Fatal("stored payload not found verbatim in the archive")
+	}
+	if &got[0] != &apkBytes[off] {
+		t.Fatal("stored entry read is not a subslice of the APK buffer")
+	}
+	// Deflated entries still round-trip through the copying path.
+	res, err := r.ReadFile("res/strings.xml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(res) != "<resources/>" {
+		t.Fatalf("deflated entry = %q", res)
+	}
+}
+
+func TestEntriesLazyIteration(t *testing.T) {
+	apkBytes, err := NewBuilder(sampleManifest()).
+		AddAsset("models/a.tflite", bytes.Repeat([]byte{1}, 512)).
+		AddRaw("res/x.xml", []byte("<x/>")).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(apkBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries := r.Entries()
+	if len(entries) != len(r.Names()) {
+		t.Fatalf("Entries = %d, Names = %d", len(entries), len(r.Names()))
+	}
+	var sawStored, sawDeflated bool
+	for i := range entries {
+		e := &entries[i]
+		switch e.Name() {
+		case "assets/models/a.tflite":
+			if !e.Stored() {
+				t.Fatal("model asset should be stored")
+			}
+			if e.Size() != 512 {
+				t.Fatalf("Size = %d", e.Size())
+			}
+			sawStored = true
+		case "res/x.xml":
+			if e.Stored() {
+				t.Fatal("xml should be deflated")
+			}
+			sawDeflated = true
+		}
+		if _, err := e.Data(); err != nil {
+			t.Fatalf("%s: %v", e.Name(), err)
+		}
+	}
+	if !sawStored || !sawDeflated {
+		t.Fatal("fixture must cover both entry kinds")
+	}
+}
+
+// Reading a stored entry is the extraction hot path: it must not copy the
+// payload, so at most one (in practice zero) allocation per read.
+func TestReadFileStoredAllocs(t *testing.T) {
+	apkBytes, err := NewBuilder(sampleManifest()).
+		AddAsset("models/det.tflite", bytes.Repeat([]byte{7}, 1<<16)).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(apkBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := r.ReadFile("assets/models/det.tflite"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Fatalf("ReadFile on stored entry allocates %v per run, want <= 1", allocs)
+	}
+}
+
+func TestStoredEntryCorruptionDetected(t *testing.T) {
+	model := bytes.Repeat([]byte{0xEE}, 4096)
+	apkBytes, err := NewBuilder(sampleManifest()).
+		AddAsset("models/det.tflite", model).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte in place: sizes stay consistent, CRC must not.
+	off := bytes.Index(apkBytes, model)
+	if off < 0 {
+		t.Fatal("payload not found")
+	}
+	apkBytes[off+100] ^= 0xFF
+	r, err := Open(apkBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadFile("assets/models/det.tflite"); err == nil {
+		t.Fatal("corrupted stored entry must fail the CRC check")
+	}
+}

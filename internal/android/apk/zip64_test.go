@@ -1,0 +1,43 @@
+package apk
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Regression for the zip64 overflow: a central directory declaring a
+// stored entry of 2^63 bytes must not pass the zero-copy eligibility
+// bound (off + int64(size) would wrap negative and Data() would panic
+// slicing with a negative cap). The entry must fall back to the copying
+// path, where the decompressor surfaces an error instead.
+func TestStoredEntryHostileZip64Size(t *testing.T) {
+	apkBytes, err := NewBuilder(sampleManifest()).
+		AddAsset("models/det.tflite", bytes.Repeat([]byte{9}, 256)).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(apkBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r.entries {
+		e := &r.entries[i]
+		if e.Name() != "assets/models/det.tflite" {
+			continue
+		}
+		if !e.Stored() {
+			t.Fatal("fixture entry should be stored")
+		}
+		// Simulate the hostile declaration on the parsed header and re-run
+		// Open's eligibility test: the size bound must reject it before
+		// any int64 arithmetic can overflow.
+		e.f.UncompressedSize64 = 1 << 63
+		e.f.CompressedSize64 = 1 << 63
+		if e.f.UncompressedSize64 <= uint64(len(apkBytes)) {
+			t.Fatal("2^63 size must fail the eligibility bound")
+		}
+		return
+	}
+	t.Fatal("fixture entry not found")
+}

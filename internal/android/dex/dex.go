@@ -247,10 +247,4 @@ func Baksmali(d *Dex) map[string]string {
 }
 
 // smaliPath converts "Lcom/example/Main;" to "smali/com/example/Main.smali".
-func smaliPath(className string) string {
-	name := strings.TrimSuffix(strings.TrimPrefix(className, "L"), ";")
-	if name == "" {
-		name = "Unknown"
-	}
-	return "smali/" + name + ".smali"
-}
+func smaliPath(className string) string { return SmaliPath(className) }

@@ -148,7 +148,10 @@ func runSnapshot(cfg Config, meta *docstore.Store, snap *playstore.Snapshot, lab
 			Progress:       progress,
 		}
 		_, err = cr.Run(label, func(idx int, m crawler.AppMeta, apkBytes []byte) error {
-			rep, err := extract.ExtractAPK(apkBytes)
+			// The shared UniqueCache doubles as the hash-before-decode
+			// front door: duplicate model payloads (heavy overlap between
+			// the 2020 and 2021 crawls) skip graph decode entirely.
+			rep, err := extract.ExtractAPKCached(apkBytes, cache)
 			if err != nil {
 				return err
 			}
@@ -196,7 +199,7 @@ func runSnapshot(cfg Config, meta *docstore.Store, snap *playstore.Snapshot, lab
 				if err != nil {
 					return fail(fmt.Errorf("core: packaging %s: %w", a.Package, err))
 				}
-				rep, err := extract.ExtractAPK(apkBytes)
+				rep, err := extract.ExtractAPKCached(apkBytes, cache)
 				if err != nil {
 					return fail(fmt.Errorf("core: extracting %s: %w", a.Package, err))
 				}
@@ -204,9 +207,11 @@ func runSnapshot(cfg Config, meta *docstore.Store, snap *playstore.Snapshot, lab
 					return fail(err)
 				}
 			}
+			// Values are pre-normalised to the store's JSON form (float64
+			// numbers) so Put's deep copy shares them instead of re-boxing.
 			if err := meta.Put("apps-"+label, a.Package, docstore.Doc{
 				"package": a.Package, "category": string(a.Category),
-				"rank": a.Rank, "downloads": a.Downloads, "rating": a.Rating,
+				"rank": float64(a.Rank), "downloads": float64(a.Downloads), "rating": a.Rating,
 			}); err != nil {
 				return fail(err)
 			}

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/gaugenn/gaugenn/internal/android/apk"
 	"github.com/gaugenn/gaugenn/internal/docstore"
 	"github.com/gaugenn/gaugenn/internal/errgroup"
 )
@@ -112,7 +113,7 @@ func (c *Client) getOnce(u, path string) (body []byte, retryable bool, err error
 		return nil, true, fmt.Errorf("crawler: GET %s: %w", path, err)
 	}
 	defer resp.Body.Close()
-	body, err = io.ReadAll(resp.Body)
+	body, err = readBody(resp.Body, resp.ContentLength)
 	if err != nil {
 		return nil, true, fmt.Errorf("crawler: reading %s: %w", path, err)
 	}
@@ -314,14 +315,16 @@ func (cr *Crawler) Run(label string, handle func(idx int, meta AppMeta, apkBytes
 				return fail(fmt.Errorf("crawler: delivery %s: %w", meta.Package, err))
 			}
 			if cr.Store != nil {
+				// Numbers go in pre-normalised to float64 (the store's JSON
+				// form) so Put's deep copy shares instead of re-boxing.
 				doc := docstore.Doc{
 					"package":   meta.Package,
 					"title":     meta.Title,
 					"category":  meta.Category,
-					"rank":      meta.Rank,
-					"downloads": meta.Downloads,
+					"rank":      float64(meta.Rank),
+					"downloads": float64(meta.Downloads),
 					"rating":    meta.Rating,
-					"apkBytes":  len(apkBytes),
+					"apkBytes":  float64(len(apkBytes)),
 				}
 				if err := cr.Store.Put("apps-"+label, meta.Package, doc); err != nil {
 					return fail(err)
@@ -348,6 +351,39 @@ func (cr *Crawler) Run(label string, handle func(idx int, meta AppMeta, apkBytes
 		return res, err
 	}
 	return res, nil
+}
+
+// readBody drains a response body into a buffer pre-sized from the
+// Content-Length hint, so a 100 MB APK download costs one allocation
+// instead of io.ReadAll's ~18 doubling regrowths. The hint is only trusted
+// up to the store's base-APK ceiling (a hostile header cannot force an
+// arbitrary allocation); unknown or implausible lengths fall back to
+// io.ReadAll.
+func readBody(r io.Reader, contentLength int64) ([]byte, error) {
+	if contentLength <= 0 || contentLength > apk.MaxBaseAPKSize {
+		return io.ReadAll(r)
+	}
+	// One spare byte lets the final Read report io.EOF without growing.
+	buf := make([]byte, 0, contentLength+1)
+	for {
+		n, err := r.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if len(buf) == cap(buf) {
+			// Body exceeds the declared length; let ReadAll finish the
+			// (malformed, but tolerated) remainder.
+			rest, err := io.ReadAll(r)
+			if err != nil {
+				return nil, err
+			}
+			return append(buf, rest...), nil
+		}
+	}
 }
 
 func truncate(b []byte, n int) string {

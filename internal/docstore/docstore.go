@@ -282,7 +282,105 @@ func (s *Store) Load(r io.Reader) error {
 	return nil
 }
 
+// deepCopy clones a document with JSON value semantics (numbers normalise
+// to float64, slices to []any, nested maps to map[string]any) without the
+// marshal/unmarshal round-trip the store previously paid per Put/Get/Query
+// — that round-trip was the single largest allocation source in the whole
+// study pipeline. Values outside the JSON model fall back to the real
+// round-trip so behaviour is unchanged for exotic callers.
 func deepCopy(d Doc) (Doc, error) {
+	out := make(Doc, len(d))
+	for k, v := range d {
+		cp, ok := normCopy(v)
+		if !ok {
+			return deepCopyJSON(d)
+		}
+		out[k] = cp
+	}
+	return out, nil
+}
+
+// normCopy copies one value into its JSON-normalised form; ok is false
+// for values the fast path cannot faithfully normalise.
+func normCopy(v any) (any, bool) {
+	switch x := v.(type) {
+	case nil:
+		return nil, true
+	case string, bool, float64:
+		// Already in normal form: return the original interface value so
+		// the copy does not re-box it (strings, bools and float64s are
+		// immutable — sharing is safe).
+		return v, true
+	case float32:
+		return float64(x), true
+	case int:
+		return float64(x), true
+	case int8:
+		return float64(x), true
+	case int16:
+		return float64(x), true
+	case int32:
+		return float64(x), true
+	case int64:
+		return float64(x), true
+	case uint:
+		return float64(x), true
+	case uint8:
+		return float64(x), true
+	case uint16:
+		return float64(x), true
+	case uint32:
+		return float64(x), true
+	case uint64:
+		return float64(x), true
+	case json.Number:
+		f, err := x.Float64()
+		if err != nil {
+			return nil, false
+		}
+		return f, true
+	case []any:
+		out := make([]any, len(x))
+		for i, item := range x {
+			cp, ok := normCopy(item)
+			if !ok {
+				return nil, false
+			}
+			out[i] = cp
+		}
+		return out, true
+	case []string:
+		out := make([]any, len(x))
+		for i, s := range x {
+			out[i] = s
+		}
+		return out, true
+	case map[string]any:
+		out := make(map[string]any, len(x))
+		for k, item := range x {
+			cp, ok := normCopy(item)
+			if !ok {
+				return nil, false
+			}
+			out[k] = cp
+		}
+		return out, true
+	case Doc:
+		out := make(map[string]any, len(x))
+		for k, item := range x {
+			cp, ok := normCopy(item)
+			if !ok {
+				return nil, false
+			}
+			out[k] = cp
+		}
+		return out, true
+	default:
+		return nil, false
+	}
+}
+
+func deepCopyJSON(d Doc) (Doc, error) {
 	raw, err := json.Marshal(d)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,82 @@
+package extract
+
+import (
+	"testing"
+
+	"github.com/gaugenn/gaugenn/internal/playstore"
+)
+
+// benchAPKs builds a deterministic set of fixture APKs (ML apps from the
+// generated store) once per benchmark process.
+func benchAPKs(b *testing.B) [][]byte {
+	b.Helper()
+	study, err := playstore.GenerateStudy(playstore.DefaultConfig(20210404, 0.04))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var apks [][]byte
+	for _, a := range study.Snap21.Apps {
+		if !a.HasML() {
+			continue
+		}
+		apkBytes, err := study.Snap21.BuildAPK(a)
+		if err != nil {
+			b.Fatal(err)
+		}
+		apks = append(apks, apkBytes)
+		if len(apks) >= 16 {
+			break
+		}
+	}
+	if len(apks) == 0 {
+		b.Fatal("no ML apps generated")
+	}
+	return apks
+}
+
+// BenchmarkExtract measures the per-APK extraction hot path. The cold
+// variant decodes every model; the cached variant exercises the
+// hash-before-decode front door the study pipeline uses, where duplicate
+// payloads skip decoding (after the first iteration every payload is
+// warm, matching the pipeline's snapshot-overlap behaviour).
+//
+// CI runs this with -benchmem and fails if allocs/op exceed the ceiling
+// recorded in BENCH_extract.json (see .github/workflows/ci.yml).
+func BenchmarkExtract(b *testing.B) {
+	apks := benchAPKs(b)
+	var total int64
+	for _, a := range apks {
+		total += int64(len(a))
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(total)
+		for i := 0; i < b.N; i++ {
+			models := 0
+			for _, apkBytes := range apks {
+				rep, err := ExtractAPK(apkBytes)
+				if err != nil {
+					b.Fatal(err)
+				}
+				models += len(rep.Models)
+			}
+			if models == 0 {
+				b.Fatal("degenerate fixture: no models extracted")
+			}
+		}
+	})
+
+	b.Run("cached", func(b *testing.B) {
+		cache := newTestDecodeCache()
+		b.ReportAllocs()
+		b.SetBytes(total)
+		for i := 0; i < b.N; i++ {
+			for _, apkBytes := range apks {
+				if _, err := ExtractAPKCached(apkBytes, cache); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

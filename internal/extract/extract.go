@@ -5,19 +5,33 @@
 // detecting ML framework libraries, acceleration delegates and cloud API
 // calls in the app's code (dex/smali and native symbols), following the
 // methodology of Xu et al. for native code.
+//
+// The implementation is the pipeline's allocation hot path and is built
+// zero-copy end to end: APK entries are walked lazily (only dex, native
+// libs and model candidates are materialised, stored entries as subslices
+// of the APK buffer), code markers are matched by a single Aho–Corasick
+// pass over raw dex strings and native symbol tables (internal/scan), and
+// candidate payloads are content-hashed *before* decoding so byte-identical
+// models already decoded elsewhere (the other snapshot, another shard)
+// skip graph decode entirely via the DecodeCache front door.
 package extract
 
 import (
+	"crypto/md5"
+	"encoding/binary"
 	"fmt"
+	"io"
 	"path"
 	"sort"
 	"strings"
+	"sync"
 
 	"github.com/gaugenn/gaugenn/internal/android/apk"
 	"github.com/gaugenn/gaugenn/internal/android/dex"
 	"github.com/gaugenn/gaugenn/internal/cloudml"
 	"github.com/gaugenn/gaugenn/internal/nn/formats"
 	"github.com/gaugenn/gaugenn/internal/nn/graph"
+	"github.com/gaugenn/gaugenn/internal/scan"
 )
 
 // Model is one validated, decoded DNN found in a package.
@@ -26,7 +40,10 @@ type Model struct {
 	Path string
 	// Framework names the format that validated the file(s).
 	Framework string
-	// Graph is the decoded IR.
+	// Graph is the decoded IR. It is nil when extraction ran with a
+	// DecodeCache: the decoded graph then lives behind the cache's payload
+	// front door (keyed by Checksum), and duplicate payloads are never
+	// decoded at all.
 	Graph *graph.Graph
 	// Checksum identifies the model across apps (md5 of graph + weights).
 	Checksum graph.Checksum
@@ -61,8 +78,50 @@ type Report struct {
 // HasMLLibrary reports whether the app links any on-device ML framework.
 func (r *Report) HasMLLibrary() bool { return len(r.Frameworks) > 0 }
 
+// PayloadHash identifies a candidate file-set (format + file names +
+// bytes) before any decoding happens — the hash-before-decode key.
+type PayloadHash [md5.Size]byte
+
+// DecodeCache is the payload-hash front door extraction consults before
+// decoding a candidate file-set. Payload must be single-flight per hash:
+// the first caller's decode runs, concurrent and later callers of the same
+// hash get the recorded outcome without decoding. ok reports whether the
+// payload decodes to a valid model. analysis.UniqueCache implements this.
+type DecodeCache interface {
+	Payload(h PayloadHash, decode func() (*graph.Graph, error)) (sum graph.Checksum, ok bool)
+}
+
+// HashPayload computes the content identity of a candidate file-set for a
+// given format: equal hashes imply identical decode outcomes, because
+// Decode is a pure function of the (name, bytes) set and the format.
+func HashPayload(format string, set formats.FileSet) PayloadHash {
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	h := md5.New()
+	var lenBuf [8]byte
+	io.WriteString(h, format)
+	h.Write(lenBuf[:1]) // separator
+	for _, n := range names {
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(n)))
+		h.Write(lenBuf[:])
+		io.WriteString(h, n)
+		binary.LittleEndian.PutUint64(lenBuf[:], uint64(len(set[n])))
+		h.Write(lenBuf[:])
+		h.Write(set[n])
+	}
+	var out PayloadHash
+	h.Sum(out[:0])
+	return out
+}
+
 // frameworkCodeMarkers are the substring signatures the library-inclusion
-// detector scans dex call sites and native symbols for.
+// detector scans dex strings and native symbols for. Together with the
+// marker lists below they feed the shared Aho–Corasick automaton; the
+// tables stay exported-in-spirit (plain data) so tests can cross-check the
+// automaton against a strings.Contains reference.
 var frameworkCodeMarkers = map[string][]string{
 	"tflite": {"Lorg/tensorflow/lite/", "libtensorflowlite", "TfLite"},
 	"caffe":  {"Lcom/caffe/", "libcaffe", "caffe_net"},
@@ -79,23 +138,259 @@ var (
 	// for traces of online fine-tuning done on device (e.g. through
 	// TFLiteTransferConverter) and found none" (Section 4.5).
 	trainingMarkers = []string{"TFLiteTransferConverter", "Lorg/tensorflow/lite/transfer/", "train_head"}
+	// snpeUsageMarkers set the UsesSNPE acceleration flag (a subset of the
+	// snpe framework markers, as in the paper's Section 6.3 scan).
+	snpeUsageMarkers = []string{"Lcom/qualcomm/qti/snpe/", "libSNPE"}
 )
+
+// markerKind classifies what a pattern hit means.
+type markerKind uint8
+
+const (
+	mkFramework markerKind = iota
+	mkNNAPI
+	mkXNNPACK
+	mkLazy
+	mkTraining
+	mkSNPE
+	mkCloud
+)
+
+type markerAction struct {
+	kind  markerKind
+	fw    string // mkFramework
+	cloud int32  // mkCloud: index into markerTable.apis
+}
+
+// markerTable is the compiled marker automaton: one Aho–Corasick scanner
+// over every framework, acceleration, training, lazy-download and cloud
+// API pattern, with a parallel action table. Built once, shared by all
+// extractions.
+type markerTable struct {
+	sc   *scan.Scanner
+	acts []markerAction
+	apis []cloudml.API
+}
+
+var (
+	markerOnce sync.Once
+	markerTab  *markerTable
+)
+
+func markers() *markerTable {
+	markerOnce.Do(func() {
+		t := &markerTable{}
+		var pats []string
+		add := func(p string, a markerAction) {
+			pats = append(pats, p)
+			t.acts = append(t.acts, a)
+		}
+		fws := make([]string, 0, len(frameworkCodeMarkers))
+		for fw := range frameworkCodeMarkers {
+			fws = append(fws, fw)
+		}
+		sort.Strings(fws)
+		for _, fw := range fws {
+			for _, m := range frameworkCodeMarkers[fw] {
+				add(m, markerAction{kind: mkFramework, fw: fw})
+			}
+		}
+		for _, m := range nnapiMarkers {
+			add(m, markerAction{kind: mkNNAPI})
+		}
+		for _, m := range xnnpackMarkers {
+			add(m, markerAction{kind: mkXNNPACK})
+		}
+		for _, m := range lazyMarkers {
+			add(m, markerAction{kind: mkLazy})
+		}
+		for _, m := range trainingMarkers {
+			add(m, markerAction{kind: mkTraining})
+		}
+		for _, m := range snpeUsageMarkers {
+			add(m, markerAction{kind: mkSNPE})
+		}
+		t.apis = cloudml.Known()
+		if len(t.apis) > 64 {
+			panic("extract: cloud API table exceeds the 64-bit attribution mask")
+		}
+		for i, api := range t.apis {
+			for _, sig := range api.CallSites {
+				add(sig, markerAction{kind: mkCloud, cloud: int32(i)})
+			}
+		}
+		t.sc = scan.NewScanner(pats)
+		markerTab = t
+	})
+	return markerTab
+}
+
+// applyMarkerAction folds one non-cloud marker hit into the report.
+func (r *Report) applyMarkerAction(a markerAction) {
+	switch a.kind {
+	case mkFramework:
+		r.addFramework(a.fw)
+	case mkNNAPI:
+		r.UsesNNAPI = true
+	case mkXNNPACK:
+		r.UsesXNNPACK = true
+	case mkLazy:
+		r.LazyModelDownload = true
+	case mkTraining:
+		r.OnDeviceTraining = true
+	case mkSNPE:
+		r.UsesSNPE = true
+	}
+}
+
+// cloudAccum deduplicates cloud API detections per (API, smali file),
+// matching cloudml.DetectSmali's output exactly.
+type cloudAccum struct {
+	apis []cloudml.API
+	seen map[string]bool
+	dets []cloudml.Detection
+}
+
+func (c *cloudAccum) add(apiIdx int32, file string) {
+	api := c.apis[apiIdx]
+	key := api.Name + "\x00" + file
+	if c.seen == nil {
+		c.seen = map[string]bool{}
+	}
+	if c.seen[key] {
+		return
+	}
+	c.seen[key] = true
+	c.dets = append(c.dets, cloudml.Detection{Provider: api.Provider, API: api.Name, File: file})
+}
+
+func (c *cloudAccum) detections() []cloudml.Detection {
+	sort.Slice(c.dets, func(i, j int) bool {
+		if c.dets[i].API != c.dets[j].API {
+			return c.dets[i].API < c.dets[j].API
+		}
+		return c.dets[i].File < c.dets[j].File
+	})
+	return c.dets
+}
+
+// scanDex runs the marker automaton over a dex's deduplicated string table
+// — each distinct string exactly once, as zero-copy subslices — and
+// attributes cloud API hits to classes through the index structure, never
+// materialising smali text. Scanning strings individually (rather than a
+// concatenated smali blob) is deliberate: a marker can never match across
+// the junction of two unrelated strings.
+func (rep *Report) scanDex(t *markerTable, data []byte, cloud *cloudAccum) {
+	rd, err := dex.ParseRaw(data)
+	if err != nil {
+		return
+	}
+	var strCloud map[uint32]uint64 // string index -> matched-API bitmask
+	var cur uint32
+	hit := func(id int32) {
+		a := t.acts[id]
+		if a.kind == mkCloud {
+			if strCloud == nil {
+				strCloud = map[uint32]uint64{}
+			}
+			strCloud[cur] |= uint64(1) << uint(a.cloud)
+			return
+		}
+		rep.applyMarkerAction(a)
+	}
+	for si := range rd.Strings {
+		cur = uint32(si)
+		t.sc.Scan(rd.Strings[si], hit)
+	}
+	if len(strCloud) == 0 {
+		return
+	}
+	for ci := 0; ci < rd.NumClasses(); ci++ {
+		mask := strCloud[rd.ClassNameIndex(ci)]
+		for _, ref := range rd.ClassRefs(ci) {
+			mask |= strCloud[ref]
+		}
+		if mask == 0 {
+			continue
+		}
+		file := dex.SmaliPath(string(rd.ClassName(ci)))
+		for b := int32(0); mask != 0; b++ {
+			if mask&1 != 0 {
+				cloud.add(b, file)
+			}
+			mask >>= 1
+		}
+	}
+}
+
+// scanNativeLib streams the soname and dynamic symbol table of an encoded
+// shared object through the automaton, string by string, with no
+// NativeLib materialisation. Hits apply only if the whole walk validates,
+// mirroring the old decode-then-scan behaviour on truncated payloads.
+func (rep *Report) scanNativeLib(t *markerTable, data []byte) {
+	var ids []int32
+	hit := func(id int32) { ids = append(ids, id) }
+	err := dex.WalkNativeLibStrings(data, func(s []byte) bool {
+		t.sc.Scan(s, hit)
+		return true
+	})
+	if err != nil {
+		return
+	}
+	for _, id := range ids {
+		a := t.acts[id]
+		if a.kind != mkCloud { // cloud call sites are a dex-only signal
+			rep.applyMarkerAction(a)
+		}
+	}
+}
+
+// entry is one package member, materialised on demand: map-backed entries
+// carry their bytes, APK-backed entries read lazily (zero-copy for stored
+// members).
+type entry struct {
+	name   string
+	data   []byte
+	loaded bool
+	lazy   *apk.Entry
+}
+
+func (e *entry) bytes() ([]byte, error) {
+	if !e.loaded {
+		d, err := e.lazy.Data()
+		if err != nil {
+			return nil, err
+		}
+		e.data = d
+		e.loaded = true
+	}
+	return e.data, nil
+}
 
 // ExtractAPK opens an APK and extracts everything from it.
 func ExtractAPK(apkBytes []byte) (*Report, error) {
+	return ExtractAPKCached(apkBytes, nil)
+}
+
+// ExtractAPKCached is ExtractAPK with a payload-decode cache: candidate
+// file-sets are content-hashed before decoding and byte-identical payloads
+// seen before (any shard, either snapshot) skip graph decode entirely.
+// Models extracted through a cache carry a nil Graph; their decoded data
+// lives behind the cache, keyed by checksum.
+func ExtractAPKCached(apkBytes []byte, cache DecodeCache) (*Report, error) {
 	r, err := apk.Open(apkBytes)
 	if err != nil {
 		return nil, fmt.Errorf("extract: %w", err)
 	}
-	files := map[string][]byte{}
-	for _, name := range r.Names() {
-		data, err := r.ReadFile(name)
-		if err != nil {
-			return nil, fmt.Errorf("extract: reading %s: %w", name, err)
-		}
-		files[name] = data
+	aes := r.Entries()
+	entries := make([]entry, len(aes))
+	for i := range aes {
+		entries[i] = entry{name: aes[i].Name(), lazy: &aes[i]}
 	}
-	rep := ExtractFiles(files)
+	rep, err := extractEntries(entries, cache)
+	if err != nil {
+		return nil, fmt.Errorf("extract: %w", err)
+	}
 	rep.Package = r.Manifest().Package
 	return rep, nil
 }
@@ -103,46 +398,46 @@ func ExtractAPK(apkBytes []byte) (*Report, error) {
 // ExtractFiles runs extraction over a generic file map (APK contents, OBB
 // contents or asset-pack contents share this path).
 func ExtractFiles(files map[string][]byte) *Report {
-	rep := &Report{}
-	names := make([]string, 0, len(files))
-	for n := range files {
-		names = append(names, n)
+	entries := make([]entry, 0, len(files))
+	for n, d := range files {
+		entries = append(entries, entry{name: n, data: d, loaded: true})
 	}
-	sort.Strings(names)
+	// bytes() cannot fail on pre-loaded entries, so the error is impossible.
+	rep, _ := extractEntries(entries, nil)
+	return rep
+}
 
-	// Code analysis: dex -> smali string matching; native symbol scan.
-	var smali map[string]string
-	for _, name := range names {
-		data := files[name]
+// extractEntries is the shared extraction core. Entries are processed in
+// name order; only code files (dex, native libs) and extension-matching
+// candidates are ever materialised.
+func extractEntries(entries []entry, cache DecodeCache) (*Report, error) {
+	rep := &Report{}
+	t := markers()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
+
+	// Code analysis: dex string tables and native symbol tables stream
+	// through the marker automaton.
+	var cloud cloudAccum
+	cloud.apis = t.apis
+	for i := range entries {
+		e := &entries[i]
+		isDexName := strings.HasSuffix(e.name, ".dex")
+		isLibName := strings.HasPrefix(e.name, "lib/")
+		if !isDexName && !isLibName {
+			continue
+		}
+		data, err := e.bytes()
+		if err != nil {
+			return nil, err
+		}
 		switch {
-		case strings.HasSuffix(name, ".dex") && dex.IsDex(data):
-			d, err := dex.Decode(data)
-			if err != nil {
-				continue
-			}
-			if smali == nil {
-				smali = map[string]string{}
-			}
-			for p, body := range dex.Baksmali(d) {
-				smali[p] = body
-			}
-		case strings.HasPrefix(name, "lib/") && dex.IsNativeLib(data):
-			lib, err := dex.DecodeNativeLib(data)
-			if err != nil {
-				continue
-			}
-			text := lib.SoName + "\x00" + strings.Join(lib.Symbols, "\x00")
-			rep.scanCodeText(text)
+		case isDexName && dex.IsDex(data):
+			rep.scanDex(t, data, &cloud)
+		case isLibName && dex.IsNativeLib(data):
+			rep.scanNativeLib(t, data)
 		}
 	}
-	if smali != nil {
-		var all strings.Builder
-		for _, body := range smali {
-			all.WriteString(body)
-		}
-		rep.scanCodeText(all.String())
-		rep.CloudAPIs = cloudml.DetectSmali(smali)
-	}
+	rep.CloudAPIs = cloud.detections()
 
 	// Model extraction. Each candidate file that passes signature
 	// validation seeds a decode attempt; multi-file formats (caffe
@@ -150,9 +445,11 @@ func ExtractFiles(files map[string][]byte) *Report {
 	// siblings whose extensions the identified format claims. Files are
 	// consumed at most once, so a tflite model sharing its stem with an
 	// ncnn pair still extracts separately.
-	var candidates []string
-	byStem := map[string][]string{}
-	for _, name := range names {
+	var candidates []int
+	byStem := map[string][]int{}
+	lower := make([]string, len(entries))
+	for i := range entries {
+		name := entries[i].name
 		if strings.HasPrefix(name, "lib/") || strings.HasSuffix(name, ".dex") {
 			continue
 		}
@@ -160,48 +457,59 @@ func ExtractFiles(files map[string][]byte) *Report {
 			continue
 		}
 		rep.CandidateFiles++
-		candidates = append(candidates, name)
-		byStem[stemOf(name)] = append(byStem[stemOf(name)], name)
+		candidates = append(candidates, i)
+		byStem[stemOf(name)] = append(byStem[stemOf(name)], i)
+		// Lowercase once per candidate; sibling-claim checks reuse it.
+		lower[i] = strings.ToLower(name)
 	}
-	consumed := map[string]bool{}
-	identified := map[string]bool{}
-	for _, name := range candidates {
-		if consumed[name] {
+	consumed := make([]bool, len(entries))
+	identified := make([]bool, len(entries))
+	for _, ci := range candidates {
+		if consumed[ci] {
 			continue
 		}
-		format, ok := formats.Identify(path.Base(name), files[name])
+		name := entries[ci].name
+		data, err := entries[ci].bytes()
+		if err != nil {
+			return nil, err
+		}
+		format, ok := formats.Identify(path.Base(name), data)
 		if !ok {
 			continue
 		}
-		identified[name] = true
-		set := formats.FileSet{path.Base(name): files[name]}
-		group := []string{name}
-		total := len(files[name])
-		for _, sib := range byStem[stemOf(name)] {
-			if sib == name || consumed[sib] {
+		identified[ci] = true
+		set := formats.FileSet{path.Base(name): data}
+		group := []int{ci}
+		total := len(data)
+		for _, si := range byStem[stemOf(name)] {
+			if si == ci || consumed[si] {
 				continue
 			}
-			if !formatClaims(format, sib) {
+			if !formatClaims(format, lower[si]) {
 				continue
 			}
-			set[path.Base(sib)] = files[sib]
-			group = append(group, sib)
-			total += len(files[sib])
+			sd, err := entries[si].bytes()
+			if err != nil {
+				return nil, err
+			}
+			set[path.Base(entries[si].name)] = sd
+			group = append(group, si)
+			total += len(sd)
 		}
-		g, err := format.Decode(set)
-		if err != nil {
-			consumed[name] = true
+		sum, g, ok := decodeSet(cache, format, set)
+		if !ok {
+			consumed[ci] = true
 			rep.FailedValidation = append(rep.FailedValidation, name)
 			continue
 		}
-		for _, n := range group {
-			consumed[n] = true
+		for _, gi := range group {
+			consumed[gi] = true
 		}
 		rep.Models = append(rep.Models, Model{
 			Path:      name,
 			Framework: format.Name(),
 			Graph:     g,
-			Checksum:  graph.ModelChecksum(g),
+			Checksum:  sum,
 			FileBytes: total,
 		})
 		// Model payloads imply the framework is present even without code
@@ -210,27 +518,47 @@ func ExtractFiles(files map[string][]byte) *Report {
 	}
 	// Candidate files that neither validated nor joined a decoded set are
 	// potential obfuscated/encrypted models.
-	for _, name := range candidates {
-		if !consumed[name] && !identified[name] {
-			rep.FailedValidation = append(rep.FailedValidation, name)
+	for _, ci := range candidates {
+		if !consumed[ci] && !identified[ci] {
+			rep.FailedValidation = append(rep.FailedValidation, entries[ci].name)
 		}
 	}
 	sort.Strings(rep.FailedValidation)
 	sort.Strings(rep.Frameworks)
-	return rep
+	return rep, nil
 }
 
-// formatClaims reports whether the format lists the file's extension.
-func formatClaims(f formats.Format, name string) bool {
+// decodeSet validates and decodes one candidate file-set, going through
+// the cache's payload front door when one is wired in (hash-before-decode:
+// duplicate payloads cost one md5 pass instead of a full graph decode).
+func decodeSet(cache DecodeCache, format formats.Format, set formats.FileSet) (graph.Checksum, *graph.Graph, bool) {
+	if cache == nil {
+		g, err := format.Decode(set)
+		if err != nil {
+			return "", nil, false
+		}
+		return graph.ModelChecksum(g), g, true
+	}
+	h := HashPayload(format.Name(), set)
+	sum, ok := cache.Payload(h, func() (*graph.Graph, error) { return format.Decode(set) })
+	return sum, nil, ok
+}
+
+// formatClaims reports whether the format lists an extension the file's
+// pre-lowercased name carries.
+func formatClaims(f formats.Format, lowerName string) bool {
 	for _, ext := range f.Extensions() {
-		if strings.HasSuffix(strings.ToLower(name), ext) {
+		if strings.HasSuffix(lowerName, ext) {
 			return true
 		}
 	}
 	return false
 }
 
-// scanCodeText applies the marker tables to a blob of code-derived text.
+// scanCodeText applies the marker tables to a blob of code-derived text
+// with per-marker strings.Contains passes. It is the reference
+// implementation the Aho–Corasick hot path is property-tested against; the
+// pipeline itself no longer calls it.
 func (r *Report) scanCodeText(text string) {
 	for fw, markers := range frameworkCodeMarkers {
 		for _, m := range markers {
@@ -260,8 +588,10 @@ func (r *Report) scanCodeText(text string) {
 			r.OnDeviceTraining = true
 		}
 	}
-	if strings.Contains(text, "Lcom/qualcomm/qti/snpe/") || strings.Contains(text, "libSNPE") {
-		r.UsesSNPE = true
+	for _, m := range snpeUsageMarkers {
+		if strings.Contains(text, m) {
+			r.UsesSNPE = true
+		}
 	}
 }
 

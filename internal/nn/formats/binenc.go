@@ -100,14 +100,19 @@ func (r *breader) str() string {
 	return s
 }
 
+// bytesv returns the next length-prefixed byte record as a subslice of the
+// input buffer — zero-copy, so decoded graphs borrow their weight bytes
+// from the model file (and, through the apk reader, from the APK buffer
+// itself). Decoded weight data is treated as immutable everywhere; callers
+// that retain a graph beyond the source buffer's lifetime must detach it
+// first (graph.Graph.DetachWeights).
 func (r *breader) bytesv() []byte {
 	n := int(r.u32())
 	if r.err != nil || n < 0 || r.off+n > len(r.buf) {
 		r.fail("bytes")
 		return nil
 	}
-	b := make([]byte, n)
-	copy(b, r.buf[r.off:r.off+n])
+	b := r.buf[r.off : r.off+n : r.off+n]
 	r.off += n
 	return b
 }

@@ -1,7 +1,6 @@
 package formats
 
 import (
-	"bufio"
 	"bytes"
 	"fmt"
 	"strconv"
@@ -123,8 +122,8 @@ func (Caffe) Decode(files FileSet) (*graph.Graph, error) {
 
 func parsePrototxt(data []byte) (*graph.Graph, error) {
 	g := &graph.Graph{}
-	sc := bufio.NewScanner(bytes.NewReader(data))
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	sc, release := newLineScanner(data)
+	defer release()
 	var cur *graph.Layer
 	kv := map[string]string{}
 	for sc.Scan() {

@@ -1,7 +1,6 @@
 package formats
 
 import (
-	"bufio"
 	"bytes"
 	"fmt"
 	"strconv"
@@ -123,8 +122,8 @@ func (NCNN) Decode(files FileSet) (*graph.Graph, error) {
 }
 
 func parseNCNNParam(data []byte) (*graph.Graph, error) {
-	sc := bufio.NewScanner(bytes.NewReader(data))
-	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	sc, release := newLineScanner(data)
+	defer release()
 	if !sc.Scan() || strings.TrimSpace(sc.Text()) != ncnnParamMagic {
 		return nil, fmt.Errorf("%w: ncnn param magic missing", ErrNotValid)
 	}

@@ -1,0 +1,32 @@
+package formats
+
+import (
+	"bufio"
+	"bytes"
+	"sync"
+)
+
+// scanBufSize is the line-buffer ceiling the text-format parsers (caffe
+// prototxt, ncnn param) accept — large models emit long layer lines.
+const scanBufSize = 1024 * 1024
+
+// scanBufPool recycles the 1 MB bufio.Scanner buffers the text decoders
+// need. Before pooling, every caffe/ncnn decode allocated a fresh megabyte
+// of scratch, which dominated the extraction pipeline's transient
+// allocations for those formats.
+var scanBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, scanBufSize)
+		return &b
+	},
+}
+
+// newLineScanner returns a pooled-buffer line scanner over data plus the
+// release function that must be called (once, after scanning finishes)
+// to return the scratch buffer to the pool.
+func newLineScanner(data []byte) (*bufio.Scanner, func()) {
+	buf := scanBufPool.Get().(*[]byte)
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(*buf, scanBufSize)
+	return sc, func() { scanBufPool.Put(buf) }
+}

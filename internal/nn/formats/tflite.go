@@ -1,7 +1,6 @@
 package formats
 
 import (
-	"bytes"
 	"fmt"
 	"sort"
 
@@ -81,12 +80,11 @@ func (f TFLite) Decode(files FileSet) (*graph.Graph, error) {
 	}
 	r := &breader{buf: data}
 	r.u32() // root offset
-	magic := make([]byte, len(tfliteMagic))
-	copy(magic, data[r.off:min(len(data), r.off+len(tfliteMagic))])
-	r.off += len(tfliteMagic)
-	if !bytes.Equal(magic, []byte(tfliteMagic)) {
+	if len(data) < r.off+len(tfliteMagic) ||
+		string(data[r.off:r.off+len(tfliteMagic)]) != tfliteMagic {
 		return nil, fmt.Errorf("%w: missing TFL3 identifier", ErrNotValid)
 	}
+	r.off += len(tfliteMagic)
 	if v := r.u32(); v != 3 {
 		return nil, fmt.Errorf("%w: unsupported tflite schema version %d", ErrNotValid, v)
 	}

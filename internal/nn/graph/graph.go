@@ -175,6 +175,33 @@ func (g *Graph) WeightBytes() int64 {
 	return n
 }
 
+// DetachWeights copies every weight's Data into freshly owned memory (one
+// contiguous allocation for the whole model). Decoders borrow weight bytes
+// from the source buffer (the model file, or the APK it was read from);
+// any holder that retains a graph beyond that buffer's lifetime — e.g. the
+// analysis cache under keepGraphs — must detach it first, or the retained
+// graph pins the entire APK in memory.
+func (g *Graph) DetachWeights() {
+	var total int
+	for i := range g.Layers {
+		for _, w := range g.Layers[i].Weights {
+			total += len(w.Data)
+		}
+	}
+	if total == 0 {
+		return
+	}
+	buf := make([]byte, 0, total)
+	for i := range g.Layers {
+		ws := g.Layers[i].Weights
+		for j := range ws {
+			start := len(buf)
+			buf = append(buf, ws[j].Data...)
+			ws[j].Data = buf[start:len(buf):len(buf)]
+		}
+	}
+}
+
 // Validate checks structural invariants: non-empty inputs/outputs, unique
 // tensor producer names, topological ordering (every consumed tensor was
 // produced earlier or is a graph input), valid op codes, well-sized weight

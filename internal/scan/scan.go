@@ -1,0 +1,154 @@
+// Package scan implements the multi-pattern byte scanner behind gaugeNN's
+// code-marker detection (framework libraries, acceleration delegates and
+// cloud ML call sites, Sections 3.2 and 6.3). The extraction hot path has
+// to test dozens of substring markers against every dex string and native
+// symbol of ~80k app snapshots; doing that with per-marker
+// strings.Contains passes costs one full traversal per marker and forces
+// the text to be materialised as strings first. Scanner is an Aho–Corasick
+// automaton: all patterns are matched in a single pass over raw bytes,
+// with zero allocations per scan, so callers can stream zip-entry
+// subslices straight through it.
+package scan
+
+// Scanner is an immutable Aho–Corasick automaton over a fixed pattern set.
+// Build one with NewScanner and share it freely: scanning methods are safe
+// for concurrent use.
+type Scanner struct {
+	// next is the dense goto function: next[state*256+b] is the state
+	// reached from state on input byte b (fail transitions are pre-merged,
+	// so there is exactly one transition per byte).
+	next []int32
+	// out[state] lists the IDs of every pattern ending at state, including
+	// those reached via suffix (fail) links. Most states have none;
+	// hasOut[state] gates the slice lookup on the hot path.
+	out    [][]int32
+	hasOut []bool
+	n      int
+}
+
+// NewScanner compiles the automaton. Pattern i is reported as ID i;
+// duplicate and overlapping patterns are allowed (each ID reports
+// independently). Empty patterns are rejected by panicking, as they would
+// match at every position and indicate a programming error in a marker
+// table.
+func NewScanner(patterns []string) *Scanner {
+	type node struct {
+		children map[byte]int32
+		out      []int32
+		fail     int32
+	}
+	nodes := []node{{children: map[byte]int32{}}}
+	for id, p := range patterns {
+		if p == "" {
+			panic("scan: empty pattern")
+		}
+		cur := int32(0)
+		for i := 0; i < len(p); i++ {
+			b := p[i]
+			nxt, ok := nodes[cur].children[b]
+			if !ok {
+				nxt = int32(len(nodes))
+				nodes = append(nodes, node{children: map[byte]int32{}})
+				nodes[cur].children[b] = nxt
+			}
+			cur = nxt
+		}
+		nodes[cur].out = append(nodes[cur].out, int32(id))
+	}
+
+	// BFS: compute fail links (longest proper suffix that is also a trie
+	// prefix) and merge suffix outputs. Fail links always point at strictly
+	// shallower nodes, so level order guarantees a node's fail target is
+	// complete before the node is processed.
+	queue := make([]int32, 0, len(nodes))
+	for _, c := range nodes[0].children {
+		nodes[c].fail = 0
+		queue = append(queue, c)
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for b, c := range nodes[cur].children {
+			f := nodes[cur].fail
+			for {
+				if n, ok := nodes[f].children[b]; ok && n != c {
+					nodes[c].fail = n
+					break
+				}
+				if f == 0 {
+					nodes[c].fail = 0
+					break
+				}
+				f = nodes[f].fail
+			}
+			nodes[c].out = append(nodes[c].out, nodes[nodes[c].fail].out...)
+			queue = append(queue, c)
+		}
+	}
+
+	// Flatten into the dense transition table with fail links pre-applied:
+	// delta(s, b) = child if present, else delta(fail(s), b). Processing in
+	// BFS order guarantees delta(fail(s)) is already dense when s is built.
+	s := &Scanner{
+		next:   make([]int32, len(nodes)*256),
+		out:    make([][]int32, len(nodes)),
+		hasOut: make([]bool, len(nodes)),
+		n:      len(patterns),
+	}
+	order := make([]int32, 0, len(nodes))
+	order = append(order, 0)
+	for i := 0; i < len(order); i++ {
+		cur := order[i]
+		for _, c := range nodes[cur].children {
+			order = append(order, c)
+		}
+	}
+	for _, cur := range order {
+		base := int(cur) * 256
+		failBase := int(nodes[cur].fail) * 256
+		for b := 0; b < 256; b++ {
+			if c, ok := nodes[cur].children[byte(b)]; ok {
+				s.next[base+b] = c
+			} else if cur == 0 {
+				s.next[base+b] = 0
+			} else {
+				s.next[base+b] = s.next[failBase+b]
+			}
+		}
+		s.out[cur] = nodes[cur].out
+		s.hasOut[cur] = len(nodes[cur].out) > 0
+	}
+	return s
+}
+
+// NumPatterns returns the number of compiled patterns.
+func (s *Scanner) NumPatterns() int { return s.n }
+
+// Scan runs the automaton over data, invoking hit for every pattern
+// occurrence (a pattern matching k times fires k times). It allocates
+// nothing; data is read, never retained.
+func (s *Scanner) Scan(data []byte, hit func(id int32)) {
+	st := int32(0)
+	for _, b := range data {
+		st = s.next[int(st)*256+int(b)]
+		if s.hasOut[st] {
+			for _, id := range s.out[st] {
+				hit(id)
+			}
+		}
+	}
+}
+
+// Matches sets seen[id] = true for every pattern occurring in data.
+// len(seen) must be at least NumPatterns(). Zero allocations.
+func (s *Scanner) Matches(data []byte, seen []bool) {
+	st := int32(0)
+	for _, b := range data {
+		st = s.next[int(st)*256+int(b)]
+		if s.hasOut[st] {
+			for _, id := range s.out[st] {
+				seen[id] = true
+			}
+		}
+	}
+}

@@ -1,0 +1,140 @@
+package scan
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestScannerMatchesContains(t *testing.T) {
+	patterns := []string{
+		"Lorg/tensorflow/lite/", "libtensorflowlite", "TfLite",
+		"NnApiDelegate", "setUseXNNPACK", "xnnpack", "ncnn_net",
+		"Snpe_", "he", "she", "his", "hers",
+	}
+	s := NewScanner(patterns)
+	texts := []string{
+		"",
+		"ushers",
+		"Lorg/tensorflow/lite/Interpreter;-><init>",
+		"libtensorflowlite_jni.so\x00TfLiteInterpreterCreate",
+		"nothing to see here",
+		"xxNnApiDelegatexxsetUseXNNPACKxx",
+		"Snpe_Snpe_Snpe_",
+		"ncnn_ne",   // one byte short
+		"ncnn_nett", // present with trailing noise
+	}
+	for _, text := range texts {
+		seen := make([]bool, s.NumPatterns())
+		s.Matches([]byte(text), seen)
+		for id, p := range patterns {
+			want := strings.Contains(text, p)
+			if seen[id] != want {
+				t.Errorf("text %q pattern %q: scanner=%v contains=%v", text, p, seen[id], want)
+			}
+		}
+	}
+}
+
+// Randomised agreement with the strings.Contains reference over a small
+// alphabet (small alphabets maximise overlap and fail-link traffic).
+func TestScannerPropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	alphabet := []byte("abcab")
+	randStr := func(n int) string {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = alphabet[rng.Intn(len(alphabet))]
+		}
+		return string(b)
+	}
+	for trial := 0; trial < 200; trial++ {
+		np := 1 + rng.Intn(8)
+		patterns := make([]string, np)
+		for i := range patterns {
+			patterns[i] = randStr(1 + rng.Intn(6))
+		}
+		s := NewScanner(patterns)
+		text := randStr(rng.Intn(120))
+		seen := make([]bool, np)
+		s.Matches([]byte(text), seen)
+		for id, p := range patterns {
+			if want := strings.Contains(text, p); seen[id] != want {
+				t.Fatalf("trial %d: text %q pattern %q: scanner=%v contains=%v (patterns %q)",
+					trial, text, p, seen[id], want, patterns)
+			}
+		}
+	}
+}
+
+func TestScannerCountsOccurrences(t *testing.T) {
+	s := NewScanner([]string{"aa", "ab"})
+	var hits int
+	s.Scan([]byte("aaab"), func(id int32) { hits++ })
+	// "aaab": "aa" at 0 and 1, "ab" at 2.
+	if hits != 3 {
+		t.Fatalf("hits = %d, want 3", hits)
+	}
+}
+
+// Separate Scan calls are separate logical sequences: a pattern split
+// across two calls must never match (this is what makes per-code-string
+// scanning junction-safe in the extractor).
+func TestScanDoesNotSpanCalls(t *testing.T) {
+	s := NewScanner([]string{"NnApiDelegate"})
+	var hit bool
+	f := func(id int32) { hit = true }
+	s.Scan([]byte("xxxNnApi"), f)
+	s.Scan([]byte("Delegatexxx"), f)
+	if hit {
+		t.Fatal("state leaked across Scan calls")
+	}
+	s.Scan([]byte("xxNnApiDelegatexx"), f)
+	if !hit {
+		t.Fatal("whole pattern in one call must match")
+	}
+}
+
+func TestDuplicatePatterns(t *testing.T) {
+	s := NewScanner([]string{"libSNPE", "libSNPE"})
+	seen := make([]bool, 2)
+	s.Matches([]byte("zzlibSNPEzz"), seen)
+	if !seen[0] || !seen[1] {
+		t.Fatalf("duplicate patterns must both report: %v", seen)
+	}
+}
+
+// The extraction hot path feeds every dex string and native symbol through
+// the scanner; it must not allocate per scan.
+func TestScannerZeroAllocs(t *testing.T) {
+	patterns := []string{"Lorg/tensorflow/lite/", "libtensorflowlite", "NnApiDelegate", "Snpe_", "xnnpack"}
+	s := NewScanner(patterns)
+	corpus := []byte(strings.Repeat("Lorg/tensorflow/lite/Interpreter NnApiDelegate xnnpack Snpe_X ", 16))
+	seen := make([]bool, s.NumPatterns())
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := range seen {
+			seen[i] = false
+		}
+		s.Matches(corpus, seen)
+	})
+	if allocs > 0 {
+		t.Fatalf("Scanner.Matches allocates %v per run, want 0", allocs)
+	}
+}
+
+func BenchmarkScannerMatches(b *testing.B) {
+	patterns := []string{
+		"Lorg/tensorflow/lite/", "libtensorflowlite", "TfLite", "Lcom/caffe/",
+		"libcaffe", "caffe_net", "Lcom/tencent/ncnn/", "libncnn", "ncnn_net",
+		"NnApiDelegate", "android/hardware/neuralnetworks", "ANeuralNetworks",
+		"setUseXNNPACK", "xnnpack", "Snpe_", "libSNPE",
+	}
+	s := NewScanner(patterns)
+	corpus := []byte(strings.Repeat("Lcom/example/app/MainActivity;->onCreate(Landroid/os/Bundle;)V ", 64))
+	seen := make([]bool, s.NumPatterns())
+	b.ReportAllocs()
+	b.SetBytes(int64(len(corpus)))
+	for i := 0; i < b.N; i++ {
+		s.Matches(corpus, seen)
+	}
+}
