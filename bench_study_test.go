@@ -5,6 +5,12 @@
 // 4+-core runner, with byte-identical corpora across worker counts
 // (asserted by TestRunStudyDeterministicAcrossWorkerCounts).
 //
+// The "warm" case re-runs an identical study against a populated cache
+// dir (the persistent content-addressed store): extraction, graph decode
+// and profiling are all served from disk, with corpora byte-identical to
+// the cold run (asserted by TestRunStudyWarmRerunZeroDecodesByteIdentical;
+// BENCH_resume.json records the numbers).
+//
 //	go test -bench RunStudy -benchtime 3x -timeout 0
 package gaugenn_test
 
@@ -34,4 +40,26 @@ func BenchmarkRunStudy(b *testing.B) {
 			}
 		})
 	}
+	b.Run("warm", func(b *testing.B) {
+		cfg := core.DefaultConfig(studySeed, benchScale)
+		cfg.UseHTTP = false
+		cfg.CacheDir = b.TempDir()
+		cfg.Resume = true
+		// Populate the store outside the timer; the measured iterations
+		// are pure warm re-runs.
+		if _, err := core.RunStudy(cfg); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := core.RunStudy(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Persist.Cache.Decodes != 0 || res.Persist.ExtractedReports != 0 {
+				b.Fatalf("warm benchmark recomputed: %+v", res.Persist)
+			}
+		}
+	})
 }

@@ -1,20 +1,25 @@
 // Command gaugenn drives the full measurement study from the terminal:
 //
-//	gaugenn study   -seed 42 -scale 0.05 [-http] [-workers N] [-out DIR]
+//	gaugenn study   -seed 42 -scale 0.05 [-http] [-workers N] [-out DIR] [-cache-dir DIR] [-v]
+//	gaugenn serve   -cache-dir DIR [-addr :8077]
 //	gaugenn bench   -device Q845 -backend cpu -model m.tflite [-threads 4]
 //	gaugenn fleet   -devices A70,Q845,Q888 -backends cpu,xnnpack,gpu -models 3 [-replicas N] [-agents addr,...]
 //	gaugenn devices
 //
 // "study" runs crawl -> extract -> analyse for both snapshots and prints
-// the Table 2/3 and Figure 4/5/6/7/15 summaries; "bench" measures one
-// model file on one simulated device; "fleet" sweeps a benchmark matrix
-// across a pool of device rigs; "devices" lists Table 1 profiles.
+// the Table 2/3 and Figure 4/5/6/7/15 summaries; with -cache-dir it also
+// persists every derived artifact so the next run is warm. "serve"
+// answers report, model-lookup and diff queries over HTTP from a
+// persisted cache dir, with no crawling. "bench" measures one model file
+// on one simulated device; "fleet" sweeps a benchmark matrix across a
+// pool of device rigs; "devices" lists Table 1 profiles.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"math/rand"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -27,7 +32,9 @@ import (
 	"github.com/gaugenn/gaugenn/internal/nn/zoo"
 	"github.com/gaugenn/gaugenn/internal/power"
 	"github.com/gaugenn/gaugenn/internal/report"
+	"github.com/gaugenn/gaugenn/internal/serve"
 	"github.com/gaugenn/gaugenn/internal/soc"
+	"github.com/gaugenn/gaugenn/internal/store"
 )
 
 func main() {
@@ -39,6 +46,8 @@ func main() {
 	switch os.Args[1] {
 	case "study":
 		err = runStudy(os.Args[2:])
+	case "serve":
+		err = runServe(os.Args[2:])
 	case "bench":
 		err = runBench(os.Args[2:])
 	case "fleet":
@@ -58,6 +67,8 @@ func main() {
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   gaugenn study   -seed N -scale F [-http] [-workers N] [-out DIR]
+                  [-cache-dir DIR] [-resume=false] [-v]
+  gaugenn serve   -cache-dir DIR [-addr :8077]
   gaugenn bench   -device MODEL -backend NAME -model FILE [-threads N] [-batch N] [-runs N]
   gaugenn fleet   -devices A,B,... -backends a,b,... -models N [-seed N] [-replicas N]
                   [-agents host:port,...] [-runs N] [-scenarios=false] [-json FILE] [-out DIR]
@@ -71,18 +82,32 @@ func runStudy(args []string) error {
 	useHTTP := fs.Bool("http", false, "crawl through the store HTTP API")
 	workers := fs.Int("workers", 0, "pipeline worker count per snapshot (0 = GOMAXPROCS)")
 	out := fs.String("out", "", "directory for report files (stdout if empty)")
+	cacheDir := fs.String("cache-dir", "", "persistent study store directory (warm re-runs, `gaugenn serve` input)")
+	resume := fs.Bool("resume", true, "consult existing cache entries (false: recompute but still persist)")
+	verbose := fs.Bool("v", false, "report analyse/persist stage progress and cache statistics")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	// Validate up front, before any store generation starts.
+	if *scale <= 0 {
+		return fmt.Errorf("study: -scale must be positive (got %g)", *scale)
 	}
 	cfg := core.DefaultConfig(*seed, *scale)
 	cfg.UseHTTP = *useHTTP
 	cfg.Workers = *workers
+	cfg.CacheDir = *cacheDir
+	cfg.Resume = *resume
 	start := time.Now()
 	// Both snapshot pipelines report progress concurrently; throttle
 	// first, serialise the writes, and let each stage's completion line
-	// end in a newline so the two interleaved stages stay legible.
+	// end in a newline so the two interleaved stages stay legible. The
+	// analyse/persist stages are -v only; by default the crawl line is
+	// the run's single progress stream.
 	var progressMu sync.Mutex
 	cfg.Progress = func(stage string, done, total int) {
+		if !*verbose && !strings.HasPrefix(stage, "crawl-") {
+			return
+		}
 		if done != total && done%500 != 0 {
 			return
 		}
@@ -100,6 +125,15 @@ func runStudy(args []string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "\nstudy complete in %v\n", time.Since(start).Round(time.Millisecond))
+	if ps := res.Persist; ps != nil {
+		fmt.Fprintf(os.Stderr, "study %s persisted to %s (snapshots %s=%s... %s=%s...)\n",
+			ps.StudyID, *cacheDir, "2020", ps.CorpusKeys["2020"][:12], "2021", ps.CorpusKeys["2021"][:12])
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "cache: decodes=%d profiles=%d extracted=%d warm-reports=%d warm-analyses=%d warm-payloads=%d\n",
+				ps.Cache.Decodes, ps.Cache.Profiles, ps.ExtractedReports,
+				ps.WarmReports, ps.Cache.WarmAnalysisHits, ps.Cache.WarmPayloadHits)
+		}
+	}
 
 	emit := func(name, content string) error {
 		if *out == "" {
@@ -111,56 +145,43 @@ func runStudy(args []string) error {
 		}
 		return os.WriteFile(filepath.Join(*out, name), []byte(content), 0o644)
 	}
-
-	d20, d21 := res.Corpus20.Dataset(), res.Corpus21.Dataset()
-	table2 := report.Table("Table 2: dataset snapshots",
-		[]string{"", "Snapshot '20", "Snapshot '21"},
-		[][]string{
-			{"Total Apps", fmt.Sprint(d20.TotalApps), fmt.Sprint(d21.TotalApps)},
-			{"Apps w/ frameworks", fmt.Sprint(d20.AppsWithFw), fmt.Sprint(d21.AppsWithFw)},
-			{"Apps w/ models", fmt.Sprint(d20.AppsWithModels), fmt.Sprint(d21.AppsWithModels)},
-			{"Total models", fmt.Sprint(d20.TotalModels), fmt.Sprint(d21.TotalModels)},
-			{"Unique models", fmt.Sprint(d20.UniqueModels), fmt.Sprint(d21.UniqueModels)},
-		})
-	if err := emit("table2.txt", table2); err != nil {
-		return err
-	}
-
-	rows, identified := res.Corpus21.TaskBreakdown(true)
-	trows := make([][]string, 0, len(rows))
-	for _, r := range rows {
-		trows = append(trows, []string{r.Task.String(), r.Task.Modality().String(), fmt.Sprint(r.Count)})
-	}
-	table3 := report.Table(
-		fmt.Sprintf("Table 3: task classification (%d identified of %d)", identified, res.Corpus21.TotalModels()),
-		[]string{"task", "modality", "models"}, trows)
-	if err := emit("table3.txt", table3); err != nil {
-		return err
-	}
-
-	fw := map[string]int{}
-	for cat, m := range res.Corpus21.FrameworkByCategory() {
-		for f, n := range m {
-			fw[cat+"/"+f] += n
+	tables := core.StudyTables(res.Corpus20, res.Corpus21)
+	for _, name := range core.TableNames() {
+		if err := emit(name, tables[name]); err != nil {
+			return err
 		}
 	}
-	if err := emit("fig4.txt", report.CountBars("Figure 4: models per category/framework", fw)); err != nil {
+	return nil
+}
+
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	cacheDir := fs.String("cache-dir", "", "persistent study store directory to serve")
+	addr := fs.String("addr", ":8077", "HTTP listen address")
+	if err := fs.Parse(args); err != nil {
 		return err
 	}
-
-	churn := map[string]int{}
-	for _, row := range core.TemporalDiffRows(res) {
-		churn[row.Category+" +"] = row.Added
-		churn[row.Category+" -"] = row.Removed
+	// Validate up front: serve is read-only and must point at an existing
+	// store instead of silently creating an empty one.
+	if *cacheDir == "" {
+		return fmt.Errorf("serve: -cache-dir is required (populate one with `gaugenn study -cache-dir DIR`)")
 	}
-	if err := emit("fig5.txt", report.CountBars("Figure 5: models added(+)/removed(-)", churn)); err != nil {
+	if fi, err := os.Stat(*cacheDir); err != nil || !fi.IsDir() {
+		return fmt.Errorf("serve: cache dir %s does not exist (populate it with `gaugenn study -cache-dir %s`)", *cacheDir, *cacheDir)
+	}
+	st, err := store.Open(*cacheDir)
+	if err != nil {
 		return err
 	}
-
-	perAPI, g, a, total := res.Corpus21.CloudAPIUsage()
-	fig15 := report.CountBars(
-		fmt.Sprintf("Figure 15: cloud ML APIs (%d apps: %d Google, %d AWS)", total, g, a), perAPI)
-	return emit("fig15.txt", fig15)
+	studies, err := st.Studies()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "serve: %d studies in %s, listening on %s\n", len(studies), *cacheDir, *addr)
+	for _, e := range studies {
+		fmt.Fprintf(os.Stderr, "serve:   %s (models 2020=%d 2021=%d)\n", e.ID, e.Models["2020"], e.Models["2021"])
+	}
+	return http.ListenAndServe(*addr, serve.New(st).Handler())
 }
 
 func runBench(args []string) error {

@@ -28,11 +28,22 @@ import (
 	"github.com/gaugenn/gaugenn/internal/soc"
 )
 
-// Config parameterises a study run; see core.Config.
+// Config parameterises a study run; see core.Config. Setting CacheDir
+// backs the run with the persistent content-addressed study store
+// (docs/persistence.md): warm re-runs skip every decode and profile they
+// have seen before, and `gaugenn serve` answers queries from the store.
 type Config = core.Config
 
 // StudyResult holds both analysed snapshots; see core.StudyResult.
 type StudyResult = core.StudyResult
+
+// PersistStats summarises a cached run's warm/cold work split; see
+// core.PersistStats.
+type PersistStats = core.PersistStats
+
+// StudyTables renders the study's report tables (Table 2/3, Figures
+// 4/5/15) from a pair of corpora, keyed by file name.
+func StudyTables(c20, c21 *Corpus) map[string]string { return core.StudyTables(c20, c21) }
 
 // Corpus is an analysed snapshot (records, uniques, app signals).
 type Corpus = analysis.Corpus

@@ -3,10 +3,12 @@ package analysis
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"github.com/gaugenn/gaugenn/internal/extract"
 	"github.com/gaugenn/gaugenn/internal/nn/graph"
 	"github.com/gaugenn/gaugenn/internal/nn/zoo"
+	"github.com/gaugenn/gaugenn/internal/store"
 )
 
 // uniqueData is everything derived once per distinct model checksum —
@@ -47,12 +49,38 @@ type uniqueData struct {
 // payload hash decodes, the first ingester of a checksum profiles; every
 // concurrent ingester of the same key waits. All methods are safe for
 // concurrent use.
+//
+// A cache built with NewPersistentUniqueCache is additionally backed by an
+// on-disk study store: payload outcomes and per-checksum analysis records
+// are written through as they are computed, and — when resuming — consulted
+// before any decode or profile runs, so a warm re-run re-derives nothing it
+// has seen before. See docs/persistence.md for the record formats.
 type UniqueCache struct {
 	keepGraphs bool
+
+	// st, when non-nil, is the persistence backing; resume controls
+	// whether existing records are consulted (false = write-only).
+	st     *store.Store
+	resume bool
+
+	// Work counters (atomic): decodes/profiles actually executed this
+	// process, and warm hits served from the persistent store.
+	decodes      atomic.Int64
+	profiles     atomic.Int64
+	warmPayloads atomic.Int64
+	warmAnalyses atomic.Int64
 
 	mu       sync.Mutex
 	entries  map[graph.Checksum]*cacheEntry
 	payloads map[extract.PayloadHash]*payloadEntry
+	// verifiedSums memoises HasAnalysis verdicts (is the persisted
+	// analysis record for this checksum loadable under the current
+	// codec?); successful persists and loads flip negatives to true.
+	verifiedSums map[graph.Checksum]bool
+	// persistErr records the first write-through failure; surfaced via
+	// PersistErr so a study run fails loudly instead of silently producing
+	// a partial cache.
+	persistErr error
 }
 
 type cacheEntry struct {
@@ -72,14 +100,75 @@ type payloadEntry struct {
 	ok   bool
 }
 
-// NewUniqueCache creates an empty cache. keepGraphs controls whether the
-// decoded graph is retained for benchmarking (costs memory at scale).
+// NewUniqueCache creates an empty in-memory cache. keepGraphs controls
+// whether the decoded graph is retained for benchmarking (costs memory at
+// scale).
 func NewUniqueCache(keepGraphs bool) *UniqueCache {
 	return &UniqueCache{
 		keepGraphs: keepGraphs,
 		entries:    map[graph.Checksum]*cacheEntry{},
 		payloads:   map[extract.PayloadHash]*payloadEntry{},
 	}
+}
+
+// NewPersistentUniqueCache creates a cache backed by an on-disk study
+// store. Every payload outcome and per-checksum analysis computed through
+// the cache is written through to st; with resume true, existing records
+// are loaded instead of recomputed, so byte-identical payloads from an
+// earlier run skip graph decode and profiling entirely.
+func NewPersistentUniqueCache(keepGraphs bool, st *store.Store, resume bool) *UniqueCache {
+	uc := NewUniqueCache(keepGraphs)
+	uc.st = st
+	uc.resume = resume
+	return uc
+}
+
+// CacheStats summarises the cache's work split: what was computed in this
+// process versus served warm from the persistent store.
+type CacheStats struct {
+	// Decodes counts graph decodes executed (payload-cache misses).
+	Decodes int64
+	// Profiles counts per-checksum analyses computed.
+	Profiles int64
+	// WarmPayloadHits counts payload outcomes loaded from disk.
+	WarmPayloadHits int64
+	// WarmAnalysisHits counts analysis records loaded from disk.
+	WarmAnalysisHits int64
+	// Payloads / Checksums count distinct keys seen in this process.
+	Payloads  int
+	Checksums int
+}
+
+// Stats returns the cache's current work counters.
+func (uc *UniqueCache) Stats() CacheStats {
+	return CacheStats{
+		Decodes:          uc.decodes.Load(),
+		Profiles:         uc.profiles.Load(),
+		WarmPayloadHits:  uc.warmPayloads.Load(),
+		WarmAnalysisHits: uc.warmAnalyses.Load(),
+		Payloads:         uc.PayloadCount(),
+		Checksums:        uc.Size(),
+	}
+}
+
+// PersistErr returns the first write-through persistence failure, if any.
+// Loads degrade to cache misses on error, but a failed write means the
+// store is incomplete — runs that persist must surface this.
+func (uc *UniqueCache) PersistErr() error {
+	uc.mu.Lock()
+	defer uc.mu.Unlock()
+	return uc.persistErr
+}
+
+func (uc *UniqueCache) notePersistErr(err error) {
+	if err == nil {
+		return
+	}
+	uc.mu.Lock()
+	if uc.persistErr == nil {
+		uc.persistErr = err
+	}
+	uc.mu.Unlock()
 }
 
 // Size returns the number of distinct checksums analysed so far.
@@ -113,13 +202,36 @@ func (uc *UniqueCache) Payload(h extract.PayloadHash, decode func() (*graph.Grap
 	}
 	uc.mu.Unlock()
 	pe.once.Do(func() {
+		// Warm path: a persisted outcome for these exact bytes replaces
+		// the decode. A successful outcome is only trusted when its
+		// analysis record is still loadable too: payload records are
+		// written at decode time, analysis records at analysis time, so a
+		// crash between the two (or a codec bump that invalidates the
+		// analysis layout) leaves a payload record pointing at an analysis
+		// that cannot be rebuilt — that hash must decode again.
+		if uc.st != nil && uc.resume {
+			if rec, ok := uc.loadPayloadRecord(h); ok {
+				if !rec.OK {
+					uc.warmPayloads.Add(1)
+					return // persisted failed decode: pe.ok stays false
+				}
+				if uc.HasAnalysis(rec.Checksum) {
+					pe.sum, pe.ok = rec.Checksum, true
+					uc.warmPayloads.Add(1)
+					return
+				}
+			}
+		}
+		uc.decodes.Add(1)
 		g, err := decode()
 		if err != nil {
+			uc.persistPayloadRecord(h, payloadRecord{V: persistCodecVersion, OK: false})
 			return // pe.ok stays false: the payload does not validate
 		}
 		pe.sum = graph.ModelChecksum(g)
 		pe.ok = true
 		uc.seedEntry(pe.sum, g)
+		uc.persistPayloadRecord(h, payloadRecord{V: persistCodecVersion, OK: true, Checksum: pe.sum})
 	})
 	return pe.sum, pe.ok
 }
@@ -160,10 +272,21 @@ func (uc *UniqueCache) get(m extract.Model) (*uniqueData, error) {
 			g = e.seed
 			uc.mu.Unlock()
 		}
+		if g == nil && uc.st != nil && uc.resume {
+			// Warm path: the checksum was analysed by an earlier run —
+			// rebuild the per-checksum data from its persisted record
+			// without a graph in hand.
+			if d, ok := uc.loadAnalysisRecord(m.Checksum); ok {
+				uc.warmAnalyses.Add(1)
+				e.data = d
+				return
+			}
+		}
 		if g == nil {
 			e.err = fmt.Errorf("analysis: no graph available for checksum %s (report produced with a different cache?)", m.Checksum)
 			return
 		}
+		uc.profiles.Add(1)
 		prof, err := graph.ProfileGraph(g)
 		if err != nil {
 			e.err = err
@@ -187,6 +310,10 @@ func (uc *UniqueCache) get(m extract.Model) (*uniqueData, error) {
 			d.graph = g
 		}
 		e.data = d
+		// Write through after the data is complete: a payload record is
+		// only trusted warm when this record exists, so persisting the
+		// analysis last keeps crashed runs consistent.
+		uc.persistAnalysisRecord(m.Checksum, d, g)
 	})
 	// The seed has served its purpose once the analysis ran; release it so
 	// it stops pinning the source APK buffer.

@@ -1,0 +1,290 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"github.com/gaugenn/gaugenn/internal/extract"
+	"github.com/gaugenn/gaugenn/internal/nn/graph"
+	"github.com/gaugenn/gaugenn/internal/nn/zoo"
+	"github.com/gaugenn/gaugenn/internal/store"
+)
+
+// persistCodecVersion gates every persisted analysis-side record (payload
+// outcomes, analysis records, corpus snapshots). Records written under a
+// different version are treated as cache misses and recomputed — enum
+// codes (task, arch, modality, op types) are persisted numerically, so any
+// renumbering must bump this. See docs/persistence.md for the rules.
+const persistCodecVersion = 1
+
+// payloadRecord is the persisted outcome of one payload-hash decode: either
+// the payload failed validation (OK false), or it decoded to the model
+// identified by Checksum, whose analysis record lives in the same store.
+type payloadRecord struct {
+	V        int            `json:"v"`
+	OK       bool           `json:"ok"`
+	Checksum graph.Checksum `json:"checksum,omitempty"`
+}
+
+// analysisWire is the persisted form of uniqueData — everything derived
+// once per distinct model checksum. The decoded graph is not embedded:
+// it lives as a sibling blob under store.KindGraph at the same checksum
+// key (compact binary codec, raw weight bytes), flagged here by HasGraph,
+// so report-table queries and keepGraphs=false warm runs never touch
+// weight bytes at all.
+type analysisWire struct {
+	V         int               `json:"v"`
+	Name      string            `json:"name"`
+	Task      uint8             `json:"task"`
+	Arch      uint8             `json:"arch"`
+	Modality  uint8             `json:"modality"`
+	Profile   *graph.Profile    `json:"profile"`
+	LayerSums []graph.Checksum  `json:"layer_sums,omitempty"`
+	Weights   graph.WeightStats `json:"weights"`
+	HasGraph  bool              `json:"has_graph,omitempty"`
+}
+
+func payloadKey(h extract.PayloadHash) string { return store.HexKey(h[:]) }
+
+// checksumKey validates that a model checksum is usable as a store key
+// (hex md5 by construction; anything else would be a corrupted report).
+func checksumKey(sum graph.Checksum) string { return string(sum) }
+
+func (uc *UniqueCache) loadPayloadRecord(h extract.PayloadHash) (payloadRecord, bool) {
+	var rec payloadRecord
+	data, ok, err := uc.st.Get(store.KindPayload, payloadKey(h))
+	if err != nil || !ok {
+		return rec, false
+	}
+	if json.Unmarshal(data, &rec) != nil || rec.V != persistCodecVersion {
+		return payloadRecord{}, false
+	}
+	if rec.OK && !validChecksum(rec.Checksum) {
+		return payloadRecord{}, false
+	}
+	return rec, true
+}
+
+func (uc *UniqueCache) persistPayloadRecord(h extract.PayloadHash, rec payloadRecord) {
+	if uc.st == nil {
+		return
+	}
+	data, err := json.Marshal(rec)
+	if err == nil {
+		err = uc.st.Put(store.KindPayload, payloadKey(h), data)
+	}
+	uc.notePersistErr(err)
+}
+
+// HasAnalysis reports whether the checksum's analysis record is loadable
+// from the persistent store under the current codec — including its graph
+// blob, when this cache retains graphs and the record flags one. The
+// report-level warm path uses it to refuse persisted reports whose models
+// can no longer be resolved (crashed writer, codec bump): such reports
+// re-extract and self-heal instead of failing the study. Verdicts are
+// memoised per checksum; a successful persist or load flips the memo.
+func (uc *UniqueCache) HasAnalysis(sum graph.Checksum) bool {
+	if uc.st == nil || !uc.resume || !validChecksum(sum) {
+		return false
+	}
+	uc.mu.Lock()
+	v, seen := uc.verifiedSums[sum]
+	uc.mu.Unlock()
+	if seen {
+		return v
+	}
+	_, ok := uc.decodeAnalysisWire(sum)
+	uc.noteVerified(sum, ok)
+	return ok
+}
+
+func (uc *UniqueCache) noteVerified(sum graph.Checksum, ok bool) {
+	uc.mu.Lock()
+	if uc.verifiedSums == nil {
+		uc.verifiedSums = map[graph.Checksum]bool{}
+	}
+	uc.verifiedSums[sum] = ok
+	uc.mu.Unlock()
+}
+
+// decodeAnalysisWire loads and validates one persisted analysis record,
+// including the presence of its graph blob when this cache would need it.
+func (uc *UniqueCache) decodeAnalysisWire(sum graph.Checksum) (analysisWire, bool) {
+	var w analysisWire
+	data, ok, err := uc.st.Get(store.KindAnalysis, checksumKey(sum))
+	if err != nil || !ok {
+		return w, false
+	}
+	if json.Unmarshal(data, &w) != nil || w.V != persistCodecVersion || w.Profile == nil {
+		return analysisWire{}, false
+	}
+	if uc.keepGraphs && w.HasGraph && !uc.st.Has(store.KindGraph, checksumKey(sum)) {
+		return analysisWire{}, false
+	}
+	return w, true
+}
+
+// loadAnalysisRecord rebuilds uniqueData from a persisted record. The
+// graph is only materialised when the cache keeps graphs.
+func (uc *UniqueCache) loadAnalysisRecord(sum graph.Checksum) (*uniqueData, bool) {
+	if !validChecksum(sum) {
+		return nil, false
+	}
+	w, ok := uc.decodeAnalysisWire(sum)
+	if !ok {
+		return nil, false
+	}
+	d := &uniqueData{
+		name:      w.Name,
+		task:      zoo.TaskFromCode(w.Task),
+		arch:      zoo.ArchFromCode(w.Arch),
+		modality:  graph.Modality(w.Modality),
+		profile:   w.Profile,
+		layerSums: w.LayerSums,
+		weights:   w.Weights,
+	}
+	if uc.keepGraphs && w.HasGraph {
+		g, ok := loadGraphBlob(uc.st, sum)
+		if !ok {
+			return nil, false
+		}
+		d.graph = g
+	}
+	uc.noteVerified(sum, true)
+	return d, true
+}
+
+// loadGraphBlob reads one checksum's decoded graph from the graph CAS.
+func loadGraphBlob(st *store.Store, sum graph.Checksum) (*graph.Graph, bool) {
+	data, ok, err := st.Get(store.KindGraph, checksumKey(sum))
+	if err != nil || !ok {
+		return nil, false
+	}
+	g, err := graph.DecodeBinary(data)
+	if err != nil {
+		return nil, false
+	}
+	return g, true
+}
+
+// persistAnalysisRecord writes one checksum's analysis through to the
+// store. g is the decoded graph the analysis ran over — stored as a
+// sibling binary blob so warm runs (and future workloads) have the full
+// model without re-decoding; it may borrow weight bytes from a live APK
+// buffer, which is safe to read here but never retained. The graph blob
+// is written before the record that flags it, so a crash never leaves a
+// record pointing at a missing graph.
+func (uc *UniqueCache) persistAnalysisRecord(sum graph.Checksum, d *uniqueData, g *graph.Graph) {
+	if uc.st == nil {
+		return
+	}
+	if !validChecksum(sum) {
+		uc.notePersistErr(fmt.Errorf("analysis: checksum %q is not a valid store key", sum))
+		return
+	}
+	if g != nil {
+		if err := uc.st.Put(store.KindGraph, checksumKey(sum), graph.EncodeBinary(g)); err != nil {
+			uc.notePersistErr(err)
+			return
+		}
+	}
+	w := analysisWire{
+		V:         persistCodecVersion,
+		Name:      d.name,
+		Task:      uint8(d.task),
+		Arch:      uint8(d.arch),
+		Modality:  uint8(d.modality),
+		Profile:   d.profile,
+		LayerSums: d.layerSums,
+		Weights:   d.weights,
+		HasGraph:  g != nil,
+	}
+	data, err := json.Marshal(w)
+	if err == nil {
+		err = uc.st.Put(store.KindAnalysis, checksumKey(sum), data)
+	}
+	if err == nil {
+		// The record (and its graph, written above) is now resolvable;
+		// flip any cached negative verdict so warm report checks in this
+		// run see the freshly-healed store.
+		uc.noteVerified(sum, true)
+	}
+	uc.notePersistErr(err)
+}
+
+func validChecksum(sum graph.Checksum) bool {
+	if len(sum) != 32 {
+		return false
+	}
+	for i := 0; i < len(sum); i++ {
+		c := sum[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// ModelSummary is the serve API's per-model lookup view of a persisted
+// analysis record.
+type ModelSummary struct {
+	Checksum       graph.Checksum `json:"checksum"`
+	Name           string         `json:"name"`
+	Task           string         `json:"task"`
+	Arch           string         `json:"arch"`
+	Modality       string         `json:"modality"`
+	FLOPs          int64          `json:"flops"`
+	Params         int64          `json:"params"`
+	WeightBytes    int64          `json:"weight_bytes"`
+	Layers         int            `json:"layers"`
+	WeightedLayers int            `json:"weighted_layers"`
+	HasGraph       bool           `json:"has_graph"`
+}
+
+// LoadModelSummary reads one checksum's persisted analysis record and
+// summarises it for query APIs. ok is false when the checksum is unknown.
+func LoadModelSummary(st *store.Store, sum graph.Checksum) (*ModelSummary, bool, error) {
+	if !validChecksum(sum) {
+		return nil, false, nil
+	}
+	data, ok, err := st.Get(store.KindAnalysis, checksumKey(sum))
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	var w analysisWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, false, fmt.Errorf("analysis: decoding record %s: %w", sum, err)
+	}
+	if w.V != persistCodecVersion || w.Profile == nil {
+		return nil, false, fmt.Errorf("analysis: record %s has codec version %d, want %d", sum, w.V, persistCodecVersion)
+	}
+	return &ModelSummary{
+		Checksum:       sum,
+		Name:           w.Name,
+		Task:           zoo.TaskFromCode(w.Task).String(),
+		Arch:           zoo.ArchFromCode(w.Arch).String(),
+		Modality:       graph.Modality(w.Modality).String(),
+		FLOPs:          w.Profile.FLOPs,
+		Params:         w.Profile.Params,
+		WeightBytes:    w.Profile.WeightBytes,
+		Layers:         len(w.Profile.Layers),
+		WeightedLayers: len(w.LayerSums),
+		HasGraph:       w.HasGraph,
+	}, true, nil
+}
+
+// LoadCorpusGraphs attaches persisted graphs to a store-loaded corpus:
+// corpus snapshots reference graphs by checksum instead of embedding
+// them, so workloads that need the models themselves (bench selection,
+// fleet matrices) hydrate them from the graph CAS on demand. Uniques
+// whose graph was never persisted are left as-is.
+func LoadCorpusGraphs(st *store.Store, c *Corpus) {
+	for _, u := range c.SortedUniques() {
+		if u.Graph != nil {
+			continue
+		}
+		if g, ok := loadGraphBlob(st, u.Checksum); ok {
+			u.Graph = g
+		}
+	}
+}

@@ -1,0 +1,398 @@
+package core
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"github.com/gaugenn/gaugenn/internal/analysis"
+	"github.com/gaugenn/gaugenn/internal/crawler"
+	"github.com/gaugenn/gaugenn/internal/docstore"
+	"github.com/gaugenn/gaugenn/internal/errgroup"
+	"github.com/gaugenn/gaugenn/internal/extract"
+	"github.com/gaugenn/gaugenn/internal/playstore"
+	"github.com/gaugenn/gaugenn/internal/store"
+)
+
+// PersistStats summarises a CacheDir-backed run's persistence stage and
+// warm/cold work split.
+type PersistStats struct {
+	// StudyID is the study's manifest identity (a pure function of seed
+	// and scale, e.g. "seed42-scale0.05").
+	StudyID string
+	// CorpusKeys maps snapshot label -> corpus blob key in the CAS.
+	CorpusKeys map[string]string
+	// WarmReports counts APKs whose extraction report was loaded from the
+	// store; ExtractedReports counts APKs extracted in this run.
+	WarmReports, ExtractedReports int64
+	// Cache is the analysis cache's decode/profile/warm-hit breakdown.
+	Cache analysis.CacheStats
+}
+
+// StudyID derives the manifest identity of a study configuration.
+func StudyID(cfg Config) string {
+	return "seed" + strconv.FormatInt(cfg.Seed, 10) +
+		"-scale" + strconv.FormatFloat(cfg.Scale, 'g', -1, 64)
+}
+
+// studyEngine runs one study through the staged pipeline — retrieval
+// (crawl or package, report-cache aware), analysis (sharded ingest through
+// the shared per-checksum cache) and persistence (write-through records
+// plus end-of-snapshot corpus snapshots and a manifest append). Without a
+// CacheDir the persist stage disappears and the engine degrades to the
+// purely in-memory pipeline.
+type studyEngine struct {
+	cfg   Config
+	st    *store.Store // nil without CacheDir
+	cache *analysis.UniqueCache
+
+	warmReports atomic.Int64
+	extracted   atomic.Int64
+}
+
+func newStudyEngine(cfg Config) (*studyEngine, error) {
+	e := &studyEngine{cfg: cfg}
+	if cfg.CacheDir != "" {
+		st, err := store.Open(cfg.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		e.st = st
+		e.cache = analysis.NewPersistentUniqueCache(cfg.KeepGraphs, st, cfg.Resume)
+	} else {
+		e.cache = analysis.NewUniqueCache(cfg.KeepGraphs)
+	}
+	return e, nil
+}
+
+func (e *studyEngine) progress(stage string, done, total int) {
+	if e.cfg.Progress != nil {
+		e.cfg.Progress(stage, done, total)
+	}
+}
+
+// stageCounter serialises one stage's (done, total) progress stream so
+// counts never go backwards even when steps land from many workers.
+type stageCounter struct {
+	engine *studyEngine
+	stage  string
+
+	mu    sync.Mutex
+	done  int
+	total int
+}
+
+func (e *studyEngine) newStage(stage string) *stageCounter {
+	return &stageCounter{engine: e, stage: stage}
+}
+
+// start announces the stage total before any step lands.
+func (sc *stageCounter) start(total int) {
+	sc.mu.Lock()
+	sc.total = total
+	sc.engine.progress(sc.stage, sc.done, sc.total)
+	sc.mu.Unlock()
+}
+
+func (sc *stageCounter) step() {
+	sc.mu.Lock()
+	sc.done++
+	sc.engine.progress(sc.stage, sc.done, sc.total)
+	sc.mu.Unlock()
+}
+
+// loadReport resolves one APK's extraction report: from the persistent
+// store when resuming and these exact bytes were extracted before,
+// otherwise by running extraction. key is the report's store key (empty
+// without persistence); warm reports are already persisted, cold ones are
+// persisted by the caller after ingest so their models' analysis records
+// land first (see persistReport).
+func (e *studyEngine) loadReport(apkBytes []byte) (rep *extract.Report, key string, warm bool, err error) {
+	if e.st == nil {
+		rep, err = extract.ExtractAPKCached(apkBytes, e.cache)
+		return rep, "", false, err
+	}
+	h := extract.HashAPK(apkBytes)
+	key = store.HexKey(h[:])
+	if e.cfg.Resume {
+		data, ok, err := e.st.Get(store.KindReport, key)
+		if err != nil {
+			return nil, "", false, err
+		}
+		if ok {
+			// A warm report is only trusted when every model it references
+			// still has an analysis record (same guard as the payload front
+			// door): a crashed or version-bumped store could hold a report
+			// whose checksums no longer resolve, and ingesting it would fail
+			// hard with no graph to recompute from. Re-extracting instead
+			// self-heals — the current run re-persists every artifact under
+			// the current layout.
+			if rep, err := extract.DecodeReport(data); err == nil && e.analysesResolvable(rep) {
+				e.warmReports.Add(1)
+				return rep, key, true, nil
+			}
+			// Undecodable or dangling record (codec bump, torn blob, crashed
+			// writer): fall through and re-extract rather than fail the study.
+		}
+	}
+	rep, err = extract.ExtractAPKCached(apkBytes, e.cache)
+	if err != nil {
+		return nil, "", false, err
+	}
+	e.extracted.Add(1)
+	return rep, key, false, nil
+}
+
+// analysesResolvable reports whether every model checksum in a persisted
+// report resolves to a live analysis record in the current cache (memory
+// or store).
+func (e *studyEngine) analysesResolvable(rep *extract.Report) bool {
+	for _, m := range rep.Models {
+		if !e.cache.HasAnalysis(m.Checksum) {
+			return false
+		}
+	}
+	return true
+}
+
+// persistReport writes a cold report through to the store. It must run
+// after the report was ingested: ingestion computes (and persists) the
+// analysis record of every model in the report, and a persisted report is
+// only trusted warm because its analysis records are known to exist.
+func (e *studyEngine) persistReport(key string, rep *extract.Report) error {
+	if e.st == nil || key == "" {
+		return nil
+	}
+	data, err := extract.EncodeReport(rep)
+	if err != nil {
+		return err
+	}
+	return e.st.Put(store.KindReport, key, data)
+}
+
+// persistCorpus snapshots a merged corpus into the CAS under its content
+// hash and reports the persist stage's progress.
+func (e *studyEngine) persistCorpus(label string, c *analysis.Corpus) (string, error) {
+	if e.st == nil {
+		return "", nil
+	}
+	st := e.newStage("persist-" + label)
+	st.start(1)
+	blob, err := analysis.EncodeCorpus(c)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(blob)
+	key := store.HexKey(sum[:])
+	if err := e.st.Put(store.KindCorpus, key, blob); err != nil {
+		return "", err
+	}
+	st.step()
+	return key, nil
+}
+
+// RunStudy executes the full offline pipeline over both snapshots. The
+// snapshots run concurrently, sharing a per-checksum analysis cache so a
+// model carried over from 2020 to 2021 is profiled and classified exactly
+// once; within each snapshot, crawl/extract/ingest fan out over
+// Config.Workers goroutines. Results are byte-identical for a fixed seed
+// regardless of the worker count.
+//
+// With Config.CacheDir set the run is backed by a persistent study store:
+// every derived artifact is written through as it is produced, the merged
+// corpora are snapshotted into the CAS, and the study is appended to the
+// store manifest. A Resume run against a populated store loads warm
+// entries instead of recomputing them — an identical re-run performs zero
+// graph decodes and produces byte-identical corpora.
+func RunStudy(cfg Config) (*StudyResult, error) {
+	if cfg.Scale <= 0 {
+		return nil, fmt.Errorf("core: scale must be positive")
+	}
+	eng, err := newStudyEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	study, err := playstore.GenerateStudy(playstore.DefaultConfig(cfg.Seed, cfg.Scale))
+	if err != nil {
+		return nil, err
+	}
+	res := &StudyResult{Meta: docstore.New(), Store: study}
+	// abort is shared by both snapshot pipelines: the first failure
+	// anywhere halts the sibling too instead of letting it run the rest
+	// of its crawl against a doomed study.
+	var abort atomic.Bool
+	corpusKeys := map[string]string{}
+	var keysMu sync.Mutex
+	runOne := func(snap *playstore.Snapshot, label string, dst **analysis.Corpus) func() error {
+		return func() error {
+			c, err := eng.runSnapshot(res.Meta, snap, label, &abort)
+			if err != nil {
+				return err
+			}
+			*dst = c
+			key, err := eng.persistCorpus(label, c)
+			if err != nil {
+				abort.Store(true)
+				return err
+			}
+			if key != "" {
+				keysMu.Lock()
+				corpusKeys[label] = key
+				keysMu.Unlock()
+			}
+			return nil
+		}
+	}
+	var g errgroup.Group
+	g.Go(runOne(study.Snap20, "2020", &res.Corpus20))
+	g.Go(runOne(study.Snap21, "2021", &res.Corpus21))
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	if eng.st != nil {
+		// A write-through failure means the store is a lie; fail loudly
+		// rather than leave a partial cache that warms future runs.
+		if err := eng.cache.PersistErr(); err != nil {
+			return nil, err
+		}
+		entry := store.ManifestEntry{
+			ID:        StudyID(cfg),
+			Seed:      cfg.Seed,
+			Scale:     cfg.Scale,
+			Snapshots: corpusKeys,
+			Apps: map[string]int{
+				"2020": len(res.Corpus20.Apps), "2021": len(res.Corpus21.Apps),
+			},
+			Models: map[string]int{
+				"2020": res.Corpus20.TotalModels(), "2021": res.Corpus21.TotalModels(),
+			},
+		}
+		if err := eng.st.AppendManifest(entry); err != nil {
+			return nil, err
+		}
+		res.Persist = &PersistStats{
+			StudyID:          entry.ID,
+			CorpusKeys:       corpusKeys,
+			WarmReports:      eng.warmReports.Load(),
+			ExtractedReports: eng.extracted.Load(),
+			Cache:            eng.cache.Stats(),
+		}
+	}
+	return res, nil
+}
+
+func (e *studyEngine) runSnapshot(meta *docstore.Store, snap *playstore.Snapshot, label string, abort *atomic.Bool) (*analysis.Corpus, error) {
+	cfg := e.cfg
+	workers := cfg.workerCount()
+	shards := analysis.NewShardedCorpus(label, cfg.KeepGraphs, workers, e.cache)
+	analyse := e.newStage("analyse-" + label)
+	if cfg.UseHTTP {
+		srv := playstore.NewServer(snap)
+		base, shutdown, err := srv.Listen()
+		if err != nil {
+			return nil, err
+		}
+		defer shutdown()
+		// The crawler serialises Progress calls and opens with (0, total);
+		// mirror the total onto the analyse stage, whose steps land after
+		// each app's ingest.
+		cr := &crawler.Crawler{
+			Client:         crawler.NewClient(base),
+			Store:          meta,
+			MaxPerCategory: cfg.MaxPerCategory,
+			Workers:        workers,
+			Abort:          abort,
+			Progress: func(done, total int) {
+				if done == 0 {
+					analyse.start(total)
+				}
+				e.progress("crawl-"+label, done, total)
+			},
+		}
+		_, err = cr.Run(label, func(idx int, m crawler.AppMeta, apkBytes []byte) error {
+			// The shared UniqueCache doubles as the hash-before-decode
+			// front door: duplicate model payloads (heavy overlap between
+			// the 2020 and 2021 crawls) skip graph decode entirely; with a
+			// store attached, whole identical APKs skip extraction.
+			rep, key, warm, err := e.loadReport(apkBytes)
+			if err != nil {
+				return fmt.Errorf("core: extracting %s: %w", m.Package, err)
+			}
+			if err := shards.AddReport(idx, m.Category, rep); err != nil {
+				return err
+			}
+			if !warm {
+				if err := e.persistReport(key, rep); err != nil {
+					return err
+				}
+			}
+			analyse.step()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return shards.Merge(), nil
+	}
+	// In-process path: package and extract without the HTTP hop, fanned
+	// out over the same worker pool. The app's position in snap.Apps is
+	// its global index, so shard contents (and the merged corpus) do not
+	// depend on scheduling.
+	total := len(snap.Apps)
+	crawl := e.newStage("crawl-" + label)
+	crawl.start(total)
+	analyse.start(total)
+	// abort short-circuits queued apps after the first failure in either
+	// snapshot's pipeline, like the crawler's pool does.
+	var g errgroup.Group
+	g.SetLimit(workers)
+	for idx, a := range snap.Apps {
+		idx, a := idx, a
+		g.Go(func() error {
+			if abort.Load() {
+				return nil
+			}
+			fail := func(err error) error {
+				abort.Store(true)
+				return err
+			}
+			if !needsExtraction(a) {
+				shards.AddApp(idx, analysis.AppInfo{Package: a.Package, Category: string(a.Category)})
+			} else {
+				apkBytes, err := snap.BuildAPK(a)
+				if err != nil {
+					return fail(fmt.Errorf("core: packaging %s: %w", a.Package, err))
+				}
+				rep, key, warm, err := e.loadReport(apkBytes)
+				if err != nil {
+					return fail(fmt.Errorf("core: extracting %s: %w", a.Package, err))
+				}
+				if err := shards.AddReport(idx, string(a.Category), rep); err != nil {
+					return fail(err)
+				}
+				if !warm {
+					if err := e.persistReport(key, rep); err != nil {
+						return fail(err)
+					}
+				}
+			}
+			// Values are pre-normalised to the store's JSON form (float64
+			// numbers) so Put's deep copy shares them instead of re-boxing.
+			if err := meta.Put("apps-"+label, a.Package, docstore.Doc{
+				"package": a.Package, "category": string(a.Category),
+				"rank": float64(a.Rank), "downloads": float64(a.Downloads), "rating": a.Rating,
+			}); err != nil {
+				return fail(err)
+			}
+			crawl.step()
+			analyse.step()
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	return shards.Merge(), nil
+}

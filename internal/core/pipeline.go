@@ -16,15 +16,11 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
-	"sync"
-	"sync/atomic"
 
 	"github.com/gaugenn/gaugenn/internal/analysis"
 	"github.com/gaugenn/gaugenn/internal/bench"
 	"github.com/gaugenn/gaugenn/internal/crawler"
 	"github.com/gaugenn/gaugenn/internal/docstore"
-	"github.com/gaugenn/gaugenn/internal/errgroup"
-	"github.com/gaugenn/gaugenn/internal/extract"
 	"github.com/gaugenn/gaugenn/internal/nn/formats"
 	"github.com/gaugenn/gaugenn/internal/nn/zoo"
 	"github.com/gaugenn/gaugenn/internal/playstore"
@@ -56,8 +52,26 @@ type Config struct {
 	// snapshot saturate every core once 2020 completes (a split budget
 	// would idle half the cores for 2021's tail).
 	Workers int
-	// Progress, when non-nil, receives coarse stage updates. It may be
-	// called concurrently from both snapshot pipelines.
+	// CacheDir, when non-empty, backs the run with a persistent
+	// content-addressed study store rooted there: extraction reports,
+	// payload decode outcomes, per-checksum analysis records and the
+	// final corpus snapshots are written through as they are produced,
+	// and the study is appended to the store's manifest. See
+	// docs/persistence.md.
+	CacheDir string
+	// Resume makes a CacheDir-backed run consult existing store entries
+	// before computing: APKs whose bytes were extracted before load their
+	// persisted report, payloads decoded before skip graph decode, and
+	// checksums analysed before skip profiling. False still writes
+	// through (a cold run that populates the cache). Ignored without
+	// CacheDir.
+	Resume bool
+	// Progress, when non-nil, receives per-stage updates: "crawl-<label>"
+	// during retrieval, "analyse-<label>" as apps are ingested and
+	// "persist-<label>" while corpus snapshots are written (the persist
+	// stage only runs with CacheDir). Each stage opens with a (0, total)
+	// call once its total is known. It may be called concurrently from
+	// both snapshot pipelines.
 	Progress func(stage string, done, total int)
 }
 
@@ -83,146 +97,10 @@ type StudyResult struct {
 	// Store gives access to the generated ground truth (device-delivery
 	// probes, re-crawls).
 	Store *playstore.Study
-}
-
-// RunStudy executes the full offline pipeline over both snapshots. The
-// snapshots run concurrently, sharing a per-checksum analysis cache so a
-// model carried over from 2020 to 2021 is profiled and classified exactly
-// once; within each snapshot, crawl/extract/ingest fan out over
-// Config.Workers goroutines. Results are byte-identical for a fixed seed
-// regardless of the worker count.
-func RunStudy(cfg Config) (*StudyResult, error) {
-	if cfg.Scale <= 0 {
-		return nil, fmt.Errorf("core: scale must be positive")
-	}
-	study, err := playstore.GenerateStudy(playstore.DefaultConfig(cfg.Seed, cfg.Scale))
-	if err != nil {
-		return nil, err
-	}
-	res := &StudyResult{Meta: docstore.New(), Store: study}
-	cache := analysis.NewUniqueCache(cfg.KeepGraphs)
-	// abort is shared by both snapshot pipelines: the first failure
-	// anywhere halts the sibling too instead of letting it run the rest
-	// of its crawl against a doomed study.
-	var abort atomic.Bool
-	var g errgroup.Group
-	g.Go(func() error {
-		c, err := runSnapshot(cfg, res.Meta, study.Snap20, "2020", cache, &abort)
-		res.Corpus20 = c
-		return err
-	})
-	g.Go(func() error {
-		c, err := runSnapshot(cfg, res.Meta, study.Snap21, "2021", cache, &abort)
-		res.Corpus21 = c
-		return err
-	})
-	if err := g.Wait(); err != nil {
-		return nil, err
-	}
-	return res, nil
-}
-
-func runSnapshot(cfg Config, meta *docstore.Store, snap *playstore.Snapshot, label string, cache *analysis.UniqueCache, abort *atomic.Bool) (*analysis.Corpus, error) {
-	workers := cfg.workerCount()
-	shards := analysis.NewShardedCorpus(label, cfg.KeepGraphs, workers, cache)
-	// Both callers below already serialise their progress calls (the
-	// crawler under its own mutex, the in-process path under doneMu).
-	progress := func(done, total int) {
-		if cfg.Progress != nil {
-			cfg.Progress("crawl-"+label, done, total)
-		}
-	}
-	if cfg.UseHTTP {
-		srv := playstore.NewServer(snap)
-		base, shutdown, err := srv.Listen()
-		if err != nil {
-			return nil, err
-		}
-		defer shutdown()
-		cr := &crawler.Crawler{
-			Client:         crawler.NewClient(base),
-			Store:          meta,
-			MaxPerCategory: cfg.MaxPerCategory,
-			Workers:        workers,
-			Abort:          abort,
-			Progress:       progress,
-		}
-		_, err = cr.Run(label, func(idx int, m crawler.AppMeta, apkBytes []byte) error {
-			// The shared UniqueCache doubles as the hash-before-decode
-			// front door: duplicate model payloads (heavy overlap between
-			// the 2020 and 2021 crawls) skip graph decode entirely.
-			rep, err := extract.ExtractAPKCached(apkBytes, cache)
-			if err != nil {
-				return err
-			}
-			return shards.AddReport(idx, m.Category, rep)
-		})
-		if err != nil {
-			return nil, err
-		}
-		return shards.Merge(), nil
-	}
-	// In-process path: package and extract without the HTTP hop, fanned
-	// out over the same worker pool. The app's position in snap.Apps is
-	// its global index, so shard contents (and the merged corpus) do not
-	// depend on scheduling.
-	total := len(snap.Apps)
-	// step increments and reports under one lock so counts never go
-	// backwards (the crawler path does the same internally).
-	var doneMu sync.Mutex
-	done := 0
-	step := func() {
-		doneMu.Lock()
-		done++
-		d := done
-		progress(d, total)
-		doneMu.Unlock()
-	}
-	// abort short-circuits queued apps after the first failure in either
-	// snapshot's pipeline, like the crawler's pool does.
-	var g errgroup.Group
-	g.SetLimit(workers)
-	for idx, a := range snap.Apps {
-		idx, a := idx, a
-		g.Go(func() error {
-			if abort.Load() {
-				return nil
-			}
-			fail := func(err error) error {
-				abort.Store(true)
-				return err
-			}
-			if !needsExtraction(a) {
-				shards.AddApp(idx, analysis.AppInfo{Package: a.Package, Category: string(a.Category)})
-			} else {
-				apkBytes, err := snap.BuildAPK(a)
-				if err != nil {
-					return fail(fmt.Errorf("core: packaging %s: %w", a.Package, err))
-				}
-				rep, err := extract.ExtractAPKCached(apkBytes, cache)
-				if err != nil {
-					return fail(fmt.Errorf("core: extracting %s: %w", a.Package, err))
-				}
-				if err := shards.AddReport(idx, string(a.Category), rep); err != nil {
-					return fail(err)
-				}
-			}
-			// Values are pre-normalised to the store's JSON form (float64
-			// numbers) so Put's deep copy shares them instead of re-boxing.
-			if err := meta.Put("apps-"+label, a.Package, docstore.Doc{
-				"package": a.Package, "category": string(a.Category),
-				"rank": float64(a.Rank), "downloads": float64(a.Downloads), "rating": a.Rating,
-			}); err != nil {
-				return fail(err)
-			}
-			step()
-			return nil
-		})
-	}
-	if err := g.Wait(); err != nil {
-		return nil, err
-	}
-	return shards.Merge(), nil
+	// Persist summarises the persistence stage of a CacheDir-backed run:
+	// the study's manifest identity, its corpus CAS keys, and how much
+	// work was served warm versus computed. Nil without Config.CacheDir.
+	Persist *PersistStats
 }
 
 // needsExtraction reports whether the in-process fast path must package

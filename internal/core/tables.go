@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/gaugenn/gaugenn/internal/analysis"
+	"github.com/gaugenn/gaugenn/internal/report"
+)
+
+// TableNames lists the study's report outputs in emission order.
+func TableNames() []string {
+	return []string{"table2.txt", "table3.txt", "fig4.txt", "fig5.txt", "fig15.txt"}
+}
+
+// StudyTables renders the study's report tables — Table 2/3 and Figures
+// 4/5/15 — from a pair of analysed (or store-loaded) corpora, keyed by the
+// file names of TableNames. The output is a pure function of the corpora,
+// so a warm re-run or a serve-side render of persisted snapshots is
+// byte-identical to the cold run that produced them.
+func StudyTables(c20, c21 *analysis.Corpus) map[string]string {
+	out := map[string]string{}
+	d20, d21 := c20.Dataset(), c21.Dataset()
+	out["table2.txt"] = report.Table("Table 2: dataset snapshots",
+		[]string{"", "Snapshot '20", "Snapshot '21"},
+		[][]string{
+			{"Total Apps", fmt.Sprint(d20.TotalApps), fmt.Sprint(d21.TotalApps)},
+			{"Apps w/ frameworks", fmt.Sprint(d20.AppsWithFw), fmt.Sprint(d21.AppsWithFw)},
+			{"Apps w/ models", fmt.Sprint(d20.AppsWithModels), fmt.Sprint(d21.AppsWithModels)},
+			{"Total models", fmt.Sprint(d20.TotalModels), fmt.Sprint(d21.TotalModels)},
+			{"Unique models", fmt.Sprint(d20.UniqueModels), fmt.Sprint(d21.UniqueModels)},
+		})
+
+	rows, identified := c21.TaskBreakdown(true)
+	trows := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		trows = append(trows, []string{r.Task.String(), r.Task.Modality().String(), fmt.Sprint(r.Count)})
+	}
+	out["table3.txt"] = report.Table(
+		fmt.Sprintf("Table 3: task classification (%d identified of %d)", identified, c21.TotalModels()),
+		[]string{"task", "modality", "models"}, trows)
+
+	fw := map[string]int{}
+	for cat, m := range c21.FrameworkByCategory() {
+		for f, n := range m {
+			fw[cat+"/"+f] += n
+		}
+	}
+	out["fig4.txt"] = report.CountBars("Figure 4: models per category/framework", fw)
+
+	churn := map[string]int{}
+	for _, row := range analysis.TemporalDiff(c20, c21) {
+		churn[row.Category+" +"] = row.Added
+		churn[row.Category+" -"] = row.Removed
+	}
+	out["fig5.txt"] = report.CountBars("Figure 5: models added(+)/removed(-)", churn)
+
+	perAPI, g, a, total := c21.CloudAPIUsage()
+	out["fig15.txt"] = report.CountBars(
+		fmt.Sprintf("Figure 15: cloud ML APIs (%d apps: %d Google, %d AWS)", total, g, a), perAPI)
+	return out
+}

@@ -200,8 +200,10 @@ type Crawler struct {
 	// first failure — so sibling pipelines (the other snapshot's crawl)
 	// halt too instead of running to completion against a doomed study.
 	Abort *atomic.Bool
-	// Progress, when non-nil, receives (done, total) after each app.
-	// Calls are serialised even when Workers > 1.
+	// Progress, when non-nil, receives (done, total) after each app, plus
+	// one (0, total) stage-start call before any app is dispatched so
+	// consumers learn the total up front. Calls are serialised even when
+	// Workers > 1.
 	Progress func(done, total int)
 }
 
@@ -278,6 +280,11 @@ func (cr *Crawler) Run(label string, handle func(idx int, meta AppMeta, apkBytes
 		items = append(items, chart...)
 	}
 	total := len(items)
+	if cr.Progress != nil {
+		// Stage start: announce the total before dispatching, so staged
+		// consumers (the study engine's analyse stage) know it up front.
+		cr.Progress(0, total)
+	}
 
 	// Per-app fan-out: download, delivery check, metadata filing and the
 	// handle callback all run on the worker pool. Result accounting and

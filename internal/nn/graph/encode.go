@@ -1,0 +1,318 @@
+package graph
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// binCodecVersion gates the binary graph encoding. Every field of Graph,
+// Layer, Attrs, Tensor and Weight is written in fixed declaration order;
+// adding a field to any of those structs requires extending the codec and
+// bumping this version (TestEncodeBinaryCoversAttrs pins the field count).
+const binCodecVersion = 1
+
+// EncodeBinary serialises a graph to the store's compact binary form:
+// little-endian, length-prefixed, weight bytes raw (no base64 inflation).
+// The encoding is deterministic — equal graphs encode to equal bytes — and
+// lossless, unlike the mobile container formats, which drop attributes
+// they do not model.
+func EncodeBinary(g *Graph) []byte {
+	// Pre-size: weights dominate, then ~64 bytes of framing per layer.
+	size := 16 + len(g.Name) + 96*(len(g.Layers)+len(g.Inputs)+len(g.Outputs))
+	for i := range g.Layers {
+		size += int(g.Layers[i].WeightBytes())
+	}
+	w := &binWriter{buf: make([]byte, 0, size)}
+	w.u8(binCodecVersion)
+	w.str(g.Name)
+	w.u32(uint32(len(g.Inputs)))
+	for _, t := range g.Inputs {
+		w.tensor(t)
+	}
+	w.u32(uint32(len(g.Outputs)))
+	for _, t := range g.Outputs {
+		w.tensor(t)
+	}
+	w.u32(uint32(len(g.Layers)))
+	for i := range g.Layers {
+		w.layer(&g.Layers[i])
+	}
+	return w.buf
+}
+
+// DecodeBinary reverses EncodeBinary. Weight data is copied out of the
+// input buffer, so the decoded graph owns its bytes.
+func DecodeBinary(data []byte) (*Graph, error) {
+	r := &binReader{buf: data}
+	if v := r.u8(); r.err == nil && v != binCodecVersion {
+		return nil, fmt.Errorf("graph: binary codec version %d, want %d", v, binCodecVersion)
+	}
+	g := &Graph{Name: r.str()}
+	for n := r.u32(); n > 0 && r.err == nil; n-- {
+		g.Inputs = append(g.Inputs, r.tensor())
+	}
+	for n := r.u32(); n > 0 && r.err == nil; n-- {
+		g.Outputs = append(g.Outputs, r.tensor())
+	}
+	for n := r.u32(); n > 0 && r.err == nil; n-- {
+		g.Layers = append(g.Layers, r.layer())
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.off != len(r.buf) {
+		return nil, fmt.Errorf("graph: %d trailing bytes after binary decode", len(r.buf)-r.off)
+	}
+	return g, nil
+}
+
+type binWriter struct{ buf []byte }
+
+func (w *binWriter) u8(v uint8)   { w.buf = append(w.buf, v) }
+func (w *binWriter) u32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+func (w *binWriter) i64(v int64)  { w.buf = binary.LittleEndian.AppendUint64(w.buf, uint64(v)) }
+func (w *binWriter) f64(v float64) {
+	w.buf = binary.LittleEndian.AppendUint64(w.buf, math.Float64bits(v))
+}
+func (w *binWriter) bool(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+func (w *binWriter) str(s string) { w.u32(uint32(len(s))); w.buf = append(w.buf, s...) }
+func (w *binWriter) bytes(b []byte) {
+	w.u32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+func (w *binWriter) ints(v []int) {
+	w.u32(uint32(len(v)))
+	for _, x := range v {
+		w.i64(int64(x))
+	}
+}
+func (w *binWriter) strs(v []string) {
+	w.u32(uint32(len(v)))
+	for _, s := range v {
+		w.str(s)
+	}
+}
+
+func (w *binWriter) tensor(t Tensor) {
+	w.str(t.Name)
+	w.ints(t.Shape)
+	w.u8(uint8(t.DType))
+}
+
+func (w *binWriter) layer(l *Layer) {
+	w.str(l.Name)
+	w.u8(uint8(l.Op))
+	w.strs(l.Inputs)
+	w.strs(l.Outputs)
+	w.attrs(&l.Attrs)
+	w.u32(uint32(len(l.Weights)))
+	for _, wt := range l.Weights {
+		w.str(wt.Name)
+		w.ints(wt.Shape)
+		w.u8(uint8(wt.DType))
+		w.bytes(wt.Data)
+	}
+}
+
+func (w *binWriter) attrs(a *Attrs) {
+	w.i64(int64(a.KernelH))
+	w.i64(int64(a.KernelW))
+	w.i64(int64(a.StrideH))
+	w.i64(int64(a.StrideW))
+	w.bool(a.PadSame)
+	w.i64(int64(a.PadH))
+	w.i64(int64(a.PadW))
+	w.i64(int64(a.Filters))
+	w.i64(int64(a.Units))
+	w.i64(int64(a.Axis))
+	w.i64(int64(a.TargetH))
+	w.i64(int64(a.TargetW))
+	w.i64(int64(a.TimeSteps))
+	w.i64(int64(a.VocabSize))
+	w.u8(uint8(a.Fused))
+	w.f64(a.Scale)
+	w.i64(int64(a.ZeroPoint))
+	w.ints(a.Begin)
+	w.ints(a.Size)
+	w.ints(a.NewShape)
+	w.i64(int64(a.DepthMult))
+	w.bool(a.KeepDims)
+	w.ints(a.ReduceAxes)
+	w.u8(uint8(a.OutDType))
+	w.bool(a.OutDTypeSet)
+	w.i64(int64(a.Dilation))
+	w.i64(int64(a.Groups))
+	w.bool(a.SqueezeBatch)
+}
+
+type binReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *binReader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("graph: truncated binary %s at offset %d", what, r.off)
+	}
+}
+
+func (r *binReader) u8() uint8 {
+	if r.err != nil || r.off+1 > len(r.buf) {
+		r.fail("u8")
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *binReader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.buf) {
+		r.fail("u32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.buf[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *binReader) i64() int64 {
+	if r.err != nil || r.off+8 > len(r.buf) {
+		r.fail("i64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return int64(v)
+}
+
+func (r *binReader) f64() float64 { return math.Float64frombits(uint64(r.i64())) }
+func (r *binReader) bool() bool   { return r.u8() != 0 }
+
+func (r *binReader) str() string {
+	n := int(r.u32())
+	if r.err != nil || r.off+n > len(r.buf) {
+		r.fail("string")
+		return ""
+	}
+	v := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return v
+}
+
+func (r *binReader) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil || r.off+n > len(r.buf) {
+		r.fail("bytes")
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	v := make([]byte, n)
+	copy(v, r.buf[r.off:])
+	r.off += n
+	return v
+}
+
+func (r *binReader) ints() []int {
+	n := int(r.u32())
+	if r.err != nil || r.off+8*n > len(r.buf) {
+		r.fail("ints")
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	v := make([]int, n)
+	for i := range v {
+		v[i] = int(r.i64())
+	}
+	return v
+}
+
+func (r *binReader) strs() []string {
+	n := int(r.u32())
+	if r.err != nil || n > len(r.buf)-r.off {
+		r.fail("strings")
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	v := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		v = append(v, r.str())
+	}
+	return v
+}
+
+func (r *binReader) tensor() Tensor {
+	t := Tensor{Name: r.str()}
+	if sh := r.ints(); sh != nil {
+		t.Shape = Shape(sh)
+	}
+	t.DType = DType(r.u8())
+	return t
+}
+
+func (r *binReader) layer() Layer {
+	l := Layer{Name: r.str(), Op: OpType(r.u8())}
+	l.Inputs = r.strs()
+	l.Outputs = r.strs()
+	r.attrs(&l.Attrs)
+	n := int(r.u32())
+	if r.err != nil || n > len(r.buf)-r.off {
+		r.fail("weights")
+		return l
+	}
+	for i := 0; i < n; i++ {
+		wt := Weight{Name: r.str()}
+		if sh := r.ints(); sh != nil {
+			wt.Shape = Shape(sh)
+		}
+		wt.DType = DType(r.u8())
+		wt.Data = r.bytes()
+		l.Weights = append(l.Weights, wt)
+	}
+	return l
+}
+
+func (r *binReader) attrs(a *Attrs) {
+	a.KernelH = int(r.i64())
+	a.KernelW = int(r.i64())
+	a.StrideH = int(r.i64())
+	a.StrideW = int(r.i64())
+	a.PadSame = r.bool()
+	a.PadH = int(r.i64())
+	a.PadW = int(r.i64())
+	a.Filters = int(r.i64())
+	a.Units = int(r.i64())
+	a.Axis = int(r.i64())
+	a.TargetH = int(r.i64())
+	a.TargetW = int(r.i64())
+	a.TimeSteps = int(r.i64())
+	a.VocabSize = int(r.i64())
+	a.Fused = OpType(r.u8())
+	a.Scale = r.f64()
+	a.ZeroPoint = int(r.i64())
+	a.Begin = r.ints()
+	a.Size = r.ints()
+	a.NewShape = r.ints()
+	a.DepthMult = int(r.i64())
+	a.KeepDims = r.bool()
+	a.ReduceAxes = r.ints()
+	a.OutDType = DType(r.u8())
+	a.OutDTypeSet = r.bool()
+	a.Dilation = int(r.i64())
+	a.Groups = int(r.i64())
+	a.SqueezeBatch = r.bool()
+}

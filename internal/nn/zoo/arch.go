@@ -64,6 +64,15 @@ func (a Arch) String() string {
 	return "unknown"
 }
 
+// ArchFromCode decodes a persisted numeric architecture code;
+// out-of-range codes fold to ArchUnknown.
+func ArchFromCode(code uint8) Arch {
+	if a := Arch(code); a < numArchs {
+		return a
+	}
+	return ArchUnknown
+}
+
 // ArchOpts scales an architecture. Width multiplies channel counts
 // (MobileNet's α); Resolution sets the square input size for vision nets;
 // Classes sizes the output head; Vocab sizes text models.

@@ -91,6 +91,15 @@ func (t Task) String() string {
 // Valid reports whether t is a known, non-unknown task.
 func (t Task) Valid() bool { return t > TaskUnknown && t < numTasks }
 
+// TaskFromCode decodes a persisted numeric task code; out-of-range codes
+// (a record written by a future enum layout) fold to TaskUnknown.
+func TaskFromCode(code uint8) Task {
+	if t := Task(code); t < numTasks {
+		return t
+	}
+	return TaskUnknown
+}
+
 // Modality returns the input modality the task operates on.
 func (t Task) Modality() graph.Modality {
 	switch t {

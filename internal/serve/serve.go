@@ -1,0 +1,276 @@
+// Package serve exposes persisted studies over HTTP — the query side of
+// the content-addressed study store. Everything it answers comes from
+// disk: report tables re-render from persisted corpus snapshots, model
+// lookups read per-checksum analysis records, and temporal diffs join any
+// two persisted corpora. The crawler, extractor and analyser are never
+// invoked; `gaugenn study -cache-dir` produces, `gaugenn serve` queries.
+//
+// Endpoints:
+//
+//	GET /healthz                      liveness + store census
+//	GET /api/studies                  manifest listing (latest per study)
+//	GET /api/studies/{id}             one study + per-snapshot dataset stats
+//	GET /api/studies/{id}/tables      report tables (all, or ?name=table2.txt as text)
+//	GET /api/models/{checksum}        per-model analysis summary
+//	GET /api/diff?from=ID[:LABEL]&to=ID[:LABEL]   cross-study churn rows
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"github.com/gaugenn/gaugenn/internal/analysis"
+	"github.com/gaugenn/gaugenn/internal/core"
+	"github.com/gaugenn/gaugenn/internal/nn/graph"
+	"github.com/gaugenn/gaugenn/internal/store"
+)
+
+// Server answers study queries from a persisted store.
+type Server struct {
+	st *store.Store
+
+	// corpora memoises loaded corpus snapshots by CAS key. Keys are
+	// content hashes, so a cached entry can never go stale; the cache is
+	// bounded by the number of distinct persisted snapshots.
+	mu      sync.Mutex
+	corpora map[string]*analysis.Corpus
+}
+
+// New creates a server over an opened store.
+func New(st *store.Store) *Server {
+	return &Server{st: st, corpora: map[string]*analysis.Corpus{}}
+}
+
+// Handler returns the server's HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /api/studies", s.handleStudies)
+	mux.HandleFunc("GET /api/studies/{id}", s.handleStudy)
+	mux.HandleFunc("GET /api/studies/{id}/tables", s.handleTables)
+	mux.HandleFunc("GET /api/models/{checksum}", s.handleModel)
+	mux.HandleFunc("GET /api/diff", s.handleDiff)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	census := map[string]any{"status": "ok"}
+	studies, err := s.st.Studies()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "reading manifest: %v", err)
+		return
+	}
+	census["studies"] = len(studies)
+	for kind, plural := range map[string]string{
+		store.KindReport:   "reports",
+		store.KindAnalysis: "analyses",
+		store.KindPayload:  "payloads",
+		store.KindCorpus:   "corpora",
+	} {
+		n, err := s.st.Count(kind)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "counting %s: %v", kind, err)
+			return
+		}
+		census[plural] = n
+	}
+	writeJSON(w, http.StatusOK, census)
+}
+
+func (s *Server) handleStudies(w http.ResponseWriter, r *http.Request) {
+	studies, err := s.st.Studies()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "reading manifest: %v", err)
+		return
+	}
+	if studies == nil {
+		studies = []store.ManifestEntry{}
+	}
+	writeJSON(w, http.StatusOK, studies)
+}
+
+// studySnapshot is the per-snapshot detail of a study listing.
+type studySnapshot struct {
+	CorpusKey string                `json:"corpus_key"`
+	Dataset   analysis.DatasetStats `json:"dataset"`
+}
+
+func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
+	entry, ok, err := s.st.Study(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "reading manifest: %v", err)
+		return
+	}
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown study %q", r.PathValue("id"))
+		return
+	}
+	snaps := map[string]studySnapshot{}
+	for label, key := range entry.Snapshots {
+		c, err := s.corpus(key)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "loading %s corpus: %v", label, err)
+			return
+		}
+		snaps[label] = studySnapshot{CorpusKey: key, Dataset: c.Dataset()}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"study": entry, "snapshots": snaps})
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
+	entry, ok, err := s.st.Study(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "reading manifest: %v", err)
+		return
+	}
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown study %q", r.PathValue("id"))
+		return
+	}
+	c20, err := s.labelledCorpus(entry, "2020")
+	if err != nil {
+		s.writeRefErr(w, err)
+		return
+	}
+	c21, err := s.labelledCorpus(entry, "2021")
+	if err != nil {
+		s.writeRefErr(w, err)
+		return
+	}
+	tables := core.StudyTables(c20, c21)
+	if name := r.URL.Query().Get("name"); name != "" {
+		text, ok := tables[name]
+		if !ok {
+			writeErr(w, http.StatusNotFound, "unknown table %q (have %s)", name, strings.Join(core.TableNames(), ", "))
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprint(w, text)
+		return
+	}
+	writeJSON(w, http.StatusOK, tables)
+}
+
+func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
+	sum := graph.Checksum(r.PathValue("checksum"))
+	ms, ok, err := analysis.LoadModelSummary(s.st, sum)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "loading model: %v", err)
+		return
+	}
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown model checksum %q", sum)
+		return
+	}
+	writeJSON(w, http.StatusOK, ms)
+}
+
+// diffResponse is the cross-study churn answer.
+type diffResponse struct {
+	From string              `json:"from"`
+	To   string              `json:"to"`
+	Rows []analysis.ChurnRow `json:"rows"`
+}
+
+func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	fromArg, toArg := r.URL.Query().Get("from"), r.URL.Query().Get("to")
+	if fromArg == "" || toArg == "" {
+		writeErr(w, http.StatusBadRequest, "diff needs from=STUDY[:LABEL] and to=STUDY[:LABEL]")
+		return
+	}
+	old, err := s.refCorpus(fromArg, "2020")
+	if err != nil {
+		s.writeRefErr(w, err)
+		return
+	}
+	new_, err := s.refCorpus(toArg, "2021")
+	if err != nil {
+		s.writeRefErr(w, err)
+		return
+	}
+	rows := analysis.TemporalDiff(old, new_)
+	if rows == nil {
+		rows = []analysis.ChurnRow{}
+	}
+	writeJSON(w, http.StatusOK, diffResponse{From: fromArg, To: toArg, Rows: rows})
+}
+
+// writeRefErr maps corpus-resolution failures onto HTTP statuses: a bad
+// reference (unknown study, missing snapshot label) is the client's 404,
+// anything else is store I/O.
+func (s *Server) writeRefErr(w http.ResponseWriter, err error) {
+	if _, notFound := err.(*refError); notFound {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeErr(w, http.StatusInternalServerError, "%v", err)
+}
+
+// refError marks a corpus reference the caller got wrong (vs. store I/O).
+type refError struct{ msg string }
+
+func (e *refError) Error() string { return e.msg }
+
+// refCorpus resolves a "STUDY[:LABEL]" reference to a loaded corpus.
+func (s *Server) refCorpus(ref, defaultLabel string) (*analysis.Corpus, error) {
+	id, label := ref, defaultLabel
+	if i := strings.LastIndex(ref, ":"); i >= 0 {
+		id, label = ref[:i], ref[i+1:]
+	}
+	entry, ok, err := s.st.Study(id)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, &refError{fmt.Sprintf("unknown study %q", id)}
+	}
+	return s.labelledCorpus(entry, label)
+}
+
+func (s *Server) labelledCorpus(entry store.ManifestEntry, label string) (*analysis.Corpus, error) {
+	key, ok := entry.Snapshots[label]
+	if !ok {
+		return nil, &refError{fmt.Sprintf("study %s has no snapshot %q", entry.ID, label)}
+	}
+	return s.corpus(key)
+}
+
+// corpus loads (or reuses) one persisted corpus snapshot by CAS key.
+func (s *Server) corpus(key string) (*analysis.Corpus, error) {
+	s.mu.Lock()
+	c, ok := s.corpora[key]
+	s.mu.Unlock()
+	if ok {
+		return c, nil
+	}
+	blob, ok, err := s.st.Get(store.KindCorpus, key)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("corpus blob %s missing (manifest out of sync?)", key)
+	}
+	c, err = analysis.DecodeCorpus(blob)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.corpora[key] = c
+	s.mu.Unlock()
+	return c, nil
+}

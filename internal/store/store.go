@@ -1,0 +1,336 @@
+// Package store implements gaugeNN's persistent content-addressed study
+// store: a filesystem CAS holding the pipeline's derived artifacts —
+// extraction reports keyed by APK payload hash, per-checksum analysis
+// records, payload decode outcomes and corpus snapshots — plus an
+// append-only manifest of persisted studies. It is the durability layer
+// under the study engine's warm-start path (a re-run loads everything it
+// has seen before instead of re-crawling/re-decoding it) and the data
+// source of the `gaugenn serve` query API.
+//
+// The store is deliberately dumb: bytes in, bytes out, keys validated,
+// writes atomic (temp file + rename) and idempotent (content-addressed
+// keys mean an existing blob is never rewritten). Typed codecs live with
+// the types they serialise (internal/extract, internal/analysis); this
+// package depends only on the standard library. See docs/persistence.md
+// for the on-disk layout and invalidation rules.
+package store
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Blob kinds — each kind is one top-level CAS namespace (a directory).
+const (
+	// KindPayload records a decode outcome per model payload hash.
+	KindPayload = "payload"
+	// KindAnalysis records per-checksum analysis results.
+	KindAnalysis = "analysis"
+	// KindReport records whole extraction reports per APK payload hash.
+	KindReport = "report"
+	// KindGraph records decoded model graphs (binary codec) per checksum.
+	KindGraph = "graph"
+	// KindCorpus records serialised corpus snapshots by content hash.
+	KindCorpus = "corpus"
+)
+
+// manifestName is the append-only study log at the store root.
+const manifestName = "manifest.jsonl"
+
+// Store is a content-addressed blob store rooted at one directory. All
+// methods are safe for concurrent use within one process; concurrent
+// writers in separate processes are safe for blobs (atomic rename, equal
+// content per key) but the manifest assumes a single writing process.
+type Store struct {
+	dir string
+
+	// manifestMu serialises manifest appends (read-check-append).
+	manifestMu sync.Mutex
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, fmt.Errorf("store: empty directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// HexKey renders raw hash bytes as a store key.
+func HexKey(b []byte) string { return hex.EncodeToString(b) }
+
+// validKey constrains keys to lowercase hex-ish names: no separators, no
+// traversal, usable verbatim as file names on any platform.
+func validKey(key string) bool {
+	if len(key) < 4 || len(key) > 128 {
+		return false
+	}
+	for i := 0; i < len(key); i++ {
+		c := key[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func validKind(kind string) bool {
+	switch kind {
+	case KindPayload, KindAnalysis, KindReport, KindGraph, KindCorpus:
+		return true
+	}
+	return false
+}
+
+// blobPath shards blobs by the first two key characters so no directory
+// grows unboundedly (the git object-store layout).
+func (s *Store) blobPath(kind, key string) string {
+	return filepath.Join(s.dir, kind, key[:2], key)
+}
+
+func (s *Store) checkRef(kind, key string) error {
+	if !validKind(kind) {
+		return fmt.Errorf("store: unknown blob kind %q", kind)
+	}
+	if !validKey(key) {
+		return fmt.Errorf("store: invalid key %q for kind %s", key, kind)
+	}
+	return nil
+}
+
+// contentKeyed reports whether a kind's key is the hash of the blob's own
+// bytes. Such blobs are write-once — an existing blob is byte-identical by
+// construction, so Put skips it. Every other kind is a *derived record*
+// keyed by the hash of its input (payload outcome, analysis record,
+// report, graph), whose encoding can legitimately change at the same key
+// (codec version bumps): those are overwritten, so a recomputed artifact
+// really is re-persisted under the current layout (the invalidation
+// contract of docs/persistence.md).
+func contentKeyed(kind string) bool { return kind == KindCorpus }
+
+// Put stores a blob under (kind, key). Writes are atomic (temp file +
+// rename), so readers never observe a partial blob; content-keyed kinds
+// skip existing blobs, derived-record kinds replace them.
+func (s *Store) Put(kind, key string, data []byte) error {
+	if err := s.checkRef(kind, key); err != nil {
+		return err
+	}
+	path := s.blobPath(kind, key)
+	if contentKeyed(kind) {
+		if _, err := os.Stat(path); err == nil {
+			return nil // already stored; the key is the hash of these bytes
+		}
+	}
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, "."+key+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("store: writing %s/%s: %w", kind, key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: writing %s/%s: %w", kind, key, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("store: publishing %s/%s: %w", kind, key, err)
+	}
+	return nil
+}
+
+// Get loads the blob under (kind, key); ok is false when it is absent.
+func (s *Store) Get(kind, key string) (data []byte, ok bool, err error) {
+	if err := s.checkRef(kind, key); err != nil {
+		return nil, false, err
+	}
+	data, err = os.ReadFile(s.blobPath(kind, key))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("store: reading %s/%s: %w", kind, key, err)
+	}
+	return data, true, nil
+}
+
+// Has reports whether a blob exists under (kind, key).
+func (s *Store) Has(kind, key string) bool {
+	if s.checkRef(kind, key) != nil {
+		return false
+	}
+	_, err := os.Stat(s.blobPath(kind, key))
+	return err == nil
+}
+
+// Count returns the number of blobs stored under kind.
+func (s *Store) Count(kind string) (int, error) {
+	if !validKind(kind) {
+		return 0, fmt.Errorf("store: unknown blob kind %q", kind)
+	}
+	shards, err := os.ReadDir(filepath.Join(s.dir, kind))
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("store: %w", err)
+	}
+	n := 0
+	for _, sh := range shards {
+		if !sh.IsDir() {
+			continue
+		}
+		blobs, err := os.ReadDir(filepath.Join(s.dir, kind, sh.Name()))
+		if err != nil {
+			return 0, fmt.Errorf("store: %w", err)
+		}
+		for _, b := range blobs {
+			if !b.IsDir() && b.Name()[0] != '.' {
+				n++
+			}
+		}
+	}
+	return n, nil
+}
+
+// ManifestEntry is one persisted study in the append-only manifest. A
+// study is identified by its configuration (ID is a pure function of seed
+// and scale), and references its corpus snapshots by CAS key — re-running
+// an identical study reproduces identical keys, so the manifest records
+// provenance without duplicating data.
+type ManifestEntry struct {
+	// ID identifies the study configuration ("seed42-scale0.05").
+	ID string `json:"id"`
+	// Seed and Scale reproduce the study's store generation.
+	Seed  int64   `json:"seed"`
+	Scale float64 `json:"scale"`
+	// Snapshots maps snapshot label -> corpus blob key (KindCorpus).
+	Snapshots map[string]string `json:"snapshots"`
+	// Apps/Models record per-label dataset sizes for cheap listing.
+	Apps   map[string]int `json:"apps,omitempty"`
+	Models map[string]int `json:"models,omitempty"`
+}
+
+// AppendManifest appends one study entry as a JSON line. Appending an
+// entry whose encoding is already present is a no-op, so warm re-runs of
+// an identical study do not grow the log; the file itself is append-only
+// (existing lines are never rewritten).
+func (s *Store) AppendManifest(e ManifestEntry) error {
+	if e.ID == "" {
+		return fmt.Errorf("store: manifest entry without id")
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("store: encoding manifest entry: %w", err)
+	}
+	s.manifestMu.Lock()
+	defer s.manifestMu.Unlock()
+	existing, err := os.ReadFile(s.manifestPath())
+	if err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("store: reading manifest: %w", err)
+	}
+	for _, l := range bytes.Split(existing, []byte{'\n'}) {
+		if bytes.Equal(bytes.TrimSpace(l), line) {
+			return nil
+		}
+	}
+	f, err := os.OpenFile(s.manifestPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: opening manifest: %w", err)
+	}
+	defer f.Close()
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("store: appending manifest: %w", err)
+	}
+	return nil
+}
+
+// Manifest returns every manifest entry in append order. Lines that do
+// not parse are skipped (a torn final line from a crashed writer must not
+// poison the log).
+func (s *Store) Manifest() ([]ManifestEntry, error) {
+	f, err := os.Open(s.manifestPath())
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: opening manifest: %w", err)
+	}
+	defer f.Close()
+	var out []ManifestEntry
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e ManifestEntry
+		if err := json.Unmarshal(line, &e); err != nil || e.ID == "" {
+			continue
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("store: scanning manifest: %w", err)
+	}
+	return out, nil
+}
+
+// Studies returns the manifest deduplicated by study ID, keeping the
+// latest entry per ID in first-appearance order — the listing the serve
+// API exposes.
+func (s *Store) Studies() ([]ManifestEntry, error) {
+	entries, err := s.Manifest()
+	if err != nil {
+		return nil, err
+	}
+	latest := map[string]ManifestEntry{}
+	var order []string
+	for _, e := range entries {
+		if _, seen := latest[e.ID]; !seen {
+			order = append(order, e.ID)
+		}
+		latest[e.ID] = e
+	}
+	out := make([]ManifestEntry, 0, len(order))
+	for _, id := range order {
+		out = append(out, latest[id])
+	}
+	return out, nil
+}
+
+// Study returns the latest manifest entry for one study ID.
+func (s *Store) Study(id string) (ManifestEntry, bool, error) {
+	entries, err := s.Studies()
+	if err != nil {
+		return ManifestEntry{}, false, err
+	}
+	for _, e := range entries {
+		if e.ID == id {
+			return e, true, nil
+		}
+	}
+	return ManifestEntry{}, false, nil
+}
+
+func (s *Store) manifestPath() string { return filepath.Join(s.dir, manifestName) }
