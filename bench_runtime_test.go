@@ -5,6 +5,7 @@
 package gaugenn_test
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -474,7 +475,7 @@ func BenchmarkTable4_ScenarioEnergy(b *testing.B) {
 				{bench.TypingScenario(), typing},
 				{bench.SegmentationScenario(), segm},
 			} {
-				st, err := bench.RunScenario(dev, sc.s, sc.models, "cpu")
+				st, err := bench.RunScenario(context.Background(), dev, sc.s, sc.models, "cpu")
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -712,7 +713,7 @@ func BenchmarkAblation_Cohabitation(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := bench.RunCohabitation("S21", []*graph.Graph{det, segm}, "cpu", 10)
+		res, err := bench.RunCohabitation(context.Background(), "S21", []*graph.Graph{det, segm}, "cpu", 10)
 		if err != nil {
 			b.Fatal(err)
 		}

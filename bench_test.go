@@ -13,6 +13,7 @@
 package gaugenn_test
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -322,7 +323,7 @@ func BenchmarkSection42_DeviceSpecificDelivery(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		identical := 0
 		for _, pkg := range pkgs {
-			same, err := core.DeliveryProbe(res.Store, pkg)
+			same, err := core.DeliveryProbe(context.Background(), res.Store, pkg)
 			if err != nil {
 				b.Fatal(err)
 			}

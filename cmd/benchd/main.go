@@ -59,8 +59,16 @@ func main() {
 		fmt.Println("benchd: note — this process owns the USB switch; in-process masters must share it")
 	}
 
-	sig := make(chan os.Signal, 1)
+	// First signal closes the agent gracefully (the listener stops, the
+	// deferred Close is the single cleanup path); a second force-exits in
+	// case a wedged control connection keeps the process alive.
+	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
-	fmt.Println("benchd: shutting down")
+	fmt.Println("benchd: shutting down (signal again to force exit)")
+	go func() {
+		<-sig
+		fmt.Println("benchd: forced exit")
+		os.Exit(130)
+	}()
 }

@@ -16,18 +16,25 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"github.com/gaugenn/gaugenn/internal/bench"
 	"github.com/gaugenn/gaugenn/internal/core"
+	"github.com/gaugenn/gaugenn/internal/errs"
+	"github.com/gaugenn/gaugenn/internal/event"
 	"github.com/gaugenn/gaugenn/internal/fleet"
 	"github.com/gaugenn/gaugenn/internal/nn/zoo"
 	"github.com/gaugenn/gaugenn/internal/power"
@@ -42,16 +49,21 @@ func main() {
 		usage()
 		os.Exit(2)
 	}
+	// Long-running subcommands run under a signal-cancelled context: the
+	// first SIGINT/SIGTERM cancels gracefully (pipelines drain, a cache
+	// dir is left consistent and resumable), a second force-exits.
+	ctx, cancel := signalContext(context.Background())
+	defer cancel()
 	var err error
 	switch os.Args[1] {
 	case "study":
-		err = runStudy(os.Args[2:])
+		err = runStudy(ctx, os.Args[2:])
 	case "serve":
-		err = runServe(os.Args[2:])
+		err = runServe(ctx, os.Args[2:])
 	case "bench":
 		err = runBench(os.Args[2:])
 	case "fleet":
-		err = runFleet(os.Args[2:])
+		err = runFleet(ctx, os.Args[2:])
 	case "devices":
 		err = runDevices()
 	default:
@@ -59,15 +71,37 @@ func main() {
 		os.Exit(2)
 	}
 	if err != nil {
+		if errors.Is(err, errs.ErrCancelled) {
+			fmt.Fprintln(os.Stderr, "gaugenn: interrupted:", err)
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "gaugenn:", err)
 		os.Exit(1)
 	}
 }
 
+// signalContext derives a context cancelled by the first SIGINT/SIGTERM.
+// A second signal force-exits immediately — the escape hatch when a
+// graceful drain is itself stuck.
+func signalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ch
+		fmt.Fprintln(os.Stderr, "\ngaugenn: signal received — cancelling (again to force exit)")
+		cancel()
+		<-ch
+		fmt.Fprintln(os.Stderr, "gaugenn: forced exit")
+		os.Exit(130)
+	}()
+	return ctx, cancel
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   gaugenn study   -seed N -scale F [-http] [-workers N] [-out DIR]
-                  [-cache-dir DIR] [-resume=false] [-v]
+                  [-cache-dir DIR] [-resume=false] [-deadline 30s] [-v]
   gaugenn serve   -cache-dir DIR [-addr :8077]
   gaugenn bench   -device MODEL -backend NAME -model FILE [-threads N] [-batch N] [-runs N]
   gaugenn fleet   -devices A,B,... -backends a,b,... -models N [-seed N] [-replicas N]
@@ -75,7 +109,7 @@ func usage() {
   gaugenn devices`)
 }
 
-func runStudy(args []string) error {
+func runStudy(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("study", flag.ExitOnError)
 	seed := fs.Int64("seed", 42, "store generation seed")
 	scale := fs.Float64("scale", 0.05, "store scale (1.0 = paper scale)")
@@ -84,6 +118,7 @@ func runStudy(args []string) error {
 	out := fs.String("out", "", "directory for report files (stdout if empty)")
 	cacheDir := fs.String("cache-dir", "", "persistent study store directory (warm re-runs, `gaugenn serve` input)")
 	resume := fs.Bool("resume", true, "consult existing cache entries (false: recompute but still persist)")
+	deadline := fs.Duration("deadline", 0, "abort the run after this long (0 = none); an interrupted -cache-dir run resumes warm")
 	verbose := fs.Bool("v", false, "report analyse/persist stage progress and cache statistics")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -92,20 +127,25 @@ func runStudy(args []string) error {
 	if *scale <= 0 {
 		return fmt.Errorf("study: -scale must be positive (got %g)", *scale)
 	}
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
 	cfg := core.DefaultConfig(*seed, *scale)
 	cfg.UseHTTP = *useHTTP
 	cfg.Workers = *workers
 	cfg.CacheDir = *cacheDir
 	cfg.Resume = *resume
 	start := time.Now()
-	// Both snapshot pipelines report progress concurrently; throttle
-	// first, serialise the writes, and let each stage's completion line
-	// end in a newline so the two interleaved stages stay legible. The
+	// Both snapshot pipelines emit events concurrently; throttle first,
+	// serialise the writes, and let each stage's completion line end in a
+	// newline so the two interleaved stages stay legible. The
 	// analyse/persist stages are -v only; by default the crawl line is
 	// the run's single progress stream.
 	var progressMu sync.Mutex
-	cfg.Progress = func(stage string, done, total int) {
-		if !*verbose && !strings.HasPrefix(stage, "crawl-") {
+	line := func(stage, snapshot string, done, total int) {
+		if !*verbose && stage != "crawl" {
 			return
 		}
 		if done != total && done%500 != 0 {
@@ -115,23 +155,40 @@ func runStudy(args []string) error {
 		defer progressMu.Unlock()
 		// \x1b[K clears to end-of-line: interleaved stages overwrite each
 		// other and a shorter line must not leave the longer one's tail.
-		fmt.Fprintf(os.Stderr, "\r\x1b[K%s: %d/%d apps", stage, done, total)
+		fmt.Fprintf(os.Stderr, "\r\x1b[K%s: %d/%d apps", event.StageName(stage, snapshot), done, total)
 		if done == total {
 			fmt.Fprintln(os.Stderr)
 		}
 	}
-	res, err := core.RunStudy(cfg)
+	var cacheLine string
+	cfg.OnEvent = func(ev event.Event) {
+		switch v := ev.(type) {
+		case event.StageStart:
+			line(v.Stage, v.Snapshot, 0, v.Total)
+		case event.StageProgress:
+			line(v.Stage, v.Snapshot, v.Done, v.Total)
+		case event.CacheStats:
+			progressMu.Lock()
+			cacheLine = fmt.Sprintf("cache: decodes=%d profiles=%d extracted=%d warm-reports=%d warm-analyses=%d warm-payloads=%d",
+				v.Stats.Decodes, v.Stats.Profiles, v.ExtractedReports,
+				v.WarmReports, v.Stats.WarmAnalysisHits, v.Stats.WarmPayloadHits)
+			progressMu.Unlock()
+		}
+	}
+	res, err := core.Run(ctx, cfg)
 	if err != nil {
+		if errors.Is(err, errs.ErrCancelled) && *cacheDir != "" {
+			fmt.Fprintf(os.Stderr, "\nstudy interrupted; %s holds every finished artifact — rerun with -cache-dir %s to resume warm\n",
+				*cacheDir, *cacheDir)
+		}
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "\nstudy complete in %v\n", time.Since(start).Round(time.Millisecond))
 	if ps := res.Persist; ps != nil {
 		fmt.Fprintf(os.Stderr, "study %s persisted to %s (snapshots %s=%s... %s=%s...)\n",
 			ps.StudyID, *cacheDir, "2020", ps.CorpusKeys["2020"][:12], "2021", ps.CorpusKeys["2021"][:12])
-		if *verbose {
-			fmt.Fprintf(os.Stderr, "cache: decodes=%d profiles=%d extracted=%d warm-reports=%d warm-analyses=%d warm-payloads=%d\n",
-				ps.Cache.Decodes, ps.Cache.Profiles, ps.ExtractedReports,
-				ps.WarmReports, ps.Cache.WarmAnalysisHits, ps.Cache.WarmPayloadHits)
+		if *verbose && cacheLine != "" {
+			fmt.Fprintln(os.Stderr, cacheLine)
 		}
 	}
 
@@ -154,10 +211,11 @@ func runStudy(args []string) error {
 	return nil
 }
 
-func runServe(args []string) error {
+func runServe(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	cacheDir := fs.String("cache-dir", "", "persistent study store directory to serve")
 	addr := fs.String("addr", ":8077", "HTTP listen address")
+	grace := fs.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -181,7 +239,35 @@ func runServe(args []string) error {
 	for _, e := range studies {
 		fmt.Fprintf(os.Stderr, "serve:   %s (models 2020=%d 2021=%d)\n", e.ID, e.Models["2020"], e.Models["2021"])
 	}
-	return http.ListenAndServe(*addr, serve.New(st).Handler())
+	// An http.Server (not the bare ListenAndServe helper) so the signal
+	// context can drain it gracefully: in-flight requests get the grace
+	// period, new connections are refused immediately, and — because
+	// every request context derives from the signal context via
+	// BaseContext — in-flight corpus loads abort on the first signal
+	// instead of pinning Shutdown for the full grace period.
+	srv := &http.Server{
+		Addr:        *addr,
+		Handler:     serve.New(st).Handler(),
+		BaseContext: func(net.Listener) context.Context { return ctx },
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.ListenAndServe() }()
+	select {
+	case err := <-errCh:
+		return err
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "serve: draining connections")
+		shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			// Grace expired with requests still in flight: cut them.
+			srv.Close()
+			return fmt.Errorf("serve: shutdown: %w", err)
+		}
+		<-errCh // reap the ErrServerClosed from ListenAndServe
+		fmt.Fprintln(os.Stderr, "serve: stopped")
+		return nil
+	}
 }
 
 func runBench(args []string) error {
@@ -253,7 +339,7 @@ var fleetTasks = []zoo.Task{
 	zoo.TaskSemanticSegmentation, zoo.TaskKeywordDetection, zoo.TaskPhotoBeauty,
 }
 
-func runFleet(args []string) error {
+func runFleet(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("fleet", flag.ExitOnError)
 	devices := fs.String("devices", "A70,Q845,Q888", "comma-separated device models")
 	backends := fs.String("backends", "cpu,xnnpack,gpu", "comma-separated runtime backends")
@@ -327,7 +413,7 @@ func runFleet(args []string) error {
 			return fmt.Errorf("agent %s listed twice", addr)
 		}
 		seenAgents[addr] = true
-		r, err := fleet.NewRemoteRunner(fmt.Sprintf("remote#%d", i), addr, 5*time.Second, 0)
+		r, err := fleet.NewRemoteRunner(ctx, fmt.Sprintf("remote#%d", i), addr, 5*time.Second, 0)
 		if err != nil {
 			return err
 		}
@@ -342,18 +428,29 @@ func runFleet(args []string) error {
 	fmt.Fprintf(os.Stderr, "fleet: %d models x %d devices x %d backends = %d cells (%d feasible) on %d rigs\n",
 		len(matrix.Models), len(matrix.Devices), len(matrix.Backends), total, feasible, len(runners))
 	start := time.Now()
+	// Progress renders from the typed event stream (the same variants
+	// `gaugenn study -v` consumes); cancellation leaves the line open and
+	// the partial aggregate still renders below.
 	var progressMu sync.Mutex
-	done := 0
-	agg, runErr := full.Run(matrix, fleet.Config{OnUnit: func(ur fleet.UnitResult) {
-		progressMu.Lock()
-		done++
-		fmt.Fprintf(os.Stderr, "\r\x1b[Kfleet: %d/%d cells", done, total)
-		if done == total {
-			fmt.Fprintln(os.Stderr)
+	agg, runErr := full.Run(ctx, matrix, fleet.Config{OnEvent: func(ev event.Event) {
+		if p, ok := ev.(event.StageProgress); ok {
+			progressMu.Lock()
+			fmt.Fprintf(os.Stderr, "\r\x1b[Kfleet: %d/%d cells", p.Done, p.Total)
+			if p.Done == p.Total {
+				fmt.Fprintln(os.Stderr)
+			}
+			progressMu.Unlock()
 		}
-		progressMu.Unlock()
 	}})
 	if agg == nil {
+		return runErr
+	}
+	if runErr != nil && errors.Is(runErr, errs.ErrCancelled) {
+		// An interrupted sweep writes nothing: partial tables/JSON would
+		// silently clobber a previous complete run's artifacts while being
+		// indistinguishable from them on disk.
+		fmt.Fprintf(os.Stderr, "\nfleet: interrupted after %v — partial results discarded: %v\n",
+			time.Since(start).Round(time.Millisecond), runErr)
 		return runErr
 	}
 	if runErr != nil {

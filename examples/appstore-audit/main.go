@@ -7,8 +7,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os/signal"
+	"syscall"
 
 	"github.com/gaugenn/gaugenn/internal/core"
 	"github.com/gaugenn/gaugenn/internal/nn/graph"
@@ -16,9 +19,13 @@ import (
 )
 
 func main() {
+	// v2: the audit runs under a signal-cancellable context — Ctrl-C
+	// drains the crawl instead of killing it mid-extraction.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 	cfg := core.DefaultConfig(1337, 0.06)
 	cfg.UseHTTP = true // audit through the store API, like gaugeNN
-	res, err := core.RunStudy(cfg)
+	res, err := core.Run(ctx, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -93,7 +100,7 @@ func main() {
 			break
 		}
 	}
-	same, err := core.DeliveryProbe(res.Store, probePkg)
+	same, err := core.DeliveryProbe(ctx, res.Store, probePkg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"os/signal"
+	"syscall"
 
 	"github.com/gaugenn/gaugenn/internal/fleet"
 	"github.com/gaugenn/gaugenn/internal/nn/zoo"
@@ -22,6 +25,10 @@ import (
 )
 
 func main() {
+	// v2: the sweep runs under a signal-cancellable context; Ctrl-C
+	// drains the per-device queues and aborts in-flight rig choreography.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 	// Model population: vision-heavy, like the commonly-compatible subset
 	// the paper sweeps.
 	rng := rand.New(rand.NewSource(2024))
@@ -57,7 +64,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer pool.Close()
-	agg, err := pool.Run(matrix, fleet.Config{})
+	agg, err := pool.Run(ctx, matrix, fleet.Config{})
 	if err != nil {
 		log.Fatal(err)
 	}

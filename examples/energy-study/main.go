@@ -6,9 +6,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
+	"os/signal"
+	"syscall"
 
 	"github.com/gaugenn/gaugenn/internal/bench"
 	"github.com/gaugenn/gaugenn/internal/core"
@@ -19,6 +22,10 @@ import (
 )
 
 func main() {
+	// v2: scenarios, the study and the distribution sweeps all share one
+	// signal-cancellable context.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 	// Build scenario model populations straight from the zoo (several
 	// independent deployments per task, as found in the wild).
 	rng := rand.New(rand.NewSource(99))
@@ -46,7 +53,7 @@ func main() {
 	rows := [][]string{}
 	for _, device := range soc.HDKModels() {
 		for _, s := range scenarios {
-			st, err := bench.RunScenario(device, s.sc, s.models, "cpu")
+			st, err := bench.RunScenario(ctx, device, s.sc, s.models, "cpu")
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -64,7 +71,7 @@ func main() {
 	// An hour of segmentation against a 4000 mAh battery (the paper's
 	// 26.6-30.5% average discharge observation).
 	segm := scenarios[2]
-	st, err := bench.RunScenario("Q845", segm.sc, segm.models, "cpu")
+	st, err := bench.RunScenario(ctx, "Q845", segm.sc, segm.models, "cpu")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -73,7 +80,7 @@ func main() {
 
 	// Figure 10: distributions over a broader model population.
 	fmt.Println("\nFigure 10: inference energy / power / efficiency (CPU, 4 threads)")
-	study, err := core.RunStudy(core.Config{Seed: 5, Scale: 0.04, KeepGraphs: true, MaxPerCategory: 500})
+	study, err := core.Run(ctx, core.Config{Seed: 5, Scale: 0.04, KeepGraphs: true, MaxPerCategory: 500})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -82,7 +89,9 @@ func main() {
 		log.Fatal(err)
 	}
 	for _, device := range soc.HDKModels() {
-		results, err := core.DeviceRun(device, "cpu", models, 4, 1, 3)
+		results, err := core.Bench(ctx, core.RunSpec{
+			Device: device, Backend: "cpu", Threads: 4, Batch: 1, Runs: 3,
+		}, models)
 		if err != nil {
 			log.Fatal(err)
 		}

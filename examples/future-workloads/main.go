@@ -6,8 +6,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os/signal"
+	"syscall"
 
 	"github.com/gaugenn/gaugenn/internal/bench"
 	"github.com/gaugenn/gaugenn/internal/cloudml"
@@ -19,6 +22,9 @@ import (
 )
 
 func main() {
+	// v2: long-running explorations share one signal-cancellable context.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 	// --- DNN co-habitation (Section 8.1) -------------------------------
 	face, err := zoo.Build(zoo.Spec{Task: zoo.TaskFaceDetection, Seed: 1, Hinted: true})
 	if err != nil {
@@ -28,7 +34,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	co, err := bench.RunCohabitation("S21", []*graph.Graph{face, segm}, "cpu", 10)
+	co, err := bench.RunCohabitation(ctx, "S21", []*graph.Graph{face, segm}, "cpu", 10)
 	if err != nil {
 		log.Fatal(err)
 	}

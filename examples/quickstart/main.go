@@ -1,21 +1,31 @@
-// Quickstart: run a small end-to-end gaugeNN study — generate a store,
-// crawl it, extract and validate the DNN models, and print the headline
-// numbers of the paper's Tables 2 and 3, then benchmark a handful of the
-// extracted models on two device tiers.
+// Quickstart: run a small end-to-end gaugeNN study through the v2
+// context-first API — compose a Study from options, run it under a
+// signal-cancellable context (Ctrl-C stops the pipeline cleanly), and
+// print the headline numbers of the paper's Tables 2 and 3, then
+// benchmark a handful of the extracted models on two device tiers.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os/signal"
+	"syscall"
 
 	"github.com/gaugenn/gaugenn"
 )
 
 func main() {
-	// 5% of the paper's store size keeps this to a few seconds.
-	cfg := gaugenn.DefaultConfig(42, 0.05)
-	cfg.UseHTTP = false // in-process extraction; set true for the HTTP crawl
-	res, err := gaugenn.RunStudy(cfg)
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	// 5% of the paper's store size keeps this to a few seconds; add
+	// gaugenn.WithHTTPCrawl(true) for the realistic store-API path.
+	study := gaugenn.NewStudy(
+		gaugenn.WithSeed(42),
+		gaugenn.WithScale(0.05),
+	)
+	res, err := study.Run(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -41,14 +51,18 @@ func main() {
 	}
 	fmt.Printf("identified: %d/%d (paper: 91.9%%)\n\n", identified, d21.TotalModels)
 
-	// Benchmark a few extracted models on a low-tier and high-tier device.
+	// Benchmark a few extracted models on a low-tier and high-tier device
+	// — the v2 Bench call: a context plus a RunSpec instead of six
+	// positional parameters.
 	models, err := gaugenn.SelectBenchModels(res.Corpus21, 5)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("=== On-device latency (CPU, 4 threads) ===")
 	for _, device := range []string{"A20", "S21"} {
-		results, err := gaugenn.DeviceRun(device, "cpu", models, 4, 1, 5)
+		results, err := gaugenn.Bench(ctx, gaugenn.RunSpec{
+			Device: device, Backend: "cpu", Threads: 4, Batch: 1, Runs: 5,
+		}, models)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -8,6 +8,7 @@
 package gaugenn_test
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -46,7 +47,7 @@ func BenchmarkFleet(b *testing.B) {
 				if err != nil {
 					b.Fatal(err)
 				}
-				agg, err := pool.Run(m, fleet.Config{})
+				agg, err := pool.Run(context.Background(), m, fleet.Config{})
 				pool.Close()
 				if err != nil {
 					b.Fatal(err)

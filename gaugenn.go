@@ -7,18 +7,26 @@
 // SoCs wired to a virtual power monitor). See DESIGN.md for the substrate
 // inventory and EXPERIMENTS.md for paper-vs-measured results.
 //
-// Quick start:
+// Quick start (the v2, context-first API):
 //
-//	res, err := gaugenn.RunStudy(gaugenn.DefaultConfig(42, 0.05))
+//	study := gaugenn.NewStudy(gaugenn.WithSeed(42), gaugenn.WithScale(0.05))
+//	res, err := study.Run(ctx)
 //	if err != nil { ... }
 //	fmt.Println(res.Corpus21.Dataset()) // Table 2's 2021 column
 //
-// The three stages can also be driven independently: see RunStudy for the
-// crawl+extract+analyse path, SelectBenchModels/DeviceRun for on-device
-// benchmarking, and the Scenario helpers for Table 4's use-case energy.
+// Cancelling ctx stops the pipeline promptly (errors.Is(err,
+// gaugenn.ErrCancelled)); Study.Events streams typed progress; a
+// WithCacheDir study persists everything and resumes warm. The three
+// stages can also be driven independently: see Study.Run for the
+// crawl+extract+analyse path, SelectBenchModels/Bench for on-device
+// benchmarking, and FleetRun for matrix sweeps across a device lab. The
+// v1 surface (RunStudy, Config, positional DeviceRun) remains as thin
+// deprecated shims over v2; docs/api.md has the migration table.
 package gaugenn
 
 import (
+	"context"
+
 	"github.com/gaugenn/gaugenn/internal/analysis"
 	"github.com/gaugenn/gaugenn/internal/bench"
 	"github.com/gaugenn/gaugenn/internal/core"
@@ -32,6 +40,9 @@ import (
 // backs the run with the persistent content-addressed study store
 // (docs/persistence.md): warm re-runs skip every decode and profile they
 // have seen before, and `gaugenn serve` answers queries from the store.
+//
+// Deprecated: compose a Study from Options (NewStudy) instead; Config
+// remains for the RunStudy shim.
 type Config = core.Config
 
 // StudyResult holds both analysed snapshots; see core.StudyResult.
@@ -62,11 +73,17 @@ type Modality = graph.Modality
 
 // DefaultConfig returns a ready-to-run configuration at the given seed and
 // store scale (1.0 reproduces the paper's 16.6k-app crawl).
+//
+// Deprecated: use NewStudy with WithSeed/WithScale options.
 func DefaultConfig(seed int64, scale float64) Config { return core.DefaultConfig(seed, scale) }
 
 // RunStudy executes the full pipeline: generate the store, crawl both
 // snapshots, extract and validate every model, and analyse the corpora.
-func RunStudy(cfg Config) (*StudyResult, error) { return core.RunStudy(cfg) }
+//
+// Deprecated: use NewStudy(...).Run(ctx), which is cancellable and
+// streams typed events; RunStudy delegates to it with
+// context.Background().
+func RunStudy(cfg Config) (*StudyResult, error) { return core.Run(context.Background(), cfg) }
 
 // SelectBenchModels picks up to n unique models from a corpus for
 // benchmarking, serialised for the harness.
@@ -77,6 +94,9 @@ func SelectBenchModels(c *Corpus, n int) ([]BenchModel, error) {
 // DeviceRun benchmarks models on a Table 1 device ("A20", "A70", "S21",
 // "Q845", "Q855", "Q888") under a backend ("cpu", "xnnpack", "nnapi",
 // "gpu", "snpe-cpu", "snpe-gpu", "snpe-dsp").
+//
+// Deprecated: use Bench, which takes a context and folds the six
+// positional parameters into a RunSpec.
 func DeviceRun(device, backend string, models []BenchModel, threads, batch, runs int) ([]JobResult, error) {
 	return core.DeviceRun(device, backend, models, threads, batch, runs)
 }
@@ -104,6 +124,18 @@ type FleetModel = fleet.ModelSpec
 // model; aggregated fleet output is byte-identical for any replica count.
 func NewFleetPool(deviceModels []string, replicas int) (*FleetPool, error) {
 	return fleet.NewLocalPool(deviceModels, replicas)
+}
+
+// FleetAggregator is a fleet run's streamed result set; see
+// fleet.Aggregator for the report/JSON/checksum renderers.
+type FleetAggregator = fleet.Aggregator
+
+// FleetRun sweeps a benchmark matrix across a pool under ctx. The partial
+// aggregate survives cancellation: errors.Is(err, ErrCancelled) reports
+// an interrupted sweep, ErrNoDevice/ErrExhausted the typed scheduling
+// failures.
+func FleetRun(ctx context.Context, pool *FleetPool, m FleetMatrix, cfg FleetConfig) (*FleetAggregator, error) {
+	return pool.Run(ctx, m, cfg)
 }
 
 // FleetModels converts bench-selected corpus models into fleet matrix

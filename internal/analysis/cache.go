@@ -1,10 +1,12 @@
 package analysis
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
 
+	"github.com/gaugenn/gaugenn/internal/errs"
 	"github.com/gaugenn/gaugenn/internal/extract"
 	"github.com/gaugenn/gaugenn/internal/nn/graph"
 	"github.com/gaugenn/gaugenn/internal/nn/zoo"
@@ -47,8 +49,12 @@ type uniqueData struct {
 //
 // Computation is single-flight at both layers: the first ingester of a
 // payload hash decodes, the first ingester of a checksum profiles; every
-// concurrent ingester of the same key waits. All methods are safe for
-// concurrent use.
+// concurrent ingester of the same key waits. Waits are cancellable: a
+// waiter whose ctx expires unblocks with the context error. Cancellation
+// never poisons an entry — an attempt cut short by ctx is abandoned (the
+// entry returns to idle, nothing is persisted), so the next attempt, in
+// this run or a warm resume, computes the real outcome. All methods are
+// safe for concurrent use.
 //
 // A cache built with NewPersistentUniqueCache is additionally backed by an
 // on-disk study store: payload outcomes and per-checksum analysis records
@@ -83,21 +89,33 @@ type UniqueCache struct {
 	persistErr error
 }
 
+// single-flight entry states (guarded by the cache mutex). Entries move
+// idle -> running -> done; a cancelled attempt moves running -> idle and
+// closes its flight channel so waiters re-examine the state.
+const (
+	entryIdle = iota
+	entryRunning
+	entryDone
+)
+
 type cacheEntry struct {
-	once sync.Once
-	data *uniqueData
-	err  error
-	// seed holds the decoded graph registered by the payload front door,
-	// guarded by the cache mutex, until the once-guarded analysis consumes
-	// it. It keeps the source buffer (often a whole APK) alive, so the
-	// analysis clears it as soon as it has run.
+	state  int
+	flight chan struct{} // non-nil while running; closed on completion or abandon
+	data   *uniqueData
+	err    error
+	// seed holds the decoded graph registered by the payload front door
+	// until the single-flight analysis consumes it. It keeps the source
+	// buffer (often a whole APK) alive, so the analysis clears it as soon
+	// as it has run; an abandoned (cancelled) attempt keeps it for the
+	// next one.
 	seed *graph.Graph
 }
 
 type payloadEntry struct {
-	once sync.Once
-	sum  graph.Checksum
-	ok   bool
+	state  int
+	flight chan struct{}
+	sum    graph.Checksum
+	ok     bool
 }
 
 // NewUniqueCache creates an empty in-memory cache. keepGraphs controls
@@ -193,47 +211,99 @@ func (uc *UniqueCache) PayloadCount() int {
 // Successful decodes seed the checksum entry so the graph is available to
 // the per-checksum analysis even though cache-hit extractions never carry
 // graphs.
-func (uc *UniqueCache) Payload(h extract.PayloadHash, decode func() (*graph.Graph, error)) (graph.Checksum, bool) {
-	uc.mu.Lock()
-	pe, ok := uc.payloads[h]
-	if !ok {
-		pe = &payloadEntry{}
-		uc.payloads[h] = pe
+//
+// ctx bounds both the wait on a concurrent decode and the decode itself.
+// A cancelled attempt returns ctx's error and records nothing — in memory
+// or on disk — so cancellation can never masquerade as a failed
+// validation (the no-poison rule warm resumes depend on).
+func (uc *UniqueCache) Payload(ctx context.Context, h extract.PayloadHash, decode func() (*graph.Graph, error)) (graph.Checksum, bool, error) {
+	for {
+		uc.mu.Lock()
+		pe, ok := uc.payloads[h]
+		if !ok {
+			pe = &payloadEntry{}
+			uc.payloads[h] = pe
+		}
+		switch pe.state {
+		case entryDone:
+			sum, valid := pe.sum, pe.ok
+			uc.mu.Unlock()
+			return sum, valid, nil
+		case entryRunning:
+			fl := pe.flight
+			uc.mu.Unlock()
+			select {
+			case <-ctx.Done():
+				return "", false, ctx.Err()
+			case <-fl:
+				// Outcome recorded, or the attempt was abandoned —
+				// re-examine the state (and maybe become the new worker).
+			}
+		default: // idle: this caller computes
+			pe.state = entryRunning
+			pe.flight = make(chan struct{})
+			fl := pe.flight
+			uc.mu.Unlock()
+			sum, valid, err := uc.computePayload(ctx, h, decode)
+			uc.mu.Lock()
+			pe.flight = nil
+			if err != nil {
+				// Cancelled mid-compute: abandon, don't record. The next
+				// attempt (a live waiter or a resumed run) re-decodes.
+				pe.state = entryIdle
+				close(fl)
+				uc.mu.Unlock()
+				return "", false, err
+			}
+			pe.state = entryDone
+			pe.sum, pe.ok = sum, valid
+			close(fl)
+			uc.mu.Unlock()
+			return sum, valid, nil
+		}
 	}
-	uc.mu.Unlock()
-	pe.once.Do(func() {
-		// Warm path: a persisted outcome for these exact bytes replaces
-		// the decode. A successful outcome is only trusted when its
-		// analysis record is still loadable too: payload records are
-		// written at decode time, analysis records at analysis time, so a
-		// crash between the two (or a codec bump that invalidates the
-		// analysis layout) leaves a payload record pointing at an analysis
-		// that cannot be rebuilt — that hash must decode again.
-		if uc.st != nil && uc.resume {
-			if rec, ok := uc.loadPayloadRecord(h); ok {
-				if !rec.OK {
-					uc.warmPayloads.Add(1)
-					return // persisted failed decode: pe.ok stays false
-				}
-				if uc.HasAnalysis(rec.Checksum) {
-					pe.sum, pe.ok = rec.Checksum, true
-					uc.warmPayloads.Add(1)
-					return
-				}
+}
+
+// computePayload resolves one payload outcome: the persisted record when
+// resuming, otherwise a real decode. The returned error is non-nil only
+// for context cancellation; a decode failure is a recorded (ok=false)
+// outcome, not an error.
+func (uc *UniqueCache) computePayload(ctx context.Context, h extract.PayloadHash, decode func() (*graph.Graph, error)) (graph.Checksum, bool, error) {
+	// Warm path: a persisted outcome for these exact bytes replaces the
+	// decode. A successful outcome is only trusted when its analysis
+	// record is still loadable too: payload records are written at decode
+	// time, analysis records at analysis time, so a crash between the two
+	// (or a codec bump that invalidates the analysis layout) leaves a
+	// payload record pointing at an analysis that cannot be rebuilt — that
+	// hash must decode again.
+	if uc.st != nil && uc.resume {
+		if rec, ok := uc.loadPayloadRecord(h); ok {
+			if !rec.OK {
+				uc.warmPayloads.Add(1)
+				return "", false, nil
+			}
+			if uc.HasAnalysis(rec.Checksum) {
+				uc.warmPayloads.Add(1)
+				return rec.Checksum, true, nil
 			}
 		}
-		uc.decodes.Add(1)
-		g, err := decode()
-		if err != nil {
-			uc.persistPayloadRecord(h, payloadRecord{V: persistCodecVersion, OK: false})
-			return // pe.ok stays false: the payload does not validate
+	}
+	if err := ctx.Err(); err != nil {
+		return "", false, err // cancelled before the decode started
+	}
+	uc.decodes.Add(1)
+	g, err := decode()
+	if err != nil {
+		if errs.IsContextError(err) {
+			return "", false, err // aborted decode: the outcome is unknown
 		}
-		pe.sum = graph.ModelChecksum(g)
-		pe.ok = true
-		uc.seedEntry(pe.sum, g)
-		uc.persistPayloadRecord(h, payloadRecord{V: persistCodecVersion, OK: true, Checksum: pe.sum})
-	})
-	return pe.sum, pe.ok
+		uc.persistPayloadRecord(h, payloadRecord{V: persistCodecVersion, OK: false})
+		return "", false, nil // the payload does not validate
+	}
+	sum := graph.ModelChecksum(g)
+	uc.seedEntry(sum, g)
+	uc.persistPayloadRecord(h, payloadRecord{V: persistCodecVersion, OK: true, Checksum: sum})
+	return sum, true, nil
 }
 
 // seedEntry parks a decoded graph on its checksum entry for the analysis
@@ -256,69 +326,105 @@ func (uc *UniqueCache) seedEntry(sum graph.Checksum, g *graph.Graph) {
 // sight of its checksum. Models sharing a checksum are byte-identical by
 // construction, so any instance can serve as the compute input: the
 // model's own graph when extraction decoded in place, or the seed the
-// payload front door registered.
-func (uc *UniqueCache) get(m extract.Model) (*uniqueData, error) {
-	uc.mu.Lock()
-	e, ok := uc.entries[m.Checksum]
-	if !ok {
-		e = &cacheEntry{}
-		uc.entries[m.Checksum] = e
-	}
-	uc.mu.Unlock()
-	e.once.Do(func() {
-		g := m.Graph
-		if g == nil {
-			uc.mu.Lock()
-			g = e.seed
+// payload front door registered. ctx bounds the wait on a concurrent
+// analysis; a cancelled attempt is abandoned (entry back to idle, seed
+// kept) rather than recorded, so cancellation never poisons a checksum.
+func (uc *UniqueCache) get(ctx context.Context, m extract.Model) (*uniqueData, error) {
+	for {
+		uc.mu.Lock()
+		e, ok := uc.entries[m.Checksum]
+		if !ok {
+			e = &cacheEntry{}
+			uc.entries[m.Checksum] = e
+		}
+		switch e.state {
+		case entryDone:
+			d, err := e.data, e.err
 			uc.mu.Unlock()
-		}
-		if g == nil && uc.st != nil && uc.resume {
-			// Warm path: the checksum was analysed by an earlier run —
-			// rebuild the per-checksum data from its persisted record
-			// without a graph in hand.
-			if d, ok := uc.loadAnalysisRecord(m.Checksum); ok {
-				uc.warmAnalyses.Add(1)
-				e.data = d
-				return
+			return d, err
+		case entryRunning:
+			fl := e.flight
+			uc.mu.Unlock()
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-fl:
 			}
+		default: // idle: this caller computes
+			e.state = entryRunning
+			e.flight = make(chan struct{})
+			fl := e.flight
+			seed := e.seed
+			uc.mu.Unlock()
+			d, err := uc.computeAnalysis(ctx, m, seed)
+			uc.mu.Lock()
+			e.flight = nil
+			if err != nil && errs.IsContextError(err) {
+				e.state = entryIdle // abandoned; the seed stays for the next attempt
+				close(fl)
+				uc.mu.Unlock()
+				return nil, err
+			}
+			e.state = entryDone
+			e.data, e.err = d, err
+			// The seed has served its purpose once the analysis ran;
+			// release it so it stops pinning the source APK buffer.
+			e.seed = nil
+			close(fl)
+			uc.mu.Unlock()
+			return d, err
 		}
-		if g == nil {
-			e.err = fmt.Errorf("analysis: no graph available for checksum %s (report produced with a different cache?)", m.Checksum)
-			return
+	}
+}
+
+// computeAnalysis derives one checksum's uniqueData: warm record load when
+// resuming, otherwise profile/classify/fingerprint over the graph in hand
+// (the extraction's own or the payload seed).
+func (uc *UniqueCache) computeAnalysis(ctx context.Context, m extract.Model, seed *graph.Graph) (*uniqueData, error) {
+	g := m.Graph
+	if g == nil {
+		g = seed
+	}
+	if g == nil && uc.st != nil && uc.resume {
+		// Warm path: the checksum was analysed by an earlier run — rebuild
+		// the per-checksum data from its persisted record without a graph
+		// in hand.
+		if d, ok := uc.loadAnalysisRecord(m.Checksum); ok {
+			uc.warmAnalyses.Add(1)
+			return d, nil
 		}
-		uc.profiles.Add(1)
-		prof, err := graph.ProfileGraph(g)
-		if err != nil {
-			e.err = err
-			return
-		}
-		task, _ := ClassifyTask(g)
-		d := &uniqueData{
-			name:      g.Name,
-			task:      task,
-			arch:      FingerprintArch(g),
-			modality:  g.InferModality(),
-			profile:   prof,
-			layerSums: graph.WeightedLayerChecksums(g),
-			weights:   graph.CollectWeightStats(g),
-		}
-		if uc.keepGraphs {
-			// Decoded graphs borrow weight bytes from the file/APK buffer
-			// they were read from; retaining one beyond this call requires
-			// owning the bytes (the copy-on-retain rule).
-			g.DetachWeights()
-			d.graph = g
-		}
-		e.data = d
-		// Write through after the data is complete: a payload record is
-		// only trusted warm when this record exists, so persisting the
-		// analysis last keeps crashed runs consistent.
-		uc.persistAnalysisRecord(m.Checksum, d, g)
-	})
-	// The seed has served its purpose once the analysis ran; release it so
-	// it stops pinning the source APK buffer.
-	uc.mu.Lock()
-	e.seed = nil
-	uc.mu.Unlock()
-	return e.data, e.err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("analysis: no graph available for checksum %s (report produced with a different cache?)", m.Checksum)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err // cancelled before the profile started
+	}
+	uc.profiles.Add(1)
+	prof, err := graph.ProfileGraph(g)
+	if err != nil {
+		return nil, err
+	}
+	task, _ := ClassifyTask(g)
+	d := &uniqueData{
+		name:      g.Name,
+		task:      task,
+		arch:      FingerprintArch(g),
+		modality:  g.InferModality(),
+		profile:   prof,
+		layerSums: graph.WeightedLayerChecksums(g),
+		weights:   graph.CollectWeightStats(g),
+	}
+	if uc.keepGraphs {
+		// Decoded graphs borrow weight bytes from the file/APK buffer
+		// they were read from; retaining one beyond this call requires
+		// owning the bytes (the copy-on-retain rule).
+		g.DetachWeights()
+		d.graph = g
+	}
+	// Write through after the data is complete: a payload record is
+	// only trusted warm when this record exists, so persisting the
+	// analysis last keeps crashed runs consistent.
+	uc.persistAnalysisRecord(m.Checksum, d, g)
+	return d, nil
 }

@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/gaugenn/gaugenn/internal/extract"
+	"github.com/gaugenn/gaugenn/internal/nn/graph"
+)
+
+// TestPayloadCancelledDecodeIsNotPoisoned is the cache-layer half of the
+// no-poison rule: a decode attempt cut short by cancellation must not be
+// recorded — in memory or in the store — as a failed validation. The next
+// attempt decodes for real and succeeds.
+func TestPayloadCancelledDecodeIsNotPoisoned(t *testing.T) {
+	st := openStore(t)
+	h, mkDecode := payloadFixture(t, 21)
+	uc := NewPersistentUniqueCache(false, st, true)
+
+	// First attempt: the context dies while "decoding".
+	ctx, cancel := context.WithCancel(context.Background())
+	decodes := 0
+	_, _, err := uc.Payload(ctx, h, func() (*graph.Graph, error) {
+		cancel()
+		return nil, ctx.Err() // a ctx-aware decoder surfacing cancellation
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled decode must return the context error, got %v", err)
+	}
+
+	// Second attempt in the same cache: entry must have been abandoned,
+	// so the real decode runs and succeeds.
+	sum, ok, err := uc.Payload(context.Background(), h, mkDecode(&decodes))
+	if err != nil || !ok || decodes != 1 {
+		t.Fatalf("retry after cancellation: ok=%v decodes=%d err=%v", ok, decodes, err)
+	}
+	if sum == "" {
+		t.Fatal("retry lost the checksum")
+	}
+	// Complete the analysis so the payload record has its trusted
+	// counterpart (a payload record without one re-decodes by design).
+	if _, err := uc.get(context.Background(), extract.Model{Checksum: sum}); err != nil {
+		t.Fatal(err)
+	}
+	if err := uc.PersistErr(); err != nil {
+		t.Fatal(err)
+	}
+
+	// And a fresh warm cache over the same store must not see a persisted
+	// failure either (nothing was written for the cancelled attempt; the
+	// successful retry wrote the real outcome).
+	warm := NewPersistentUniqueCache(false, st, true)
+	warmDecodes := 0
+	wsum, ok, err := warm.Payload(context.Background(), h, mkDecode(&warmDecodes))
+	if err != nil || !ok || wsum != sum {
+		t.Fatalf("warm after cancelled-then-retried: ok=%v sum=%q err=%v", ok, wsum, err)
+	}
+	if warmDecodes != 0 {
+		t.Fatal("successful outcome was not persisted")
+	}
+}
+
+// TestPayloadWaiterCancelled pins the single-flight wait contract: a
+// waiter whose context dies unblocks with the context error while the
+// worker's decode continues and records normally.
+func TestPayloadWaiterCancelled(t *testing.T) {
+	h, mkDecode := payloadFixture(t, 22)
+	uc := NewUniqueCache(false)
+
+	decodeStarted := make(chan struct{})
+	releaseDecode := make(chan struct{})
+	decodes := 0
+	real := mkDecode(&decodes)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, ok, err := uc.Payload(context.Background(), h, func() (*graph.Graph, error) {
+			close(decodeStarted)
+			<-releaseDecode
+			return real()
+		})
+		if err != nil || !ok {
+			t.Errorf("worker decode: ok=%v err=%v", ok, err)
+		}
+	}()
+
+	<-decodeStarted
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterDone := make(chan error, 1)
+	go func() {
+		_, _, err := uc.Payload(ctx, h, func() (*graph.Graph, error) {
+			return nil, fmt.Errorf("waiter must never decode")
+		})
+		waiterDone <- err
+	}()
+	cancel()
+	select {
+	case err := <-waiterDone:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled waiter returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled waiter stayed blocked on the in-flight decode")
+	}
+
+	close(releaseDecode)
+	wg.Wait()
+	// The worker's outcome is recorded; later callers get it decode-free.
+	if _, ok, err := uc.Payload(context.Background(), h, func() (*graph.Graph, error) {
+		return nil, fmt.Errorf("must be cached")
+	}); err != nil || !ok {
+		t.Fatalf("outcome lost after waiter cancellation: ok=%v err=%v", ok, err)
+	}
+	if decodes != 1 {
+		t.Fatalf("decodes = %d, want 1", decodes)
+	}
+}
+
+// TestGetCancelledIsNotPoisoned mirrors the payload test for the
+// per-checksum analysis layer: a cancelled analysis attempt leaves the
+// entry retryable, seed intact.
+func TestGetCancelledIsNotPoisoned(t *testing.T) {
+	h, mkDecode := payloadFixture(t, 23)
+	uc := NewUniqueCache(true)
+	decodes := 0
+	sum, ok, err := uc.Payload(context.Background(), h, mkDecode(&decodes))
+	if err != nil || !ok {
+		t.Fatalf("payload: ok=%v err=%v", ok, err)
+	}
+
+	// Cancel before the profile runs: computeAnalysis checks ctx after
+	// resolving the graph.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := uc.get(ctx, extract.Model{Checksum: sum}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled get returned %v", err)
+	}
+	if n := uc.Stats().Profiles; n != 0 {
+		t.Fatalf("cancelled get profiled anyway (%d)", n)
+	}
+
+	// Retry with a live context: the seed must still be there.
+	d, err := uc.get(context.Background(), extract.Model{Checksum: sum})
+	if err != nil {
+		t.Fatalf("retry after cancelled get: %v", err)
+	}
+	if d == nil || d.graph == nil {
+		t.Fatal("retry lost the seeded graph")
+	}
+	if n := uc.Stats().Profiles; n != 1 {
+		t.Fatalf("profiles = %d, want 1", n)
+	}
+}

@@ -5,6 +5,7 @@
 package analysis
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -125,7 +126,17 @@ func (c *Corpus) AddApp(info AppInfo) {
 // AddReport ingests one app's extraction report, profiling and classifying
 // any model checksum seen for the first time (across every corpus sharing
 // this corpus' cache).
+//
+// Deprecated: use AddReportContext, which bounds the per-checksum
+// analysis waits with a context.
 func (c *Corpus) AddReport(category string, rep *extract.Report) error {
+	return c.AddReportContext(context.Background(), category, rep)
+}
+
+// AddReportContext is AddReport with a context bounding the per-checksum
+// single-flight analysis (see UniqueCache.get for the cancellation
+// contract).
+func (c *Corpus) AddReportContext(ctx context.Context, category string, rep *extract.Report) error {
 	info := AppInfo{
 		Package:           rep.Package,
 		Category:          category,
@@ -163,7 +174,7 @@ func (c *Corpus) AddReport(category string, rep *extract.Report) error {
 	cache := c.uniqueCache()
 	datas := make([]modelData, 0, len(rep.Models))
 	for _, m := range rep.Models {
-		d, err := cache.get(m)
+		d, err := cache.get(ctx, m)
 		if err != nil {
 			return err
 		}

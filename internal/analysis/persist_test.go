@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"reflect"
 	"testing"
@@ -52,11 +53,11 @@ func TestPersistentCacheWarmSkipsDecodeAndProfile(t *testing.T) {
 	// Cold pass: decode + profile run and write through.
 	cold := NewPersistentUniqueCache(true, st, true)
 	decodes := 0
-	sum, ok := cold.Payload(h, mkDecode(&decodes))
+	sum, ok, _ := cold.Payload(context.Background(), h, mkDecode(&decodes))
 	if !ok || decodes != 1 {
 		t.Fatalf("cold payload: ok=%v decodes=%d", ok, decodes)
 	}
-	coldData, err := cold.get(extract.Model{Checksum: sum})
+	coldData, err := cold.get(context.Background(), extract.Model{Checksum: sum})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,14 +72,14 @@ func TestPersistentCacheWarmSkipsDecodeAndProfile(t *testing.T) {
 	// Warm pass in a fresh cache: nothing decodes, nothing profiles.
 	warm := NewPersistentUniqueCache(true, st, true)
 	warmDecodes := 0
-	wsum, ok := warm.Payload(h, mkDecode(&warmDecodes))
+	wsum, ok, _ := warm.Payload(context.Background(), h, mkDecode(&warmDecodes))
 	if !ok || wsum != sum {
 		t.Fatalf("warm payload: ok=%v sum=%s want %s", ok, wsum, sum)
 	}
 	if warmDecodes != 0 {
 		t.Fatalf("warm run decoded %d times", warmDecodes)
 	}
-	warmData, err := warm.get(extract.Model{Checksum: sum})
+	warmData, err := warm.get(context.Background(), extract.Model{Checksum: sum})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,11 +120,11 @@ func TestPersistentCacheFailedDecodeIsCached(t *testing.T) {
 		decodes++
 		return nil, fmt.Errorf("boom")
 	}
-	if _, ok := cold.Payload(h, fail); ok || decodes != 1 {
+	if _, ok, _ := cold.Payload(context.Background(), h, fail); ok || decodes != 1 {
 		t.Fatalf("cold failed decode: ok=%v decodes=%d", ok, decodes)
 	}
 	warm := NewPersistentUniqueCache(false, st, true)
-	if _, ok := warm.Payload(h, fail); ok {
+	if _, ok, _ := warm.Payload(context.Background(), h, fail); ok {
 		t.Fatal("persisted failure must stay a failure")
 	}
 	if decodes != 1 {
@@ -138,14 +139,14 @@ func TestPersistentCachePayloadWithoutAnalysisRedecodes(t *testing.T) {
 	// write: only Payload ran.
 	cold := NewPersistentUniqueCache(false, st, true)
 	decodes := 0
-	if _, ok := cold.Payload(h, mkDecode(&decodes)); !ok {
+	if _, ok, _ := cold.Payload(context.Background(), h, mkDecode(&decodes)); !ok {
 		t.Fatal("cold decode failed")
 	}
 	// A warm run must not trust the orphaned payload record — the decode
 	// has to run again so analysis has a graph.
 	warm := NewPersistentUniqueCache(false, st, true)
 	warmDecodes := 0
-	if _, ok := warm.Payload(h, mkDecode(&warmDecodes)); !ok {
+	if _, ok, _ := warm.Payload(context.Background(), h, mkDecode(&warmDecodes)); !ok {
 		t.Fatal("warm decode failed")
 	}
 	if warmDecodes != 1 {
@@ -158,14 +159,14 @@ func TestPersistentCacheResumeOffWritesButNeverReads(t *testing.T) {
 	h, mkDecode := payloadFixture(t, 11)
 	first := NewPersistentUniqueCache(false, st, true)
 	decodes := 0
-	sum, _ := first.Payload(h, mkDecode(&decodes))
-	if _, err := first.get(extract.Model{Checksum: sum}); err != nil {
+	sum, _, _ := first.Payload(context.Background(), h, mkDecode(&decodes))
+	if _, err := first.get(context.Background(), extract.Model{Checksum: sum}); err != nil {
 		t.Fatal(err)
 	}
 	// resume=false ignores the populated store and recomputes.
 	cold := NewPersistentUniqueCache(false, st, false)
 	coldDecodes := 0
-	if _, ok := cold.Payload(h, mkDecode(&coldDecodes)); !ok || coldDecodes != 1 {
+	if _, ok, _ := cold.Payload(context.Background(), h, mkDecode(&coldDecodes)); !ok || coldDecodes != 1 {
 		t.Fatalf("resume=false must recompute: ok=%v decodes=%d", ok, coldDecodes)
 	}
 }
@@ -175,8 +176,8 @@ func TestLoadModelSummary(t *testing.T) {
 	h, mkDecode := payloadFixture(t, 13)
 	uc := NewPersistentUniqueCache(true, st, true)
 	decodes := 0
-	sum, _ := uc.Payload(h, mkDecode(&decodes))
-	d, err := uc.get(extract.Model{Checksum: sum})
+	sum, _, _ := uc.Payload(context.Background(), h, mkDecode(&decodes))
+	d, err := uc.get(context.Background(), extract.Model{Checksum: sum})
 	if err != nil {
 		t.Fatal(err)
 	}

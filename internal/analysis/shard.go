@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"sort"
 	"sync"
 
@@ -68,19 +69,20 @@ func (s *ShardedCorpus) shardFor(idx int) *corpusShard {
 }
 
 // AddReport ingests one app's extraction report under its global index.
-func (s *ShardedCorpus) AddReport(idx int, category string, rep *extract.Report) error {
+// ctx bounds the per-checksum analysis waits (see UniqueCache.get).
+func (s *ShardedCorpus) AddReport(ctx context.Context, idx int, category string, rep *extract.Report) error {
 	// Warm the per-checksum cache before taking the shard lock, so one
 	// app's profiling never serialises another app's ingest into the same
 	// shard.
 	for _, m := range rep.Models {
-		if _, err := s.cache.get(m); err != nil {
+		if _, err := s.cache.get(ctx, m); err != nil {
 			return err
 		}
 	}
 	sh := s.shardFor(idx)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if err := sh.corpus.AddReport(category, rep); err != nil {
+	if err := sh.corpus.AddReportContext(ctx, category, rep); err != nil {
 		return err
 	}
 	sh.appIdx = append(sh.appIdx, idx)

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"context"
 	"reflect"
 	"sync"
 	"testing"
@@ -56,7 +57,7 @@ func ingestSharded(t *testing.T, label string, reports []indexedReport, shardCou
 					s.AddApp(ir.idx, ir.info)
 					continue
 				}
-				if err := s.AddReport(ir.idx, ir.category, ir.rep); err != nil {
+				if err := s.AddReport(context.Background(), ir.idx, ir.category, ir.rep); err != nil {
 					errs <- err
 					return
 				}
@@ -152,7 +153,7 @@ func TestUniqueCacheSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			d, err := cache.get(*model)
+			d, err := cache.get(context.Background(), *model)
 			if err != nil {
 				t.Error(err)
 				return

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"testing"
@@ -52,7 +53,7 @@ func TestMasterSlaveWorkflow(t *testing.T) {
 		Backend: "cpu", Threads: 4, Warmup: 2, Runs: 5,
 		SleepBetween: 50 * time.Millisecond,
 	}
-	res, err := master.RunJob(job)
+	res, err := master.RunJob(context.Background(), job)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -90,7 +91,7 @@ func TestMasterSlaveMultipleJobs(t *testing.T) {
 		{ID: "a", ModelName: "det", Model: b1, Backend: "cpu", Threads: 4, Warmup: 1, Runs: 3},
 		{ID: "b", ModelName: "cls", Model: b2, Backend: "snpe-dsp", Threads: 4, Warmup: 1, Runs: 3},
 	}
-	res, err := master.RunJobs(jobs)
+	res, err := master.RunJobs(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestMultiJobBatchRunsInPushOrder(t *testing.T) {
 				Backend: "cpu", Threads: 4, Warmup: 1, Runs: 6,
 			})
 		}
-		res, err := master.RunJobs(jobs)
+		res, err := master.RunJobs(context.Background(), jobs)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -147,7 +148,7 @@ func TestMultiJobBatchRunsInPushOrder(t *testing.T) {
 func TestJobErrorPropagates(t *testing.T) {
 	_, master, _ := newRig(t, "A20") // Exynos: SNPE unavailable
 	b, _ := modelBytes(t, zoo.TaskFaceDetection, 4)
-	res, err := master.RunJob(Job{ID: "x", Model: b, Backend: "snpe-dsp", Runs: 2})
+	res, err := master.RunJob(context.Background(), Job{ID: "x", Model: b, Backend: "snpe-dsp", Runs: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,7 +159,7 @@ func TestJobErrorPropagates(t *testing.T) {
 
 func TestAgentRejectsGarbageModel(t *testing.T) {
 	_, master, _ := newRig(t, "Q845")
-	res, err := master.RunJob(Job{ID: "g", Model: []byte("not a model"), Backend: "cpu", Runs: 1})
+	res, err := master.RunJob(context.Background(), Job{ID: "g", Model: []byte("not a model"), Backend: "cpu", Runs: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,15 +201,15 @@ func TestScenarios(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	soundStats, err := RunScenario("Q845", SoundRecognitionScenario(), []*graph.Graph{sound}, "cpu")
+	soundStats, err := RunScenario(context.Background(), "Q845", SoundRecognitionScenario(), []*graph.Graph{sound}, "cpu")
 	if err != nil {
 		t.Fatal(err)
 	}
-	typingStats, err := RunScenario("Q845", TypingScenario(), []*graph.Graph{typing}, "cpu")
+	typingStats, err := RunScenario(context.Background(), "Q845", TypingScenario(), []*graph.Graph{typing}, "cpu")
 	if err != nil {
 		t.Fatal(err)
 	}
-	segmStats, err := RunScenario("Q845", SegmentationScenario(), []*graph.Graph{segm}, "cpu")
+	segmStats, err := RunScenario(context.Background(), "Q845", SegmentationScenario(), []*graph.Graph{segm}, "cpu")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,18 +248,18 @@ func TestScenarioInferenceCounts(t *testing.T) {
 }
 
 func TestRunScenarioErrors(t *testing.T) {
-	if _, err := RunScenario("Q845", TypingScenario(), nil, "cpu"); err == nil {
+	if _, err := RunScenario(context.Background(), "Q845", TypingScenario(), nil, "cpu"); err == nil {
 		t.Fatal("no models should fail")
 	}
 	g, _ := zoo.Build(zoo.Spec{Task: zoo.TaskAutoComplete, Seed: 10})
-	if _, err := RunScenario("NOPE", TypingScenario(), []*graph.Graph{g}, "cpu"); err == nil {
+	if _, err := RunScenario(context.Background(), "NOPE", TypingScenario(), []*graph.Graph{g}, "cpu"); err == nil {
 		t.Fatal("unknown device should fail")
 	}
 }
 
 func TestRunJobsEmpty(t *testing.T) {
 	_, master, _ := newRig(t, "Q845")
-	res, err := master.RunJobs(nil)
+	res, err := master.RunJobs(context.Background(), nil)
 	if err != nil || res != nil {
 		t.Fatalf("empty jobs: %v %v", res, err)
 	}
@@ -303,7 +304,7 @@ func TestAllScenariosAndLookup(t *testing.T) {
 
 func TestMasterQueryAndCoolDevice(t *testing.T) {
 	agent, master, _ := newRig(t, "Q845")
-	info, err := master.Query()
+	info, err := master.Query(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,28 +317,28 @@ func TestMasterQueryAndCoolDevice(t *testing.T) {
 	// Run a hot job, then verify COOL restores a cold thermal state and
 	// reports the idle time it inserted.
 	b, _ := modelBytes(t, zoo.TaskSemanticSegmentation, 13)
-	res, err := master.RunJob(Job{ID: "hot", Model: b, Backend: "cpu", Threads: 4, Warmup: 1, Runs: 6})
+	res, err := master.RunJob(context.Background(), Job{ID: "hot", Model: b, Backend: "cpu", Threads: 4, Warmup: 1, Runs: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if res.Error != "" {
 		t.Fatal(res.Error)
 	}
-	hot, err := master.Query()
+	hot, err := master.Query(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if hot.HeatJ <= 0 {
 		t.Fatalf("continuous inference should deposit heat, got %v J", hot.HeatJ)
 	}
-	idled, err := master.CoolDevice(0)
+	idled, err := master.CoolDevice(context.Background(), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if idled <= 0 {
 		t.Fatalf("cooldown of a hot device should idle, got %v", idled)
 	}
-	cold, err := master.Query()
+	cold, err := master.Query(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -345,7 +346,7 @@ func TestMasterQueryAndCoolDevice(t *testing.T) {
 		t.Fatalf("heat after cooldown = %v J, want 0", cold.HeatJ)
 	}
 	// Cooling a cold device is a no-op.
-	if idled, err = master.CoolDevice(0); err != nil || idled != 0 {
+	if idled, err = master.CoolDevice(context.Background(), 0); err != nil || idled != 0 {
 		t.Fatalf("second cooldown: %v, %v", idled, err)
 	}
 	_ = agent

@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/gaugenn/gaugenn/internal/power"
+	"github.com/gaugenn/gaugenn/internal/soc"
+)
+
+// deafListener accepts connections and never replies — the wedged-agent
+// fixture the master's context watcher must cut through.
+func deafListener(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+			// Read and drop forever; never write.
+			buf := make([]byte, 4096)
+			for {
+				if _, err := conn.Read(buf); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	return ln.Addr().String()
+}
+
+// TestMasterRunJobsCancelledDuringHandshake: a deaf agent would pin the
+// master for the full round Timeout; cancelling the context must unblock
+// the handshake read immediately with the context error.
+func TestMasterRunJobsCancelledDuringHandshake(t *testing.T) {
+	addr := deafListener(t)
+	master := NewMaster(addr, nil)
+	master.Timeout = 2 * time.Minute // the watcher, not the deadline, must fire
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := master.RunJobs(ctx, []Job{{ID: "wedge", Model: []byte("x"), Backend: "cpu", Runs: 1}})
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the dial+send land on the deaf agent
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled handshake returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled master stayed blocked on the deaf agent")
+	}
+}
+
+// TestMasterQueryCancelled covers the roundtrip helper (QUERY/COOL share
+// it).
+func TestMasterQueryCancelled(t *testing.T) {
+	addr := deafListener(t)
+	master := NewMaster(addr, nil)
+	master.Timeout = 2 * time.Minute
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := master.Query(ctx)
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled query returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("cancelled query stayed blocked")
+	}
+}
+
+// TestMasterPreCancelledDial: a dead context fails the dial itself.
+func TestMasterPreCancelledDial(t *testing.T) {
+	dev, err := soc.NewDevice("Q845")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := NewAgent(dev, nil, power.NewMonitor())
+	addr, err := agent.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewMaster(addr, nil).Query(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled dial returned %v", err)
+	}
+}

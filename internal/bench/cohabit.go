@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -29,8 +30,12 @@ type CohabitResult struct {
 }
 
 // RunCohabitation interleaves the models' inferences round-robin for the
-// given number of rounds and compares against isolated runs.
-func RunCohabitation(deviceModel string, models []*graph.Graph, backend string, rounds int) (CohabitResult, error) {
+// given number of rounds and compares against isolated runs. ctx is
+// checked between isolated baselines and between co-habitation rounds.
+func RunCohabitation(ctx context.Context, deviceModel string, models []*graph.Graph, backend string, rounds int) (CohabitResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	res := CohabitResult{Device: deviceModel}
 	if len(models) < 2 {
 		return res, fmt.Errorf("bench: co-habitation needs at least two models")
@@ -44,6 +49,9 @@ func RunCohabitation(deviceModel string, models []*graph.Graph, backend string, 
 
 	// Isolated baselines: fresh, cooled device per model.
 	for _, g := range models {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		res.Models = append(res.Models, g.Name)
 		dev, err := soc.NewDevice(deviceModel)
 		if err != nil {
@@ -94,6 +102,9 @@ func RunCohabitation(deviceModel string, models []*graph.Graph, backend string, 
 	}
 	start := dev.Clock.Now()
 	for i := 0; i < rounds; i++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		for _, sess := range sessions {
 			if _, err := sess.Infer(nil); err != nil {
 				return res, err

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"testing"
 
 	"github.com/gaugenn/gaugenn/internal/nn/graph"
@@ -16,7 +17,7 @@ func TestCohabitationInterference(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunCohabitation("S21", []*graph.Graph{a, bg}, "cpu", 8)
+	res, err := RunCohabitation(context.Background(), "S21", []*graph.Graph{a, bg}, "cpu", 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,10 +48,10 @@ func TestCohabitationInterference(t *testing.T) {
 
 func TestCohabitationNeedsTwoModels(t *testing.T) {
 	g, _ := zoo.Build(zoo.Spec{Task: zoo.TaskFaceDetection, Seed: 53})
-	if _, err := RunCohabitation("S21", []*graph.Graph{g}, "cpu", 4); err == nil {
+	if _, err := RunCohabitation(context.Background(), "S21", []*graph.Graph{g}, "cpu", 4); err == nil {
 		t.Fatal("single model should fail")
 	}
-	if _, err := RunCohabitation("NOPE", []*graph.Graph{g, g}, "cpu", 4); err == nil {
+	if _, err := RunCohabitation(context.Background(), "NOPE", []*graph.Graph{g, g}, "cpu", 4); err == nil {
 		t.Fatal("unknown device should fail")
 	}
 }

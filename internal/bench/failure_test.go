@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"net"
 	"strings"
@@ -82,7 +83,7 @@ func TestMasterTimesOutDuringPrepareHandshake(t *testing.T) {
 	master.Timeout = 150 * time.Millisecond
 	b, _ := modelBytes(t, zoo.TaskFaceDetection, 66)
 	start := time.Now()
-	_, err := master.RunJob(Job{ID: "deaf", Model: b, Backend: "cpu", Runs: 1})
+	_, err := master.RunJob(context.Background(), Job{ID: "deaf", Model: b, Backend: "cpu", Runs: 1})
 	if err == nil {
 		t.Fatal("deaf agent must fail the prepare handshake")
 	}
@@ -98,7 +99,7 @@ func TestMasterDialTimeoutConfigurable(t *testing.T) {
 	master.DialTimeout = 100 * time.Millisecond
 	b, _ := modelBytes(t, zoo.TaskFaceDetection, 67)
 	start := time.Now()
-	_, err := master.RunJob(Job{ID: "x", Model: b, Backend: "cpu", Runs: 1})
+	_, err := master.RunJob(context.Background(), Job{ID: "x", Model: b, Backend: "cpu", Runs: 1})
 	if err == nil {
 		t.Fatal("unroutable agent should fail")
 	}
@@ -112,7 +113,7 @@ func TestMasterTimesOutOnSilentDevice(t *testing.T) {
 	master := NewMaster(addr, nil)
 	master.Timeout = 150 * time.Millisecond
 	b, _ := modelBytes(t, zoo.TaskFaceDetection, 61)
-	_, err := master.RunJob(Job{ID: "hang", Model: b, Backend: "cpu", Runs: 1})
+	_, err := master.RunJob(context.Background(), Job{ID: "hang", Model: b, Backend: "cpu", Runs: 1})
 	if err == nil || !strings.Contains(err.Error(), "did not notify") {
 		t.Fatalf("want notify timeout, got %v", err)
 	}
@@ -121,7 +122,7 @@ func TestMasterTimesOutOnSilentDevice(t *testing.T) {
 func TestMasterFailsOnDeadAgent(t *testing.T) {
 	master := NewMaster("127.0.0.1:1", nil)
 	b, _ := modelBytes(t, zoo.TaskFaceDetection, 62)
-	if _, err := master.RunJob(Job{ID: "x", Model: b, Backend: "cpu", Runs: 1}); err == nil {
+	if _, err := master.RunJob(context.Background(), Job{ID: "x", Model: b, Backend: "cpu", Runs: 1}); err == nil {
 		t.Fatal("dead agent should fail")
 	}
 }
@@ -130,7 +131,7 @@ func TestMasterRefusesWhenUSBDataDown(t *testing.T) {
 	_, master, _ := newRig(t, "Q845")
 	master.USB.SetPower(false)
 	b, _ := modelBytes(t, zoo.TaskFaceDetection, 63)
-	_, err := master.RunJob(Job{ID: "x", Model: b, Backend: "cpu", Runs: 1})
+	_, err := master.RunJob(context.Background(), Job{ID: "x", Model: b, Backend: "cpu", Runs: 1})
 	if err == nil || !strings.Contains(err.Error(), "USB data") {
 		t.Fatalf("want USB data error, got %v", err)
 	}
@@ -196,7 +197,7 @@ func TestUSBPowerCycleDuringWorkflow(t *testing.T) {
 	_, master, _ := newRig(t, "Q855")
 	b1, _ := modelBytes(t, zoo.TaskKeywordDetection, 64)
 	for round := 0; round < 2; round++ {
-		res, err := master.RunJob(Job{ID: "r", Model: b1, Backend: "cpu", Runs: 2})
+		res, err := master.RunJob(context.Background(), Job{ID: "r", Model: b1, Backend: "cpu", Runs: 2})
 		if err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -13,6 +14,12 @@ import (
 // Master is the server side of Figure 2/3: it owns the USB switch, pushes
 // jobs to an agent, power-cycles the device around the measurement window
 // and collects the results after the WiFi notification arrives.
+//
+// Every exchange takes a context: dials, handshakes and the notification
+// wait all unblock promptly on cancellation (in-flight control
+// connections are closed, so a blocked read returns), with the context
+// error surfaced for errors.Is. The Timeout/DialTimeout knobs still bound
+// each round independently of the caller's context.
 type Master struct {
 	// AgentAddr is the device's adb endpoint.
 	AgentAddr string
@@ -33,8 +40,14 @@ func NewMaster(agentAddr string, usb *power.USBSwitch) *Master {
 }
 
 // RunJobs executes the full Figure 3 workflow for a batch of jobs and
-// returns results in job order.
-func (m *Master) RunJobs(jobs []Job) ([]JobResult, error) {
+// returns results in job order. ctx cancellation aborts the round at the
+// next protocol step: handshake connections are closed and the
+// notification wait returns, leaving the device to finish (and discard)
+// its unattended run.
+func (m *Master) RunJobs(ctx context.Context, jobs []Job) ([]JobResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(jobs) == 0 {
 		return nil, nil
 	}
@@ -48,31 +61,40 @@ func (m *Master) RunJobs(jobs []Job) ([]JobResult, error) {
 	// Prepare: push all dependencies over adb and arm the headless script.
 	// The round timeout covers this handshake too: a device that accepts
 	// the dial but never acknowledges a job must not hang the master.
-	conn, err := m.dialAgent()
+	conn, err := m.dialAgent(ctx)
 	if err != nil {
 		return nil, err
 	}
 	m.armDeadline(conn)
+	// A cancelled context closes the control connection so blocked
+	// reads/writes return immediately; ctxErr below maps the resulting
+	// I/O error back to the context error.
+	stopWatch := context.AfterFunc(ctx, func() { conn.Close() })
 	rd := bufio.NewScanner(conn)
 	rd.Buffer(make([]byte, 1<<20), 256<<20)
 	for _, job := range jobs {
 		if err := m.send(conn, msgJob, job); err != nil {
+			stopWatch()
 			conn.Close()
-			return nil, err
+			return nil, m.ctxErr(ctx, err)
 		}
 		if _, err := m.expect(rd, msgReady); err != nil {
+			stopWatch()
 			conn.Close()
-			return nil, err
+			return nil, m.ctxErr(ctx, err)
 		}
 	}
 	if err := m.send(conn, msgPowerOff, notifyLn.Addr().String()); err != nil {
+		stopWatch()
 		conn.Close()
-		return nil, err
+		return nil, m.ctxErr(ctx, err)
 	}
 	if _, err := m.expect(rd, msgOK); err != nil {
+		stopWatch()
 		conn.Close()
-		return nil, err
+		return nil, m.ctxErr(ctx, err)
 	}
+	stopWatch()
 	conn.Close()
 
 	// Cut USB power: the data channel drops with it and the device starts
@@ -111,12 +133,21 @@ func (m *Master) RunJobs(jobs []Job) ([]JobResult, error) {
 	if timeout <= 0 {
 		timeout = 120 * time.Second
 	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
 	select {
 	case err := <-done:
 		if err != nil {
-			return nil, err
+			return nil, m.ctxErr(ctx, err)
 		}
-	case <-time.After(timeout):
+	case <-ctx.Done():
+		// The listener closes via the deferred notifyLn.Close, unblocking
+		// the Accept goroutine; power is restored so the rig is reusable.
+		if m.USB != nil {
+			m.USB.SetPower(true)
+		}
+		return nil, ctx.Err()
+	case <-timer.C:
 		return nil, fmt.Errorf("bench: device did not notify within %v", timeout)
 	}
 
@@ -124,22 +155,24 @@ func (m *Master) RunJobs(jobs []Job) ([]JobResult, error) {
 	if m.USB != nil {
 		m.USB.SetPower(true)
 	}
-	conn, err = m.dialAgent()
+	conn, err = m.dialAgent(ctx)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
 	m.armDeadline(conn)
+	stopWatch = context.AfterFunc(ctx, func() { conn.Close() })
+	defer stopWatch()
 	rd = bufio.NewScanner(conn)
 	rd.Buffer(make([]byte, 1<<20), 256<<20)
 	results := make([]JobResult, 0, len(jobs))
 	for _, job := range jobs {
 		if err := m.send(conn, msgCollect, job.ID); err != nil {
-			return nil, err
+			return nil, m.ctxErr(ctx, err)
 		}
 		payload, err := m.expect(rd, msgResult)
 		if err != nil {
-			return nil, err
+			return nil, m.ctxErr(ctx, err)
 		}
 		var res JobResult
 		if err := json.Unmarshal(payload, &res); err != nil {
@@ -148,24 +181,34 @@ func (m *Master) RunJobs(jobs []Job) ([]JobResult, error) {
 		results = append(results, res)
 	}
 	if err := m.send(conn, msgClean, nil); err != nil {
-		return nil, err
+		return nil, m.ctxErr(ctx, err)
 	}
 	if _, err := m.expect(rd, msgOK); err != nil {
-		return nil, err
+		return nil, m.ctxErr(ctx, err)
 	}
 	return results, nil
 }
 
 // RunJob is the single-job convenience wrapper.
-func (m *Master) RunJob(job Job) (JobResult, error) {
-	res, err := m.RunJobs([]Job{job})
+func (m *Master) RunJob(ctx context.Context, job Job) (JobResult, error) {
+	res, err := m.RunJobs(ctx, []Job{job})
 	if err != nil {
 		return JobResult{}, err
 	}
 	return res[0], nil
 }
 
-func (m *Master) dialAgent() (net.Conn, error) {
+// ctxErr substitutes the context error for an I/O error caused by the
+// cancellation watcher closing the connection, so callers see
+// context.Canceled instead of "use of closed network connection".
+func (m *Master) ctxErr(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return err
+}
+
+func (m *Master) dialAgent(ctx context.Context) (net.Conn, error) {
 	if m.USB != nil && !m.USB.DataOn() {
 		return nil, fmt.Errorf("bench: USB data channel is down")
 	}
@@ -173,9 +216,10 @@ func (m *Master) dialAgent() (net.Conn, error) {
 	if dial <= 0 {
 		dial = 5 * time.Second
 	}
-	conn, err := net.DialTimeout("tcp", m.AgentAddr, dial)
+	d := net.Dialer{Timeout: dial}
+	conn, err := d.DialContext(ctx, "tcp", m.AgentAddr)
 	if err != nil {
-		return nil, fmt.Errorf("bench: dialing agent: %w", err)
+		return nil, m.ctxErr(ctx, fmt.Errorf("bench: dialing agent: %w", err))
 	}
 	return conn, nil
 }
@@ -188,25 +232,34 @@ func (m *Master) armDeadline(conn net.Conn) {
 }
 
 // roundtrip runs one request/reply exchange on a fresh control connection.
-func (m *Master) roundtrip(sendKind string, payload any, wantKind string) (json.RawMessage, error) {
-	conn, err := m.dialAgent()
+func (m *Master) roundtrip(ctx context.Context, sendKind string, payload any, wantKind string) (json.RawMessage, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	conn, err := m.dialAgent(ctx)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
 	m.armDeadline(conn)
+	stopWatch := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stopWatch()
 	if err := m.send(conn, sendKind, payload); err != nil {
-		return nil, err
+		return nil, m.ctxErr(ctx, err)
 	}
 	rd := bufio.NewScanner(conn)
 	rd.Buffer(make([]byte, 1<<20), 256<<20)
-	return m.expect(rd, wantKind)
+	out, err := m.expect(rd, wantKind)
+	if err != nil {
+		return nil, m.ctxErr(ctx, err)
+	}
+	return out, nil
 }
 
 // Query asks the agent for its identity, supported backends and thermal
 // state — how a fleet scheduler discovers what a remote benchd serves.
-func (m *Master) Query() (AgentInfo, error) {
-	payload, err := m.roundtrip(msgQuery, nil, msgInfo)
+func (m *Master) Query(ctx context.Context) (AgentInfo, error) {
+	payload, err := m.roundtrip(ctx, msgQuery, nil, msgInfo)
 	if err != nil {
 		return AgentInfo{}, err
 	}
@@ -221,8 +274,8 @@ func (m *Master) Query() (AgentInfo, error) {
 // at most targetJ, returning the idle duration inserted. Cooling to zero
 // between continuous-inference jobs makes per-job thermal behaviour
 // independent of queue position.
-func (m *Master) CoolDevice(targetJ float64) (time.Duration, error) {
-	payload, err := m.roundtrip(msgCool, targetJ, msgOK)
+func (m *Master) CoolDevice(ctx context.Context, targetJ float64) (time.Duration, error) {
+	payload, err := m.roundtrip(ctx, msgCool, targetJ, msgOK)
 	if err != nil {
 		return 0, err
 	}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -129,8 +130,12 @@ type ScenarioStats struct {
 
 // RunScenario benchmarks each model's warm per-inference energy on the
 // device and scales it by the scenario's inference count, converting to
-// battery discharge at the nominal rail voltage.
-func RunScenario(deviceModel string, sc Scenario, models []*graph.Graph, backend string) (ScenarioStats, error) {
+// battery discharge at the nominal rail voltage. ctx is checked between
+// models, so a cancelled sweep returns promptly with the context error.
+func RunScenario(ctx context.Context, deviceModel string, sc Scenario, models []*graph.Graph, backend string) (ScenarioStats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	out := ScenarioStats{Scenario: sc.Name, Device: deviceModel}
 	if len(models) == 0 {
 		return out, fmt.Errorf("bench: scenario %s has no models", sc.Name)
@@ -141,6 +146,9 @@ func RunScenario(deviceModel string, sc Scenario, models []*graph.Graph, backend
 	bat := power.Battery{Voltage: power.DefaultRailVoltage}
 	var discharges []float64
 	for _, g := range models {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
 		dev, err := soc.NewDevice(deviceModel)
 		if err != nil {
 			return out, err

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"github.com/gaugenn/gaugenn/internal/nn/zoo"
@@ -127,7 +128,7 @@ func TestDeliveryProbe(t *testing.T) {
 	if pkg == "" {
 		t.Skip("no ML app at this scale")
 	}
-	same, err := DeliveryProbe(res.Store, pkg)
+	same, err := DeliveryProbe(context.Background(), res.Store, pkg)
 	if err != nil {
 		t.Fatal(err)
 	}

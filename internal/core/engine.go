@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"crypto/sha256"
 	"fmt"
 	"strconv"
@@ -11,6 +12,8 @@ import (
 	"github.com/gaugenn/gaugenn/internal/crawler"
 	"github.com/gaugenn/gaugenn/internal/docstore"
 	"github.com/gaugenn/gaugenn/internal/errgroup"
+	"github.com/gaugenn/gaugenn/internal/errs"
+	"github.com/gaugenn/gaugenn/internal/event"
 	"github.com/gaugenn/gaugenn/internal/extract"
 	"github.com/gaugenn/gaugenn/internal/playstore"
 	"github.com/gaugenn/gaugenn/internal/store"
@@ -67,39 +70,55 @@ func newStudyEngine(cfg Config) (*studyEngine, error) {
 	return e, nil
 }
 
-func (e *studyEngine) progress(stage string, done, total int) {
+// emit delivers one typed event to the configured handler and bridges it
+// onto the deprecated stringly-typed Progress callback (StageStart maps
+// to the legacy (0, total) stage-open call, StageProgress to (done,
+// total); StageDone and CacheStats have no v1 equivalent).
+func (e *studyEngine) emit(ev event.Event) {
+	if e.cfg.OnEvent != nil {
+		e.cfg.OnEvent(ev)
+	}
 	if e.cfg.Progress != nil {
-		e.cfg.Progress(stage, done, total)
+		switch v := ev.(type) {
+		case event.StageStart:
+			e.cfg.Progress(event.StageName(v.Stage, v.Snapshot), 0, v.Total)
+		case event.StageProgress:
+			e.cfg.Progress(event.StageName(v.Stage, v.Snapshot), v.Done, v.Total)
+		}
 	}
 }
 
-// stageCounter serialises one stage's (done, total) progress stream so
-// counts never go backwards even when steps land from many workers.
+// stageCounter serialises one stage's typed event stream so counts never
+// go backwards even when steps land from many workers.
 type stageCounter struct {
-	engine *studyEngine
-	stage  string
+	engine   *studyEngine
+	stage    string
+	snapshot string
 
 	mu    sync.Mutex
 	done  int
 	total int
 }
 
-func (e *studyEngine) newStage(stage string) *stageCounter {
-	return &stageCounter{engine: e, stage: stage}
+func (e *studyEngine) newStage(stage, snapshot string) *stageCounter {
+	return &stageCounter{engine: e, stage: stage, snapshot: snapshot}
 }
 
 // start announces the stage total before any step lands.
 func (sc *stageCounter) start(total int) {
 	sc.mu.Lock()
 	sc.total = total
-	sc.engine.progress(sc.stage, sc.done, sc.total)
+	sc.engine.emit(event.StageStart{Stage: sc.stage, Snapshot: sc.snapshot, Total: total})
 	sc.mu.Unlock()
 }
 
 func (sc *stageCounter) step() {
 	sc.mu.Lock()
 	sc.done++
-	sc.engine.progress(sc.stage, sc.done, sc.total)
+	sc.engine.emit(event.StageProgress{Stage: sc.stage, Snapshot: sc.snapshot, Done: sc.done, Total: sc.total})
+	if sc.done == sc.total {
+		sc.engine.emit(event.StageDone{Stage: sc.stage, Snapshot: sc.snapshot, Total: sc.total})
+	}
 	sc.mu.Unlock()
 }
 
@@ -109,9 +128,9 @@ func (sc *stageCounter) step() {
 // without persistence); warm reports are already persisted, cold ones are
 // persisted by the caller after ingest so their models' analysis records
 // land first (see persistReport).
-func (e *studyEngine) loadReport(apkBytes []byte) (rep *extract.Report, key string, warm bool, err error) {
+func (e *studyEngine) loadReport(ctx context.Context, apkBytes []byte) (rep *extract.Report, key string, warm bool, err error) {
 	if e.st == nil {
-		rep, err = extract.ExtractAPKCached(apkBytes, e.cache)
+		rep, err = extract.ExtractAPKCached(ctx, apkBytes, e.cache)
 		return rep, "", false, err
 	}
 	h := extract.HashAPK(apkBytes)
@@ -137,7 +156,7 @@ func (e *studyEngine) loadReport(apkBytes []byte) (rep *extract.Report, key stri
 			// writer): fall through and re-extract rather than fail the study.
 		}
 	}
-	rep, err = extract.ExtractAPKCached(apkBytes, e.cache)
+	rep, err = extract.ExtractAPKCached(ctx, apkBytes, e.cache)
 	if err != nil {
 		return nil, "", false, err
 	}
@@ -173,13 +192,19 @@ func (e *studyEngine) persistReport(key string, rep *extract.Report) error {
 }
 
 // persistCorpus snapshots a merged corpus into the CAS under its content
-// hash and reports the persist stage's progress.
-func (e *studyEngine) persistCorpus(label string, c *analysis.Corpus) (string, error) {
+// hash and reports the persist stage's progress. ctx is checked before
+// the encode starts: corpus blobs are content-keyed and write-once, so a
+// cancelled persist simply leaves the snapshot out of the CAS for the
+// resume run to write.
+func (e *studyEngine) persistCorpus(ctx context.Context, label string, c *analysis.Corpus) (string, error) {
 	if e.st == nil {
 		return "", nil
 	}
-	st := e.newStage("persist-" + label)
+	st := e.newStage("persist", label)
 	st.start(1)
+	if err := ctx.Err(); err != nil {
+		return "", err
+	}
 	blob, err := analysis.EncodeCorpus(c)
 	if err != nil {
 		return "", err
@@ -193,12 +218,21 @@ func (e *studyEngine) persistCorpus(label string, c *analysis.Corpus) (string, e
 	return key, nil
 }
 
-// RunStudy executes the full offline pipeline over both snapshots. The
+// Run executes the full offline pipeline over both snapshots. The
 // snapshots run concurrently, sharing a per-checksum analysis cache so a
 // model carried over from 2020 to 2021 is profiled and classified exactly
 // once; within each snapshot, crawl/extract/ingest fan out over
 // Config.Workers goroutines. Results are byte-identical for a fixed seed
 // regardless of the worker count.
+//
+// ctx bounds the whole run: cancellation (or an expired deadline) drains
+// the worker pools promptly and Run returns a *errs.StageError naming the
+// stage and snapshot that observed it, with the context error on the
+// chain — errors.Is(err, context.Canceled) and errors.Is(err,
+// errs.ErrCancelled) both hold. A cancelled CacheDir-backed run leaves
+// the store consistent (every persisted record is complete and valid), so
+// a subsequent Resume run warm-loads the finished prefix and produces
+// corpora byte-identical to an uninterrupted run.
 //
 // With Config.CacheDir set the run is backed by a persistent study store:
 // every derived artifact is written through as it is produced, the merged
@@ -206,7 +240,10 @@ func (e *studyEngine) persistCorpus(label string, c *analysis.Corpus) (string, e
 // store manifest. A Resume run against a populated store loads warm
 // entries instead of recomputing them — an identical re-run performs zero
 // graph decodes and produces byte-identical corpora.
-func RunStudy(cfg Config) (*StudyResult, error) {
+func Run(ctx context.Context, cfg Config) (*StudyResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Scale <= 0 {
 		return nil, fmt.Errorf("core: scale must be positive")
 	}
@@ -219,23 +256,22 @@ func RunStudy(cfg Config) (*StudyResult, error) {
 		return nil, err
 	}
 	res := &StudyResult{Meta: docstore.New(), Store: study}
-	// abort is shared by both snapshot pipelines: the first failure
-	// anywhere halts the sibling too instead of letting it run the rest
-	// of its crawl against a doomed study.
-	var abort atomic.Bool
 	corpusKeys := map[string]string{}
 	var keysMu sync.Mutex
+	// The group context is shared by both snapshot pipelines: the first
+	// failure anywhere cancels it, halting the sibling too instead of
+	// letting it run the rest of its crawl against a doomed study.
+	g, gctx := errgroup.WithContext(ctx)
 	runOne := func(snap *playstore.Snapshot, label string, dst **analysis.Corpus) func() error {
 		return func() error {
-			c, err := eng.runSnapshot(res.Meta, snap, label, &abort)
+			c, err := eng.runSnapshot(gctx, res.Meta, snap, label)
 			if err != nil {
 				return err
 			}
 			*dst = c
-			key, err := eng.persistCorpus(label, c)
+			key, err := eng.persistCorpus(gctx, label, c)
 			if err != nil {
-				abort.Store(true)
-				return err
+				return errs.Stage("persist", label, err)
 			}
 			if key != "" {
 				keysMu.Lock()
@@ -245,7 +281,6 @@ func RunStudy(cfg Config) (*StudyResult, error) {
 			return nil
 		}
 	}
-	var g errgroup.Group
 	g.Go(runOne(study.Snap20, "2020", &res.Corpus20))
 	g.Go(runOne(study.Snap21, "2021", &res.Corpus21))
 	if err := g.Wait(); err != nil {
@@ -255,7 +290,7 @@ func RunStudy(cfg Config) (*StudyResult, error) {
 		// A write-through failure means the store is a lie; fail loudly
 		// rather than leave a partial cache that warms future runs.
 		if err := eng.cache.PersistErr(); err != nil {
-			return nil, err
+			return nil, errs.Stage("persist", "", err)
 		}
 		entry := store.ManifestEntry{
 			ID:        StudyID(cfg),
@@ -270,7 +305,7 @@ func RunStudy(cfg Config) (*StudyResult, error) {
 			},
 		}
 		if err := eng.st.AppendManifest(entry); err != nil {
-			return nil, err
+			return nil, errs.Stage("persist", "", err)
 		}
 		res.Persist = &PersistStats{
 			StudyID:          entry.ID,
@@ -279,15 +314,54 @@ func RunStudy(cfg Config) (*StudyResult, error) {
 			ExtractedReports: eng.extracted.Load(),
 			Cache:            eng.cache.Stats(),
 		}
+		eng.emit(event.CacheStats{
+			StudyID:          entry.ID,
+			WarmReports:      res.Persist.WarmReports,
+			ExtractedReports: res.Persist.ExtractedReports,
+			Stats:            res.Persist.Cache,
+		})
 	}
 	return res, nil
 }
 
-func (e *studyEngine) runSnapshot(meta *docstore.Store, snap *playstore.Snapshot, label string, abort *atomic.Bool) (*analysis.Corpus, error) {
+// RunStudy executes the full offline pipeline over both snapshots.
+//
+// Deprecated: use Run, which takes a context; RunStudy is the
+// uncancellable v1 surface and delegates to Run(context.Background(), cfg).
+func RunStudy(cfg Config) (*StudyResult, error) {
+	return Run(context.Background(), cfg)
+}
+
+func (e *studyEngine) runSnapshot(ctx context.Context, meta *docstore.Store, snap *playstore.Snapshot, label string) (*analysis.Corpus, error) {
 	cfg := e.cfg
 	workers := cfg.workerCount()
 	shards := analysis.NewShardedCorpus(label, cfg.KeepGraphs, workers, e.cache)
-	analyse := e.newStage("analyse-" + label)
+	analyse := e.newStage("analyse", label)
+	// handle ingests one downloaded (or in-process-built) APK: extraction
+	// (report-cache aware), sharded analysis, and the cold-report persist.
+	// Errors carry stage attribution so a cancelled or failed run names
+	// the layer that observed it. hctx is the innermost pipeline context
+	// (the in-process path derives one that dies on the snapshot's own
+	// first failure).
+	handle := func(hctx context.Context, idx int, pkg, category string, apkBytes []byte) error {
+		// The shared UniqueCache doubles as the hash-before-decode
+		// front door: duplicate model payloads (heavy overlap between
+		// the 2020 and 2021 crawls) skip graph decode entirely; with a
+		// store attached, whole identical APKs skip extraction.
+		rep, key, warm, err := e.loadReport(hctx, apkBytes)
+		if err != nil {
+			return errs.Stage("extract", label, fmt.Errorf("core: extracting %s: %w", pkg, err))
+		}
+		if err := shards.AddReport(hctx, idx, category, rep); err != nil {
+			return errs.Stage("analyse", label, err)
+		}
+		if !warm {
+			if err := e.persistReport(key, rep); err != nil {
+				return errs.Stage("persist", label, err)
+			}
+		}
+		return nil
+	}
 	if cfg.UseHTTP {
 		srv := playstore.NewServer(snap)
 		base, shutdown, err := srv.Listen()
@@ -303,36 +377,27 @@ func (e *studyEngine) runSnapshot(meta *docstore.Store, snap *playstore.Snapshot
 			Store:          meta,
 			MaxPerCategory: cfg.MaxPerCategory,
 			Workers:        workers,
-			Abort:          abort,
 			Progress: func(done, total int) {
 				if done == 0 {
 					analyse.start(total)
+					e.emit(event.StageStart{Stage: "crawl", Snapshot: label, Total: total})
+					return
 				}
-				e.progress("crawl-"+label, done, total)
+				e.emit(event.StageProgress{Stage: "crawl", Snapshot: label, Done: done, Total: total})
+				if done == total {
+					e.emit(event.StageDone{Stage: "crawl", Snapshot: label, Total: total})
+				}
 			},
 		}
-		_, err = cr.Run(label, func(idx int, m crawler.AppMeta, apkBytes []byte) error {
-			// The shared UniqueCache doubles as the hash-before-decode
-			// front door: duplicate model payloads (heavy overlap between
-			// the 2020 and 2021 crawls) skip graph decode entirely; with a
-			// store attached, whole identical APKs skip extraction.
-			rep, key, warm, err := e.loadReport(apkBytes)
-			if err != nil {
-				return fmt.Errorf("core: extracting %s: %w", m.Package, err)
-			}
-			if err := shards.AddReport(idx, m.Category, rep); err != nil {
+		_, err = cr.Run(ctx, label, func(idx int, m crawler.AppMeta, apkBytes []byte) error {
+			if err := handle(ctx, idx, m.Package, m.Category, apkBytes); err != nil {
 				return err
-			}
-			if !warm {
-				if err := e.persistReport(key, rep); err != nil {
-					return err
-				}
 			}
 			analyse.step()
 			return nil
 		})
 		if err != nil {
-			return nil, err
+			return nil, errs.Stage("crawl", label, err)
 		}
 		return shards.Merge(), nil
 	}
@@ -341,41 +406,31 @@ func (e *studyEngine) runSnapshot(meta *docstore.Store, snap *playstore.Snapshot
 	// its global index, so shard contents (and the merged corpus) do not
 	// depend on scheduling.
 	total := len(snap.Apps)
-	crawl := e.newStage("crawl-" + label)
+	crawl := e.newStage("crawl", label)
 	crawl.start(total)
 	analyse.start(total)
-	// abort short-circuits queued apps after the first failure in either
-	// snapshot's pipeline, like the crawler's pool does.
-	var g errgroup.Group
+	// ictx dies on this snapshot's own first failure (errgroup.WithContext)
+	// as well as on run cancellation and the sibling's failure through the
+	// parent — so queued apps short-circuit promptly in every failure
+	// mode, like the v1 shared abort flag did; in-flight workers finish
+	// their current app and drain.
+	g, ictx := errgroup.WithContext(ctx)
 	g.SetLimit(workers)
 	for idx, a := range snap.Apps {
 		idx, a := idx, a
 		g.Go(func() error {
-			if abort.Load() {
+			if ictx.Err() != nil {
 				return nil
-			}
-			fail := func(err error) error {
-				abort.Store(true)
-				return err
 			}
 			if !needsExtraction(a) {
 				shards.AddApp(idx, analysis.AppInfo{Package: a.Package, Category: string(a.Category)})
 			} else {
 				apkBytes, err := snap.BuildAPK(a)
 				if err != nil {
-					return fail(fmt.Errorf("core: packaging %s: %w", a.Package, err))
+					return errs.Stage("crawl", label, fmt.Errorf("core: packaging %s: %w", a.Package, err))
 				}
-				rep, key, warm, err := e.loadReport(apkBytes)
-				if err != nil {
-					return fail(fmt.Errorf("core: extracting %s: %w", a.Package, err))
-				}
-				if err := shards.AddReport(idx, string(a.Category), rep); err != nil {
-					return fail(err)
-				}
-				if !warm {
-					if err := e.persistReport(key, rep); err != nil {
-						return fail(err)
-					}
+				if err := handle(ictx, idx, a.Package, string(a.Category), apkBytes); err != nil {
+					return err
 				}
 			}
 			// Values are pre-normalised to the store's JSON form (float64
@@ -384,7 +439,7 @@ func (e *studyEngine) runSnapshot(meta *docstore.Store, snap *playstore.Snapshot
 				"package": a.Package, "category": string(a.Category),
 				"rank": float64(a.Rank), "downloads": float64(a.Downloads), "rating": a.Rating,
 			}); err != nil {
-				return fail(err)
+				return errs.Stage("crawl", label, err)
 			}
 			crawl.step()
 			analyse.step()
@@ -393,6 +448,9 @@ func (e *studyEngine) runSnapshot(meta *docstore.Store, snap *playstore.Snapshot
 	}
 	if err := g.Wait(); err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, errs.Stage("crawl", label, err)
 	}
 	return shards.Merge(), nil
 }

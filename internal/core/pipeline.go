@@ -13,6 +13,7 @@ package core
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -21,6 +22,8 @@ import (
 	"github.com/gaugenn/gaugenn/internal/bench"
 	"github.com/gaugenn/gaugenn/internal/crawler"
 	"github.com/gaugenn/gaugenn/internal/docstore"
+	"github.com/gaugenn/gaugenn/internal/errs"
+	"github.com/gaugenn/gaugenn/internal/event"
 	"github.com/gaugenn/gaugenn/internal/nn/formats"
 	"github.com/gaugenn/gaugenn/internal/nn/zoo"
 	"github.com/gaugenn/gaugenn/internal/playstore"
@@ -66,12 +69,23 @@ type Config struct {
 	// through (a cold run that populates the cache). Ignored without
 	// CacheDir.
 	Resume bool
+	// OnEvent, when non-nil, receives the run's typed event stream: a
+	// StageStart/StageProgress/StageDone sequence per stage ("crawl",
+	// "analyse", "persist" — each tagged with its snapshot label) plus one
+	// CacheStats event after the persist stage of a CacheDir-backed run.
+	// Handlers may be called concurrently from both snapshot pipelines
+	// and must be safe for concurrent use.
+	OnEvent func(event.Event)
 	// Progress, when non-nil, receives per-stage updates: "crawl-<label>"
 	// during retrieval, "analyse-<label>" as apps are ingested and
 	// "persist-<label>" while corpus snapshots are written (the persist
 	// stage only runs with CacheDir). Each stage opens with a (0, total)
 	// call once its total is known. It may be called concurrently from
 	// both snapshot pipelines.
+	//
+	// Deprecated: consume OnEvent (or gaugenn.Study.Events) instead; this
+	// stringly-typed stream is bridged from the typed events and will not
+	// grow new stages.
 	Progress func(stage string, done, total int)
 }
 
@@ -117,7 +131,7 @@ func needsExtraction(a *playstore.App) bool {
 // DeliveryProbe re-downloads an app under a different device profile and
 // compares the served bytes — the Section 4.2 experiment that found "no
 // evidence of device-specific model customisation".
-func DeliveryProbe(study *playstore.Study, pkg string) (identical bool, err error) {
+func DeliveryProbe(ctx context.Context, study *playstore.Study, pkg string) (identical bool, err error) {
 	srv := playstore.NewServer(study.Snap21)
 	base, shutdown, err := srv.Listen()
 	if err != nil {
@@ -128,11 +142,11 @@ func DeliveryProbe(study *playstore.Study, pkg string) (identical bool, err erro
 	legacy := crawler.NewClient(base)
 	legacy.DeviceModel = "SM-G935F" // S7 edge, three generations older
 	legacy.UserAgent = "Android-Finsky/7.0 (api=3,versionCode=70000,device=hero2lte)"
-	a, err := modern.DownloadAPK(pkg)
+	a, err := modern.DownloadAPK(ctx, pkg)
 	if err != nil {
 		return false, err
 	}
-	b, err := legacy.DownloadAPK(pkg)
+	b, err := legacy.DownloadAPK(ctx, pkg)
 	if err != nil {
 		return false, err
 	}
@@ -181,10 +195,30 @@ func SelectBenchModels(c *analysis.Corpus, n int) ([]BenchModel, error) {
 	return out, nil
 }
 
-// DeviceRun benchmarks a model set on one device/backend via the in-process
-// harness and returns per-model results in input order.
-func DeviceRun(deviceModel, backend string, models []BenchModel, threads, batch, runs int) ([]bench.JobResult, error) {
-	dev, err := soc.NewDevice(deviceModel)
+// RunSpec folds the v1 DeviceRun's positional knobs into one options
+// struct: the device/backend pair plus the job shape. Zero-valued knobs
+// take the agent's defaults (4 threads, batch 1, 2 warmups, 10 runs), so
+// RunSpec{Device: "Q845", Backend: "cpu"} is a complete spec.
+type RunSpec struct {
+	// Device is a Table 1 device model ("A20", "A70", "S21", "Q845",
+	// "Q855", "Q888").
+	Device string
+	// Backend is a runtime backend ("cpu", "xnnpack", "nnapi", "gpu",
+	// "snpe-cpu", "snpe-gpu", "snpe-dsp").
+	Backend string
+	// Threads / Batch / Warmup / Runs shape each job (0 = agent default).
+	Threads, Batch, Warmup, Runs int
+}
+
+// Bench benchmarks a model set under a RunSpec via the in-process harness
+// and returns per-model results in input order. ctx is checked between
+// models; a cancelled run returns a *errs.StageError (stage "bench")
+// wrapping the context error, with the completed prefix discarded.
+func Bench(ctx context.Context, spec RunSpec, models []BenchModel) ([]bench.JobResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	dev, err := soc.NewDevice(spec.Device)
 	if err != nil {
 		return nil, err
 	}
@@ -192,20 +226,35 @@ func DeviceRun(deviceModel, backend string, models []BenchModel, threads, batch,
 	agent := bench.NewAgent(dev, nil, mon)
 	out := make([]bench.JobResult, 0, len(models))
 	for i, m := range models {
+		if err := ctx.Err(); err != nil {
+			return nil, errs.Stage("bench", "", err)
+		}
 		dev.Reset() // cold, cooled device per model, as the harness ensures
 		res := agent.ExecuteJob(bench.Job{
-			ID:        fmt.Sprintf("%s-%s-%d", deviceModel, backend, i),
+			ID:        fmt.Sprintf("%s-%s-%d", spec.Device, spec.Backend, i),
 			ModelName: m.Name,
 			Model:     m.Bytes,
-			Backend:   backend,
-			Threads:   threads,
-			Batch:     batch,
-			Warmup:    2,
-			Runs:      runs,
+			Backend:   spec.Backend,
+			Threads:   spec.Threads,
+			Batch:     spec.Batch,
+			Warmup:    spec.Warmup,
+			Runs:      spec.Runs,
 		})
 		out = append(out, res)
 	}
 	return out, nil
+}
+
+// DeviceRun benchmarks a model set on one device/backend via the in-process
+// harness and returns per-model results in input order.
+//
+// Deprecated: use Bench, which takes a context and a RunSpec instead of
+// six positional parameters.
+func DeviceRun(deviceModel, backend string, models []BenchModel, threads, batch, runs int) ([]bench.JobResult, error) {
+	return Bench(context.Background(), RunSpec{
+		Device: deviceModel, Backend: backend,
+		Threads: threads, Batch: batch, Runs: runs,
+	}, models)
 }
 
 // ModelsByTask returns the corpus' retained graphs grouped by task, for the

@@ -7,13 +7,13 @@
 package crawler
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"github.com/gaugenn/gaugenn/internal/android/apk"
@@ -68,7 +68,7 @@ func NewClient(baseURL string) *Client {
 	}
 }
 
-func (c *Client) get(path string, q url.Values) ([]byte, error) {
+func (c *Client) get(ctx context.Context, path string, q url.Values) ([]byte, error) {
 	u := c.BaseURL + path
 	if len(q) > 0 {
 		u += "?" + q.Encode()
@@ -80,22 +80,29 @@ func (c *Client) get(path string, q url.Values) ([]byte, error) {
 			if delay <= 0 {
 				delay = 50 * time.Millisecond
 			}
-			time.Sleep(delay)
+			// A cancelled crawl must not sit out the retry backoff.
+			t := time.NewTimer(delay)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil, ctx.Err()
+			case <-t.C:
+			}
 		}
-		body, retryable, err := c.getOnce(u, path)
+		body, retryable, err := c.getOnce(ctx, u, path)
 		if err == nil {
 			return body, nil
 		}
 		lastErr = err
-		if !retryable {
+		if !retryable || ctx.Err() != nil {
 			return nil, err
 		}
 	}
 	return nil, lastErr
 }
 
-func (c *Client) getOnce(u, path string) (body []byte, retryable bool, err error) {
-	req, err := http.NewRequest(http.MethodGet, u, nil)
+func (c *Client) getOnce(ctx context.Context, u, path string) (body []byte, retryable bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return nil, false, fmt.Errorf("crawler: %w", err)
 	}
@@ -125,8 +132,8 @@ func (c *Client) getOnce(u, path string) (body []byte, retryable bool, err error
 }
 
 // Categories lists the store's category identifiers.
-func (c *Client) Categories() ([]string, error) {
-	body, err := c.get("/fdfe/categories", nil)
+func (c *Client) Categories(ctx context.Context) ([]string, error) {
+	body, err := c.get(ctx, "/fdfe/categories", nil)
 	if err != nil {
 		return nil, err
 	}
@@ -138,9 +145,9 @@ func (c *Client) Categories() ([]string, error) {
 }
 
 // TopChart fetches up to n chart entries for a category.
-func (c *Client) TopChart(category string, n int) ([]AppMeta, error) {
+func (c *Client) TopChart(ctx context.Context, category string, n int) ([]AppMeta, error) {
 	q := url.Values{"cat": {category}, "n": {fmt.Sprint(n)}}
-	body, err := c.get("/fdfe/topCharts", q)
+	body, err := c.get(ctx, "/fdfe/topCharts", q)
 	if err != nil {
 		return nil, err
 	}
@@ -152,9 +159,9 @@ func (c *Client) TopChart(category string, n int) ([]AppMeta, error) {
 }
 
 // Details fetches one app's metadata.
-func (c *Client) Details(pkg string) (AppMeta, error) {
+func (c *Client) Details(ctx context.Context, pkg string) (AppMeta, error) {
 	var meta AppMeta
-	body, err := c.get("/fdfe/details", url.Values{"doc": {pkg}})
+	body, err := c.get(ctx, "/fdfe/details", url.Values{"doc": {pkg}})
 	if err != nil {
 		return meta, err
 	}
@@ -165,14 +172,14 @@ func (c *Client) Details(pkg string) (AppMeta, error) {
 }
 
 // DownloadAPK fetches the app's base APK bytes.
-func (c *Client) DownloadAPK(pkg string) ([]byte, error) {
-	return c.get("/fdfe/purchase", url.Values{"doc": {pkg}})
+func (c *Client) DownloadAPK(ctx context.Context, pkg string) ([]byte, error) {
+	return c.get(ctx, "/fdfe/purchase", url.Values{"doc": {pkg}})
 }
 
 // Delivery fetches the companion-file manifest (OBBs, asset packs).
-func (c *Client) Delivery(pkg string) (DeliveryManifest, error) {
+func (c *Client) Delivery(ctx context.Context, pkg string) (DeliveryManifest, error) {
 	var man DeliveryManifest
-	body, err := c.get("/fdfe/delivery", url.Values{"doc": {pkg}})
+	body, err := c.get(ctx, "/fdfe/delivery", url.Values{"doc": {pkg}})
 	if err != nil {
 		return man, err
 	}
@@ -195,11 +202,6 @@ type Crawler struct {
 	// sequentially). The handle callback must be safe for concurrent use
 	// when Workers > 1.
 	Workers int
-	// Abort, when non-nil, is a shared kill switch: the crawl stops
-	// dispatching new apps once it reads true, and sets it on its own
-	// first failure — so sibling pipelines (the other snapshot's crawl)
-	// halt too instead of running to completion against a doomed study.
-	Abort *atomic.Bool
 	// Progress, when non-nil, receives (done, total) after each app, plus
 	// one (0, total) stage-start call before any app is dispatched so
 	// consumers learn the total up front. Calls are serialised even when
@@ -221,15 +223,21 @@ type Result struct {
 // Run crawls every category chart and invokes handle for each downloaded
 // app. Metadata lands in the docstore collection "apps-"+label.
 //
+// ctx bounds the whole crawl: cancellation stops dispatching new apps,
+// aborts in-flight HTTP requests, and Run returns ctx's error once the
+// in-flight workers drain — typically well inside a second. A cancelled
+// crawl leaves the docstore with a consistent prefix of the app stream
+// (every document it filed corresponds to a fully handled app).
+//
 // handle receives the app's global crawl index — its deterministic
 // position in chart order (categories in store order, apps in rank order)
 // — which downstream sharded ingestion uses to keep results byte-identical
 // regardless of the worker count. With Workers > 1, handle runs
 // concurrently and its invocation order is scheduling-dependent; only the
 // index stream is deterministic.
-func (cr *Crawler) Run(label string, handle func(idx int, meta AppMeta, apkBytes []byte) error) (Result, error) {
+func (cr *Crawler) Run(ctx context.Context, label string, handle func(idx int, meta AppMeta, apkBytes []byte) error) (Result, error) {
 	res := Result{Label: label}
-	cats, err := cr.Client.Categories()
+	cats, err := cr.Client.Categories(ctx)
 	if err != nil {
 		return res, err
 	}
@@ -244,22 +252,20 @@ func (cr *Crawler) Run(label string, handle func(idx int, meta AppMeta, apkBytes
 	}
 
 	// Chart fetches are independent; fan out while keeping category order.
-	// They honor the shared Abort contract too: a failure here halts the
-	// sibling pipeline, and a sibling's failure stops further fetches.
+	// cctx dies on the first chart failure (fail-fast across the
+	// remaining categories' retry ladders) as well as on run cancellation
+	// or a sibling pipeline's failure through the parent context.
 	charts := make([][]AppMeta, len(cats))
-	var cg errgroup.Group
+	cg, cctx := errgroup.WithContext(ctx)
 	cg.SetLimit(workers)
 	for i, cat := range cats {
 		i, cat := i, cat
 		cg.Go(func() error {
-			if cr.Abort != nil && cr.Abort.Load() {
+			if cctx.Err() != nil {
 				return nil
 			}
-			chart, err := cr.Client.TopChart(cat, maxN)
+			chart, err := cr.Client.TopChart(cctx, cat, maxN)
 			if err != nil {
-				if cr.Abort != nil {
-					cr.Abort.Store(true)
-				}
 				return fmt.Errorf("crawler: chart %s: %w", cat, err)
 			}
 			charts[i] = chart
@@ -269,11 +275,10 @@ func (cr *Crawler) Run(label string, handle func(idx int, meta AppMeta, apkBytes
 	if err := cg.Wait(); err != nil {
 		return res, err
 	}
-	if cr.Abort != nil && cr.Abort.Load() {
-		// A sibling failed while we were fetching charts; its error is
-		// the one the study surfaces. Returning keeps partial charts out
-		// of the app phase.
-		return res, nil
+	if err := ctx.Err(); err != nil {
+		// Cancelled while fetching charts; keep partial charts out of the
+		// app phase.
+		return res, err
 	}
 	var items []AppMeta
 	for _, chart := range charts {
@@ -288,38 +293,28 @@ func (cr *Crawler) Run(label string, handle func(idx int, meta AppMeta, apkBytes
 
 	// Per-app fan-out: download, delivery check, metadata filing and the
 	// handle callback all run on the worker pool. Result accounting and
-	// Progress are serialised under mu; stop short-circuits queued work
-	// after the first failure.
+	// Progress are serialised under mu; actx dies on the first failure
+	// (errgroup.WithContext), short-circuiting queued work and aborting
+	// in-flight sibling downloads.
 	var (
 		mu   sync.Mutex
 		done int
-		stop atomic.Bool
 	)
-	halted := func() bool {
-		return stop.Load() || (cr.Abort != nil && cr.Abort.Load())
-	}
-	var g errgroup.Group
+	g, actx := errgroup.WithContext(ctx)
 	g.SetLimit(workers)
 	for idx, meta := range items {
 		idx, meta := idx, meta
 		g.Go(func() error {
-			if halted() {
+			if actx.Err() != nil {
 				return nil
 			}
-			fail := func(err error) error {
-				stop.Store(true)
-				if cr.Abort != nil {
-					cr.Abort.Store(true)
-				}
-				return err
-			}
-			apkBytes, err := cr.Client.DownloadAPK(meta.Package)
+			apkBytes, err := cr.Client.DownloadAPK(actx, meta.Package)
 			if err != nil {
-				return fail(fmt.Errorf("crawler: download %s: %w", meta.Package, err))
+				return fmt.Errorf("crawler: download %s: %w", meta.Package, err)
 			}
-			man, err := cr.Client.Delivery(meta.Package)
+			man, err := cr.Client.Delivery(actx, meta.Package)
 			if err != nil {
-				return fail(fmt.Errorf("crawler: delivery %s: %w", meta.Package, err))
+				return fmt.Errorf("crawler: delivery %s: %w", meta.Package, err)
 			}
 			if cr.Store != nil {
 				// Numbers go in pre-normalised to float64 (the store's JSON
@@ -334,12 +329,12 @@ func (cr *Crawler) Run(label string, handle func(idx int, meta AppMeta, apkBytes
 					"apkBytes":  float64(len(apkBytes)),
 				}
 				if err := cr.Store.Put("apps-"+label, meta.Package, doc); err != nil {
-					return fail(err)
+					return err
 				}
 			}
 			if handle != nil {
 				if err := handle(idx, meta, apkBytes); err != nil {
-					return fail(fmt.Errorf("crawler: handling %s: %w", meta.Package, err))
+					return fmt.Errorf("crawler: handling %s: %w", meta.Package, err)
 				}
 			}
 			mu.Lock()
@@ -355,6 +350,12 @@ func (cr *Crawler) Run(label string, handle func(idx int, meta AppMeta, apkBytes
 		})
 	}
 	if err := g.Wait(); err != nil {
+		return res, err
+	}
+	if err := ctx.Err(); err != nil {
+		// Every worker drained without an error of its own: the crawl was
+		// cancelled. Surface the context error so callers can distinguish
+		// "interrupted" from "complete".
 		return res, err
 	}
 	return res, nil

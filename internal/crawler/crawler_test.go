@@ -1,6 +1,7 @@
 package crawler
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
@@ -30,7 +31,7 @@ func TestClientEndpoints(t *testing.T) {
 	study, base := startStore(t, 0.02)
 	c := NewClient(base)
 
-	cats, err := c.Categories()
+	cats, err := c.Categories(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +39,7 @@ func TestClientEndpoints(t *testing.T) {
 		t.Fatalf("categories = %d", len(cats))
 	}
 
-	chart, err := c.TopChart("COMMUNICATION", 5)
+	chart, err := c.TopChart(context.Background(), "COMMUNICATION", 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestClientEndpoints(t *testing.T) {
 		t.Fatalf("chart: %+v", chart)
 	}
 
-	meta, err := c.Details(chart[0].Package)
+	meta, err := c.Details(context.Background(), chart[0].Package)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestClientEndpoints(t *testing.T) {
 		t.Fatalf("details: %+v", meta)
 	}
 
-	apk, err := c.DownloadAPK(chart[0].Package)
+	apk, err := c.DownloadAPK(context.Background(), chart[0].Package)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestClientEndpoints(t *testing.T) {
 		t.Fatal("empty apk")
 	}
 
-	man, err := c.Delivery(chart[0].Package)
+	man, err := c.Delivery(context.Background(), chart[0].Package)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func TestClientEndpoints(t *testing.T) {
 		t.Fatal("expected no companion files")
 	}
 
-	if _, err := c.Details("ghost.pkg"); err == nil || !strings.Contains(err.Error(), "404") {
+	if _, err := c.Details(context.Background(), "ghost.pkg"); err == nil || !strings.Contains(err.Error(), "404") {
 		t.Fatalf("unknown package should 404: %v", err)
 	}
 	_ = study
@@ -80,7 +81,7 @@ func TestClientRequiresHeaders(t *testing.T) {
 	_, base := startStore(t, 0.01)
 	c := NewClient(base)
 	c.Locale = "" // the store must reject locale-less requests
-	if _, err := c.Categories(); err == nil {
+	if _, err := c.Categories(context.Background()); err == nil {
 		t.Fatal("missing locale should fail")
 	}
 }
@@ -96,7 +97,7 @@ func TestCrawlerRun(t *testing.T) {
 	apps := 0
 	var apkTotal int64
 	seenIdx := map[int]bool{}
-	res, err := cr.Run("2021", func(idx int, meta AppMeta, apkBytes []byte) error {
+	res, err := cr.Run(context.Background(), "2021", func(idx int, meta AppMeta, apkBytes []byte) error {
 		apps++
 		apkTotal += int64(len(apkBytes))
 		if meta.Package == "" || len(apkBytes) == 0 {
@@ -149,7 +150,7 @@ func TestCrawlerRunParallelMatchesSequential(t *testing.T) {
 		var mu sync.Mutex
 		pkgAt := map[int]string{}
 		cr := &Crawler{Client: NewClient(base), MaxPerCategory: 500, Workers: workers}
-		res, err := cr.Run("par", func(idx int, meta AppMeta, apkBytes []byte) error {
+		res, err := cr.Run(context.Background(), "par", func(idx int, meta AppMeta, apkBytes []byte) error {
 			if len(apkBytes) == 0 {
 				return fmt.Errorf("empty apk for %s", meta.Package)
 			}
@@ -186,7 +187,7 @@ func TestCrawlerParallelStopsOnHandleError(t *testing.T) {
 	_, base := startStore(t, 0.02)
 	cr := &Crawler{Client: NewClient(base), MaxPerCategory: 500, Workers: 4}
 	var calls atomic.Int64
-	_, err := cr.Run("err", func(idx int, meta AppMeta, apkBytes []byte) error {
+	_, err := cr.Run(context.Background(), "err", func(idx int, meta AppMeta, apkBytes []byte) error {
 		if calls.Add(1) == 3 {
 			return fmt.Errorf("synthetic handler failure")
 		}
@@ -200,7 +201,7 @@ func TestCrawlerParallelStopsOnHandleError(t *testing.T) {
 func TestCrawlerChartCap(t *testing.T) {
 	_, base := startStore(t, 0.02)
 	cr := &Crawler{Client: NewClient(base), MaxPerCategory: 3}
-	res, err := cr.Run("capped", nil)
+	res, err := cr.Run(context.Background(), "capped", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -219,7 +220,7 @@ func TestCrawlerProgress(t *testing.T) {
 			last, total = done, t
 		},
 	}
-	res, err := cr.Run("p", nil)
+	res, err := cr.Run(context.Background(), "p", nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +231,7 @@ func TestCrawlerProgress(t *testing.T) {
 
 func TestClientBadBaseURL(t *testing.T) {
 	c := NewClient("http://127.0.0.1:1")
-	if _, err := c.Categories(); err == nil {
+	if _, err := c.Categories(context.Background()); err == nil {
 		t.Fatal("unreachable store should fail")
 	}
 }

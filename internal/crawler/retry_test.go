@@ -1,6 +1,7 @@
 package crawler
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -29,7 +30,7 @@ func TestClientRetriesTransientFailures(t *testing.T) {
 	c := NewClient(srv.URL)
 	c.Retries = 3
 	c.RetryDelay = time.Millisecond
-	cats, err := c.Categories()
+	cats, err := c.Categories(context.Background())
 	if err != nil {
 		t.Fatalf("retries should recover: %v", err)
 	}
@@ -46,7 +47,7 @@ func TestClientGivesUpAfterRetries(t *testing.T) {
 	c := NewClient(srv.URL)
 	c.Retries = 2
 	c.RetryDelay = time.Millisecond
-	if _, err := c.Categories(); err == nil {
+	if _, err := c.Categories(context.Background()); err == nil {
 		t.Fatal("persistent failure should surface")
 	}
 	if count.Load() != 3 {
@@ -64,7 +65,7 @@ func TestClientDoesNotRetryClientErrors(t *testing.T) {
 	c := NewClient(srv.URL)
 	c.Retries = 5
 	c.RetryDelay = time.Millisecond
-	if _, err := c.Categories(); err == nil {
+	if _, err := c.Categories(context.Background()); err == nil {
 		t.Fatal("400 should fail")
 	}
 	if count.Load() != 1 {

@@ -7,6 +7,7 @@
 package errgroup
 
 import (
+	"context"
 	"fmt"
 	"sync"
 )
@@ -18,8 +19,19 @@ type Group struct {
 
 	sem chan struct{}
 
+	cancel func()
+
 	errOnce sync.Once
 	err     error
+}
+
+// WithContext returns a Group whose derived context is cancelled the
+// first time a function passed to Go returns a non-nil error or the
+// first time Wait returns — the x/sync contract sibling pipelines rely
+// on to stop promptly when one of them fails.
+func WithContext(ctx context.Context) (*Group, context.Context) {
+	ctx, cancel := context.WithCancel(ctx)
+	return &Group{cancel: cancel}, ctx
 }
 
 // SetLimit limits the number of active goroutines in the group to at most
@@ -52,7 +64,12 @@ func (g *Group) Go(f func() error) {
 			g.wg.Done()
 		}()
 		if err := f(); err != nil {
-			g.errOnce.Do(func() { g.err = err })
+			g.errOnce.Do(func() {
+				g.err = err
+				if g.cancel != nil {
+					g.cancel()
+				}
+			})
 		}
 	}()
 }
@@ -61,5 +78,8 @@ func (g *Group) Go(f func() error) {
 // returns the first non-nil error (if any) from them.
 func (g *Group) Wait() error {
 	g.wg.Wait()
+	if g.cancel != nil {
+		g.cancel()
+	}
 	return g.err
 }

@@ -1,0 +1,75 @@
+// Package errs defines gaugeNN's public error taxonomy: sentinel values
+// usable with errors.Is across package boundaries, and the StageError
+// wrapper that attributes a pipeline failure to the stage (and snapshot)
+// it happened in. It is a leaf package so every layer — core, crawler,
+// fleet, bench, serve — can speak the same taxonomy without import
+// cycles; the root gaugenn package re-exports the names.
+package errs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+var (
+	// ErrCancelled marks a run stopped by its context — either an explicit
+	// cancel or an expired deadline. Match with errors.Is; the concrete
+	// cause (context.Canceled or context.DeadlineExceeded) stays on the
+	// chain for callers that care which.
+	ErrCancelled = errors.New("gaugenn: run cancelled")
+	// ErrNoDevice marks a benchmark request no pooled rig can serve.
+	ErrNoDevice = errors.New("gaugenn: no device serves the request")
+	// ErrExhausted marks a job whose every scheduling attempt failed.
+	ErrExhausted = errors.New("gaugenn: scheduling attempts exhausted")
+	// ErrStoreCorrupt marks a persisted study-store record that no longer
+	// decodes — a torn blob, a codec mismatch, or outside interference.
+	ErrStoreCorrupt = errors.New("gaugenn: study store corrupt")
+)
+
+// IsContextError reports whether err is (or wraps) a context cancellation
+// or deadline expiry — the class of failures that must never be recorded
+// as a computation outcome (see the UniqueCache no-poison rule).
+func IsContextError(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// StageError attributes a pipeline failure to the stage it happened in:
+// "crawl", "extract", "analyse", "persist", "bench" or "fleet". Study
+// pipelines also carry the snapshot label ("2020"/"2021"). The underlying
+// cause is preserved for errors.Is/As — a cancelled run satisfies both
+// errors.Is(err, context.Canceled) and errors.Is(err, ErrCancelled).
+type StageError struct {
+	Stage    string
+	Snapshot string
+	Err      error
+}
+
+func (e *StageError) Error() string {
+	if e.Snapshot != "" {
+		return fmt.Sprintf("gaugenn: stage %s/%s: %v", e.Stage, e.Snapshot, e.Err)
+	}
+	return fmt.Sprintf("gaugenn: stage %s: %v", e.Stage, e.Err)
+}
+
+func (e *StageError) Unwrap() error { return e.Err }
+
+// Is makes errors.Is(err, ErrCancelled) true for any stage failure whose
+// cause is a context cancellation or deadline.
+func (e *StageError) Is(target error) bool {
+	return target == ErrCancelled && IsContextError(e.Err)
+}
+
+// Stage wraps err with stage attribution, passing nil through and
+// preserving an existing StageError (the innermost attribution wins — it
+// names the layer closest to the failure).
+func Stage(stage, snapshot string, err error) error {
+	if err == nil {
+		return nil
+	}
+	var se *StageError
+	if errors.As(err, &se) {
+		return err
+	}
+	return &StageError{Stage: stage, Snapshot: snapshot, Err: err}
+}

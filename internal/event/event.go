@@ -1,0 +1,68 @@
+// Package event defines the typed progress stream v2 pipelines emit in
+// place of the v1 stringly-typed Progress callback. Producers (the study
+// engine, the fleet scheduler) call a consumer-supplied func(Event);
+// consumers switch on the concrete variant. The root gaugenn package
+// re-exports the types and exposes a drained-channel view via
+// Study.Events; future serve-side SSE can marshal the same variants.
+//
+// Delivery contract: events for one stage are ordered (StageStart once,
+// StageProgress with monotonically non-decreasing Done, StageDone once
+// when the stage completes), but stages from concurrent pipelines — the
+// two study snapshots — interleave. Handlers may be called from multiple
+// goroutines and must be safe for concurrent use.
+package event
+
+import "github.com/gaugenn/gaugenn/internal/analysis"
+
+// Event is the closed set of progress notifications a run emits.
+type Event interface{ event() }
+
+// StageStart announces a stage and its total step count before any step
+// lands. Snapshot is the study snapshot label ("2020"/"2021") or empty
+// for non-snapshot stages (fleet).
+type StageStart struct {
+	Stage    string
+	Snapshot string
+	Total    int
+}
+
+// StageProgress reports one completed step of a running stage.
+type StageProgress struct {
+	Stage    string
+	Snapshot string
+	Done     int
+	Total    int
+}
+
+// StageDone marks a stage fully complete.
+type StageDone struct {
+	Stage    string
+	Snapshot string
+	Total    int
+}
+
+// CacheStats summarises a CacheDir-backed run's warm/cold work split once
+// the persist stage finishes — the machine-readable form of the
+// `gaugenn study -v` cache line.
+type CacheStats struct {
+	// StudyID is the run's manifest identity.
+	StudyID string
+	// WarmReports / ExtractedReports split the APK-level work.
+	WarmReports, ExtractedReports int64
+	// Stats is the analysis cache's decode/profile/warm-hit breakdown.
+	Stats analysis.CacheStats
+}
+
+func (StageStart) event()    {}
+func (StageProgress) event() {}
+func (StageDone) event()     {}
+func (CacheStats) event()    {}
+
+// StageName renders the legacy v1 stage string ("crawl-2021") for the
+// deprecated Progress callback bridge.
+func StageName(stage, snapshot string) string {
+	if snapshot == "" {
+		return stage
+	}
+	return stage + "-" + snapshot
+}

@@ -1,6 +1,7 @@
 package extract
 
 import (
+	"context"
 	"testing"
 
 	"github.com/gaugenn/gaugenn/internal/playstore"
@@ -73,7 +74,7 @@ func BenchmarkExtract(b *testing.B) {
 		b.SetBytes(total)
 		for i := 0; i < b.N; i++ {
 			for _, apkBytes := range apks {
-				if _, err := ExtractAPKCached(apkBytes, cache); err != nil {
+				if _, err := ExtractAPKCached(context.Background(), apkBytes, cache); err != nil {
 					b.Fatal(err)
 				}
 			}

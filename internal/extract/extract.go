@@ -17,6 +17,7 @@
 package extract
 
 import (
+	"context"
 	"crypto/md5"
 	"encoding/binary"
 	"fmt"
@@ -86,9 +87,13 @@ type PayloadHash [md5.Size]byte
 // decoding a candidate file-set. Payload must be single-flight per hash:
 // the first caller's decode runs, concurrent and later callers of the same
 // hash get the recorded outcome without decoding. ok reports whether the
-// payload decodes to a valid model. analysis.UniqueCache implements this.
+// payload decodes to a valid model. A non-nil err is reserved for
+// cancellation: a wait or decode cut short by ctx surfaces the context
+// error and records nothing, so a cancelled run can never poison the
+// cache with a phantom "failed validation". analysis.UniqueCache
+// implements this.
 type DecodeCache interface {
-	Payload(h PayloadHash, decode func() (*graph.Graph, error)) (sum graph.Checksum, ok bool)
+	Payload(ctx context.Context, h PayloadHash, decode func() (*graph.Graph, error)) (sum graph.Checksum, ok bool, err error)
 }
 
 // HashPayload computes the content identity of a candidate file-set for a
@@ -369,15 +374,17 @@ func (e *entry) bytes() ([]byte, error) {
 
 // ExtractAPK opens an APK and extracts everything from it.
 func ExtractAPK(apkBytes []byte) (*Report, error) {
-	return ExtractAPKCached(apkBytes, nil)
+	return ExtractAPKCached(context.Background(), apkBytes, nil)
 }
 
 // ExtractAPKCached is ExtractAPK with a payload-decode cache: candidate
 // file-sets are content-hashed before decoding and byte-identical payloads
 // seen before (any shard, either snapshot) skip graph decode entirely.
 // Models extracted through a cache carry a nil Graph; their decoded data
-// lives behind the cache, keyed by checksum.
-func ExtractAPKCached(apkBytes []byte, cache DecodeCache) (*Report, error) {
+// lives behind the cache, keyed by checksum. ctx bounds the work:
+// cancellation aborts between candidates and inside cache waits, and the
+// context error comes back unwrapped in the chain (errors.Is-matchable).
+func ExtractAPKCached(ctx context.Context, apkBytes []byte, cache DecodeCache) (*Report, error) {
 	r, err := apk.Open(apkBytes)
 	if err != nil {
 		return nil, fmt.Errorf("extract: %w", err)
@@ -387,7 +394,7 @@ func ExtractAPKCached(apkBytes []byte, cache DecodeCache) (*Report, error) {
 	for i := range aes {
 		entries[i] = entry{name: aes[i].Name(), lazy: &aes[i]}
 	}
-	rep, err := extractEntries(entries, cache)
+	rep, err := extractEntries(ctx, entries, cache)
 	if err != nil {
 		return nil, fmt.Errorf("extract: %w", err)
 	}
@@ -403,14 +410,14 @@ func ExtractFiles(files map[string][]byte) *Report {
 		entries = append(entries, entry{name: n, data: d, loaded: true})
 	}
 	// bytes() cannot fail on pre-loaded entries, so the error is impossible.
-	rep, _ := extractEntries(entries, nil)
+	rep, _ := extractEntries(context.Background(), entries, nil)
 	return rep
 }
 
 // extractEntries is the shared extraction core. Entries are processed in
 // name order; only code files (dex, native libs) and extension-matching
 // candidates are ever materialised.
-func extractEntries(entries []entry, cache DecodeCache) (*Report, error) {
+func extractEntries(ctx context.Context, entries []entry, cache DecodeCache) (*Report, error) {
 	rep := &Report{}
 	t := markers()
 	sort.Slice(entries, func(i, j int) bool { return entries[i].name < entries[j].name })
@@ -465,6 +472,11 @@ func extractEntries(entries []entry, cache DecodeCache) (*Report, error) {
 	consumed := make([]bool, len(entries))
 	identified := make([]bool, len(entries))
 	for _, ci := range candidates {
+		if err := ctx.Err(); err != nil {
+			// Cancellation between candidates: the partial report is
+			// discarded by the caller, nothing has been recorded as failed.
+			return nil, err
+		}
 		if consumed[ci] {
 			continue
 		}
@@ -496,7 +508,10 @@ func extractEntries(entries []entry, cache DecodeCache) (*Report, error) {
 			group = append(group, si)
 			total += len(sd)
 		}
-		sum, g, ok := decodeSet(cache, format, set)
+		sum, g, ok, err := decodeSet(ctx, cache, format, set)
+		if err != nil {
+			return nil, err
+		}
 		if !ok {
 			consumed[ci] = true
 			rep.FailedValidation = append(rep.FailedValidation, name)
@@ -531,17 +546,22 @@ func extractEntries(entries []entry, cache DecodeCache) (*Report, error) {
 // decodeSet validates and decodes one candidate file-set, going through
 // the cache's payload front door when one is wired in (hash-before-decode:
 // duplicate payloads cost one md5 pass instead of a full graph decode).
-func decodeSet(cache DecodeCache, format formats.Format, set formats.FileSet) (graph.Checksum, *graph.Graph, bool) {
+// err is non-nil only for cancellation, which must abort the whole report
+// rather than count as a failed validation.
+func decodeSet(ctx context.Context, cache DecodeCache, format formats.Format, set formats.FileSet) (graph.Checksum, *graph.Graph, bool, error) {
 	if cache == nil {
 		g, err := format.Decode(set)
 		if err != nil {
-			return "", nil, false
+			return "", nil, false, nil
 		}
-		return graph.ModelChecksum(g), g, true
+		return graph.ModelChecksum(g), g, true, nil
 	}
 	h := HashPayload(format.Name(), set)
-	sum, ok := cache.Payload(h, func() (*graph.Graph, error) { return format.Decode(set) })
-	return sum, nil, ok
+	sum, ok, err := cache.Payload(ctx, h, func() (*graph.Graph, error) { return format.Decode(set) })
+	if err != nil {
+		return "", nil, false, err
+	}
+	return sum, nil, ok, nil
 }
 
 // formatClaims reports whether the format lists an extension the file's

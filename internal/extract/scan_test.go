@@ -1,6 +1,7 @@
 package extract
 
 import (
+	"context"
 	"sort"
 	"strings"
 	"testing"
@@ -232,7 +233,7 @@ func TestCachedExtractionMatchesUncached(t *testing.T) {
 		// Run the cached path twice: cold (first sight decodes) and warm
 		// (pure payload-hash hit). Both must equal the plain report.
 		for pass := 0; pass < 2; pass++ {
-			cached, err := ExtractAPKCached(apkBytes, cache)
+			cached, err := ExtractAPKCached(context.Background(), apkBytes, cache)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -293,9 +294,12 @@ func newTestDecodeCache() *testDecodeCache {
 	return &testDecodeCache{entries: map[PayloadHash]*testPayload{}}
 }
 
-func (c *testDecodeCache) Payload(h PayloadHash, decode func() (*graph.Graph, error)) (graph.Checksum, bool) {
+func (c *testDecodeCache) Payload(ctx context.Context, h PayloadHash, decode func() (*graph.Graph, error)) (graph.Checksum, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return "", false, err
+	}
 	if e, ok := c.entries[h]; ok {
-		return e.sum, e.ok
+		return e.sum, e.ok, nil
 	}
 	e := &testPayload{}
 	if g, err := decode(); err == nil {
@@ -303,5 +307,5 @@ func (c *testDecodeCache) Payload(h PayloadHash, decode func() (*graph.Graph, er
 		e.ok = true
 	}
 	c.entries[h] = e
-	return e.sum, e.ok
+	return e.sum, e.ok, nil
 }

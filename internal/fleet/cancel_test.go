@@ -1,0 +1,219 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/gaugenn/gaugenn/internal/bench"
+	"github.com/gaugenn/gaugenn/internal/errs"
+	"github.com/gaugenn/gaugenn/internal/event"
+	"github.com/gaugenn/gaugenn/internal/nn/zoo"
+)
+
+func cancelMatrix(t *testing.T, nModels int) Matrix {
+	t.Helper()
+	var models []ModelSpec
+	tasks := []zoo.Task{zoo.TaskKeywordDetection, zoo.TaskCrashDetection, zoo.TaskFaceDetection}
+	for i := 0; i < nModels; i++ {
+		ms, err := ZooModel(zoo.Spec{Task: tasks[i%len(tasks)], Seed: int64(60 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		models = append(models, ms)
+	}
+	return Matrix{
+		Models:   models,
+		Devices:  []string{"Q845"},
+		Backends: []string{"cpu"},
+		Threads:  2, Warmup: 1, Runs: 2,
+	}
+}
+
+// TestPoolRunCancelled cancels a sweep after the first completed cell:
+// Run must return promptly with the partial aggregate, a stage-"fleet"
+// error matching ErrCancelled, and no stranded worker goroutines (the
+// deferred pool Close would hang on those).
+func TestPoolRunCancelled(t *testing.T) {
+	m := cancelMatrix(t, 6)
+	pool, err := NewLocalPool(m.Devices, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var fired atomic.Bool
+	type outcome struct {
+		agg *Aggregator
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		agg, err := pool.Run(ctx, m, Config{OnUnit: func(ur UnitResult) {
+			if fired.CompareAndSwap(false, true) {
+				cancel()
+			}
+		}})
+		ch <- outcome{agg, err}
+	}()
+	var o outcome
+	select {
+	case o = <-ch:
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled fleet run did not return")
+	}
+	if o.err == nil {
+		t.Fatal("cancelled fleet run returned nil error")
+	}
+	if !errors.Is(o.err, context.Canceled) || !errors.Is(o.err, errs.ErrCancelled) {
+		t.Fatalf("cancellation not typed: %v", o.err)
+	}
+	var se *errs.StageError
+	if !errors.As(o.err, &se) || se.Stage != "fleet" {
+		t.Fatalf("no fleet StageError on the chain: %v", o.err)
+	}
+	if o.agg == nil {
+		t.Fatal("partial aggregate lost on cancellation")
+	}
+	served := 0
+	for _, ur := range o.agg.Units() {
+		if ur.Runner != "" && ur.Err == nil {
+			served++
+		}
+	}
+	if served == 0 {
+		t.Fatal("partial aggregate holds no served cells")
+	}
+}
+
+// timeoutRunner always fails with a DeadlineExceeded-shaped transport
+// error — the shape a dead agent's dial timeout has (stdlib
+// net.timeoutError matches context.DeadlineExceeded under errors.Is)
+// even though no context was cancelled.
+type timeoutRunner struct{ id, model string }
+
+func (r *timeoutRunner) ID() string                                    { return r.id }
+func (r *timeoutRunner) DeviceModel() string                           { return r.model }
+func (r *timeoutRunner) Close() error                                  { return nil }
+func (r *timeoutRunner) Cooldown(ctx context.Context, _ float64) error { return nil }
+func (r *timeoutRunner) Run(ctx context.Context, _ bench.Job) (bench.JobResult, error) {
+	return bench.JobResult{}, fmt.Errorf("fleet test: dialing agent: %w", context.DeadlineExceeded)
+}
+
+// TestDialTimeoutIsARigFaultNotACancellation pins the fix for a silent
+// unit drop: a transport error that *looks* like a deadline (dead
+// agent's dial timeout) under a live run context must go through the
+// exclude/retry machinery and surface ErrExhausted — not take the
+// cancellation requeue path, which would retire the worker and leave the
+// unit permanently pending with a nil run error.
+func TestDialTimeoutIsARigFaultNotACancellation(t *testing.T) {
+	m := cancelMatrix(t, 2)
+	pool, err := NewPool(&timeoutRunner{id: "t0", model: "Q845"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	type outcome struct {
+		agg *Aggregator
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		agg, err := pool.Run(context.Background(), m, Config{})
+		ch <- outcome{agg, err}
+	}()
+	var o outcome
+	select {
+	case o = <-ch:
+	case <-time.After(30 * time.Second):
+		t.Fatal("pool with a timing-out rig never finished (unit dropped, worker retired?)")
+	}
+	if !errors.Is(o.err, errs.ErrExhausted) {
+		t.Fatalf("dial-timeout failures must exhaust, got %v", o.err)
+	}
+	if errors.Is(o.err, errs.ErrCancelled) {
+		t.Fatalf("no context was cancelled, yet: %v", o.err)
+	}
+	exhausted := 0
+	for _, ur := range o.agg.Units() {
+		if ur.Err != nil {
+			exhausted++
+		}
+	}
+	if exhausted != 2 {
+		t.Fatalf("%d of 2 units surfaced an error", exhausted)
+	}
+}
+
+// TestFleetSentinelErrors pins the errors.Is wiring of the fleet's typed
+// failures onto the public sentinels.
+func TestFleetSentinelErrors(t *testing.T) {
+	if !errors.Is(&NoDeviceError{Device: "Q845"}, errs.ErrNoDevice) {
+		t.Fatal("NoDeviceError must match ErrNoDevice")
+	}
+	if errors.Is(&NoDeviceError{Device: "Q845"}, errs.ErrExhausted) {
+		t.Fatal("NoDeviceError must not match ErrExhausted")
+	}
+	ex := &ExhaustedError{JobID: "j", Device: "Q845", Attempts: 2, Last: errors.New("boom")}
+	if !errors.Is(ex, errs.ErrExhausted) {
+		t.Fatal("ExhaustedError must match ErrExhausted")
+	}
+	if errors.Is(ex, errs.ErrNoDevice) {
+		t.Fatal("ExhaustedError must not match ErrNoDevice")
+	}
+
+	// End to end: a pool with no rig for the requested model.
+	m := cancelMatrix(t, 1)
+	m.Devices = []string{"S21"}
+	pool, err := NewLocalPool([]string{"Q845"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	if _, err := pool.Run(context.Background(), m, Config{}); !errors.Is(err, errs.ErrNoDevice) {
+		t.Fatalf("missing device not surfaced as ErrNoDevice: %v", err)
+	}
+}
+
+// TestPoolRunEmitsTypedEvents checks the fleet's event stream contract:
+// one StageStart, monotonic StageProgress covering every cell, one
+// StageDone.
+func TestPoolRunEmitsTypedEvents(t *testing.T) {
+	m := cancelMatrix(t, 3)
+	pool, err := NewLocalPool(m.Devices, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+	var starts, dones, progress atomic.Int64
+	lastDone := -1
+	if _, err := pool.Run(context.Background(), m, Config{OnEvent: func(ev event.Event) {
+		switch v := ev.(type) {
+		case event.StageStart:
+			starts.Add(1)
+			if v.Stage != "fleet" || v.Total != 3 {
+				t.Errorf("bad StageStart: %+v", v)
+			}
+		case event.StageProgress:
+			progress.Add(1)
+			if v.Done <= lastDone {
+				t.Errorf("progress went backwards: %d after %d", v.Done, lastDone)
+			}
+			lastDone = v.Done
+		case event.StageDone:
+			dones.Add(1)
+			if v.Total != 3 {
+				t.Errorf("bad StageDone: %+v", v)
+			}
+		}
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if starts.Load() != 1 || dones.Load() != 1 || progress.Load() != 3 {
+		t.Fatalf("event counts: starts=%d dones=%d progress=%d", starts.Load(), dones.Load(), progress.Load())
+	}
+}

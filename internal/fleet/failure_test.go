@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -43,7 +44,7 @@ func (r *fakeRunner) ID() string          { return r.id }
 func (r *fakeRunner) DeviceModel() string { return r.model }
 func (r *fakeRunner) Close() error        { return nil }
 
-func (r *fakeRunner) Cooldown(targetJ float64) error {
+func (r *fakeRunner) Cooldown(ctx context.Context, targetJ float64) error {
 	env := r.dev.Envelope()
 	if dt := r.dev.Thermal.CooldownNeeded(env, targetJ); dt > 0 {
 		r.dev.Idle(dt, true, nil)
@@ -51,7 +52,7 @@ func (r *fakeRunner) Cooldown(targetJ float64) error {
 	return nil
 }
 
-func (r *fakeRunner) Run(job bench.Job) (bench.JobResult, error) {
+func (r *fakeRunner) Run(ctx context.Context, job bench.Job) (bench.JobResult, error) {
 	r.mu.Lock()
 	r.calls++
 	fail := r.failRemaining != 0
@@ -92,7 +93,7 @@ func TestCrashMidJobRequeuesOnAnotherDevice(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	agg, err := pool.Run(failureMatrix(t, "Q845"), Config{})
+	agg, err := pool.Run(context.Background(), failureMatrix(t, "Q845"), Config{})
 	if err != nil {
 		t.Fatalf("healthy replica must absorb the crashes: %v", err)
 	}
@@ -128,7 +129,7 @@ func TestTransientCrashRecoversOnSameDevice(t *testing.T) {
 	}
 	m := failureMatrix(t, "Q855")
 	m.Models = m.Models[:1]
-	agg, err := pool.Run(m, Config{})
+	agg, err := pool.Run(context.Background(), m, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestExhaustedRetriesSurfaceTypedError(t *testing.T) {
 	}
 	m := failureMatrix(t, "Q845")
 	m.Models = m.Models[:1]
-	agg, err := pool.Run(m, Config{})
+	agg, err := pool.Run(context.Background(), m, Config{})
 	if err == nil {
 		t.Fatal("all-runners-dead must error")
 	}
@@ -186,7 +187,7 @@ func TestFailedRunsStayByteIdenticalAcrossPoolSizes(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		agg, err := pool.Run(m, Config{})
+		agg, err := pool.Run(context.Background(), m, Config{})
 		if err == nil {
 			t.Fatal("all-dead pool must error")
 		}
@@ -212,7 +213,7 @@ func TestMaxAttemptsCapsRetries(t *testing.T) {
 	}
 	m := failureMatrix(t, "Q845")
 	m.Models = m.Models[:1]
-	_, err = pool.Run(m, Config{MaxAttempts: 2})
+	_, err = pool.Run(context.Background(), m, Config{MaxAttempts: 2})
 	var ex *ExhaustedError
 	if !errors.As(err, &ex) {
 		t.Fatalf("want *ExhaustedError, got %v", err)
@@ -228,7 +229,7 @@ func TestNoDeviceInPoolSurfacesTypedError(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = pool.Run(failureMatrix(t, "Q855"), Config{})
+	_, err = pool.Run(context.Background(), failureMatrix(t, "Q855"), Config{})
 	var nd *NoDeviceError
 	if !errors.As(err, &nd) {
 		t.Fatalf("want *NoDeviceError, got %v", err)
@@ -252,7 +253,7 @@ func TestInJobErrorsAreResultsNotRetries(t *testing.T) {
 	// feed the job directly through the scheduler path via a matrix whose
 	// backend is feasible, then check a garbage model instead.
 	m.Models[0].Data = []byte("not a model")
-	agg, err := pool.Run(m, Config{})
+	agg, err := pool.Run(context.Background(), m, Config{})
 	if err != nil {
 		t.Fatalf("in-job failure must not surface as scheduler error: %v", err)
 	}

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"encoding/json"
 	"strings"
 	"testing"
@@ -109,7 +110,7 @@ func runMatrix(t *testing.T, m Matrix, replicas int) ([]byte, string) {
 		t.Fatal(err)
 	}
 	defer pool.Close()
-	agg, err := pool.Run(m, Config{})
+	agg, err := pool.Run(context.Background(), m, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,7 +184,7 @@ func TestFleetRemoteRunnerMatchesLocal(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer agent.Close()
-	remote, err := NewRemoteRunner("remote-q888", addr, time.Second, 30*time.Second)
+	remote, err := NewRemoteRunner(context.Background(), "remote-q888", addr, time.Second, 30*time.Second)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +195,7 @@ func TestFleetRemoteRunnerMatchesLocal(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	agg, err := pool.Run(m, Config{})
+	agg, err := pool.Run(context.Background(), m, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestFleetThermalPacingKeepsJobsIndependent(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer pool.Close()
-	agg, err := pool.Run(m, Config{})
+	agg, err := pool.Run(context.Background(), m, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +244,7 @@ func TestFleetThermalPacingKeepsJobsIndependent(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		want, err := fresh.Run(ur.Unit.Job)
+		want, err := fresh.Run(context.Background(), ur.Unit.Job)
 		fresh.Close()
 		if err != nil {
 			t.Fatal(err)
@@ -281,7 +282,7 @@ func TestFleetScenarioProjection(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer pool.Close()
-	agg, err := pool.Run(m, Config{})
+	agg, err := pool.Run(context.Background(), m, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,7 +340,7 @@ func TestFleetStreamingCallbackAndTables(t *testing.T) {
 	var seen = &mu
 	var lock = make(chan struct{}, 1)
 	lock <- struct{}{}
-	agg, err := pool.Run(m, Config{OnUnit: func(ur UnitResult) {
+	agg, err := pool.Run(context.Background(), m, Config{OnUnit: func(ur UnitResult) {
 		<-lock
 		seen.n++
 		seen.s = append(seen.s, ur.Unit.Job.ID)

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -12,12 +13,14 @@ import (
 // Runner is one benchmark rig the pool schedules onto: a device plus the
 // master-side choreography to drive it. Jobs on one runner are serialized
 // by the scheduler; Cooldown restores the deterministic pre-job thermal
-// state the fleet's byte-identical-output contract relies on.
+// state the fleet's byte-identical-output contract relies on. Run and
+// Cooldown honour their context: a cancelled fleet run aborts in-flight
+// choreography (dials, handshakes, notification waits) promptly.
 type Runner interface {
 	ID() string
 	DeviceModel() string
-	Run(job bench.Job) (bench.JobResult, error)
-	Cooldown(targetJ float64) error
+	Run(ctx context.Context, job bench.Job) (bench.JobResult, error)
+	Cooldown(ctx context.Context, targetJ float64) error
 	Close() error
 }
 
@@ -55,16 +58,17 @@ func NewLocalRunner(id, deviceModel string) (*AgentRunner, error) {
 }
 
 // NewRemoteRunner attaches to a running benchd agent and discovers its
-// device identity over the control channel. dialTimeout bounds each dial
-// (0 keeps the master's 5 s default); jobTimeout bounds each benchmark
-// round (0 keeps the 120 s default).
-func NewRemoteRunner(id, addr string, dialTimeout, jobTimeout time.Duration) (*AgentRunner, error) {
+// device identity over the control channel. ctx bounds the discovery
+// dial+query; dialTimeout bounds each later dial (0 keeps the master's
+// 5 s default); jobTimeout bounds each benchmark round (0 keeps the 120 s
+// default).
+func NewRemoteRunner(ctx context.Context, id, addr string, dialTimeout, jobTimeout time.Duration) (*AgentRunner, error) {
 	master := bench.NewMaster(addr, nil)
 	master.DialTimeout = dialTimeout
 	if jobTimeout > 0 {
 		master.Timeout = jobTimeout
 	}
-	info, err := master.Query()
+	info, err := master.Query(ctx)
 	if err != nil {
 		return nil, fmt.Errorf("fleet: querying agent %s: %w", addr, err)
 	}
@@ -81,11 +85,11 @@ func (r *AgentRunner) DeviceModel() string { return r.device }
 func (r *AgentRunner) Master() *bench.Master { return r.master }
 
 // Info queries the agent's identity, backends and thermal state.
-func (r *AgentRunner) Info() (bench.AgentInfo, error) { return r.master.Query() }
+func (r *AgentRunner) Info(ctx context.Context) (bench.AgentInfo, error) { return r.master.Query(ctx) }
 
 // Run executes one job through the full master-slave workflow.
-func (r *AgentRunner) Run(job bench.Job) (bench.JobResult, error) {
-	res, err := r.master.RunJobs([]bench.Job{job})
+func (r *AgentRunner) Run(ctx context.Context, job bench.Job) (bench.JobResult, error) {
+	res, err := r.master.RunJobs(ctx, []bench.Job{job})
 	if err != nil {
 		return bench.JobResult{}, err
 	}
@@ -96,8 +100,8 @@ func (r *AgentRunner) Run(job bench.Job) (bench.JobResult, error) {
 }
 
 // Cooldown idles the device until its stored heat is at most targetJ.
-func (r *AgentRunner) Cooldown(targetJ float64) error {
-	_, err := r.master.CoolDevice(targetJ)
+func (r *AgentRunner) Cooldown(ctx context.Context, targetJ float64) error {
+	_, err := r.master.CoolDevice(ctx, targetJ)
 	return err
 }
 

@@ -1,15 +1,19 @@
 package fleet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 	"sync"
 
 	"github.com/gaugenn/gaugenn/internal/bench"
+	"github.com/gaugenn/gaugenn/internal/errs"
+	"github.com/gaugenn/gaugenn/internal/event"
 )
 
 // NoDeviceError reports a matrix device model with no runner in the pool.
+// It matches the errs.ErrNoDevice sentinel under errors.Is.
 type NoDeviceError struct {
 	Device string
 }
@@ -18,9 +22,13 @@ func (e *NoDeviceError) Error() string {
 	return fmt.Sprintf("fleet: no runner in pool serves device model %s", e.Device)
 }
 
+// Is matches the typed error against the public sentinel.
+func (e *NoDeviceError) Is(target error) bool { return target == errs.ErrNoDevice }
+
 // ExhaustedError reports a job whose every scheduling attempt failed at
 // the transport level: each tried runner was excluded in turn until no
 // eligible device of the model remained (or the attempt cap was hit).
+// It matches the errs.ErrExhausted sentinel under errors.Is.
 type ExhaustedError struct {
 	JobID    string
 	Device   string
@@ -35,6 +43,9 @@ func (e *ExhaustedError) Error() string {
 }
 
 func (e *ExhaustedError) Unwrap() error { return e.Last }
+
+// Is matches the typed error against the public sentinel.
+func (e *ExhaustedError) Is(target error) bool { return target == errs.ErrExhausted }
 
 // Config tunes one Pool.Run.
 type Config struct {
@@ -51,6 +62,11 @@ type Config struct {
 	// OnUnit, when non-nil, streams each unit result as it completes
 	// (including skipped cells). Called from runner goroutines.
 	OnUnit func(UnitResult)
+	// OnEvent, when non-nil, receives the run's typed progress stream —
+	// one StageStart/StageProgress/StageDone sequence under the "fleet"
+	// stage, counting every matrix cell (skipped cells included). Called
+	// from runner goroutines; handlers must be safe for concurrent use.
+	OnEvent func(event.Event)
 }
 
 // UnitResult is the outcome of one matrix cell.
@@ -178,11 +194,16 @@ func newSchedQueue(units []Unit) *schedQueue {
 
 // claim hands the runner the lowest-index pending unit of its device model
 // that has not excluded it, blocking while a running unit might still fail
-// back into its feed; nil means the runner can never be useful again.
-func (q *schedQueue) claim(runnerID, deviceModel string) *unitState {
+// back into its feed; nil means the runner can never be useful again —
+// its feed drained, or the run's context was cancelled (a watcher
+// broadcasts the cond on cancellation, so blocked claims re-check).
+func (q *schedQueue) claim(ctx context.Context, runnerID, deviceModel string) *unitState {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	for {
+		if ctx.Err() != nil {
+			return nil
+		}
 		var mayGetWork bool
 		for _, st := range q.byModel[deviceModel] {
 			if st.excluded[runnerID] {
@@ -210,6 +231,21 @@ func (q *schedQueue) claim(runnerID, deviceModel string) *unitState {
 func (q *schedQueue) complete(st *unitState) {
 	q.mu.Lock()
 	st.state = stateDone
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// requeue returns a claimed unit to pending without excluding the runner
+// — used when a serve was aborted by cancellation rather than by a rig
+// fault. The attempt is uncounted, so cancellation never eats into a
+// unit's retry budget.
+func (q *schedQueue) requeue(st *unitState, runnerID string) {
+	q.mu.Lock()
+	st.state = statePending
+	st.attempts--
+	if n := len(st.tried); n > 0 && st.tried[n-1] == runnerID {
+		st.tried = st.tried[:n-1]
+	}
 	q.mu.Unlock()
 	q.cond.Broadcast()
 }
@@ -247,11 +283,23 @@ func (q *schedQueue) fail(st *unitState, runnerID string, err error, eligible []
 
 // Run expands the matrix and executes it across the pool: per-device
 // serialized queues, thermal pacing before each job, transport-failure
-// retries with device exclusion, streaming aggregation. The returned
-// aggregator always holds every unit (including skipped and exhausted
-// cells); the error joins matrix-level problems and per-unit
-// ExhaustedErrors, so errors.As surfaces typed failures.
-func (p *Pool) Run(m Matrix, cfg Config) (*Aggregator, error) {
+// retries with device exclusion, streaming aggregation. On a run that
+// wasn't cancelled, the returned aggregator holds every unit (including
+// skipped and exhausted cells); a cancelled run's aggregator is partial —
+// units left unserved by the drain (including ones requeued by a
+// cancelled in-flight serve) never reach it. The error joins matrix-level
+// problems and per-unit ExhaustedErrors, so errors.As surfaces typed
+// failures (and errors.Is matches the errs.ErrExhausted /
+// errs.ErrNoDevice sentinels).
+//
+// ctx bounds the whole sweep: cancellation stops claiming new cells,
+// aborts in-flight rig choreography, and Run returns the partial
+// aggregator together with a *errs.StageError (stage "fleet") wrapping
+// the context error — errors.Is(err, errs.ErrCancelled) holds.
+func (p *Pool) Run(ctx context.Context, m Matrix, cfg Config) (*Aggregator, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	units, err := m.Expand()
 	if err != nil {
 		return nil, err
@@ -262,10 +310,26 @@ func (p *Pool) Run(m Matrix, cfg Config) (*Aggregator, error) {
 		}
 	}
 	agg := NewAggregator(m)
+	var (
+		emitMu sync.Mutex
+		done   int
+	)
+	if cfg.OnEvent != nil {
+		cfg.OnEvent(event.StageStart{Stage: "fleet", Total: len(units)})
+	}
 	emit := func(ur UnitResult) {
 		agg.Add(ur)
 		if cfg.OnUnit != nil {
 			cfg.OnUnit(ur)
+		}
+		if cfg.OnEvent != nil {
+			emitMu.Lock()
+			done++
+			cfg.OnEvent(event.StageProgress{Stage: "fleet", Done: done, Total: len(units)})
+			if done == len(units) {
+				cfg.OnEvent(event.StageDone{Stage: "fleet", Total: len(units)})
+			}
+			emitMu.Unlock()
 		}
 	}
 	for _, u := range units {
@@ -274,18 +338,35 @@ func (p *Pool) Run(m Matrix, cfg Config) (*Aggregator, error) {
 		}
 	}
 	q := newSchedQueue(units)
+	// Wake blocked claims when the context dies so workers drain instead
+	// of waiting for a requeue that will never come.
+	stopWatch := context.AfterFunc(ctx, func() { q.cond.Broadcast() })
+	defer stopWatch()
 	var wg sync.WaitGroup
 	for _, r := range p.runners {
 		wg.Add(1)
 		go func(r Runner) {
 			defer wg.Done()
 			for {
-				st := q.claim(r.ID(), r.DeviceModel())
+				st := q.claim(ctx, r.ID(), r.DeviceModel())
 				if st == nil {
 					return
 				}
-				res, err := p.serve(r, st.unit, cfg)
+				res, err := p.serve(ctx, r, st.unit, cfg)
 				if err != nil {
+					// Only a *run-level* cancellation takes the abandon
+					// path — gated on ctx.Err(), not on the error's shape:
+					// a dead agent's dial timeout also satisfies
+					// errors.Is(err, context.DeadlineExceeded) (stdlib
+					// net.timeoutError), and that is a rig fault that must
+					// go through the exclude/retry machinery below.
+					if ctx.Err() != nil && errs.IsContextError(err) {
+						// A cancelled serve is not the rig's fault: requeue
+						// the unit untried (it stays unserved — the queue is
+						// draining) and let this worker exit.
+						q.requeue(st, r.ID())
+						return
+					}
 					if ex := q.fail(st, r.ID(), err, p.byModel[r.DeviceModel()], cfg.MaxAttempts); ex != nil {
 						emit(UnitResult{Unit: st.unit, Runner: r.ID(), Attempts: ex.Attempts, Err: ex})
 					}
@@ -298,21 +379,24 @@ func (p *Pool) Run(m Matrix, cfg Config) (*Aggregator, error) {
 		}(r)
 	}
 	wg.Wait()
-	var errs []error
+	var problems []error
 	for _, ur := range agg.Units() {
 		if ur.Err != nil {
-			errs = append(errs, ur.Err)
+			problems = append(problems, ur.Err)
 		}
 	}
-	return agg, errors.Join(errs...)
+	if err := ctx.Err(); err != nil {
+		problems = append(problems, errs.Stage("fleet", "", err))
+	}
+	return agg, errors.Join(problems...)
 }
 
 // serve runs one unit on one rig: thermal pacing, then the full workflow.
-func (p *Pool) serve(r Runner, u Unit, cfg Config) (bench.JobResult, error) {
+func (p *Pool) serve(ctx context.Context, r Runner, u Unit, cfg Config) (bench.JobResult, error) {
 	if !cfg.NoCooldown {
-		if err := r.Cooldown(cfg.CooldownTargetJ); err != nil {
+		if err := r.Cooldown(ctx, cfg.CooldownTargetJ); err != nil {
 			return bench.JobResult{}, fmt.Errorf("cooldown: %w", err)
 		}
 	}
-	return r.Run(u.Job)
+	return r.Run(ctx, u.Job)
 }

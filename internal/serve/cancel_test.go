@@ -1,0 +1,87 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/gaugenn/gaugenn/internal/errs"
+	"github.com/gaugenn/gaugenn/internal/store"
+)
+
+// TestServeRequestContextHonoured: a request whose context is already
+// dead must not pay for (or memoise) a corpus decode — the handler
+// terminates with a 503 and the memo cache stays empty.
+func TestServeRequestContextHonoured(t *testing.T) {
+	st, id, _ := persistedStudy(t)
+	s := New(st)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := httptest.NewRequest("GET", "/api/studies/"+id+"/tables", nil).WithContext(ctx)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != 503 {
+		t.Fatalf("dead-context request = %d: %s", rec.Code, rec.Body.String())
+	}
+	s.mu.Lock()
+	cached := len(s.corpora)
+	s.mu.Unlock()
+	if cached != 0 {
+		t.Fatalf("cancelled request memoised %d corpora", cached)
+	}
+
+	// A live request afterwards serves normally.
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/api/studies/"+id+"/tables", nil))
+	if rec.Code != 200 {
+		t.Fatalf("live request after cancelled one = %d", rec.Code)
+	}
+}
+
+// TestServeCorruptCorpusSurfacesSentinel: a torn corpus blob maps to a
+// 500 tagged "store corrupt", and the loader's error matches the public
+// sentinel.
+func TestServeCorruptCorpusSurfacesSentinel(t *testing.T) {
+	st, id, res := persistedStudy(t)
+	// Overwrite one snapshot's corpus blob with junk. Corpus blobs are
+	// content-keyed (write-once in Put), so corrupt it via a fresh store
+	// handle writing directly to the blob path is not exposed — instead
+	// decode through the server after truncating the blob on disk.
+	key := res.Persist.CorpusKeys["2021"]
+	if key == "" {
+		t.Fatal("no corpus key")
+	}
+	corruptBlob(t, st, key)
+	s := New(st)
+	_, err := s.corpus(context.Background(), key)
+	if !errors.Is(err, errs.ErrStoreCorrupt) {
+		t.Fatalf("corrupt blob error = %v, want ErrStoreCorrupt on the chain", err)
+	}
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/api/studies/"+id+"/tables", nil))
+	if rec.Code != 500 || !strings.Contains(rec.Body.String(), "store corrupt") {
+		t.Fatalf("corrupt store request = %d: %s", rec.Code, rec.Body.String())
+	}
+}
+
+// corruptBlob truncates a corpus blob in place on disk, bypassing the
+// store's write-once Put (which would refuse to overwrite a
+// content-keyed blob). The path mirrors the store's git-style sharding.
+func corruptBlob(t *testing.T, st *store.Store, key string) {
+	t.Helper()
+	data, ok, err := st.Get(store.KindCorpus, key)
+	if err != nil || !ok {
+		t.Fatalf("blob %s: ok=%v err=%v", key, ok, err)
+	}
+	if len(data) < 10 {
+		t.Fatal("blob too small to corrupt meaningfully")
+	}
+	path := filepath.Join(st.Dir(), store.KindCorpus, key[:2], key)
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -16,7 +16,9 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
@@ -24,6 +26,7 @@ import (
 
 	"github.com/gaugenn/gaugenn/internal/analysis"
 	"github.com/gaugenn/gaugenn/internal/core"
+	"github.com/gaugenn/gaugenn/internal/errs"
 	"github.com/gaugenn/gaugenn/internal/nn/graph"
 	"github.com/gaugenn/gaugenn/internal/store"
 )
@@ -122,9 +125,11 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 	}
 	snaps := map[string]studySnapshot{}
 	for label, key := range entry.Snapshots {
-		c, err := s.corpus(key)
+		c, err := s.corpus(r.Context(), key)
 		if err != nil {
-			writeErr(w, http.StatusInternalServerError, "loading %s corpus: %v", label, err)
+			// Through the shared mapper so cancellation and corruption get
+			// the same statuses here as on /tables and /diff.
+			s.writeRefErr(w, err)
 			return
 		}
 		snaps[label] = studySnapshot{CorpusKey: key, Dataset: c.Dataset()}
@@ -142,12 +147,12 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "unknown study %q", r.PathValue("id"))
 		return
 	}
-	c20, err := s.labelledCorpus(entry, "2020")
+	c20, err := s.labelledCorpus(r.Context(), entry, "2020")
 	if err != nil {
 		s.writeRefErr(w, err)
 		return
 	}
-	c21, err := s.labelledCorpus(entry, "2021")
+	c21, err := s.labelledCorpus(r.Context(), entry, "2021")
 	if err != nil {
 		s.writeRefErr(w, err)
 		return
@@ -193,12 +198,12 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "diff needs from=STUDY[:LABEL] and to=STUDY[:LABEL]")
 		return
 	}
-	old, err := s.refCorpus(fromArg, "2020")
+	old, err := s.refCorpus(r.Context(), fromArg, "2020")
 	if err != nil {
 		s.writeRefErr(w, err)
 		return
 	}
-	new_, err := s.refCorpus(toArg, "2021")
+	new_, err := s.refCorpus(r.Context(), toArg, "2021")
 	if err != nil {
 		s.writeRefErr(w, err)
 		return
@@ -212,10 +217,20 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 
 // writeRefErr maps corpus-resolution failures onto HTTP statuses: a bad
 // reference (unknown study, missing snapshot label) is the client's 404,
-// anything else is store I/O.
+// a cancelled request context gets 499-style treatment (nobody is
+// reading, but the handler must still terminate the response), a corrupt
+// store blob is a 500 flagged as such, anything else is store I/O.
 func (s *Server) writeRefErr(w http.ResponseWriter, err error) {
 	if _, notFound := err.(*refError); notFound {
 		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if errs.IsContextError(err) {
+		writeErr(w, http.StatusServiceUnavailable, "request cancelled: %v", err)
+		return
+	}
+	if errors.Is(err, errs.ErrStoreCorrupt) {
+		writeErr(w, http.StatusInternalServerError, "store corrupt: %v", err)
 		return
 	}
 	writeErr(w, http.StatusInternalServerError, "%v", err)
@@ -227,7 +242,7 @@ type refError struct{ msg string }
 func (e *refError) Error() string { return e.msg }
 
 // refCorpus resolves a "STUDY[:LABEL]" reference to a loaded corpus.
-func (s *Server) refCorpus(ref, defaultLabel string) (*analysis.Corpus, error) {
+func (s *Server) refCorpus(ctx context.Context, ref, defaultLabel string) (*analysis.Corpus, error) {
 	id, label := ref, defaultLabel
 	if i := strings.LastIndex(ref, ":"); i >= 0 {
 		id, label = ref[:i], ref[i+1:]
@@ -239,24 +254,30 @@ func (s *Server) refCorpus(ref, defaultLabel string) (*analysis.Corpus, error) {
 	if !ok {
 		return nil, &refError{fmt.Sprintf("unknown study %q", id)}
 	}
-	return s.labelledCorpus(entry, label)
+	return s.labelledCorpus(ctx, entry, label)
 }
 
-func (s *Server) labelledCorpus(entry store.ManifestEntry, label string) (*analysis.Corpus, error) {
+func (s *Server) labelledCorpus(ctx context.Context, entry store.ManifestEntry, label string) (*analysis.Corpus, error) {
 	key, ok := entry.Snapshots[label]
 	if !ok {
 		return nil, &refError{fmt.Sprintf("study %s has no snapshot %q", entry.ID, label)}
 	}
-	return s.corpus(key)
+	return s.corpus(ctx, key)
 }
 
-// corpus loads (or reuses) one persisted corpus snapshot by CAS key.
-func (s *Server) corpus(key string) (*analysis.Corpus, error) {
+// corpus loads (or reuses) one persisted corpus snapshot by CAS key. ctx
+// is the request's context: a client that hung up skips the (potentially
+// hundreds-of-MB) decode instead of memoising work nobody will read;
+// cached hits are served regardless, since they cost nothing.
+func (s *Server) corpus(ctx context.Context, key string) (*analysis.Corpus, error) {
 	s.mu.Lock()
 	c, ok := s.corpora[key]
 	s.mu.Unlock()
 	if ok {
 		return c, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	blob, ok, err := s.st.Get(store.KindCorpus, key)
 	if err != nil {
@@ -265,9 +286,14 @@ func (s *Server) corpus(key string) (*analysis.Corpus, error) {
 	if !ok {
 		return nil, fmt.Errorf("corpus blob %s missing (manifest out of sync?)", key)
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err // client gone: skip the decode
+	}
 	c, err = analysis.DecodeCorpus(blob)
 	if err != nil {
-		return nil, err
+		// The blob exists but does not decode: the store itself is damaged
+		// (torn write, codec mismatch), not the request.
+		return nil, fmt.Errorf("decoding corpus %s: %w: %w", key, errs.ErrStoreCorrupt, err)
 	}
 	s.mu.Lock()
 	s.corpora[key] = c

@@ -1,0 +1,164 @@
+package gaugenn_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/gaugenn/gaugenn"
+)
+
+// TestStudyV2EndToEnd drives the whole v2 surface: options, the typed
+// event stream, a cancellable run, and the RunSpec bench path.
+func TestStudyV2EndToEnd(t *testing.T) {
+	study := gaugenn.NewStudy(
+		gaugenn.WithSeed(11),
+		gaugenn.WithScale(0.02),
+		gaugenn.WithWorkers(4),
+	)
+	events := study.Events()
+	collected := make(chan []gaugenn.Event, 1)
+	go func() {
+		var evs []gaugenn.Event
+		for ev := range events {
+			evs = append(evs, ev)
+		}
+		collected <- evs
+	}()
+	res, err := study.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Corpus21.TotalModels() == 0 {
+		t.Fatal("no models")
+	}
+
+	// The stream closed (Run returned) and carries a coherent per-stage
+	// narrative: every StageStart eventually matched by a StageDone, and
+	// per-stage progress monotonic.
+	var evs []gaugenn.Event
+	select {
+	case evs = <-collected:
+	case <-time.After(10 * time.Second):
+		t.Fatal("event stream never closed")
+	}
+	type stageKey struct{ stage, snapshot string }
+	started := map[stageKey]int{}
+	doneTotals := map[stageKey]int{}
+	lastDone := map[stageKey]int{}
+	for _, ev := range evs {
+		switch v := ev.(type) {
+		case gaugenn.StageStart:
+			started[stageKey{v.Stage, v.Snapshot}] = v.Total
+		case gaugenn.StageProgress:
+			k := stageKey{v.Stage, v.Snapshot}
+			if _, ok := started[k]; !ok {
+				t.Fatalf("progress before start for %v", k)
+			}
+			if v.Done < lastDone[k] {
+				t.Fatalf("stage %v went backwards: %d after %d", k, v.Done, lastDone[k])
+			}
+			lastDone[k] = v.Done
+		case gaugenn.StageDone:
+			doneTotals[stageKey{v.Stage, v.Snapshot}] = v.Total
+		}
+	}
+	for _, snap := range []string{"2020", "2021"} {
+		for _, stage := range []string{"crawl", "analyse"} {
+			k := stageKey{stage, snap}
+			if started[k] == 0 {
+				t.Fatalf("stage %v never started (events: %d)", k, len(evs))
+			}
+			if doneTotals[k] != started[k] {
+				t.Fatalf("stage %v: done total %d != start total %d", k, doneTotals[k], started[k])
+			}
+			if lastDone[k] != started[k] {
+				t.Fatalf("stage %v: final done %d != total %d", k, lastDone[k], started[k])
+			}
+		}
+	}
+
+	// Second Run on the same Study is a usage error.
+	if _, err := study.Run(context.Background()); err == nil {
+		t.Fatal("second Run must fail")
+	}
+
+	// RunSpec bench over the result.
+	models, err := gaugenn.SelectBenchModels(res.Corpus21, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := gaugenn.Bench(context.Background(), gaugenn.RunSpec{
+		Device: "S21", Backend: "cpu", Threads: 4, Runs: 2,
+	}, models)
+	if err != nil || len(out) != len(models) {
+		t.Fatalf("Bench: err=%v results=%d", err, len(out))
+	}
+}
+
+// TestStudyV2Cancellation checks the public cancellation contract end to
+// end: typed sentinel, stage attribution, closed event stream.
+func TestStudyV2Cancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	study := gaugenn.NewStudy(
+		gaugenn.WithSeed(12),
+		gaugenn.WithScale(0.05),
+		gaugenn.WithEventHandler(func(ev gaugenn.Event) {
+			if p, ok := ev.(gaugenn.StageProgress); ok && p.Done >= 2 {
+				cancel()
+			}
+		}),
+	)
+	events := study.Events()
+	_, err := study.Run(ctx)
+	if err == nil {
+		t.Fatal("cancelled study returned nil error")
+	}
+	if !errors.Is(err, gaugenn.ErrCancelled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancellation not typed: %v", err)
+	}
+	var se *gaugenn.StageError
+	if !errors.As(err, &se) || se.Stage == "" {
+		t.Fatalf("no stage attribution: %v", err)
+	}
+	// The stream still closes after a cancelled run.
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case _, ok := <-events:
+			if !ok {
+				return
+			}
+		case <-deadline:
+			t.Fatal("event stream not closed after cancellation")
+		}
+	}
+}
+
+// TestV1ShimsMatchV2 pins the compatibility contract: the deprecated
+// RunStudy/Config surface produces the same corpora as the v2 Study.
+func TestV1ShimsMatchV2(t *testing.T) {
+	cfg := gaugenn.DefaultConfig(13, 0.02)
+	cfg.UseHTTP = false
+	v1, err := gaugenn.RunStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := gaugenn.NewStudy(gaugenn.WithSeed(13), gaugenn.WithScale(0.02)).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for label, pair := range map[string][2]interface{ TotalModels() int }{
+		"2020": {v1.Corpus20, v2.Corpus20},
+		"2021": {v1.Corpus21, v2.Corpus21},
+	} {
+		if pair[0].TotalModels() != pair[1].TotalModels() {
+			t.Fatalf("snapshot %s: v1 %d models, v2 %d", label, pair[0].TotalModels(), pair[1].TotalModels())
+		}
+	}
+	if v1.Corpus21.Dataset() != v2.Corpus21.Dataset() {
+		t.Fatalf("datasets diverge: %+v vs %+v", v1.Corpus21.Dataset(), v2.Corpus21.Dataset())
+	}
+}
