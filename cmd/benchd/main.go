@@ -19,6 +19,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"github.com/gaugenn/gaugenn/internal/bench"
 	"github.com/gaugenn/gaugenn/internal/mlrt"
@@ -30,6 +31,7 @@ func main() {
 	device := flag.String("device", "Q845", "device model (A20, A70, S21, Q845, Q855, Q888)")
 	workers := flag.Int("workers", 0, "max concurrent control connections (0 = unlimited)")
 	selfPower := flag.Bool("self-power", true, "agent cycles its own USB switch around headless runs (required for remote masters; disable only when an in-process master shares the switch)")
+	readTimeout := flag.Duration("read-timeout", 5*time.Minute, "per-frame read deadline on master connections; a silent master is dropped after this long (0 = wait forever)")
 	flag.Parse()
 
 	dev, err := soc.NewDevice(*device)
@@ -40,11 +42,11 @@ func main() {
 	usb := power.NewUSBSwitch()
 	mon := power.NewMonitor()
 	agent := bench.NewAgent(dev, usb, mon)
-	// 0 keeps the historical unbounded behavior; a bound is opt-in since a
-	// long-lived idle connection would pin a slot (connections have no
-	// read deadline).
 	agent.MaxConns = *workers
 	agent.SelfPower = *selfPower
+	// The read deadline reaps connections whose master dialled and went
+	// silent, so a bounded MaxConns pool cannot be pinned by dead peers.
+	agent.ReadTimeout = *readTimeout
 	addr, err := agent.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchd:", err)

@@ -4,6 +4,7 @@
 //	gaugenn serve   -cache-dir DIR [-addr :8077]
 //	gaugenn bench   -device Q845 -backend cpu -model m.tflite [-threads 4]
 //	gaugenn fleet   -devices A70,Q845,Q888 -backends cpu,xnnpack,gpu -models 3 [-replicas N] [-agents addr,...]
+//	gaugenn fsck    -cache-dir DIR [-fix]
 //	gaugenn devices
 //
 // "study" runs crawl -> extract -> analyse for both snapshots and prints
@@ -12,7 +13,8 @@
 // answers report, model-lookup and diff queries over HTTP from a
 // persisted cache dir, with no crawling. "bench" measures one model file
 // on one simulated device; "fleet" sweeps a benchmark matrix across a
-// pool of device rigs; "devices" lists Table 1 profiles.
+// pool of device rigs; "fsck" audits (and with -fix repairs) a study
+// store; "devices" lists Table 1 profiles.
 package main
 
 import (
@@ -36,6 +38,7 @@ import (
 	"github.com/gaugenn/gaugenn/internal/errs"
 	"github.com/gaugenn/gaugenn/internal/event"
 	"github.com/gaugenn/gaugenn/internal/fleet"
+	"github.com/gaugenn/gaugenn/internal/fsck"
 	"github.com/gaugenn/gaugenn/internal/nn/zoo"
 	"github.com/gaugenn/gaugenn/internal/power"
 	"github.com/gaugenn/gaugenn/internal/report"
@@ -64,6 +67,8 @@ func main() {
 		err = runBench(os.Args[2:])
 	case "fleet":
 		err = runFleet(ctx, os.Args[2:])
+	case "fsck":
+		err = runFsck(os.Args[2:])
 	case "devices":
 		err = runDevices()
 	default:
@@ -106,6 +111,7 @@ func usage() {
   gaugenn bench   -device MODEL -backend NAME -model FILE [-threads N] [-batch N] [-runs N]
   gaugenn fleet   -devices A,B,... -backends a,b,... -models N [-seed N] [-replicas N]
                   [-agents host:port,...] [-runs N] [-scenarios=false] [-json FILE] [-out DIR]
+  gaugenn fsck    -cache-dir DIR [-fix]
   gaugenn devices`)
 }
 
@@ -118,6 +124,7 @@ func runStudy(ctx context.Context, args []string) error {
 	out := fs.String("out", "", "directory for report files (stdout if empty)")
 	cacheDir := fs.String("cache-dir", "", "persistent study store directory (warm re-runs, `gaugenn serve` input)")
 	resume := fs.Bool("resume", true, "consult existing cache entries (false: recompute but still persist)")
+	failureBudget := fs.Float64("failure-budget", 0, "per-snapshot fraction of apps allowed to fail before the study aborts (0 = 5% default, negative = zero tolerance)")
 	deadline := fs.Duration("deadline", 0, "abort the run after this long (0 = none); an interrupted -cache-dir run resumes warm")
 	verbose := fs.Bool("v", false, "report analyse/persist stage progress and cache statistics")
 	if err := fs.Parse(args); err != nil {
@@ -137,6 +144,7 @@ func runStudy(ctx context.Context, args []string) error {
 	cfg.Workers = *workers
 	cfg.CacheDir = *cacheDir
 	cfg.Resume = *resume
+	cfg.FailureBudget = *failureBudget
 	start := time.Now()
 	// Both snapshot pipelines emit events concurrently; throttle first,
 	// serialise the writes, and let each stage's completion line end in a
@@ -181,9 +189,18 @@ func runStudy(ctx context.Context, args []string) error {
 			fmt.Fprintf(os.Stderr, "\nstudy interrupted; %s holds every finished artifact — rerun with -cache-dir %s to resume warm\n",
 				*cacheDir, *cacheDir)
 		}
+		if errors.Is(err, errs.ErrBudgetExceeded) {
+			fmt.Fprintln(os.Stderr, "\nstudy aborted: too many apps failed — raise -failure-budget to tolerate more, or fix the store/network fault")
+		}
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "\nstudy complete in %v\n", time.Since(start).Round(time.Millisecond))
+	if n := len(res.Quarantine); n > 0 {
+		fmt.Fprintf(os.Stderr, "study degraded gracefully: %d app(s) quarantined (within failure budget)\n", n)
+		for _, qe := range res.Quarantine {
+			fmt.Fprintf(os.Stderr, "  %s/%s [%s]: %v\n", qe.Snapshot, qe.Package, qe.Stage, qe.Err)
+		}
+	}
 	if ps := res.Persist; ps != nil {
 		fmt.Fprintf(os.Stderr, "study %s persisted to %s (snapshots %s=%s... %s=%s...)\n",
 			ps.StudyID, *cacheDir, "2020", ps.CorpusKeys["2020"][:12], "2021", ps.CorpusKeys["2021"][:12])
@@ -499,6 +516,51 @@ func runFleet(ctx context.Context, args []string) error {
 	}
 	fmt.Printf("results checksum: sha256:%s\n", sum)
 	return runErr
+}
+
+// runFsck audits a study store for corruption (torn writes, bit rot,
+// truncation) and with -fix quarantines corrupt derived records so the
+// next warm run recomputes them. Exit status: 0 clean, 1 issues found
+// (audit mode) or unfixable issues remain (fix mode).
+func runFsck(args []string) error {
+	fs := flag.NewFlagSet("fsck", flag.ExitOnError)
+	cacheDir := fs.String("cache-dir", "", "persistent study store directory to audit")
+	fix := fs.Bool("fix", false, "quarantine corrupt blobs and repair the manifest")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *cacheDir == "" {
+		return fmt.Errorf("fsck: -cache-dir is required")
+	}
+	res, err := fsck.Run(*cacheDir, fsck.Options{Fix: *fix})
+	if err != nil {
+		return err
+	}
+	var scanned int
+	for _, kind := range []string{store.KindCorpus, store.KindReport, store.KindGraph, store.KindAnalysis, store.KindPayload} {
+		fmt.Fprintf(os.Stderr, "fsck: %s: %d blob(s)\n", kind, res.Scanned[kind])
+		scanned += res.Scanned[kind]
+	}
+	fmt.Fprintf(os.Stderr, "fsck: manifest: %d entries\n", res.ManifestEntries)
+	if res.Clean() {
+		fmt.Fprintf(os.Stderr, "fsck: %s clean (%d blobs verified)\n", *cacheDir, scanned)
+		return nil
+	}
+	unfixed := 0
+	for _, is := range res.Issues {
+		fmt.Fprintln(os.Stderr, "fsck:", is.String())
+		if !is.Fixed {
+			unfixed++
+		}
+	}
+	if *fix && unfixed == 0 {
+		fmt.Fprintf(os.Stderr, "fsck: repaired %d issue(s); warm runs will recompute quarantined records\n", len(res.Issues))
+		return nil
+	}
+	if *fix {
+		return fmt.Errorf("fsck: %d issue(s) could not be repaired automatically", unfixed)
+	}
+	return fmt.Errorf("fsck: %d issue(s) found (rerun with -fix to repair)", len(res.Issues))
 }
 
 func demoModel(task zoo.Task) ([]byte, error) {

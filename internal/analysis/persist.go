@@ -1,7 +1,6 @@
 package analysis
 
 import (
-	"encoding/json"
 	"fmt"
 
 	"github.com/gaugenn/gaugenn/internal/extract"
@@ -15,7 +14,10 @@ import (
 // different version are treated as cache misses and recomputed — enum
 // codes (task, arch, modality, op types) are persisted numerically, so any
 // renumbering must bump this. See docs/persistence.md for the rules.
-const persistCodecVersion = 1
+// Version 2 sealed payload and analysis records (store.SealJSON): their
+// keys hash the model/payload, not the record bytes, so each blob carries
+// its own integrity digest.
+const persistCodecVersion = 2
 
 // payloadRecord is the persisted outcome of one payload-hash decode: either
 // the payload failed validation (OK false), or it decoded to the model
@@ -56,7 +58,7 @@ func (uc *UniqueCache) loadPayloadRecord(h extract.PayloadHash) (payloadRecord, 
 	if err != nil || !ok {
 		return rec, false
 	}
-	if json.Unmarshal(data, &rec) != nil || rec.V != persistCodecVersion {
+	if store.OpenJSON(data, &rec) != nil || rec.V != persistCodecVersion {
 		return payloadRecord{}, false
 	}
 	if rec.OK && !validChecksum(rec.Checksum) {
@@ -69,7 +71,7 @@ func (uc *UniqueCache) persistPayloadRecord(h extract.PayloadHash, rec payloadRe
 	if uc.st == nil {
 		return
 	}
-	data, err := json.Marshal(rec)
+	data, err := store.SealJSON(rec)
 	if err == nil {
 		err = uc.st.Put(store.KindPayload, payloadKey(h), data)
 	}
@@ -115,7 +117,7 @@ func (uc *UniqueCache) decodeAnalysisWire(sum graph.Checksum) (analysisWire, boo
 	if err != nil || !ok {
 		return w, false
 	}
-	if json.Unmarshal(data, &w) != nil || w.V != persistCodecVersion || w.Profile == nil {
+	if store.OpenJSON(data, &w) != nil || w.V != persistCodecVersion || w.Profile == nil {
 		return analysisWire{}, false
 	}
 	if uc.keepGraphs && w.HasGraph && !uc.st.Has(store.KindGraph, checksumKey(sum)) {
@@ -155,13 +157,16 @@ func (uc *UniqueCache) loadAnalysisRecord(sum graph.Checksum) (*uniqueData, bool
 }
 
 // loadGraphBlob reads one checksum's decoded graph from the graph CAS.
+// The graph kind IS content-keyed (the key is the model checksum), so the
+// blob authenticates against its own key: a decodable-but-corrupted graph
+// is rejected here rather than silently benchmarked.
 func loadGraphBlob(st *store.Store, sum graph.Checksum) (*graph.Graph, bool) {
 	data, ok, err := st.Get(store.KindGraph, checksumKey(sum))
 	if err != nil || !ok {
 		return nil, false
 	}
 	g, err := graph.DecodeBinary(data)
-	if err != nil {
+	if err != nil || graph.ModelChecksum(g) != sum {
 		return nil, false
 	}
 	return g, true
@@ -199,7 +204,7 @@ func (uc *UniqueCache) persistAnalysisRecord(sum graph.Checksum, d *uniqueData, 
 		Weights:   d.weights,
 		HasGraph:  g != nil,
 	}
-	data, err := json.Marshal(w)
+	data, err := store.SealJSON(w)
 	if err == nil {
 		err = uc.st.Put(store.KindAnalysis, checksumKey(sum), data)
 	}
@@ -210,6 +215,39 @@ func (uc *UniqueCache) persistAnalysisRecord(sum graph.Checksum, d *uniqueData, 
 		uc.noteVerified(sum, true)
 	}
 	uc.notePersistErr(err)
+}
+
+// ValidateAnalysisRecord reports whether data is a well-formed analysis
+// record under the current codec: seal intact, version current, profile
+// present. fsck uses it to find records a warm run would have to discard.
+func ValidateAnalysisRecord(data []byte) error {
+	var w analysisWire
+	if err := store.OpenJSON(data, &w); err != nil {
+		return err
+	}
+	if w.V != persistCodecVersion {
+		return fmt.Errorf("analysis: record codec version %d, want %d", w.V, persistCodecVersion)
+	}
+	if w.Profile == nil {
+		return fmt.Errorf("analysis: record has no profile")
+	}
+	return nil
+}
+
+// ValidatePayloadRecord reports whether data is a well-formed payload
+// decode outcome under the current codec.
+func ValidatePayloadRecord(data []byte) error {
+	var rec payloadRecord
+	if err := store.OpenJSON(data, &rec); err != nil {
+		return err
+	}
+	if rec.V != persistCodecVersion {
+		return fmt.Errorf("analysis: payload record codec version %d, want %d", rec.V, persistCodecVersion)
+	}
+	if rec.OK && !validChecksum(rec.Checksum) {
+		return fmt.Errorf("analysis: payload record references invalid checksum %q", rec.Checksum)
+	}
+	return nil
 }
 
 func validChecksum(sum graph.Checksum) bool {
@@ -252,7 +290,7 @@ func LoadModelSummary(st *store.Store, sum graph.Checksum) (*ModelSummary, bool,
 		return nil, false, err
 	}
 	var w analysisWire
-	if err := json.Unmarshal(data, &w); err != nil {
+	if err := store.OpenJSON(data, &w); err != nil {
 		return nil, false, fmt.Errorf("analysis: decoding record %s: %w", sum, err)
 	}
 	if w.V != persistCodecVersion || w.Profile == nil {

@@ -44,6 +44,13 @@ type Agent struct {
 	// on the device-side switch, so the agent simulates the server's
 	// switch command itself: cut on POWEROFF, restore before notifying.
 	SelfPower bool
+	// ReadTimeout bounds the wait for each control frame (0 = wait
+	// forever, the pre-deadline behaviour). A master that dials and goes
+	// silent — the mirror image of the deaf-agent hang — would otherwise
+	// pin a connection goroutine (and, under MaxConns, a serve slot)
+	// until the process dies; with a deadline the connection is reaped
+	// and its slot freed.
+	ReadTimeout time.Duration
 
 	// mu guards the job maps AND serialises device access (job
 	// execution, QUERY, COOL), so concurrent control connections —
@@ -71,10 +78,19 @@ func NewAgent(dev *soc.Device, usb *power.USBSwitch, mon *power.Monitor) *Agent 
 // Start listens on a loopback "adb" endpoint and serves control
 // connections until Close.
 func (a *Agent) Start() (addr string, err error) {
-	a.ln, err = net.Listen("tcp", "127.0.0.1:0")
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return "", fmt.Errorf("bench: agent listen: %w", err)
 	}
+	return a.Serve(ln), nil
+}
+
+// Serve serves control connections from a caller-provided listener until
+// Close, returning its address. Fault harnesses use this to interpose a
+// listener that drops or deafens connections; Start is the production
+// path.
+func (a *Agent) Serve(ln net.Listener) (addr string) {
+	a.ln = ln
 	var sem chan struct{}
 	if a.MaxConns > 0 {
 		sem = make(chan struct{}, a.MaxConns)
@@ -97,7 +113,7 @@ func (a *Agent) Start() (addr string, err error) {
 			}()
 		}
 	}()
-	return a.ln.Addr().String(), nil
+	return a.ln.Addr().String()
 }
 
 // Close stops the agent.
@@ -112,7 +128,13 @@ func (a *Agent) serveConn(conn net.Conn) {
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 1<<20), 256<<20)
-	for sc.Scan() {
+	for {
+		if a.ReadTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(a.ReadTimeout))
+		}
+		if !sc.Scan() {
+			return
+		}
 		if a.USB != nil && !a.USB.DataOn() {
 			return // USB data channel is down; connection dies
 		}

@@ -1,0 +1,133 @@
+package bench_test
+
+// Wire-level chaos: seeded fault schedules against the master-agent
+// protocol. These live outside package bench because internal/faults
+// imports bench (for the fleet Runner shim); the scenarios only need the
+// exported surface anyway.
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"github.com/gaugenn/gaugenn/internal/bench"
+	"github.com/gaugenn/gaugenn/internal/faults"
+	"github.com/gaugenn/gaugenn/internal/nn/formats"
+	"github.com/gaugenn/gaugenn/internal/nn/zoo"
+	"github.com/gaugenn/gaugenn/internal/power"
+	"github.com/gaugenn/gaugenn/internal/retry"
+	"github.com/gaugenn/gaugenn/internal/soc"
+)
+
+// faultyRig starts an agent behind a fault-injecting listener and returns
+// a master pointed at it.
+func faultyRig(t *testing.T, deviceModel string, sched *faults.Schedule) (*bench.Agent, *bench.Master) {
+	t.Helper()
+	dev, err := soc.NewDevice(deviceModel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	usb := power.NewUSBSwitch()
+	agent := bench.NewAgent(dev, usb, power.NewMonitor())
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := agent.Serve(faults.Listener(sched, deviceModel, ln))
+	t.Cleanup(func() { agent.Close() })
+	return agent, bench.NewMaster(addr, usb)
+}
+
+func chaosModel(t *testing.T) []byte {
+	t.Helper()
+	g, err := zoo.Build(zoo.Spec{Task: zoo.TaskFaceDetection, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := formats.ByName("tflite")
+	fs, err := f.Encode(g, "m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fs["m.tflite"]
+}
+
+func TestMasterRetriesDroppedConnection(t *testing.T) {
+	sched := faults.NewSchedule(11).Set(faults.ClassConnDrop, faults.Rule{Burst: 1})
+	_, master := faultyRig(t, "Q845", sched)
+	master.Retry = &retry.Policy{Attempts: 3, BaseDelay: time.Millisecond, Multiplier: 1}
+
+	res, err := master.RunJob(context.Background(), bench.Job{
+		ID: "drop-1", Model: chaosModel(t), Backend: "cpu", Runs: 2,
+	})
+	if err != nil {
+		t.Fatalf("one dropped connection should be retried away: %v", err)
+	}
+	if res.Error != "" {
+		t.Fatalf("job error: %s", res.Error)
+	}
+}
+
+func TestMasterWithoutRetryFailsOnDrop(t *testing.T) {
+	sched := faults.NewSchedule(11).Set(faults.ClassConnDrop, faults.Rule{Burst: 1})
+	_, master := faultyRig(t, "Q845", sched)
+	// Nil Retry = exactly one attempt: the legacy behaviour, pinned.
+	if _, err := master.RunJob(context.Background(), bench.Job{
+		ID: "drop-2", Model: chaosModel(t), Backend: "cpu", Runs: 1,
+	}); err == nil {
+		t.Fatal("nil Retry must not absorb a dropped connection")
+	}
+}
+
+func TestMasterQueryRetriesDeafConnection(t *testing.T) {
+	// First connection is deaf (writes vanish, reads hang); the master's
+	// round timeout turns that into an error and the retry policy gets a
+	// clean second connection.
+	sched := faults.NewSchedule(13).Set(faults.ClassConnDeaf, faults.Rule{Burst: 1})
+	_, master := faultyRig(t, "A20", sched)
+	master.Timeout = 200 * time.Millisecond
+	master.Retry = &retry.Policy{Attempts: 2, BaseDelay: time.Millisecond, Multiplier: 1}
+
+	info, err := master.Query(context.Background())
+	if err != nil {
+		t.Fatalf("deaf first connection should be retried away: %v", err)
+	}
+	if info.Device != "A20" {
+		t.Fatalf("info.Device = %q, want A20", info.Device)
+	}
+}
+
+func TestAgentReadDeadlineReapsSilentMaster(t *testing.T) {
+	dev, err := soc.NewDevice("Q845")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent := bench.NewAgent(dev, power.NewUSBSwitch(), nil)
+	agent.ReadTimeout = 50 * time.Millisecond
+	addr, err := agent.Start()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { agent.Close() })
+
+	// Dial and send nothing — the deaf-master shape. The agent must hang
+	// up on its own instead of pinning the connection forever.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("agent sent data to a silent master")
+	} else if nerr, ok := err.(net.Error); ok && nerr.Timeout() {
+		t.Fatal("agent kept a silent master's connection open past its read deadline")
+	}
+	// A live master is unaffected: the deadline re-arms per frame.
+	master := bench.NewMaster(addr, nil)
+	if _, err := master.Query(context.Background()); err != nil {
+		t.Fatalf("query after reap: %v", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/gaugenn/gaugenn/internal/power"
+	"github.com/gaugenn/gaugenn/internal/retry"
 )
 
 // Master is the server side of Figure 2/3: it owns the USB switch, pushes
@@ -32,6 +33,20 @@ type Master struct {
 	// pools shorten it so a dead remote agent fails fast and its jobs
 	// requeue elsewhere.
 	DialTimeout time.Duration
+	// Retry re-runs a failed dial-and-handshake round (prepare, collect,
+	// or a control roundtrip) — the whole exchange repeats on a fresh
+	// connection, which the agent's protocol tolerates: job pushes and
+	// collects are idempotent by job ID. Nil performs exactly one attempt
+	// per round, the pre-policy behaviour.
+	Retry *retry.Policy
+}
+
+// policy resolves the effective per-round retry policy.
+func (m *Master) policy() retry.Policy {
+	if m.Retry != nil {
+		return *m.Retry
+	}
+	return retry.Policy{}
 }
 
 // NewMaster pairs a master with an agent endpoint and switch.
@@ -60,42 +75,14 @@ func (m *Master) RunJobs(ctx context.Context, jobs []Job) ([]JobResult, error) {
 
 	// Prepare: push all dependencies over adb and arm the headless script.
 	// The round timeout covers this handshake too: a device that accepts
-	// the dial but never acknowledges a job must not hang the master.
-	conn, err := m.dialAgent(ctx)
-	if err != nil {
+	// the dial but never acknowledges a job must not hang the master. A
+	// failed round repeats whole on a fresh connection (job pushes are
+	// idempotent by ID on the agent side) under the retry policy.
+	if err := retry.Do(ctx, m.policy(), func(ctx context.Context) error {
+		return m.prepare(ctx, jobs, notifyLn.Addr().String())
+	}); err != nil {
 		return nil, err
 	}
-	m.armDeadline(conn)
-	// A cancelled context closes the control connection so blocked
-	// reads/writes return immediately; ctxErr below maps the resulting
-	// I/O error back to the context error.
-	stopWatch := context.AfterFunc(ctx, func() { conn.Close() })
-	rd := bufio.NewScanner(conn)
-	rd.Buffer(make([]byte, 1<<20), 256<<20)
-	for _, job := range jobs {
-		if err := m.send(conn, msgJob, job); err != nil {
-			stopWatch()
-			conn.Close()
-			return nil, m.ctxErr(ctx, err)
-		}
-		if _, err := m.expect(rd, msgReady); err != nil {
-			stopWatch()
-			conn.Close()
-			return nil, m.ctxErr(ctx, err)
-		}
-	}
-	if err := m.send(conn, msgPowerOff, notifyLn.Addr().String()); err != nil {
-		stopWatch()
-		conn.Close()
-		return nil, m.ctxErr(ctx, err)
-	}
-	if _, err := m.expect(rd, msgOK); err != nil {
-		stopWatch()
-		conn.Close()
-		return nil, m.ctxErr(ctx, err)
-	}
-	stopWatch()
-	conn.Close()
 
 	// Cut USB power: the data channel drops with it and the device starts
 	// the unattended run.
@@ -151,19 +138,71 @@ func (m *Master) RunJobs(ctx context.Context, jobs []Job) ([]JobResult, error) {
 		return nil, fmt.Errorf("bench: device did not notify within %v", timeout)
 	}
 
-	// Restore power, reconnect over adb, collect and clean.
+	// Restore power, reconnect over adb, collect and clean. Collects are
+	// idempotent reads of the agent's result map, so a dropped connection
+	// repeats the whole round under the same policy.
 	if m.USB != nil {
 		m.USB.SetPower(true)
 	}
-	conn, err = m.dialAgent(ctx)
+	var results []JobResult
+	if err := retry.Do(ctx, m.policy(), func(ctx context.Context) error {
+		rs, err := m.collect(ctx, jobs)
+		if err != nil {
+			return err
+		}
+		results = rs
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// prepare is the pre-power-cut handshake: one connection pushing every
+// job, then arming the headless script with the notify address.
+func (m *Master) prepare(ctx context.Context, jobs []Job, notifyAddr string) error {
+	conn, err := m.dialAgent(ctx)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	m.armDeadline(conn)
+	// A cancelled context closes the control connection so blocked
+	// reads/writes return immediately; ctxErr maps the resulting I/O
+	// error back to the context error.
+	stopWatch := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stopWatch()
+	rd := bufio.NewScanner(conn)
+	rd.Buffer(make([]byte, 1<<20), 256<<20)
+	for _, job := range jobs {
+		if err := m.send(conn, msgJob, job); err != nil {
+			return m.ctxErr(ctx, err)
+		}
+		if _, err := m.expect(rd, msgReady); err != nil {
+			return m.ctxErr(ctx, err)
+		}
+	}
+	if err := m.send(conn, msgPowerOff, notifyAddr); err != nil {
+		return m.ctxErr(ctx, err)
+	}
+	if _, err := m.expect(rd, msgOK); err != nil {
+		return m.ctxErr(ctx, err)
+	}
+	return nil
+}
+
+// collect is the post-notification handshake: one connection pulling
+// every job's result, then cleaning the agent's maps.
+func (m *Master) collect(ctx context.Context, jobs []Job) ([]JobResult, error) {
+	conn, err := m.dialAgent(ctx)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
 	m.armDeadline(conn)
-	stopWatch = context.AfterFunc(ctx, func() { conn.Close() })
+	stopWatch := context.AfterFunc(ctx, func() { conn.Close() })
 	defer stopWatch()
-	rd = bufio.NewScanner(conn)
+	rd := bufio.NewScanner(conn)
 	rd.Buffer(make([]byte, 1<<20), 256<<20)
 	results := make([]JobResult, 0, len(jobs))
 	for _, job := range jobs {
@@ -176,7 +215,7 @@ func (m *Master) RunJobs(ctx context.Context, jobs []Job) ([]JobResult, error) {
 		}
 		var res JobResult
 		if err := json.Unmarshal(payload, &res); err != nil {
-			return nil, fmt.Errorf("bench: bad result payload: %w", err)
+			return nil, retry.Permanent(fmt.Errorf("bench: bad result payload: %w", err))
 		}
 		results = append(results, res)
 	}
@@ -231,11 +270,28 @@ func (m *Master) armDeadline(conn net.Conn) {
 	}
 }
 
-// roundtrip runs one request/reply exchange on a fresh control connection.
+// roundtrip runs one request/reply exchange, retried whole on a fresh
+// control connection per attempt under the master's policy.
 func (m *Master) roundtrip(ctx context.Context, sendKind string, payload any, wantKind string) (json.RawMessage, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	var out json.RawMessage
+	err := retry.Do(ctx, m.policy(), func(ctx context.Context) error {
+		msg, err := m.roundtripOnce(ctx, sendKind, payload, wantKind)
+		if err != nil {
+			return err
+		}
+		out = msg
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (m *Master) roundtripOnce(ctx context.Context, sendKind string, payload any, wantKind string) (json.RawMessage, error) {
 	conn, err := m.dialAgent(ctx)
 	if err != nil {
 		return nil, err

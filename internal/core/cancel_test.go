@@ -10,6 +10,7 @@ import (
 
 	"github.com/gaugenn/gaugenn/internal/errs"
 	"github.com/gaugenn/gaugenn/internal/event"
+	"github.com/gaugenn/gaugenn/internal/testutil"
 )
 
 // runBounded executes a study run and fails the test if it does not
@@ -162,17 +163,7 @@ func TestRunCancelNoGoroutineLeak(t *testing.T) {
 		})
 		_, err := runBounded(t, 30*time.Second, ctx, cfg)
 		assertCancelled(t, err)
-		deadline := time.Now().Add(10 * time.Second)
-		for time.Now().Before(deadline) {
-			// +2 slack: runtime helpers (timer goroutines) come and go.
-			if runtime.NumGoroutine() <= before+2 {
-				break
-			}
-			time.Sleep(20 * time.Millisecond)
-		}
-		if n := runtime.NumGoroutine(); n > before+2 {
-			t.Fatalf("useHTTP=%v: goroutines leaked: before=%d after=%d", useHTTP, before, n)
-		}
+		testutil.GoroutinesSettled(t, before)
 	}
 }
 

@@ -3,7 +3,9 @@ package core
 import (
 	"context"
 	"crypto/sha256"
+	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -53,12 +55,25 @@ type studyEngine struct {
 
 	warmReports atomic.Int64
 	extracted   atomic.Int64
+
+	// quarMu guards the study-wide quarantine list; per-snapshot budget
+	// arithmetic lives on each appFailures ledger.
+	quarMu sync.Mutex
+	quar   []*errs.AppError
 }
 
 func newStudyEngine(cfg Config) (*studyEngine, error) {
 	e := &studyEngine{cfg: cfg}
 	if cfg.CacheDir != "" {
-		st, err := store.Open(cfg.CacheDir)
+		var (
+			st  *store.Store
+			err error
+		)
+		if cfg.StoreFS != nil {
+			st, err = store.OpenFS(cfg.CacheDir, cfg.StoreFS)
+		} else {
+			st, err = store.Open(cfg.CacheDir)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -68,6 +83,103 @@ func newStudyEngine(cfg Config) (*studyEngine, error) {
 		e.cache = analysis.NewUniqueCache(cfg.KeepGraphs)
 	}
 	return e, nil
+}
+
+// budget resolves the per-snapshot failure budget in app counts: zero
+// FailureBudget means the 5% default, negative tolerates nothing.
+func (cfg Config) budget(total int) int {
+	frac := cfg.FailureBudget
+	switch {
+	case frac < 0:
+		return 0
+	case frac == 0:
+		frac = 0.05
+	}
+	return int(frac * float64(total))
+}
+
+// appFailures is one snapshot's quarantine ledger. Failures are admitted
+// under the snapshot's budget — recorded on the engine, surfaced as
+// StageWarning events — until the budget blows, at which point admit
+// returns the typed *errs.BudgetError that stops the run.
+type appFailures struct {
+	eng      *studyEngine
+	snapshot string
+
+	mu    sync.Mutex
+	total int
+	pkgs  []string
+}
+
+func (e *studyEngine) newFailures(snapshot string) *appFailures {
+	return &appFailures{eng: e, snapshot: snapshot}
+}
+
+// setTotal sizes the budget once the snapshot's app count is known.
+func (f *appFailures) setTotal(total int) {
+	f.mu.Lock()
+	f.total = total
+	f.mu.Unlock()
+}
+
+// tolerate arbitrates one app failure: nil return means the app was
+// quarantined and the pipeline should continue without it; a non-nil
+// return must abort the run. Cancellations pass through untouched (they
+// are not app failures), and persist-stage errors always abort — a failed
+// write-through means the store lies to every future warm run.
+func (f *appFailures) tolerate(pkg string, err error) error {
+	if err == nil || errs.IsContextError(err) {
+		return err
+	}
+	stage := "crawl"
+	var se *errs.StageError
+	if errors.As(err, &se) {
+		stage = se.Stage
+	}
+	if stage == "persist" {
+		return err
+	}
+	f.mu.Lock()
+	f.pkgs = append(f.pkgs, pkg)
+	failed, total := len(f.pkgs), f.total
+	blown := failed > f.eng.cfg.budget(total)
+	var packages []string
+	if blown {
+		packages = append(packages, f.pkgs...)
+		sort.Strings(packages)
+	}
+	f.mu.Unlock()
+	f.eng.quarMu.Lock()
+	f.eng.quar = append(f.eng.quar, &errs.AppError{
+		Package: pkg, Snapshot: f.snapshot, Stage: stage, Err: err,
+	})
+	f.eng.quarMu.Unlock()
+	f.eng.emit(event.StageWarning{
+		Stage: stage, Snapshot: f.snapshot, Package: pkg, Err: err.Error(),
+	})
+	if blown {
+		return &errs.BudgetError{
+			Snapshot: f.snapshot, Budget: f.eng.cfg.budget(total),
+			Failed: failed, Total: total, Packages: packages,
+		}
+	}
+	return nil
+}
+
+// quarantined returns the study-wide quarantine list, sorted by snapshot
+// then package so results are deterministic across scheduling.
+func (e *studyEngine) quarantined() []*errs.AppError {
+	e.quarMu.Lock()
+	out := make([]*errs.AppError, len(e.quar))
+	copy(out, e.quar)
+	e.quarMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Snapshot != out[j].Snapshot {
+			return out[i].Snapshot < out[j].Snapshot
+		}
+		return out[i].Package < out[j].Package
+	})
+	return out
 }
 
 // emit delivers one typed event to the configured handler and bridges it
@@ -136,11 +248,11 @@ func (e *studyEngine) loadReport(ctx context.Context, apkBytes []byte) (rep *ext
 	h := extract.HashAPK(apkBytes)
 	key = store.HexKey(h[:])
 	if e.cfg.Resume {
-		data, ok, err := e.st.Get(store.KindReport, key)
-		if err != nil {
-			return nil, "", false, err
-		}
-		if ok {
+		// A store read error is treated exactly like a cache miss: the warm
+		// path is an optimisation, and a failing disk read must degrade to
+		// recomputation, not kill the study. (Writes are different — see
+		// persistReport.)
+		if data, ok, err := e.st.Get(store.KindReport, key); err == nil && ok {
 			// A warm report is only trusted when every model it references
 			// still has an analysis record (same guard as the payload front
 			// door): a crashed or version-bumped store could hold a report
@@ -234,6 +346,14 @@ func (e *studyEngine) persistCorpus(ctx context.Context, label string, c *analys
 // a subsequent Resume run warm-loads the finished prefix and produces
 // corpora byte-identical to an uninterrupted run.
 //
+// Per-app failures (a download the retry ladder could not beat, a corrupt
+// APK) degrade gracefully: the app is quarantined under
+// Config.FailureBudget — dropped from the corpus, surfaced as a
+// StageWarning event, listed in StudyResult.Quarantine — and the study
+// completes on the survivors. Only a blown budget (or a persist failure,
+// which would poison every future warm run) aborts, with a typed
+// *errs.BudgetError on the chain.
+//
 // With Config.CacheDir set the run is backed by a persistent study store:
 // every derived artifact is written through as it is produced, the merged
 // corpora are snapshotted into the CAS, and the study is appended to the
@@ -286,6 +406,7 @@ func Run(ctx context.Context, cfg Config) (*StudyResult, error) {
 	if err := g.Wait(); err != nil {
 		return nil, err
 	}
+	res.Quarantine = eng.quarantined()
 	if eng.st != nil {
 		// A write-through failure means the store is a lie; fail loudly
 		// rather than leave a partial cache that warms future runs.
@@ -337,6 +458,7 @@ func (e *studyEngine) runSnapshot(ctx context.Context, meta *docstore.Store, sna
 	workers := cfg.workerCount()
 	shards := analysis.NewShardedCorpus(label, cfg.KeepGraphs, workers, e.cache)
 	analyse := e.newStage("analyse", label)
+	failures := e.newFailures(label)
 	// handle ingests one downloaded (or in-process-built) APK: extraction
 	// (report-cache aware), sharded analysis, and the cold-report persist.
 	// Errors carry stage attribution so a cancelled or failed run names
@@ -369,16 +491,21 @@ func (e *studyEngine) runSnapshot(ctx context.Context, meta *docstore.Store, sna
 			return nil, err
 		}
 		defer shutdown()
+		client := crawler.NewClient(base)
+		if cfg.Transport != nil {
+			client.HTTPClient.Transport = cfg.Transport(label)
+		}
 		// The crawler serialises Progress calls and opens with (0, total);
 		// mirror the total onto the analyse stage, whose steps land after
 		// each app's ingest.
 		cr := &crawler.Crawler{
-			Client:         crawler.NewClient(base),
+			Client:         client,
 			Store:          meta,
 			MaxPerCategory: cfg.MaxPerCategory,
 			Workers:        workers,
 			Progress: func(done, total int) {
 				if done == 0 {
+					failures.setTotal(total)
 					analyse.start(total)
 					e.emit(event.StageStart{Stage: "crawl", Snapshot: label, Total: total})
 					return
@@ -388,10 +515,26 @@ func (e *studyEngine) runSnapshot(ctx context.Context, meta *docstore.Store, sna
 					e.emit(event.StageDone{Stage: "crawl", Snapshot: label, Total: total})
 				}
 			},
+			// Download/delivery failures arrive here once the client's retry
+			// ladder gave up; admit them against the budget. A quarantined
+			// app never reaches handle, so step the analyse stage to keep
+			// its disposition count whole.
+			FailApp: func(idx int, m crawler.AppMeta, err error) error {
+				if qerr := failures.tolerate(m.Package, errs.Stage("crawl", label, err)); qerr != nil {
+					return qerr
+				}
+				analyse.step()
+				return nil
+			},
 		}
 		_, err = cr.Run(ctx, label, func(idx int, m crawler.AppMeta, apkBytes []byte) error {
 			if err := handle(ctx, idx, m.Package, m.Category, apkBytes); err != nil {
-				return err
+				// Extraction and analysis failures are arbitrated like
+				// download failures; only persist errors (and cancellation)
+				// pass through tolerate and abort the crawl.
+				if qerr := failures.tolerate(m.Package, err); qerr != nil {
+					return qerr
+				}
 			}
 			analyse.step()
 			return nil
@@ -406,6 +549,7 @@ func (e *studyEngine) runSnapshot(ctx context.Context, meta *docstore.Store, sna
 	// its global index, so shard contents (and the merged corpus) do not
 	// depend on scheduling.
 	total := len(snap.Apps)
+	failures.setTotal(total)
 	crawl := e.newStage("crawl", label)
 	crawl.start(total)
 	analyse.start(total)
@@ -422,15 +566,26 @@ func (e *studyEngine) runSnapshot(ctx context.Context, meta *docstore.Store, sna
 			if ictx.Err() != nil {
 				return nil
 			}
+			// Quarantine mirrors the HTTP path: a tolerated failure drops
+			// the app (no shard entry, no metadata) but still steps both
+			// stages so disposition counts stay whole.
+			quarantine := func(err error) error {
+				if qerr := failures.tolerate(a.Package, err); qerr != nil {
+					return qerr
+				}
+				crawl.step()
+				analyse.step()
+				return nil
+			}
 			if !needsExtraction(a) {
 				shards.AddApp(idx, analysis.AppInfo{Package: a.Package, Category: string(a.Category)})
 			} else {
 				apkBytes, err := snap.BuildAPK(a)
 				if err != nil {
-					return errs.Stage("crawl", label, fmt.Errorf("core: packaging %s: %w", a.Package, err))
+					return quarantine(errs.Stage("crawl", label, fmt.Errorf("core: packaging %s: %w", a.Package, err)))
 				}
 				if err := handle(ictx, idx, a.Package, string(a.Category), apkBytes); err != nil {
-					return err
+					return quarantine(err)
 				}
 			}
 			// Values are pre-normalised to the store's JSON form (float64

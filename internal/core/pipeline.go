@@ -15,6 +15,7 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"net/http"
 	"runtime"
 	"sort"
 
@@ -29,6 +30,7 @@ import (
 	"github.com/gaugenn/gaugenn/internal/playstore"
 	"github.com/gaugenn/gaugenn/internal/power"
 	"github.com/gaugenn/gaugenn/internal/soc"
+	"github.com/gaugenn/gaugenn/internal/store"
 )
 
 // Config parameterises a full study run.
@@ -69,12 +71,30 @@ type Config struct {
 	// through (a cold run that populates the cache). Ignored without
 	// CacheDir.
 	Resume bool
+	// FailureBudget is the fraction of each snapshot's apps allowed to
+	// fail retrieval or extraction before the study aborts. Per-app
+	// failures under the budget are quarantined — the app is dropped from
+	// the corpus, surfaced as a StageWarning event and collected in
+	// StudyResult.Quarantine — and the study completes on the survivors;
+	// once a snapshot's failures exceed floor(FailureBudget*total) the run
+	// stops with a *errs.BudgetError (errors.Is(err, errs.ErrBudgetExceeded)).
+	// Zero means the 5% default; negative tolerates no failures at all.
+	FailureBudget float64
+	// Transport, when non-nil, supplies the HTTP transport for each
+	// snapshot's crawl client (UseHTTP runs only). Fault-injection
+	// harnesses interpose here; nil uses the default transport.
+	Transport func(snapshot string) http.RoundTripper
+	// StoreFS, when non-nil, replaces the filesystem beneath the study
+	// store (CacheDir runs only). Fault-injection harnesses interpose
+	// here; nil uses the real disk.
+	StoreFS store.FS
 	// OnEvent, when non-nil, receives the run's typed event stream: a
 	// StageStart/StageProgress/StageDone sequence per stage ("crawl",
-	// "analyse", "persist" — each tagged with its snapshot label) plus one
-	// CacheStats event after the persist stage of a CacheDir-backed run.
-	// Handlers may be called concurrently from both snapshot pipelines
-	// and must be safe for concurrent use.
+	// "analyse", "persist" — each tagged with its snapshot label), a
+	// StageWarning per quarantined app, plus one CacheStats event after
+	// the persist stage of a CacheDir-backed run. Handlers may be called
+	// concurrently from both snapshot pipelines and must be safe for
+	// concurrent use.
 	OnEvent func(event.Event)
 	// Progress, when non-nil, receives per-stage updates: "crawl-<label>"
 	// during retrieval, "analyse-<label>" as apps are ingested and
@@ -115,6 +135,10 @@ type StudyResult struct {
 	// the study's manifest identity, its corpus CAS keys, and how much
 	// work was served warm versus computed. Nil without Config.CacheDir.
 	Persist *PersistStats
+	// Quarantine lists the apps dropped under the failure budget, sorted
+	// by snapshot then package. Empty on a clean run; a run that returns
+	// an error never produces a result, so every entry here was tolerated.
+	Quarantine []*errs.AppError
 }
 
 // needsExtraction reports whether the in-process fast path must package

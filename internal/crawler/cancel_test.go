@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"github.com/gaugenn/gaugenn/internal/testutil"
 )
 
 // TestCrawlerRunCancelled cancels a crawl from inside the handle callback
@@ -13,6 +15,7 @@ import (
 // dispatches), the error chain carries context.Canceled, and the handled
 // prefix is consistent (every index delivered at most once).
 func TestCrawlerRunCancelled(t *testing.T) {
+	testutil.NoLeakedGoroutines(t)
 	_, base := startStore(t, 0.02)
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()

@@ -13,12 +13,15 @@ import (
 	"io"
 	"net/http"
 	"net/url"
+	"strconv"
 	"sync"
 	"time"
 
 	"github.com/gaugenn/gaugenn/internal/android/apk"
 	"github.com/gaugenn/gaugenn/internal/docstore"
 	"github.com/gaugenn/gaugenn/internal/errgroup"
+	"github.com/gaugenn/gaugenn/internal/errs"
+	"github.com/gaugenn/gaugenn/internal/retry"
 )
 
 // AppMeta is the store metadata captured per app listing.
@@ -49,11 +52,21 @@ type Client struct {
 	Locale      string
 	DeviceModel string
 	HTTPClient  *http.Client
-	// Retries re-issues a request after transient failures (network
-	// errors, 5xx); a 16k-app crawl cannot afford to die on one hiccup.
-	Retries int
-	// RetryDelay spaces attempts (default 50 ms).
+	// Retry shapes the transient-failure ladder (network errors, 5xx,
+	// 429); a 16k-app crawl cannot afford to die on one hiccup. Nil falls
+	// back to the legacy Retries/RetryDelay fields when either is set,
+	// else to retry.Default(). A 429/503 Retry-After header overrides the
+	// computed backoff, capped by the policy's MaxDelay.
+	Retry *retry.Policy
+	// Retries and RetryDelay are the v1 retry knobs, preserved verbatim:
+	// Retries extra attempts spaced by a fixed RetryDelay (default 50 ms).
+	// Ignored when Retry is set.
+	Retries    int
 	RetryDelay time.Duration
+	// Breaker, when non-nil, circuit-breaks per BaseURL: once the host
+	// trips it, further requests fail fast with retry.ErrOpen instead of
+	// burning the full ladder against a dead server.
+	Breaker *retry.Breaker
 }
 
 // NewClient builds a client with the paper's default device profile (a
@@ -68,37 +81,49 @@ func NewClient(baseURL string) *Client {
 	}
 }
 
+// policy resolves the effective retry policy: Retry wins, then the legacy
+// Retries/RetryDelay pair (fixed spacing, exactly Retries extra attempts),
+// then the shared default ladder.
+func (c *Client) policy() retry.Policy {
+	if c.Retry != nil {
+		return *c.Retry
+	}
+	if c.Retries > 0 || c.RetryDelay > 0 {
+		delay := c.RetryDelay
+		if delay <= 0 {
+			delay = 50 * time.Millisecond
+		}
+		return retry.Policy{Attempts: c.Retries + 1, BaseDelay: delay, Multiplier: 1}
+	}
+	return retry.Default()
+}
+
 func (c *Client) get(ctx context.Context, path string, q url.Values) ([]byte, error) {
 	u := c.BaseURL + path
 	if len(q) > 0 {
 		u += "?" + q.Encode()
 	}
-	var lastErr error
-	for attempt := 0; attempt <= c.Retries; attempt++ {
-		if attempt > 0 {
-			delay := c.RetryDelay
-			if delay <= 0 {
-				delay = 50 * time.Millisecond
-			}
-			// A cancelled crawl must not sit out the retry backoff.
-			t := time.NewTimer(delay)
-			select {
-			case <-ctx.Done():
-				t.Stop()
-				return nil, ctx.Err()
-			case <-t.C:
-			}
+	var body []byte
+	err := retry.Do(ctx, c.policy(), func(ctx context.Context) error {
+		if !c.Breaker.Allow(c.BaseURL) {
+			return retry.Permanent(fmt.Errorf("crawler: host %s: %w", c.BaseURL, retry.ErrOpen))
 		}
-		body, retryable, err := c.getOnce(ctx, u, path)
+		b, retryable, err := c.getOnce(ctx, u, path)
 		if err == nil {
-			return body, nil
+			c.Breaker.Success(c.BaseURL)
+			body = b
+			return nil
 		}
-		lastErr = err
-		if !retryable || ctx.Err() != nil {
-			return nil, err
+		c.Breaker.Failure(c.BaseURL)
+		if !retryable {
+			return retry.Permanent(err)
 		}
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
-	return nil, lastErr
+	return body, nil
 }
 
 func (c *Client) getOnce(ctx context.Context, u, path string) (body []byte, retryable bool, err error) {
@@ -125,10 +150,36 @@ func (c *Client) getOnce(ctx context.Context, u, path string) (body []byte, retr
 		return nil, true, fmt.Errorf("crawler: reading %s: %w", path, err)
 	}
 	if resp.StatusCode != http.StatusOK {
-		return nil, resp.StatusCode >= 500,
-			fmt.Errorf("crawler: GET %s: status %d: %s", path, resp.StatusCode, truncate(body, 200))
+		statusErr := fmt.Errorf("crawler: GET %s: status %d: %s", path, resp.StatusCode, truncate(body, 200))
+		retryable := resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests
+		if retryable {
+			// A throttling server names its own pacing: carry Retry-After to
+			// the policy, which honours it up to its MaxDelay cap.
+			if after, ok := retryAfter(resp.Header); ok {
+				statusErr = retry.Hint(statusErr, after)
+			}
+		}
+		return nil, retryable, statusErr
 	}
 	return body, false, nil
+}
+
+// retryAfter parses a Retry-After header: delay-seconds or an HTTP date.
+func retryAfter(h http.Header) (time.Duration, bool) {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
+		return time.Duration(secs) * time.Second, true
+	}
+	if at, err := http.ParseTime(v); err == nil {
+		if d := time.Until(at); d > 0 {
+			return d, true
+		}
+		return 0, true
+	}
+	return 0, false
 }
 
 // Categories lists the store's category identifiers.
@@ -207,6 +258,14 @@ type Crawler struct {
 	// consumers learn the total up front. Calls are serialised even when
 	// Workers > 1.
 	Progress func(done, total int)
+	// FailApp, when non-nil, arbitrates per-app failures (download or
+	// delivery, after the client's retry ladder gave up): return nil to
+	// quarantine the app — it is skipped, counted in Progress but not in
+	// Result.Apps, and handle never sees it — or return an error to abort
+	// the crawl. Nil FailApp aborts on the first failure, as does any
+	// context cancellation (cancellations never reach FailApp). Called
+	// concurrently when Workers > 1.
+	FailApp func(idx int, meta AppMeta, err error) error
 }
 
 // Result summarises a crawl.
@@ -308,13 +367,38 @@ func (cr *Crawler) Run(ctx context.Context, label string, handle func(idx int, m
 			if actx.Err() != nil {
 				return nil
 			}
+			quarantine := func(err error) (bool, error) {
+				// Cancellation is not an app failure; a tolerated failure
+				// still steps Progress so totals stay consistent.
+				if cr.FailApp == nil || actx.Err() != nil || errs.IsContextError(err) {
+					return false, err
+				}
+				if ferr := cr.FailApp(idx, meta, err); ferr != nil {
+					return false, ferr
+				}
+				mu.Lock()
+				done++
+				if cr.Progress != nil {
+					cr.Progress(done, total)
+				}
+				mu.Unlock()
+				return true, nil
+			}
 			apkBytes, err := cr.Client.DownloadAPK(actx, meta.Package)
 			if err != nil {
-				return fmt.Errorf("crawler: download %s: %w", meta.Package, err)
+				skipped, err := quarantine(fmt.Errorf("crawler: download %s: %w", meta.Package, err))
+				if skipped {
+					return nil
+				}
+				return err
 			}
 			man, err := cr.Client.Delivery(actx, meta.Package)
 			if err != nil {
-				return fmt.Errorf("crawler: delivery %s: %w", meta.Package, err)
+				skipped, err := quarantine(fmt.Errorf("crawler: delivery %s: %w", meta.Package, err))
+				if skipped {
+					return nil
+				}
+				return err
 			}
 			if cr.Store != nil {
 				// Numbers go in pre-normalised to float64 (the store's JSON

@@ -1,0 +1,218 @@
+package crawler
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/gaugenn/gaugenn/internal/retry"
+)
+
+func TestClientHonorsRetryAfterOn429(t *testing.T) {
+	var count atomic.Int64
+	var firstRetry atomic.Int64
+	var served atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := count.Add(1)
+		if n == 1 {
+			served.Store(time.Now().UnixNano())
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "slow down", http.StatusTooManyRequests)
+			return
+		}
+		firstRetry.Store(time.Now().UnixNano())
+		json.NewEncoder(w).Encode([]string{"COMMUNICATION"})
+	}))
+	t.Cleanup(srv.Close)
+
+	c := NewClient(srv.URL)
+	// BaseDelay is near-zero: only the Retry-After hint can explain a
+	// measurable gap before the retry.
+	c.Retry = &retry.Policy{Attempts: 3, BaseDelay: time.Nanosecond, MaxDelay: time.Minute, Multiplier: 1}
+	if _, err := c.Categories(context.Background()); err != nil {
+		t.Fatalf("429 then 200 should recover: %v", err)
+	}
+	if count.Load() != 2 {
+		t.Fatalf("requests = %d, want 2", count.Load())
+	}
+	gap := time.Duration(firstRetry.Load() - served.Load())
+	if gap < 900*time.Millisecond {
+		t.Fatalf("retry fired %v after the 429; Retry-After: 1 was not honoured", gap)
+	}
+}
+
+func TestClientCapsRetryAfterByMaxDelay(t *testing.T) {
+	var count atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if count.Add(1) == 1 {
+			w.Header().Set("Retry-After", "3600") // an hour — must be capped
+			http.Error(w, "slow down", http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode([]string{"COMMUNICATION"})
+	}))
+	t.Cleanup(srv.Close)
+
+	c := NewClient(srv.URL)
+	c.Retry = &retry.Policy{Attempts: 2, BaseDelay: time.Millisecond, MaxDelay: 50 * time.Millisecond, Multiplier: 1}
+	start := time.Now()
+	if _, err := c.Categories(context.Background()); err != nil {
+		t.Fatalf("503 then 200 should recover: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("hour-long Retry-After not capped by MaxDelay (took %v)", elapsed)
+	}
+	if count.Load() != 2 {
+		t.Fatalf("requests = %d, want 2", count.Load())
+	}
+}
+
+func TestClientDefaultPolicyRetries(t *testing.T) {
+	srv, count := flakyStore(t, 2)
+	c := NewClient(srv.URL) // no retry knobs set at all
+	if _, err := c.Categories(context.Background()); err != nil {
+		t.Fatalf("default policy should ride out two 500s: %v", err)
+	}
+	if count.Load() != 3 {
+		t.Fatalf("requests = %d, want 3 under retry.Default()", count.Load())
+	}
+}
+
+func TestClientBreakerFailsFast(t *testing.T) {
+	var count atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		count.Add(1)
+		http.Error(w, "dead backend", http.StatusInternalServerError)
+	}))
+	t.Cleanup(srv.Close)
+
+	c := NewClient(srv.URL)
+	c.Retry = &retry.Policy{Attempts: 3, BaseDelay: time.Millisecond, Multiplier: 1}
+	c.Breaker = retry.NewBreaker(3)
+	if _, err := c.Categories(context.Background()); err == nil {
+		t.Fatal("dead backend should fail")
+	}
+	reqsAfterTrip := count.Load()
+	if reqsAfterTrip != 3 {
+		t.Fatalf("first ladder made %d requests, want 3", reqsAfterTrip)
+	}
+	_, err := c.Categories(context.Background())
+	if !errors.Is(err, retry.ErrOpen) {
+		t.Fatalf("tripped breaker returned %v, want retry.ErrOpen", err)
+	}
+	if count.Load() != reqsAfterTrip {
+		t.Fatalf("open circuit still issued %d requests", count.Load()-reqsAfterTrip)
+	}
+}
+
+// quarantineStore serves a two-app chart where one APK download always
+// 500s, exercising the FailApp tolerance path end-to-end.
+func quarantineStore(t *testing.T, failPkg string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/fdfe/categories":
+			json.NewEncoder(w).Encode([]string{"COMMUNICATION"})
+		case "/fdfe/topCharts":
+			json.NewEncoder(w).Encode([]AppMeta{
+				{Package: "com.good.app", Category: "COMMUNICATION", Rank: 1},
+				{Package: failPkg, Category: "COMMUNICATION", Rank: 2},
+			})
+		case "/fdfe/purchase":
+			if r.URL.Query().Get("doc") == failPkg {
+				http.Error(w, "storage backend lost the apk", http.StatusInternalServerError)
+				return
+			}
+			w.Write([]byte("apk-bytes"))
+		case "/fdfe/delivery":
+			json.NewEncoder(w).Encode(DeliveryManifest{Package: r.URL.Query().Get("doc")})
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestCrawlerFailAppQuarantinesAndContinues(t *testing.T) {
+	srv := quarantineStore(t, "com.broken.app")
+	c := NewClient(srv.URL)
+	c.Retry = &retry.Policy{Attempts: 2, BaseDelay: time.Millisecond, Multiplier: 1}
+
+	var mu sync.Mutex
+	var quarantined []string
+	var handled []string
+	var progress []int
+	cr := &Crawler{
+		Client: c,
+		FailApp: func(idx int, meta AppMeta, err error) error {
+			mu.Lock()
+			quarantined = append(quarantined, meta.Package)
+			mu.Unlock()
+			if err == nil || !strings.Contains(err.Error(), "500") {
+				return fmt.Errorf("unexpected quarantine cause: %w", err)
+			}
+			return nil
+		},
+		Progress: func(done, total int) {
+			mu.Lock()
+			progress = append(progress, done)
+			mu.Unlock()
+		},
+	}
+	res, err := cr.Run(context.Background(), "2021", func(idx int, meta AppMeta, apkBytes []byte) error {
+		mu.Lock()
+		handled = append(handled, meta.Package)
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("quarantined failure must not abort the crawl: %v", err)
+	}
+	if len(quarantined) != 1 || quarantined[0] != "com.broken.app" {
+		t.Fatalf("quarantined = %v, want [com.broken.app]", quarantined)
+	}
+	if len(handled) != 1 || handled[0] != "com.good.app" {
+		t.Fatalf("handled = %v, want [com.good.app]", handled)
+	}
+	if res.Apps != 1 {
+		t.Fatalf("res.Apps = %d, want 1 (quarantined app not counted)", res.Apps)
+	}
+	last := progress[len(progress)-1]
+	if last != 2 {
+		t.Fatalf("final progress = %d, want 2 (quarantined app still steps)", last)
+	}
+}
+
+func TestCrawlerNilFailAppAbortsAsBefore(t *testing.T) {
+	srv := quarantineStore(t, "com.broken.app")
+	c := NewClient(srv.URL)
+	c.Retry = &retry.Policy{Attempts: 2, BaseDelay: time.Millisecond, Multiplier: 1}
+	cr := &Crawler{Client: c}
+	if _, err := cr.Run(context.Background(), "2021", nil); err == nil {
+		t.Fatal("nil FailApp must abort on a per-app failure")
+	}
+}
+
+func TestCrawlerFailAppErrorAborts(t *testing.T) {
+	srv := quarantineStore(t, "com.broken.app")
+	c := NewClient(srv.URL)
+	c.Retry = &retry.Policy{Attempts: 2, BaseDelay: time.Millisecond, Multiplier: 1}
+	sentinel := errors.New("budget blown")
+	cr := &Crawler{
+		Client:  c,
+		FailApp: func(int, AppMeta, error) error { return sentinel },
+	}
+	_, err := cr.Run(context.Background(), "2021", nil)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want the FailApp verdict", err)
+	}
+}

@@ -25,6 +25,11 @@ var (
 	// ErrStoreCorrupt marks a persisted study-store record that no longer
 	// decodes — a torn blob, a codec mismatch, or outside interference.
 	ErrStoreCorrupt = errors.New("gaugenn: study store corrupt")
+	// ErrBudgetExceeded marks a study whose per-app failures outgrew its
+	// failure budget: too much of the corpus was quarantined for the
+	// surviving result to stand for the study. Match with errors.Is; the
+	// concrete *BudgetError carries the quarantined packages.
+	ErrBudgetExceeded = errors.New("gaugenn: failure budget exceeded")
 )
 
 // IsContextError reports whether err is (or wraps) a context cancellation
@@ -73,3 +78,46 @@ func Stage(stage, snapshot string, err error) error {
 	}
 	return &StageError{Stage: stage, Snapshot: snapshot, Err: err}
 }
+
+// AppError is one quarantined app: a per-app pipeline failure the study
+// survived by dropping the app from its corpus instead of aborting. The
+// engine surfaces each as a StageWarning event and collects them in
+// StudyResult.Quarantine; only a blown failure budget turns them into a
+// run-level error.
+type AppError struct {
+	// Package is the failed app's package name.
+	Package string
+	// Snapshot is the study snapshot label the failure happened under.
+	Snapshot string
+	// Stage names the pipeline stage that failed ("crawl", "extract").
+	Stage string
+	// Err is the underlying cause, preserved for errors.Is/As.
+	Err error
+}
+
+func (e *AppError) Error() string {
+	return fmt.Sprintf("gaugenn: app %s (%s/%s): %v", e.Package, e.Stage, e.Snapshot, e.Err)
+}
+
+func (e *AppError) Unwrap() error { return e.Err }
+
+// BudgetError reports a snapshot whose quarantine outgrew the failure
+// budget. It satisfies errors.Is(err, ErrBudgetExceeded) and lists every
+// package quarantined before the run gave up, in deterministic order.
+type BudgetError struct {
+	// Snapshot is the label whose budget blew first.
+	Snapshot string
+	// Budget is the maximum tolerated failure count; Failed is how many
+	// apps had failed when the run stopped; Total sizes the snapshot.
+	Budget, Failed, Total int
+	// Packages lists the quarantined package names, sorted.
+	Packages []string
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("gaugenn: snapshot %s: %d of %d apps failed (budget %d): %v",
+		e.Snapshot, e.Failed, e.Total, e.Budget, e.Packages)
+}
+
+// Is makes errors.Is(err, ErrBudgetExceeded) true for any blown budget.
+func (e *BudgetError) Is(target error) bool { return target == ErrBudgetExceeded }

@@ -41,6 +41,18 @@ type StageDone struct {
 	Total    int
 }
 
+// StageWarning reports a per-app failure the run survived: the app was
+// quarantined (dropped from the snapshot's corpus) and the stage carried
+// on. Err is the rendered cause — a string, not an error, so the event is
+// value-only and serialisable; the typed errs.AppError chain lives on
+// StudyResult.Quarantine.
+type StageWarning struct {
+	Stage    string
+	Snapshot string
+	Package  string
+	Err      string
+}
+
 // CacheStats summarises a CacheDir-backed run's warm/cold work split once
 // the persist stage finishes — the machine-readable form of the
 // `gaugenn study -v` cache line.
@@ -56,6 +68,7 @@ type CacheStats struct {
 func (StageStart) event()    {}
 func (StageProgress) event() {}
 func (StageDone) event()     {}
+func (StageWarning) event()  {}
 func (CacheStats) event()    {}
 
 // StageName renders the legacy v1 stage string ("crawl-2021") for the

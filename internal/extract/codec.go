@@ -3,18 +3,20 @@ package extract
 import (
 	"crypto/md5"
 	"encoding/binary"
-	"encoding/json"
 	"fmt"
 	"io"
 
 	"github.com/gaugenn/gaugenn/internal/cloudml"
 	"github.com/gaugenn/gaugenn/internal/nn/graph"
+	"github.com/gaugenn/gaugenn/internal/store"
 )
 
 // reportCodecVersion is bumped whenever the wire layout (or the meaning of
 // any persisted field) changes; stored reports from other versions are
-// treated as cache misses and re-extracted, never migrated.
-const reportCodecVersion = 1
+// treated as cache misses and re-extracted, never migrated. Version 2
+// sealed the record (see store.SealJSON): report keys hash the APK, not
+// the report bytes, so the blob carries its own integrity digest.
+const reportCodecVersion = 2
 
 // HashAPK content-hashes a whole app package — the persistence key for
 // extraction reports. Equal bytes imply an identical extraction outcome,
@@ -83,15 +85,16 @@ func EncodeReport(r *Report) ([]byte, error) {
 			Path: m.Path, Framework: m.Framework, Checksum: m.Checksum, FileBytes: m.FileBytes,
 		})
 	}
-	return json.Marshal(w)
+	return store.SealJSON(w)
 }
 
 // DecodeReport reverses EncodeReport. Reports written by a different codec
-// version fail to decode — callers treat that as a cache miss and
-// re-extract rather than trusting a stale layout.
+// version — or whose seal no longer verifies — fail to decode; callers
+// treat that as a cache miss and re-extract rather than trusting a stale
+// or corrupted record.
 func DecodeReport(data []byte) (*Report, error) {
 	var w reportWire
-	if err := json.Unmarshal(data, &w); err != nil {
+	if err := store.OpenJSON(data, &w); err != nil {
 		return nil, fmt.Errorf("extract: decoding report: %w", err)
 	}
 	if w.V != reportCodecVersion {

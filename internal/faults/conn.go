@@ -1,0 +1,106 @@
+package faults
+
+import (
+	"context"
+	"net"
+
+	"github.com/gaugenn/gaugenn/internal/bench"
+	"github.com/gaugenn/gaugenn/internal/fleet"
+)
+
+// Listener wraps inner so each accepted connection is one fault
+// opportunity at site:
+//   - conn.drop: the connection closes on first Read or Write — the
+//     half-open TCP failure a master's dial retry must ride out.
+//   - conn.deaf: writes succeed but reads never deliver — the deaf-peer
+//     hang that read deadlines exist for.
+func Listener(sched *Schedule, site string, inner net.Listener) net.Listener {
+	return &listener{sched: sched, site: site, inner: inner}
+}
+
+type listener struct {
+	sched *Schedule
+	site  string
+	inner net.Listener
+}
+
+func (l *listener) Accept() (net.Conn, error) {
+	c, err := l.inner.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return WrapConn(l.sched, l.site, c), nil
+}
+
+func (l *listener) Close() error   { return l.inner.Close() }
+func (l *listener) Addr() net.Addr { return l.inner.Addr() }
+
+// WrapConn applies the conn.* classes to one connection; each call is one
+// opportunity per class at site.
+func WrapConn(sched *Schedule, site string, c net.Conn) net.Conn {
+	if sched.Hit(ClassConnDrop, site) {
+		return &droppedConn{Conn: c, err: &Err{Class: ClassConnDrop, Site: site}}
+	}
+	if sched.Hit(ClassConnDeaf, site) {
+		return &deafConn{Conn: c}
+	}
+	return c
+}
+
+// droppedConn fails every IO with the injected error, closing the real
+// connection on first use so the peer observes the drop too.
+type droppedConn struct {
+	net.Conn
+	err error
+}
+
+func (c *droppedConn) Read([]byte) (int, error)  { c.Conn.Close(); return 0, c.err }
+func (c *droppedConn) Write([]byte) (int, error) { c.Conn.Close(); return 0, c.err }
+
+// deafConn forwards writes but swallows the peer's responses: Read blocks
+// until the deadline (or Close) fires, exactly like a wedged agent that
+// accepted the job and went silent.
+type deafConn struct {
+	net.Conn
+}
+
+func (c *deafConn) Read(p []byte) (int, error) {
+	// Delegate to the real Read against a connection that will never
+	// receive data we let through — by never writing, the peer never has
+	// anything to answer. But the peer *does* write responses; swallow
+	// them by reading and discarding into a private buffer, then keep
+	// waiting so the caller's read blocks until its deadline.
+	buf := make([]byte, 4096)
+	for {
+		if _, err := c.Conn.Read(buf); err != nil {
+			return 0, err
+		}
+	}
+}
+
+// Runner wraps inner so each job execution is one runner.fail opportunity
+// at the runner's ID; fired jobs fail with an injected transport error
+// before reaching the rig.
+func Runner(sched *Schedule, inner fleet.Runner) fleet.Runner {
+	return &faultRunner{sched: sched, inner: inner}
+}
+
+type faultRunner struct {
+	sched *Schedule
+	inner fleet.Runner
+}
+
+func (r *faultRunner) ID() string          { return r.inner.ID() }
+func (r *faultRunner) DeviceModel() string { return r.inner.DeviceModel() }
+func (r *faultRunner) Close() error        { return r.inner.Close() }
+
+func (r *faultRunner) Run(ctx context.Context, job bench.Job) (bench.JobResult, error) {
+	if r.sched.Hit(ClassRunFail, r.inner.ID()) {
+		return bench.JobResult{}, &Err{Class: ClassRunFail, Site: r.inner.ID()}
+	}
+	return r.inner.Run(ctx, job)
+}
+
+func (r *faultRunner) Cooldown(ctx context.Context, targetJ float64) error {
+	return r.inner.Cooldown(ctx, targetJ)
+}

@@ -1,0 +1,177 @@
+// Package faults is gaugeNN's deterministic fault injector: one seeded
+// Schedule decides, reproducibly, which IO opportunities fail and how.
+// Injection points wrap the seams the production code already has — an
+// http.RoundTripper in front of the crawler (5xx bursts, 429 with
+// Retry-After, truncated bodies, stalled reads), a store.FS in front of
+// the CAS (EIO, bit-flipped reads, failed writes, torn appends), a
+// net.Listener/net.Conn pair for bench's wire protocol (dropped and deaf
+// connections), and a fleet.Runner shim — so the chaos suite can replay
+// the same failure pattern run after run and assert exact outcomes.
+//
+// Determinism is the whole point. A decision is a pure function of
+// (seed, class, site, opportunity counter): the site is a stable
+// identifier of *where* the opportunity happens (a snapshot-prefixed URL
+// path, a blob's kind/shard/key, a runner ID), the counter is how many
+// times that site has been tried, and neither depends on goroutine
+// scheduling. Two runs with the same seed and the same per-site workload
+// fault identically, regardless of worker count or interleaving.
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Fault classes — each names one failure mode an injection point can
+// produce. A Schedule maps classes to Rules; unset classes never fire.
+const (
+	// ClassHTTP500 answers a request with a 503 (retryable server error).
+	ClassHTTP500 = "http.500"
+	// ClassHTTP429 answers with 429 + a Retry-After header.
+	ClassHTTP429 = "http.429"
+	// ClassTruncate serves half the real body, then an unexpected EOF.
+	ClassTruncate = "http.truncate"
+	// ClassStall delays the body's first read by the schedule's StallFor.
+	ClassStall = "http.stall"
+	// ClassReadErr fails a blob read with a synthetic EIO.
+	ClassReadErr = "fs.read-error"
+	// ClassBitFlip returns a blob with one deterministic bit flipped.
+	ClassBitFlip = "fs.bit-flip"
+	// ClassWriteErr fails an atomic write cleanly (nothing published).
+	ClassWriteErr = "fs.write-error"
+	// ClassTornAppend appends only half the record, then fails.
+	ClassTornAppend = "fs.torn-append"
+	// ClassConnDrop closes an accepted connection on first use.
+	ClassConnDrop = "conn.drop"
+	// ClassConnDeaf accepts writes but never delivers reads (deaf peer).
+	ClassConnDeaf = "conn.deaf"
+	// ClassRunFail fails a fleet runner's job with a transport error.
+	ClassRunFail = "runner.fail"
+)
+
+// Rule shapes one class's firing pattern at every site.
+type Rule struct {
+	// Burst fires the first Burst opportunities at each site
+	// unconditionally — the "server is down, then recovers" shape that
+	// retry ladders must ride out. Negative means every opportunity fires
+	// (a persistent fault retries can never beat).
+	Burst int
+	// Rate fires each post-burst opportunity with this probability,
+	// decided by a pure hash of (seed, class, site, counter) — never by a
+	// shared RNG, whose draw order would depend on scheduling.
+	Rate float64
+}
+
+// Schedule is one seeded fault plan: class → Rule, plus the per-site
+// opportunity counters that make burst semantics work. Safe for
+// concurrent use; the counters are the only mutable state.
+type Schedule struct {
+	// StallFor is how long ClassStall delays a body read (default 5ms).
+	StallFor time.Duration
+
+	seed  int64
+	rules map[string]Rule
+
+	mu     sync.Mutex
+	counts map[string]int
+}
+
+// NewSchedule builds an empty (never-firing) schedule over seed.
+func NewSchedule(seed int64) *Schedule {
+	return &Schedule{
+		seed:     seed,
+		rules:    map[string]Rule{},
+		counts:   map[string]int{},
+		StallFor: 5 * time.Millisecond,
+	}
+}
+
+// Set installs (or replaces) the rule for one class. Call before the
+// schedule is in use; rules are read without locking.
+func (s *Schedule) Set(class string, r Rule) *Schedule {
+	s.rules[class] = r
+	return s
+}
+
+// Seed returns the schedule's seed, for labelling test failures.
+func (s *Schedule) Seed() int64 { return s.seed }
+
+// Hit consumes one opportunity for class at site and reports whether the
+// fault fires. Every call increments the (class, site) counter whether or
+// not the class has a rule, so adding a rule later does not renumber
+// opportunities.
+func (s *Schedule) Hit(class, site string) bool {
+	if s == nil {
+		return false
+	}
+	key := class + "\x00" + site
+	s.mu.Lock()
+	n := s.counts[key]
+	s.counts[key] = n + 1
+	s.mu.Unlock()
+	rule, ok := s.rules[class]
+	if !ok {
+		return false
+	}
+	if rule.Burst < 0 {
+		return true
+	}
+	if n < rule.Burst {
+		return true
+	}
+	if rule.Rate <= 0 {
+		return false
+	}
+	return hashFrac(s.seed, key, n) < rule.Rate
+}
+
+// Count returns how many opportunities (class, site) has consumed.
+func (s *Schedule) Count(class, site string) int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counts[class+"\x00"+site]
+}
+
+// hashFrac maps (seed, key, n) to a uniform fraction in [0, 1) via an
+// FNV-style mix + splitmix64 finaliser — stateless, so the decision for
+// opportunity n at a site is identical however runs interleave.
+func hashFrac(seed int64, key string, n int) float64 {
+	h := uint64(seed) ^ 0xcbf29ce484222325
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 0x100000001b3
+	}
+	h ^= uint64(n) * 0x9e3779b97f4a7c15
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return float64(h>>11) / float64(1<<53)
+}
+
+// Err is the error shape every injected failure carries, so tests (and
+// humans reading logs) can tell synthetic faults from real ones.
+type Err struct {
+	Class string
+	Site  string
+}
+
+func (e *Err) Error() string {
+	return fmt.Sprintf("faults: injected %s at %s", e.Class, e.Site)
+}
+
+// IsInjected reports whether err (or anything it wraps) was produced by
+// this package, returning the fault class.
+func IsInjected(err error) (class string, ok bool) {
+	var fe *Err
+	if errors.As(err, &fe) {
+		return fe.Class, true
+	}
+	return "", false
+}

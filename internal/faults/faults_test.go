@@ -1,0 +1,320 @@
+package faults
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/gaugenn/gaugenn/internal/bench"
+	"github.com/gaugenn/gaugenn/internal/store"
+)
+
+func TestScheduleBurstThenClean(t *testing.T) {
+	s := NewSchedule(1).Set(ClassHTTP500, Rule{Burst: 2})
+	site := "2020/apk/x"
+	for i := 0; i < 2; i++ {
+		if !s.Hit(ClassHTTP500, site) {
+			t.Fatalf("opportunity %d inside burst did not fire", i)
+		}
+	}
+	for i := 2; i < 10; i++ {
+		if s.Hit(ClassHTTP500, site) {
+			t.Fatalf("opportunity %d fired past the burst with zero rate", i)
+		}
+	}
+	if got := s.Count(ClassHTTP500, site); got != 10 {
+		t.Fatalf("Count = %d, want 10", got)
+	}
+	if !NewSchedule(1).Set(ClassHTTP500, Rule{Burst: -1}).Hit(ClassHTTP500, site) {
+		t.Fatal("persistent (Burst<0) rule did not fire")
+	}
+}
+
+func TestScheduleBurstIsPerSite(t *testing.T) {
+	s := NewSchedule(1).Set(ClassHTTP500, Rule{Burst: 1})
+	if !s.Hit(ClassHTTP500, "a") || !s.Hit(ClassHTTP500, "b") {
+		t.Fatal("each site must get its own burst")
+	}
+	if s.Hit(ClassHTTP500, "a") || s.Hit(ClassHTTP500, "b") {
+		t.Fatal("burst of 1 fired twice at one site")
+	}
+}
+
+func TestScheduleRateDeterministic(t *testing.T) {
+	run := func(seed int64) []bool {
+		s := NewSchedule(seed).Set(ClassReadErr, Rule{Rate: 0.3})
+		out := make([]bool, 200)
+		for i := range out {
+			out[i] = s.Hit(ClassReadErr, fmt.Sprintf("site-%d", i%7))
+		}
+		return out
+	}
+	a, b := run(42), run(42)
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs across identical runs", i)
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("rate 0.3 fired %d/%d times — not a rate", fired, len(a))
+	}
+	c := run(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault patterns")
+	}
+}
+
+func TestScheduleUnsetClassNeverFires(t *testing.T) {
+	s := NewSchedule(7)
+	for i := 0; i < 50; i++ {
+		if s.Hit(ClassBitFlip, "x") {
+			t.Fatal("unset class fired")
+		}
+	}
+	var nilSched *Schedule
+	if nilSched.Hit(ClassBitFlip, "x") || nilSched.Count(ClassBitFlip, "x") != 0 {
+		t.Fatal("nil schedule must be inert")
+	}
+}
+
+func TestTransportInjects500And429(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("payload-bytes"))
+	}))
+	defer srv.Close()
+
+	s := NewSchedule(1).
+		Set(ClassHTTP500, Rule{Burst: 1}).
+		Set(ClassHTTP429, Rule{Burst: 1})
+	client := &http.Client{Transport: Transport(s, "2020 ", nil)}
+
+	resp, err := client.Get(srv.URL + "/apk/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("first request = %d, want 503", resp.StatusCode)
+	}
+	resp, err = client.Get(srv.URL + "/apk/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second request = %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	resp, err = client.Get(srv.URL + "/apk/1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "payload-bytes" {
+		t.Fatalf("third request = %d %q, want clean 200", resp.StatusCode, body)
+	}
+}
+
+func TestTransportTruncatesBody(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("0123456789abcdef"))
+	}))
+	defer srv.Close()
+
+	s := NewSchedule(1).Set(ClassTruncate, Rule{Burst: 1})
+	client := &http.Client{Transport: Transport(s, "", nil)}
+	resp, err := client.Get(srv.URL + "/apk/2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, readErr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if readErr == nil {
+		t.Fatalf("truncated body read cleanly: %q", body)
+	}
+	if class, ok := IsInjected(readErr); !ok || class != ClassTruncate {
+		t.Fatalf("read error %v not tagged as injected truncation", readErr)
+	}
+	if len(body) != 8 {
+		t.Fatalf("got %d bytes before the cut, want 8", len(body))
+	}
+}
+
+func TestTransportSitePrefixesSeparateCounters(t *testing.T) {
+	s := NewSchedule(1).Set(ClassHTTP500, Rule{Burst: 1})
+	if !s.Hit(ClassHTTP500, "2020 /apk/1") || !s.Hit(ClassHTTP500, "2021 /apk/1") {
+		t.Fatal("same path under different prefixes must burst independently")
+	}
+}
+
+func TestFaultFSReadErrorAndBitFlip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "payload", "ab", "abcd1234")
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	content := []byte("stored-record")
+	if err := os.WriteFile(path, content, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s := NewSchedule(9).Set(ClassReadErr, Rule{Burst: 1})
+	fsys := FS(s, store.OSFS{})
+	if _, err := fsys.ReadFile(path); err == nil {
+		t.Fatal("first read did not fail")
+	} else if class, ok := IsInjected(err); !ok || class != ClassReadErr {
+		t.Fatalf("read error %v not tagged", err)
+	}
+	data, err := fsys.ReadFile(path)
+	if err != nil || string(data) != string(content) {
+		t.Fatalf("post-burst read = %q, %v", data, err)
+	}
+
+	s2 := NewSchedule(9).Set(ClassBitFlip, Rule{Burst: -1})
+	fsys2 := FS(s2, store.OSFS{})
+	a, err := fsys2.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) == string(content) {
+		t.Fatal("bit-flip read returned clean bytes")
+	}
+	b, _ := fsys2.ReadFile(path)
+	if string(a) != string(b) {
+		t.Fatal("bit-flip position not deterministic across reads")
+	}
+	disk, _ := os.ReadFile(path)
+	if string(disk) != string(content) {
+		t.Fatal("bit-flip corrupted the disk, not just the read")
+	}
+}
+
+func TestFaultFSTornAppend(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "manifest.jsonl")
+	s := NewSchedule(3).Set(ClassTornAppend, Rule{Burst: 1})
+	fsys := FS(s, store.OSFS{})
+	record := []byte(`{"id":"seed42-scale0.05"}` + "\n")
+	err := fsys.Append(path, record)
+	if err == nil {
+		t.Fatal("torn append reported success")
+	}
+	data, readErr := os.ReadFile(path)
+	if readErr != nil {
+		t.Fatal(readErr)
+	}
+	if len(data) != len(record)/2 {
+		t.Fatalf("torn append left %d bytes, want %d", len(data), len(record)/2)
+	}
+	if err := fsys.Append(path, record); err != nil {
+		t.Fatalf("post-burst append: %v", err)
+	}
+}
+
+func TestFaultFSWriteError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "analysis", "ab", "abcd9999")
+	s := NewSchedule(3).Set(ClassWriteErr, Rule{Burst: 1})
+	fsys := FS(s, store.OSFS{})
+	if err := fsys.WriteFileAtomic(path, []byte("x")); err == nil {
+		t.Fatal("write fault reported success")
+	}
+	if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("failed atomic write left a file behind")
+	}
+	if err := fsys.WriteFileAtomic(path, []byte("x")); err != nil {
+		t.Fatalf("post-burst write: %v", err)
+	}
+}
+
+func TestCorrupterHelpers(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob")
+	if err := os.WriteFile(path, []byte("abcdefgh"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := FlipBit(path, 3); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	if string(data) == "abcdefgh" {
+		t.Fatal("FlipBit changed nothing")
+	}
+	if err := FlipBit(path, 3); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = os.ReadFile(path)
+	if string(data) != "abcdefgh" {
+		t.Fatal("double FlipBit did not restore the byte")
+	}
+	if err := Truncate(path, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = os.ReadFile(path)
+	if len(data) != 4 {
+		t.Fatalf("Truncate left %d bytes, want 4", len(data))
+	}
+	if err := AppendGarbage(path, `{"id":"tor`); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = os.ReadFile(path)
+	if string(data) != `abcd{"id":"tor` {
+		t.Fatalf("AppendGarbage result %q", data)
+	}
+}
+
+// stubRunner is the minimal fleet.Runner surface for shim tests.
+type stubRunner struct{ runs int }
+
+func (r *stubRunner) ID() string                              { return "stub-rig" }
+func (r *stubRunner) DeviceModel() string                     { return "Q845" }
+func (r *stubRunner) Close() error                            { return nil }
+func (r *stubRunner) Cooldown(context.Context, float64) error { return nil }
+func (r *stubRunner) Run(context.Context, bench.Job) (bench.JobResult, error) {
+	r.runs++
+	return bench.JobResult{ID: "ok"}, nil
+}
+
+func TestRunnerShimInjectsThenDelegates(t *testing.T) {
+	inner := &stubRunner{}
+	sched := NewSchedule(3).Set(ClassRunFail, Rule{Burst: 2})
+	r := Runner(sched, inner)
+	if r.ID() != "stub-rig" || r.DeviceModel() != "Q845" {
+		t.Fatal("shim must forward identity")
+	}
+	for i := 0; i < 2; i++ {
+		_, err := r.Run(context.Background(), bench.Job{})
+		if class, ok := IsInjected(err); !ok || class != ClassRunFail {
+			t.Fatalf("burst run %d: err = %v, want injected runner.fail", i, err)
+		}
+	}
+	if inner.runs != 0 {
+		t.Fatalf("injected failures reached the rig (%d runs)", inner.runs)
+	}
+	if res, err := r.Run(context.Background(), bench.Job{}); err != nil || res.ID != "ok" {
+		t.Fatalf("post-burst run: res=%v err=%v", res, err)
+	}
+	if inner.runs != 1 {
+		t.Fatalf("rig ran %d times, want 1", inner.runs)
+	}
+}

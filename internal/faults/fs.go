@@ -1,0 +1,128 @@
+package faults
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/gaugenn/gaugenn/internal/store"
+)
+
+// FS wraps a store.FS with fault injection. Sites are the trailing path
+// components (kind/shard/key for blobs, the bare name for the manifest),
+// so a blob faults identically wherever the store is rooted.
+//
+// Fault semantics per class:
+//   - fs.read-error: ReadFile fails with a synthetic EIO-shaped error.
+//   - fs.bit-flip:   ReadFile succeeds but one deterministic bit of the
+//     returned copy is flipped — the disk is untouched, so a retry that
+//     re-reads sees the same corruption (the decision repeats per
+//     opportunity) while recomputation heals it.
+//   - fs.write-error: WriteFileAtomic fails cleanly; nothing is published
+//     (the store's atomic-write contract holds even under faults).
+//   - fs.torn-append: Append writes only the first half of the record,
+//     then fails — the torn-manifest-tail shape fsck repairs.
+func FS(sched *Schedule, base store.FS) store.FS {
+	return &faultFS{sched: sched, base: base}
+}
+
+type faultFS struct {
+	sched *Schedule
+	base  store.FS
+}
+
+// pathSite reduces an absolute path to its store-relative identity.
+func pathSite(name string) string {
+	parts := strings.Split(filepath.ToSlash(name), "/")
+	if len(parts) > 3 {
+		parts = parts[len(parts)-3:]
+	}
+	return strings.Join(parts, "/")
+}
+
+func (f *faultFS) ReadFile(name string) ([]byte, error) {
+	site := pathSite(name)
+	if f.sched.Hit(ClassReadErr, site) {
+		return nil, fmt.Errorf("read %s: input/output error: %w", name, &Err{Class: ClassReadErr, Site: site})
+	}
+	data, err := f.base.ReadFile(name)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) > 0 && f.sched.Hit(ClassBitFlip, site) {
+		flipped := make([]byte, len(data))
+		copy(flipped, data)
+		bit := int(hashFrac(f.sched.seed, "bitpos\x00"+site, 0) * float64(len(flipped)*8))
+		flipped[bit/8] ^= 1 << (bit % 8)
+		return flipped, nil
+	}
+	return data, nil
+}
+
+func (f *faultFS) WriteFileAtomic(name string, data []byte) error {
+	site := pathSite(name)
+	if f.sched.Hit(ClassWriteErr, site) {
+		return fmt.Errorf("write %s: %w", name, &Err{Class: ClassWriteErr, Site: site})
+	}
+	return f.base.WriteFileAtomic(name, data)
+}
+
+func (f *faultFS) Append(name string, data []byte) error {
+	site := pathSite(name)
+	if f.sched.Hit(ClassTornAppend, site) {
+		if err := f.base.Append(name, data[:len(data)/2]); err != nil {
+			return err
+		}
+		return fmt.Errorf("append %s: %w", name, &Err{Class: ClassTornAppend, Site: site})
+	}
+	return f.base.Append(name, data)
+}
+
+func (f *faultFS) Stat(name string) (os.FileInfo, error)      { return f.base.Stat(name) }
+func (f *faultFS) ReadDir(name string) ([]os.DirEntry, error) { return f.base.ReadDir(name) }
+
+// The corrupter helpers damage a store on the real disk — the persistent
+// flavour of the same corruption classes, for exercising `gaugenn fsck`:
+// FlipBit is fs.bit-flip that survives re-reads, Truncate is a torn blob
+// or manifest tail, AppendGarbage is a crashed writer's partial record.
+
+// FlipBit flips one bit of the file at path, in place.
+func FlipBit(path string, bit int) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("faults: cannot flip a bit in empty %s", path)
+	}
+	bit %= len(data) * 8
+	if bit < 0 {
+		bit += len(data) * 8
+	}
+	data[bit/8] ^= 1 << (bit % 8)
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Truncate cuts the file at path to frac of its size (0 ≤ frac < 1).
+func Truncate(path string, frac float64) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	return os.Truncate(path, int64(float64(info.Size())*frac))
+}
+
+// AppendGarbage appends a non-JSON fragment to the file at path — the
+// torn tail a crashed manifest writer leaves behind.
+func AppendGarbage(path string, garbage string) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(garbage); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,120 @@
+package faults
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Transport wraps base with fault injection. The site for every HTTP
+// class is prefix + the request's URL path plus its canonicalised (sorted)
+// query: the Play API addresses apps through `?doc=<pkg>` on shared paths,
+// so the query must participate or every app would share one opportunity
+// counter and fault placement would depend on download scheduling. Callers
+// that hit identical routes on distinct servers (the study's two snapshot
+// stores) must pass distinct prefixes for the same reason.
+//
+// Synthetic 503/429 responses consume the opportunity without touching
+// the network; truncation and stalls perform the real exchange and
+// corrupt the body on the way through.
+func Transport(sched *Schedule, prefix string, base http.RoundTripper) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &transport{sched: sched, prefix: prefix, base: base}
+}
+
+type transport struct {
+	sched  *Schedule
+	prefix string
+	base   http.RoundTripper
+}
+
+func (t *transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	site := t.prefix + req.URL.Path
+	if q := req.URL.Query(); len(q) > 0 {
+		site += "?" + q.Encode() // Encode sorts keys: one canonical site per route+args
+	}
+	if t.sched.Hit(ClassHTTP500, site) {
+		return synthetic(req, http.StatusServiceUnavailable, nil), nil
+	}
+	if t.sched.Hit(ClassHTTP429, site) {
+		h := http.Header{}
+		// Ask for a short, real wait: long enough that a client ignoring
+		// the header is distinguishable, short enough for test suites.
+		h.Set("Retry-After", "0")
+		return synthetic(req, http.StatusTooManyRequests, h), nil
+	}
+	truncate := t.sched.Hit(ClassTruncate, site)
+	stall := t.sched.Hit(ClassStall, site)
+	resp, err := t.base.RoundTrip(req)
+	if err != nil || resp == nil {
+		return resp, err
+	}
+	if truncate {
+		body, readErr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if readErr != nil {
+			return nil, readErr
+		}
+		// Keep Content-Length advertising the full size: the client sees a
+		// connection that died mid-body, not a short-but-complete response.
+		resp.Body = io.NopCloser(io.MultiReader(
+			bytes.NewReader(body[:len(body)/2]),
+			errReader{&Err{Class: ClassTruncate, Site: site}},
+		))
+		return resp, nil
+	}
+	if stall {
+		resp.Body = &stalledBody{rc: resp.Body, delay: t.sched.StallFor, ctx: req.Context()}
+	}
+	return resp, nil
+}
+
+// synthetic builds an in-memory error response.
+func synthetic(req *http.Request, status int, h http.Header) *http.Response {
+	if h == nil {
+		h = http.Header{}
+	}
+	return &http.Response{
+		StatusCode: status,
+		Status:     http.StatusText(status),
+		Header:     h,
+		Body:       io.NopCloser(bytes.NewReader([]byte(http.StatusText(status)))),
+		Request:    req,
+		ProtoMajor: 1, ProtoMinor: 1,
+		ContentLength: int64(len(http.StatusText(status))),
+	}
+}
+
+// errReader yields err forever — the tail of a truncated body.
+type errReader struct{ err error }
+
+func (r errReader) Read([]byte) (int, error) { return 0, r.err }
+
+// stalledBody delays the first Read, honouring the request context so a
+// cancelled caller is never pinned behind an injected stall.
+type stalledBody struct {
+	rc      io.ReadCloser
+	delay   time.Duration
+	ctx     context.Context
+	stalled bool
+}
+
+func (b *stalledBody) Read(p []byte) (int, error) {
+	if !b.stalled {
+		b.stalled = true
+		t := time.NewTimer(b.delay)
+		defer t.Stop()
+		select {
+		case <-b.ctx.Done():
+			return 0, b.ctx.Err()
+		case <-t.C:
+		}
+	}
+	return b.rc.Read(p)
+}
+
+func (b *stalledBody) Close() error { return b.rc.Close() }

@@ -12,6 +12,7 @@ import (
 	"github.com/gaugenn/gaugenn/internal/errs"
 	"github.com/gaugenn/gaugenn/internal/event"
 	"github.com/gaugenn/gaugenn/internal/nn/zoo"
+	"github.com/gaugenn/gaugenn/internal/testutil"
 )
 
 func cancelMatrix(t *testing.T, nModels int) Matrix {
@@ -38,6 +39,7 @@ func cancelMatrix(t *testing.T, nModels int) Matrix {
 // error matching ErrCancelled, and no stranded worker goroutines (the
 // deferred pool Close would hang on those).
 func TestPoolRunCancelled(t *testing.T) {
+	testutil.NoLeakedGoroutines(t)
 	m := cancelMatrix(t, 6)
 	pool, err := NewLocalPool(m.Devices, 2)
 	if err != nil {

@@ -1,0 +1,159 @@
+package fleet
+
+// Scheduler-level chaos: circuit-breaker retirement, stranded-unit
+// accounting, and retry-policy pacing, driven through the same fakeRunner
+// the transport-failure suite uses.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/gaugenn/gaugenn/internal/errs"
+	"github.com/gaugenn/gaugenn/internal/retry"
+	"github.com/gaugenn/gaugenn/internal/testutil"
+)
+
+func TestBreakerRetiresFlakyRigAndFailsOver(t *testing.T) {
+	dead := newFakeRunner(t, "rig-dead", "Q845", -1) // every job fails
+	good := newFakeRunner(t, "rig-good", "Q845", 0)
+	pool, err := NewPool(dead, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, err := pool.Run(context.Background(), failureMatrix(t, "Q845"), Config{
+		NoCooldown: true,
+		Breaker:    retry.NewBreaker(2),
+	})
+	if err != nil {
+		t.Fatalf("healthy rig should absorb the fail-over: %v", err)
+	}
+	for _, ur := range agg.Units() {
+		if ur.Err != nil {
+			t.Fatalf("unit %d: %v", ur.Unit.Index, ur.Err)
+		}
+		if ur.Unit.Skip == "" && ur.Runner != "rig-good" {
+			t.Fatalf("unit %d served by %s, want rig-good", ur.Unit.Index, ur.Runner)
+		}
+	}
+	dead.mu.Lock()
+	calls := dead.calls
+	dead.mu.Unlock()
+	if calls > 2 {
+		t.Fatalf("retired rig was called %d times, breaker threshold is 2", calls)
+	}
+}
+
+func TestBreakerStrandedUnitsSurfaceTyped(t *testing.T) {
+	dead := newFakeRunner(t, "rig-dead", "Q845", -1)
+	pool, err := NewPool(dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := failureMatrix(t, "Q845")
+	var units []UnitResult
+	agg, err := pool.Run(context.Background(), m, Config{
+		NoCooldown: true,
+		Breaker:    retry.NewBreaker(1),
+		OnUnit:     func(ur UnitResult) { units = append(units, ur) },
+	})
+	if err == nil {
+		t.Fatal("a fully-dead pool must surface an error")
+	}
+	if !errors.Is(err, errs.ErrExhausted) {
+		t.Fatalf("err = %v, want errs.ErrExhausted on the chain", err)
+	}
+	expanded, _ := m.Expand()
+	if len(agg.Units()) != len(expanded) {
+		t.Fatalf("aggregator holds %d units, want all %d (stranded cells must not vanish)",
+			len(agg.Units()), len(expanded))
+	}
+	tried, stranded := 0, 0
+	for _, ur := range units {
+		if ur.Unit.Skip != "" {
+			continue
+		}
+		var ex *ExhaustedError
+		if !errors.As(ur.Err, &ex) {
+			t.Fatalf("unit %d error %v is not an ExhaustedError", ur.Unit.Index, ur.Err)
+		}
+		if ex.Attempts > 0 {
+			tried++
+		} else {
+			stranded++
+		}
+	}
+	if tried != 1 {
+		t.Fatalf("tried = %d, want exactly 1 (threshold-1 breaker retires after the first failure)", tried)
+	}
+	if stranded == 0 {
+		t.Fatal("no stranded units surfaced — the sweep is not running")
+	}
+}
+
+func TestRetryAttemptsCapScheduling(t *testing.T) {
+	// Both rigs would fail the first unit once; with the policy's single
+	// attempt as the cap, no fail-over to the second rig happens.
+	r1 := newFakeRunner(t, "rig-1", "Q845", -1)
+	r2 := newFakeRunner(t, "rig-2", "Q845", 0)
+	pool, err := NewPool(r1, r2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var exhausted []*ExhaustedError
+	_, err = pool.Run(context.Background(), failureMatrix(t, "Q845"), Config{
+		NoCooldown: true,
+		Retry:      &retry.Policy{Attempts: 1},
+		OnUnit: func(ur UnitResult) {
+			var ex *ExhaustedError
+			if errors.As(ur.Err, &ex) {
+				exhausted = append(exhausted, ex)
+			}
+		},
+	})
+	for _, ex := range exhausted {
+		if ex.Attempts != 1 {
+			t.Fatalf("unit exhausted after %d attempts, want 1 (Retry.Attempts must cap scheduling)", ex.Attempts)
+		}
+	}
+	if err == nil && len(exhausted) == 0 {
+		// Scheduling is racy in *which* rig claims first; only assert the
+		// cap when the dead rig got there. A clean run means rig-2 claimed
+		// everything — rerun deterministically by forcing rig-1 only.
+		pool2, _ := NewPool(newFakeRunner(t, "rig-solo", "Q845", -1))
+		_, err2 := pool2.Run(context.Background(), failureMatrix(t, "Q845"), Config{
+			NoCooldown: true,
+			Retry:      &retry.Policy{Attempts: 1},
+		})
+		if !errors.Is(err2, errs.ErrExhausted) {
+			t.Fatalf("solo dead rig: %v, want ErrExhausted", err2)
+		}
+	}
+}
+
+func TestRetryPacingIsCancellable(t *testing.T) {
+	testutil.NoLeakedGoroutines(t)
+	dead := newFakeRunner(t, "rig-dead", "Q845", -1)
+	pool, err := NewPool(dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = pool.Run(ctx, failureMatrix(t, "Q845"), Config{
+		NoCooldown: true,
+		// Hour-long backoff: only cancellation can end this promptly.
+		Retry: &retry.Policy{Attempts: 100, BaseDelay: time.Hour, Multiplier: 1},
+	})
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancelled run took %v — pacing sleep ignored the context", elapsed)
+	}
+	if err == nil {
+		t.Fatal("cancelled run returned nil error")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"github.com/gaugenn/gaugenn/internal/bench"
 	"github.com/gaugenn/gaugenn/internal/errs"
 	"github.com/gaugenn/gaugenn/internal/event"
+	"github.com/gaugenn/gaugenn/internal/retry"
 )
 
 // NoDeviceError reports a matrix device model with no runner in the pool.
@@ -50,8 +51,21 @@ func (e *ExhaustedError) Is(target error) bool { return target == errs.ErrExhaus
 // Config tunes one Pool.Run.
 type Config struct {
 	// MaxAttempts caps scheduling attempts per job (0 = one attempt per
-	// runner of the job's device model).
+	// runner of the job's device model, or Retry.Attempts when a policy
+	// is set).
 	MaxAttempts int
+	// Retry paces a runner after transport failures: before its next
+	// claim the worker sleeps the policy's backoff for its consecutive
+	// failure count (ctx-aware), so a glitching rig stops hammering its
+	// device. Nil keeps the legacy immediate-retry pacing. The policy's
+	// Attempts also caps per-unit scheduling attempts when MaxAttempts is
+	// unset.
+	Retry *retry.Policy
+	// Breaker, when non-nil, circuit-breaks per runner ID: a rig whose
+	// consecutive transport failures reach the threshold is retired from
+	// the run (its worker exits; pending units fail over to surviving
+	// rigs, or surface as ExhaustedErrors when none remain).
+	Breaker *retry.Breaker
 	// NoCooldown skips thermal pacing before each job. The default
 	// (pacing on) cools the device to CooldownTargetJ so within-job
 	// throttling is measured deliberately, not inherited from the queue.
@@ -281,6 +295,28 @@ func (q *schedQueue) fail(st *unitState, runnerID string, err error, eligible []
 	}
 }
 
+// stranded finalises every unit still unserved after the worker pool
+// drained — the case where breaker-retired rigs left no one to claim a
+// pending unit. Each becomes an ExhaustedError so no cell is silently
+// lost.
+func (q *schedQueue) stranded() []*unitState {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []*unitState
+	for _, sts := range q.byModel {
+		for _, st := range sts {
+			if st.state != stateDone {
+				st.state = stateDone
+				if st.lastErr == nil {
+					st.lastErr = errors.New("fleet: no eligible runner remained")
+				}
+				out = append(out, st)
+			}
+		}
+	}
+	return out
+}
+
 // Run expands the matrix and executes it across the pool: per-device
 // serialized queues, thermal pacing before each job, transport-failure
 // retries with device exclusion, streaming aggregation. On a run that
@@ -342,12 +378,29 @@ func (p *Pool) Run(ctx context.Context, m Matrix, cfg Config) (*Aggregator, erro
 	// of waiting for a requeue that will never come.
 	stopWatch := context.AfterFunc(ctx, func() { q.cond.Broadcast() })
 	defer stopWatch()
+	// MaxAttempts wins when both caps are set; an explicit retry policy
+	// otherwise lends its attempt budget to the per-unit cap.
+	maxAttempts := cfg.MaxAttempts
+	if maxAttempts <= 0 && cfg.Retry != nil && cfg.Retry.Attempts > 0 {
+		maxAttempts = cfg.Retry.Attempts
+	}
+	var pacing retry.Policy
+	if cfg.Retry != nil {
+		pacing = *cfg.Retry
+	}
 	var wg sync.WaitGroup
 	for _, r := range p.runners {
 		wg.Add(1)
 		go func(r Runner) {
 			defer wg.Done()
+			consecFails := 0
 			for {
+				if !cfg.Breaker.Allow(r.ID()) {
+					// This rig's circuit opened: retire it. Its pending units
+					// fail over via exclusion, or surface in the stranded
+					// sweep below.
+					return
+				}
 				st := q.claim(ctx, r.ID(), r.DeviceModel())
 				if st == nil {
 					return
@@ -367,11 +420,22 @@ func (p *Pool) Run(ctx context.Context, m Matrix, cfg Config) (*Aggregator, erro
 						q.requeue(st, r.ID())
 						return
 					}
-					if ex := q.fail(st, r.ID(), err, p.byModel[r.DeviceModel()], cfg.MaxAttempts); ex != nil {
+					if ex := q.fail(st, r.ID(), err, p.byModel[r.DeviceModel()], maxAttempts); ex != nil {
 						emit(UnitResult{Unit: st.unit, Runner: r.ID(), Attempts: ex.Attempts, Err: ex})
+					}
+					cfg.Breaker.Failure(r.ID())
+					// Pace before the next claim: a glitching rig backs off
+					// instead of immediately re-hammering its device.
+					consecFails++
+					if d := pacing.Delay(consecFails); d > 0 {
+						if retry.Sleep(ctx, d) != nil {
+							return
+						}
 					}
 					continue
 				}
+				cfg.Breaker.Success(r.ID())
+				consecFails = 0
 				ur := UnitResult{Unit: st.unit, Result: res, Runner: r.ID(), Attempts: st.attempts}
 				q.complete(st)
 				emit(ur)
@@ -379,6 +443,21 @@ func (p *Pool) Run(ctx context.Context, m Matrix, cfg Config) (*Aggregator, erro
 		}(r)
 	}
 	wg.Wait()
+	if ctx.Err() == nil {
+		// Workers drained with live context: anything still unserved was
+		// stranded by breaker-retired rigs. Surface each as a typed
+		// exhaustion instead of dropping the cell silently.
+		for _, st := range q.stranded() {
+			ex := &ExhaustedError{
+				JobID:    st.unit.Job.ID,
+				Device:   st.unit.Device,
+				Attempts: st.attempts,
+				Tried:    append([]string(nil), st.tried...),
+				Last:     st.lastErr,
+			}
+			emit(UnitResult{Unit: st.unit, Attempts: st.attempts, Err: ex})
+		}
+	}
 	var problems []error
 	for _, ur := range agg.Units() {
 		if ur.Err != nil {

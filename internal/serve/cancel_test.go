@@ -66,6 +66,9 @@ func TestServeCorruptCorpusSurfacesSentinel(t *testing.T) {
 	if rec.Code != 500 || !strings.Contains(rec.Body.String(), "store corrupt") {
 		t.Fatalf("corrupt store request = %d: %s", rec.Code, rec.Body.String())
 	}
+	if hint := rec.Header().Get("Gaugenn-Hint"); !strings.Contains(hint, "fsck") {
+		t.Fatalf("corrupt store response carries no fsck repair hint: %q", hint)
+	}
 }
 
 // corruptBlob truncates a corpus blob in place on disk, bypassing the

@@ -230,6 +230,9 @@ func (s *Server) writeRefErr(w http.ResponseWriter, err error) {
 		return
 	}
 	if errors.Is(err, errs.ErrStoreCorrupt) {
+		// Machine-readable repair hint: operators (and probes) can match
+		// the header without parsing the error text.
+		w.Header().Set("Gaugenn-Hint", "store corrupt; audit and repair with `gaugenn fsck -cache-dir DIR -fix`")
 		writeErr(w, http.StatusInternalServerError, "store corrupt: %v", err)
 		return
 	}

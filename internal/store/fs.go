@@ -1,0 +1,94 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// FS is the store's filesystem seam: the five operations the CAS needs,
+// at the granularity faults are injected at. Production uses OSFS; tests
+// wrap it (internal/faults mirrors this shape structurally) to inject
+// EIO, bit-flips, and torn writes without touching the real disk layout.
+// Paths are absolute; implementations own durability semantics —
+// WriteFileAtomic must never leave a partial file visible at name.
+type FS interface {
+	// ReadFile reads the whole file, os-style (fs.ErrNotExist when absent).
+	ReadFile(name string) ([]byte, error)
+	// WriteFileAtomic publishes data at name all-or-nothing, creating
+	// parent directories as needed.
+	WriteFileAtomic(name string, data []byte) error
+	// Append appends data to name, creating it (and parents) if absent.
+	// Unlike WriteFileAtomic it may tear on failure — callers of
+	// append-only logs must tolerate a torn final record.
+	Append(name string, data []byte) error
+	// Stat mirrors os.Stat.
+	Stat(name string) (os.FileInfo, error)
+	// ReadDir mirrors os.ReadDir.
+	ReadDir(name string) ([]os.DirEntry, error)
+}
+
+// OSFS is the real-disk FS.
+type OSFS struct{}
+
+func (OSFS) ReadFile(name string) ([]byte, error) { return os.ReadFile(name) }
+
+func (OSFS) WriteFileAtomic(name string, data []byte) error {
+	dir := filepath.Dir(name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(name)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, name); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+func (OSFS) Append(name string, data []byte) error {
+	if err := os.MkdirAll(filepath.Dir(name), 0o755); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func (OSFS) Stat(name string) (os.FileInfo, error)      { return os.Stat(name) }
+func (OSFS) ReadDir(name string) ([]os.DirEntry, error) { return os.ReadDir(name) }
+
+// OpenFS opens a store rooted at dir over an explicit filesystem. The
+// root directory is still created on the real disk (a store's existence
+// is not a faultable event); all blob and manifest IO after that goes
+// through fsys.
+func OpenFS(dir string, fsys FS) (*Store, error) {
+	s, err := Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	if fsys == nil {
+		return nil, fmt.Errorf("store: nil FS")
+	}
+	s.fs = fsys
+	return s, nil
+}

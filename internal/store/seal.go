@@ -1,0 +1,57 @@
+package store
+
+// Sealed JSON records. Most store kinds are keyed by the hash of the
+// artifact they *describe* (an APK, a model checksum), not of the record
+// bytes themselves, so the key cannot authenticate the blob: a flipped
+// bit that still parses would be silently trusted by every warm run.
+// SealJSON embeds a digest of the record body at write time; OpenJSON
+// refuses to decode a record whose body no longer matches it, surfacing
+// ErrSealBroken (which is also errs.ErrStoreCorrupt) so callers degrade
+// to recomputation exactly like a cache miss.
+
+import (
+	"crypto/md5"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"github.com/gaugenn/gaugenn/internal/errs"
+)
+
+// ErrSealBroken marks a sealed record whose digest no longer matches its
+// body. It wraps errs.ErrStoreCorrupt for taxonomy-level matching.
+var ErrSealBroken = fmt.Errorf("store: record seal broken: %w", errs.ErrStoreCorrupt)
+
+type sealedWire struct {
+	Sum  string          `json:"sum"`
+	Body json.RawMessage `json:"body"`
+}
+
+func bodySum(body []byte) string {
+	sum := md5.Sum(body)
+	return hex.EncodeToString(sum[:])
+}
+
+// SealJSON marshals v and wraps it with a digest of the marshalled body.
+// Equal values seal to equal bytes, preserving codec determinism.
+func SealJSON(v any) ([]byte, error) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(sealedWire{Sum: bodySum(body), Body: body})
+}
+
+// OpenJSON verifies a sealed record's digest and unmarshals its body into
+// v. A record that is not sealed, or whose body was altered since sealing,
+// fails with ErrSealBroken on the chain.
+func OpenJSON(data []byte, v any) error {
+	var s sealedWire
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("%w (envelope: %v)", ErrSealBroken, err)
+	}
+	if len(s.Body) == 0 || s.Sum != bodySum(s.Body) {
+		return ErrSealBroken
+	}
+	return json.Unmarshal(s.Body, v)
+}

@@ -1,0 +1,65 @@
+package store
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"github.com/gaugenn/gaugenn/internal/errs"
+)
+
+type sealFixture struct {
+	Name string `json:"name"`
+	N    int    `json:"n"`
+}
+
+func TestSealRoundTripAndDeterminism(t *testing.T) {
+	v := sealFixture{Name: "m", N: 7}
+	a, err := SealJSON(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SealJSON(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatal("equal values must seal to equal bytes")
+	}
+	var got sealFixture
+	if err := OpenJSON(a, &got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, v) {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+}
+
+func TestOpenJSONRejectsTampering(t *testing.T) {
+	data, err := SealJSON(sealFixture{Name: "m", N: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bit := 0; bit < len(data)*8; bit += 7 {
+		tampered := append([]byte(nil), data...)
+		tampered[bit/8] ^= 1 << (bit % 8)
+		if string(tampered) == string(data) {
+			continue
+		}
+		var got sealFixture
+		if err := OpenJSON(tampered, &got); err == nil && !reflect.DeepEqual(got, sealFixture{Name: "m", N: 7}) {
+			t.Fatalf("bit %d: tampered record opened to a different value: %q", bit, tampered)
+		}
+	}
+}
+
+func TestOpenJSONErrorsAreTyped(t *testing.T) {
+	var got sealFixture
+	err := OpenJSON([]byte(`{"sum":"00","body":{"name":"m","n":7}}`), &got)
+	if !errors.Is(err, ErrSealBroken) || !errors.Is(err, errs.ErrStoreCorrupt) {
+		t.Fatalf("err = %v, want ErrSealBroken wrapping errs.ErrStoreCorrupt", err)
+	}
+	if err := OpenJSON([]byte(`not json`), &got); !errors.Is(err, ErrSealBroken) {
+		t.Fatalf("unsealed garbage: err = %v, want ErrSealBroken", err)
+	}
+}

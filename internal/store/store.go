@@ -16,14 +16,16 @@
 package store
 
 import (
-	"bufio"
 	"bytes"
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	iofs "io/fs"
 	"os"
 	"path/filepath"
 	"sync"
+
+	"errors"
 )
 
 // Blob kinds — each kind is one top-level CAS namespace (a directory).
@@ -49,12 +51,14 @@ const manifestName = "manifest.jsonl"
 // content per key) but the manifest assumes a single writing process.
 type Store struct {
 	dir string
+	fs  FS
 
 	// manifestMu serialises manifest appends (read-check-append).
 	manifestMu sync.Mutex
 }
 
-// Open creates (if needed) and opens a store rooted at dir.
+// Open creates (if needed) and opens a store rooted at dir on the real
+// filesystem. OpenFS substitutes the IO layer.
 func Open(dir string) (*Store, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("store: empty directory")
@@ -62,7 +66,7 @@ func Open(dir string) (*Store, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
-	return &Store{dir: dir}, nil
+	return &Store{dir: dir, fs: OSFS{}}, nil
 }
 
 // Dir returns the store's root directory.
@@ -129,31 +133,12 @@ func (s *Store) Put(kind, key string, data []byte) error {
 	}
 	path := s.blobPath(kind, key)
 	if contentKeyed(kind) {
-		if _, err := os.Stat(path); err == nil {
+		if _, err := s.fs.Stat(path); err == nil {
 			return nil // already stored; the key is the hash of these bytes
 		}
 	}
-	dir := filepath.Dir(path)
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	tmp, err := os.CreateTemp(dir, "."+key+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("store: %w", err)
-	}
-	tmpName := tmp.Name()
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmpName)
+	if err := s.fs.WriteFileAtomic(path, data); err != nil {
 		return fmt.Errorf("store: writing %s/%s: %w", kind, key, err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("store: writing %s/%s: %w", kind, key, err)
-	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
-		return fmt.Errorf("store: publishing %s/%s: %w", kind, key, err)
 	}
 	return nil
 }
@@ -163,8 +148,8 @@ func (s *Store) Get(kind, key string) (data []byte, ok bool, err error) {
 	if err := s.checkRef(kind, key); err != nil {
 		return nil, false, err
 	}
-	data, err = os.ReadFile(s.blobPath(kind, key))
-	if os.IsNotExist(err) {
+	data, err = s.fs.ReadFile(s.blobPath(kind, key))
+	if errors.Is(err, iofs.ErrNotExist) {
 		return nil, false, nil
 	}
 	if err != nil {
@@ -178,7 +163,7 @@ func (s *Store) Has(kind, key string) bool {
 	if s.checkRef(kind, key) != nil {
 		return false
 	}
-	_, err := os.Stat(s.blobPath(kind, key))
+	_, err := s.fs.Stat(s.blobPath(kind, key))
 	return err == nil
 }
 
@@ -187,8 +172,8 @@ func (s *Store) Count(kind string) (int, error) {
 	if !validKind(kind) {
 		return 0, fmt.Errorf("store: unknown blob kind %q", kind)
 	}
-	shards, err := os.ReadDir(filepath.Join(s.dir, kind))
-	if os.IsNotExist(err) {
+	shards, err := s.fs.ReadDir(filepath.Join(s.dir, kind))
+	if errors.Is(err, iofs.ErrNotExist) {
 		return 0, nil
 	}
 	if err != nil {
@@ -199,7 +184,7 @@ func (s *Store) Count(kind string) (int, error) {
 		if !sh.IsDir() {
 			continue
 		}
-		blobs, err := os.ReadDir(filepath.Join(s.dir, kind, sh.Name()))
+		blobs, err := s.fs.ReadDir(filepath.Join(s.dir, kind, sh.Name()))
 		if err != nil {
 			return 0, fmt.Errorf("store: %w", err)
 		}
@@ -244,8 +229,8 @@ func (s *Store) AppendManifest(e ManifestEntry) error {
 	}
 	s.manifestMu.Lock()
 	defer s.manifestMu.Unlock()
-	existing, err := os.ReadFile(s.manifestPath())
-	if err != nil && !os.IsNotExist(err) {
+	existing, err := s.fs.ReadFile(s.manifestPath())
+	if err != nil && !errors.Is(err, iofs.ErrNotExist) {
 		return fmt.Errorf("store: reading manifest: %w", err)
 	}
 	for _, l := range bytes.Split(existing, []byte{'\n'}) {
@@ -253,12 +238,14 @@ func (s *Store) AppendManifest(e ManifestEntry) error {
 			return nil
 		}
 	}
-	f, err := os.OpenFile(s.manifestPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return fmt.Errorf("store: opening manifest: %w", err)
+	// A torn final line (crashed or fault-injected writer) must not glue
+	// itself onto this entry: start a fresh line first. Manifest() skips
+	// the resulting fragment; fsck trims it.
+	var prefix []byte
+	if n := len(existing); n > 0 && existing[n-1] != '\n' {
+		prefix = []byte{'\n'}
 	}
-	defer f.Close()
-	if _, err := f.Write(append(line, '\n')); err != nil {
+	if err := s.fs.Append(s.manifestPath(), append(prefix, append(line, '\n')...)); err != nil {
 		return fmt.Errorf("store: appending manifest: %w", err)
 	}
 	return nil
@@ -268,19 +255,16 @@ func (s *Store) AppendManifest(e ManifestEntry) error {
 // not parse are skipped (a torn final line from a crashed writer must not
 // poison the log).
 func (s *Store) Manifest() ([]ManifestEntry, error) {
-	f, err := os.Open(s.manifestPath())
-	if os.IsNotExist(err) {
+	raw, err := s.fs.ReadFile(s.manifestPath())
+	if errors.Is(err, iofs.ErrNotExist) {
 		return nil, nil
 	}
 	if err != nil {
-		return nil, fmt.Errorf("store: opening manifest: %w", err)
+		return nil, fmt.Errorf("store: reading manifest: %w", err)
 	}
-	defer f.Close()
 	var out []ManifestEntry
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
-	for sc.Scan() {
-		line := bytes.TrimSpace(sc.Bytes())
+	for _, line := range bytes.Split(raw, []byte{'\n'}) {
+		line = bytes.TrimSpace(line)
 		if len(line) == 0 {
 			continue
 		}
@@ -289,9 +273,6 @@ func (s *Store) Manifest() ([]ManifestEntry, error) {
 			continue
 		}
 		out = append(out, e)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("store: scanning manifest: %w", err)
 	}
 	return out, nil
 }

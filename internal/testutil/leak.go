@@ -1,0 +1,47 @@
+// Package testutil holds small helpers shared by tests across packages.
+// It must only ever be imported from _test.go files.
+package testutil
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// goroutineSlack tolerates runtime helpers (timer goroutines, the test
+// framework's own plumbing) that come and go independently of the code
+// under test.
+const goroutineSlack = 2
+
+// NoLeakedGoroutines guards a whole test: it snapshots the goroutine
+// census at the call and fails the test at cleanup if the census has not
+// settled back (within slack) — a cancelled pipeline must drain its
+// worker pools, servers, and single-flight waiters, not strand them.
+//
+//	func TestSomethingCancelled(t *testing.T) {
+//		testutil.NoLeakedGoroutines(t)
+//		...
+//	}
+func NoLeakedGoroutines(t testing.TB) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() { GoroutinesSettled(t, before) })
+}
+
+// GoroutinesSettled polls until the goroutine census drops back to
+// before (within slack) and fails t if it does not within 10 seconds.
+// Use it directly when one test runs several scenarios and each must
+// settle on its own; NoLeakedGoroutines wraps it for whole-test guards.
+func GoroutinesSettled(t testing.TB, before int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before+goroutineSlack {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+goroutineSlack {
+		t.Fatalf("goroutines leaked: before=%d after=%d", before, n)
+	}
+}

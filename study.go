@@ -41,21 +41,34 @@ var (
 	ErrExhausted = errs.ErrExhausted
 	// ErrStoreCorrupt matches persisted records that no longer decode.
 	ErrStoreCorrupt = errs.ErrStoreCorrupt
+	// ErrBudgetExceeded matches runs aborted because more apps failed
+	// than the failure budget tolerates (see WithFailureBudget).
+	ErrBudgetExceeded = errs.ErrBudgetExceeded
 )
 
 // StageError attributes a failure to a pipeline stage; see errs.StageError.
 type StageError = errs.StageError
 
+// AppError is one quarantined app's failure: StudyResult.Quarantine lists
+// them for runs that completed by degrading gracefully.
+type AppError = errs.AppError
+
+// BudgetError is the typed detail behind ErrBudgetExceeded: which
+// snapshot blew the budget, the counts, and the failed packages.
+type BudgetError = errs.BudgetError
+
 // Event is the typed progress stream's interface; see the event package
 // for the delivery contract.
 type Event = event.Event
 
-// StageStart / StageProgress / StageDone / CacheStatsEvent are the event
-// stream's variants.
+// StageStart / StageProgress / StageDone / StageWarning / CacheStatsEvent
+// are the event stream's variants. StageWarning reports an app quarantined
+// under the failure budget while the run continues.
 type (
 	StageStart      = event.StageStart
 	StageProgress   = event.StageProgress
 	StageDone       = event.StageDone
+	StageWarning    = event.StageWarning
 	CacheStatsEvent = event.CacheStats
 )
 
@@ -111,6 +124,15 @@ func WithHTTPCrawl(use bool) Option {
 // WithMaxPerCategory caps chart depth (default 500, as in the paper).
 func WithMaxPerCategory(n int) Option {
 	return func(c *core.Config) { c.MaxPerCategory = n }
+}
+
+// WithFailureBudget sets the per-snapshot fraction of apps allowed to
+// fail (quarantined, study continues) before the run aborts with
+// ErrBudgetExceeded. Zero keeps the 5% default; a negative value demands
+// zero tolerance. Quarantined apps surface as StageWarning events during
+// the run and on StudyResult.Quarantine afterwards. See docs/robustness.md.
+func WithFailureBudget(frac float64) Option {
+	return func(c *core.Config) { c.FailureBudget = frac }
 }
 
 // WithEventHandler registers a synchronous event callback. Most callers

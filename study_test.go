@@ -162,3 +162,34 @@ func TestV1ShimsMatchV2(t *testing.T) {
 		t.Fatalf("datasets diverge: %+v vs %+v", v1.Corpus21.Dataset(), v2.Corpus21.Dataset())
 	}
 }
+
+// TestStudyV2FailureBudgetSurface exercises the graceful-degradation
+// surface from the public API: a healthy run under zero tolerance must
+// complete with an empty quarantine, and the re-exported types must
+// compose with the errors package.
+func TestStudyV2FailureBudgetSurface(t *testing.T) {
+	var warns int
+	study := gaugenn.NewStudy(
+		gaugenn.WithSeed(11),
+		gaugenn.WithScale(0.02),
+		gaugenn.WithFailureBudget(-1),
+		gaugenn.WithEventHandler(func(ev gaugenn.Event) {
+			if _, ok := ev.(gaugenn.StageWarning); ok {
+				warns++
+			}
+		}),
+	)
+	res, err := study.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Quarantine) != 0 || warns != 0 {
+		t.Fatalf("healthy zero-tolerance run quarantined: %d apps, %d warnings", len(res.Quarantine), warns)
+	}
+	// Compile-time: the typed-error surface is reachable from the root.
+	var be *gaugenn.BudgetError
+	var ae *gaugenn.AppError
+	if errors.As(error(nil), &be) || errors.As(error(nil), &ae) || errors.Is(nil, gaugenn.ErrBudgetExceeded) {
+		t.Fatal("nil error must match nothing")
+	}
+}
