@@ -23,6 +23,7 @@ import (
 
 	"github.com/gaugenn/gaugenn/internal/bench"
 	"github.com/gaugenn/gaugenn/internal/mlrt"
+	"github.com/gaugenn/gaugenn/internal/obs"
 	"github.com/gaugenn/gaugenn/internal/power"
 	"github.com/gaugenn/gaugenn/internal/soc"
 )
@@ -32,7 +33,18 @@ func main() {
 	workers := flag.Int("workers", 0, "max concurrent control connections (0 = unlimited)")
 	selfPower := flag.Bool("self-power", true, "agent cycles its own USB switch around headless runs (required for remote masters; disable only when an in-process master shares the switch)")
 	readTimeout := flag.Duration("read-timeout", 5*time.Minute, "per-frame read deadline on master connections; a silent master is dropped after this long (0 = wait forever)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		ds, err := obs.StartDebug(*debugAddr, obs.Default())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchd:", err)
+			os.Exit(1)
+		}
+		defer ds.Close()
+		fmt.Printf("benchd: metrics and pprof on http://%s\n", ds.Addr)
+	}
 
 	dev, err := soc.NewDevice(*device)
 	if err != nil {

@@ -40,6 +40,7 @@ import (
 	"github.com/gaugenn/gaugenn/internal/fleet"
 	"github.com/gaugenn/gaugenn/internal/fsck"
 	"github.com/gaugenn/gaugenn/internal/nn/zoo"
+	"github.com/gaugenn/gaugenn/internal/obs"
 	"github.com/gaugenn/gaugenn/internal/power"
 	"github.com/gaugenn/gaugenn/internal/report"
 	"github.com/gaugenn/gaugenn/internal/serve"
@@ -103,14 +104,30 @@ func signalContext(parent context.Context) (context.Context, context.CancelFunc)
 	return ctx, cancel
 }
 
+// startDebug exposes the observability surface when -debug-addr is set;
+// the returned stop func is a no-op for the empty address.
+func startDebug(addr string) (func(), error) {
+	if addr == "" {
+		return func() {}, nil
+	}
+	ds, err := obs.StartDebug(addr, obs.Default())
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "debug: metrics and pprof on http://%s (/metrics, /healthz, /debug/pprof)\n", ds.Addr)
+	return func() { ds.Close() }, nil
+}
+
 func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   gaugenn study   -seed N -scale F [-http] [-workers N] [-out DIR]
                   [-cache-dir DIR] [-resume=false] [-deadline 30s] [-v]
-  gaugenn serve   -cache-dir DIR [-addr :8077]
+                  [-trace FILE] [-debug-addr :6060 [-linger 30s]]
+  gaugenn serve   -cache-dir DIR [-addr :8077] [-debug-addr :6060]
   gaugenn bench   -device MODEL -backend NAME -model FILE [-threads N] [-batch N] [-runs N]
   gaugenn fleet   -devices A,B,... -backends a,b,... -models N [-seed N] [-replicas N]
                   [-agents host:port,...] [-runs N] [-scenarios=false] [-json FILE] [-out DIR]
+                  [-debug-addr :6060]
   gaugenn fsck    -cache-dir DIR [-fix]
   gaugenn devices`)
 }
@@ -127,9 +144,17 @@ func runStudy(ctx context.Context, args []string) error {
 	failureBudget := fs.Float64("failure-budget", 0, "per-snapshot fraction of apps allowed to fail before the study aborts (0 = 5% default, negative = zero tolerance)")
 	deadline := fs.Duration("deadline", 0, "abort the run after this long (0 = none); an interrupted -cache-dir run resumes warm")
 	verbose := fs.Bool("v", false, "report analyse/persist stage progress and cache statistics")
+	tracePath := fs.String("trace", "", "write a Chrome trace-event JSON timeline of the run here (load in chrome://tracing or Perfetto)")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address for the run's duration")
+	linger := fs.Duration("linger", 0, "keep the -debug-addr server up this long after the run finishes (scrape window for short runs)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopDebug, err := startDebug(*debugAddr)
+	if err != nil {
+		return err
+	}
+	defer stopDebug()
 	// Validate up front, before any store generation starts.
 	if *scale <= 0 {
 		return fmt.Errorf("study: -scale must be positive (got %g)", *scale)
@@ -168,8 +193,15 @@ func runStudy(ctx context.Context, args []string) error {
 			fmt.Fprintln(os.Stderr)
 		}
 	}
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer("study " + core.StudyID(cfg))
+	}
 	var cacheLine string
 	cfg.OnEvent = func(ev event.Event) {
+		if tracer != nil {
+			tracer.Observe(ev)
+		}
 		switch v := ev.(type) {
 		case event.StageStart:
 			line(v.Stage, v.Snapshot, 0, v.Total)
@@ -184,6 +216,25 @@ func runStudy(ctx context.Context, args []string) error {
 		}
 	}
 	res, err := core.Run(ctx, cfg)
+	// The trace and the linger window survive a failed or cancelled run:
+	// a partial timeline is exactly what a hung-run investigation needs.
+	defer func() {
+		if *debugAddr != "" && *linger > 0 {
+			fmt.Fprintf(os.Stderr, "study: debug server lingering %v on %s\n", *linger, *debugAddr)
+			lingerCtx, cancel := context.WithTimeout(context.Background(), *linger)
+			defer cancel()
+			<-lingerCtx.Done()
+		}
+	}()
+	if tracer != nil {
+		if js, terr := tracer.ChromeTrace(); terr != nil {
+			fmt.Fprintf(os.Stderr, "study: rendering trace: %v\n", terr)
+		} else if werr := os.WriteFile(*tracePath, js, 0o644); werr != nil {
+			fmt.Fprintf(os.Stderr, "study: writing trace: %v\n", werr)
+		} else {
+			fmt.Fprintf(os.Stderr, "study: trace written to %s\n", *tracePath)
+		}
+	}
 	if err != nil {
 		if errors.Is(err, errs.ErrCancelled) && *cacheDir != "" {
 			fmt.Fprintf(os.Stderr, "\nstudy interrupted; %s holds every finished artifact — rerun with -cache-dir %s to resume warm\n",
@@ -233,9 +284,15 @@ func runServe(ctx context.Context, args []string) error {
 	cacheDir := fs.String("cache-dir", "", "persistent study store directory to serve")
 	addr := fs.String("addr", ":8077", "HTTP listen address")
 	grace := fs.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopDebug, err := startDebug(*debugAddr)
+	if err != nil {
+		return err
+	}
+	defer stopDebug()
 	// Validate up front: serve is read-only and must point at an existing
 	// store instead of silently creating an empty one.
 	if *cacheDir == "" {
@@ -370,9 +427,15 @@ func runFleet(ctx context.Context, args []string) error {
 	scenarios := fs.Bool("scenarios", true, "project Table 4 usage scenarios from measured energy")
 	jsonPath := fs.String("json", "", "write the machine-readable results file here")
 	out := fs.String("out", "", "directory for report tables (stdout if empty)")
+	debugAddr := fs.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopDebug, err := startDebug(*debugAddr)
+	if err != nil {
+		return err
+	}
+	defer stopDebug()
 	split := func(s string) []string {
 		var outS []string
 		for _, p := range strings.Split(s, ",") {

@@ -236,6 +236,7 @@ func (uc *UniqueCache) Payload(ctx context.Context, h extract.PayloadHash, decod
 			case <-ctx.Done():
 				return "", false, ctx.Err()
 			case <-fl:
+				metSingleflightWaits.Inc()
 				// Outcome recorded, or the attempt was abandoned —
 				// re-examine the state (and maybe become the new worker).
 			}
@@ -280,10 +281,12 @@ func (uc *UniqueCache) computePayload(ctx context.Context, h extract.PayloadHash
 		if rec, ok := uc.loadPayloadRecord(h); ok {
 			if !rec.OK {
 				uc.warmPayloads.Add(1)
+				metWarmPayloadHits.Inc()
 				return "", false, nil
 			}
 			if uc.HasAnalysis(rec.Checksum) {
 				uc.warmPayloads.Add(1)
+				metWarmPayloadHits.Inc()
 				return rec.Checksum, true, nil
 			}
 		}
@@ -292,6 +295,7 @@ func (uc *UniqueCache) computePayload(ctx context.Context, h extract.PayloadHash
 		return "", false, err // cancelled before the decode started
 	}
 	uc.decodes.Add(1)
+	metDecodes.Inc()
 	g, err := decode()
 	if err != nil {
 		if errs.IsContextError(err) {
@@ -349,6 +353,7 @@ func (uc *UniqueCache) get(ctx context.Context, m extract.Model) (*uniqueData, e
 			case <-ctx.Done():
 				return nil, ctx.Err()
 			case <-fl:
+				metSingleflightWaits.Inc()
 			}
 		default: // idle: this caller computes
 			e.state = entryRunning
@@ -391,6 +396,7 @@ func (uc *UniqueCache) computeAnalysis(ctx context.Context, m extract.Model, see
 		// in hand.
 		if d, ok := uc.loadAnalysisRecord(m.Checksum); ok {
 			uc.warmAnalyses.Add(1)
+			metWarmAnalysisHits.Inc()
 			return d, nil
 		}
 	}
@@ -401,6 +407,7 @@ func (uc *UniqueCache) computeAnalysis(ctx context.Context, m extract.Model, see
 		return nil, err // cancelled before the profile started
 	}
 	uc.profiles.Add(1)
+	metProfiles.Inc()
 	prof, err := graph.ProfileGraph(g)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,20 @@
+package analysis
+
+import "github.com/gaugenn/gaugenn/internal/obs"
+
+// UniqueCache work-split series, mirroring the per-run atomic counters
+// behind CacheStats as process-wide totals: the atomics reset per cache,
+// these accumulate across every cache in the process. Increments sit at
+// the exact same sites, so the two views never disagree on a single run.
+var (
+	metDecodes = obs.Default().Counter("gaugenn_analysis_decodes_total",
+		"Graph decodes executed (payload-cache misses).")
+	metProfiles = obs.Default().Counter("gaugenn_analysis_profiles_total",
+		"Per-checksum analyses computed (checksum-cache misses).")
+	metWarmPayloadHits = obs.Default().Counter("gaugenn_analysis_warm_payload_hits_total",
+		"Payload outcomes loaded from the persistent store instead of decoding.")
+	metWarmAnalysisHits = obs.Default().Counter("gaugenn_analysis_warm_analysis_hits_total",
+		"Analysis records loaded from the persistent store instead of profiling.")
+	metSingleflightWaits = obs.Default().Counter("gaugenn_analysis_singleflight_waits_total",
+		"Callers that blocked on another goroutine's in-flight decode or analysis.")
+)

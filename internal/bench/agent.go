@@ -274,8 +274,12 @@ func (a *Agent) runHeadless(notifyAddr string) {
 func (a *Agent) executeJob(job Job) JobResult {
 	a.mu.Lock()
 	defer a.mu.Unlock()
+	metJobs.Inc()
+	start := time.Now()
+	defer func() { metJobSeconds.ObserveDuration(time.Since(start)) }()
 	res := JobResult{ID: job.ID, ModelName: job.ModelName, Device: a.Device.Model, Backend: job.Backend}
 	fail := func(err error) JobResult {
+		metJobFailures.Inc()
 		res.Error = err.Error()
 		return res
 	}

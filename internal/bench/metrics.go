@@ -1,0 +1,14 @@
+package bench
+
+import "github.com/gaugenn/gaugenn/internal/obs"
+
+// Device-agent series: jobs as the agent executes them, wherever the
+// request came from (a fleet pool, benchd, a test harness).
+var (
+	metJobs = obs.Default().Counter("gaugenn_bench_jobs_total",
+		"Benchmark jobs executed by device agents.")
+	metJobFailures = obs.Default().Counter("gaugenn_bench_job_failures_total",
+		"Benchmark jobs that ended with an error result.")
+	metJobSeconds = obs.Default().Histogram("gaugenn_bench_job_seconds",
+		"Benchmark job wall time in seconds, decode to final inference.", nil)
+)

@@ -36,6 +36,20 @@ type PersistStats struct {
 	Cache analysis.CacheStats
 }
 
+// cacheBreakdown mirrors the analysis cache's work split onto the
+// dependency-free event form (field for field; the event package cannot
+// import analysis).
+func cacheBreakdown(s analysis.CacheStats) event.CacheBreakdown {
+	return event.CacheBreakdown{
+		Decodes:          s.Decodes,
+		Profiles:         s.Profiles,
+		WarmPayloadHits:  s.WarmPayloadHits,
+		WarmAnalysisHits: s.WarmAnalysisHits,
+		Payloads:         s.Payloads,
+		Checksums:        s.Checksums,
+	}
+}
+
 // StudyID derives the manifest identity of a study configuration.
 func StudyID(cfg Config) string {
 	return "seed" + strconv.FormatInt(cfg.Seed, 10) +
@@ -52,6 +66,7 @@ type studyEngine struct {
 	cfg   Config
 	st    *store.Store // nil without CacheDir
 	cache *analysis.UniqueCache
+	times *stageTimes
 
 	warmReports atomic.Int64
 	extracted   atomic.Int64
@@ -63,7 +78,7 @@ type studyEngine struct {
 }
 
 func newStudyEngine(cfg Config) (*studyEngine, error) {
-	e := &studyEngine{cfg: cfg}
+	e := &studyEngine{cfg: cfg, times: newStageTimes()}
 	if cfg.CacheDir != "" {
 		var (
 			st  *store.Store
@@ -185,8 +200,12 @@ func (e *studyEngine) quarantined() []*errs.AppError {
 // emit delivers one typed event to the configured handler and bridges it
 // onto the deprecated stringly-typed Progress callback (StageStart maps
 // to the legacy (0, total) stage-open call, StageProgress to (done,
-// total); StageDone and CacheStats have no v1 equivalent).
+// total); StageDone and CacheStats have no v1 equivalent). Events are
+// stamped here — the single point they enter the stream — so every
+// consumer sees a monotonic timestamp and emission sequence number.
 func (e *studyEngine) emit(ev event.Event) {
+	ev = event.Stamped(ev)
+	e.times.observe(ev)
 	if e.cfg.OnEvent != nil {
 		e.cfg.OnEvent(ev)
 	}
@@ -371,8 +390,10 @@ func Run(ctx context.Context, cfg Config) (*StudyResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	metRuns.Inc()
 	study, err := playstore.GenerateStudy(playstore.DefaultConfig(cfg.Seed, cfg.Scale))
 	if err != nil {
+		metRunFailures.Inc()
 		return nil, err
 	}
 	res := &StudyResult{Meta: docstore.New(), Store: study}
@@ -404,6 +425,7 @@ func Run(ctx context.Context, cfg Config) (*StudyResult, error) {
 	g.Go(runOne(study.Snap20, "2020", &res.Corpus20))
 	g.Go(runOne(study.Snap21, "2021", &res.Corpus21))
 	if err := g.Wait(); err != nil {
+		metRunFailures.Inc()
 		return nil, err
 	}
 	res.Quarantine = eng.quarantined()
@@ -411,6 +433,7 @@ func Run(ctx context.Context, cfg Config) (*StudyResult, error) {
 		// A write-through failure means the store is a lie; fail loudly
 		// rather than leave a partial cache that warms future runs.
 		if err := eng.cache.PersistErr(); err != nil {
+			metRunFailures.Inc()
 			return nil, errs.Stage("persist", "", err)
 		}
 		entry := store.ManifestEntry{
@@ -426,6 +449,7 @@ func Run(ctx context.Context, cfg Config) (*StudyResult, error) {
 			},
 		}
 		if err := eng.st.AppendManifest(entry); err != nil {
+			metRunFailures.Inc()
 			return nil, errs.Stage("persist", "", err)
 		}
 		res.Persist = &PersistStats{
@@ -439,7 +463,7 @@ func Run(ctx context.Context, cfg Config) (*StudyResult, error) {
 			StudyID:          entry.ID,
 			WarmReports:      res.Persist.WarmReports,
 			ExtractedReports: res.Persist.ExtractedReports,
-			Stats:            res.Persist.Cache,
+			Stats:            cacheBreakdown(res.Persist.Cache),
 		})
 	}
 	return res, nil

@@ -140,16 +140,21 @@ func (c *Client) getOnce(ctx context.Context, u, path string) (body []byte, retr
 	if hc == nil {
 		hc = http.DefaultClient
 	}
+	metRequests.Inc()
 	resp, err := hc.Do(req)
 	if err != nil {
+		metRequestFailures.Inc()
 		return nil, true, fmt.Errorf("crawler: GET %s: %w", path, err)
 	}
 	defer resp.Body.Close()
 	body, err = readBody(resp.Body, resp.ContentLength)
+	metResponseBytes.Add(uint64(len(body)))
 	if err != nil {
+		metRequestFailures.Inc()
 		return nil, true, fmt.Errorf("crawler: reading %s: %w", path, err)
 	}
 	if resp.StatusCode != http.StatusOK {
+		metRequestFailures.Inc()
 		statusErr := fmt.Errorf("crawler: GET %s: status %d: %s", path, resp.StatusCode, truncate(body, 200))
 		retryable := resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests
 		if retryable {
@@ -224,7 +229,12 @@ func (c *Client) Details(ctx context.Context, pkg string) (AppMeta, error) {
 
 // DownloadAPK fetches the app's base APK bytes.
 func (c *Client) DownloadAPK(ctx context.Context, pkg string) ([]byte, error) {
-	return c.get(ctx, "/fdfe/purchase", url.Values{"doc": {pkg}})
+	b, err := c.get(ctx, "/fdfe/purchase", url.Values{"doc": {pkg}})
+	if err == nil {
+		metDownloads.Inc()
+		metDownloadBytes.Add(uint64(len(b)))
+	}
+	return b, err
 }
 
 // Delivery fetches the companion-file manifest (OBBs, asset packs).

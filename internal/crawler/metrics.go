@@ -1,0 +1,19 @@
+package crawler
+
+import "github.com/gaugenn/gaugenn/internal/obs"
+
+// Store-traffic series. Request-level counters move in Client.getOnce
+// (once per wire exchange, so retries count individually); APK counters
+// move in DownloadAPK, the only payload-sized fetch.
+var (
+	metRequests = obs.Default().Counter("gaugenn_crawler_requests_total",
+		"Store HTTP requests issued, each retry counted separately.")
+	metRequestFailures = obs.Default().Counter("gaugenn_crawler_request_failures_total",
+		"Store HTTP requests that failed (transport error or non-200 status).")
+	metResponseBytes = obs.Default().Counter("gaugenn_crawler_response_bytes_total",
+		"Response body bytes read from the store across all endpoints.")
+	metDownloads = obs.Default().Counter("gaugenn_crawler_downloads_total",
+		"APK downloads completed successfully.")
+	metDownloadBytes = obs.Default().Counter("gaugenn_crawler_download_bytes_total",
+		"APK payload bytes fetched by completed downloads.")
+)

@@ -1,0 +1,93 @@
+package event
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNowSequenceIsMonotonic(t *testing.T) {
+	prev := Now()
+	for i := 0; i < 100; i++ {
+		next := Now()
+		if next.Seq <= prev.Seq {
+			t.Fatalf("seq went backwards: %d then %d", prev.Seq, next.Seq)
+		}
+		if next.Time.Before(prev.Time) {
+			t.Fatalf("monotonic time went backwards: %v then %v", prev.Time, next.Time)
+		}
+		prev = next
+	}
+}
+
+func TestNowSequenceUniqueUnderConcurrency(t *testing.T) {
+	const workers, per = 8, 500
+	seqs := make([][]uint64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			out := make([]uint64, per)
+			for i := range out {
+				out[i] = Now().Seq
+			}
+			seqs[w] = out
+		}(w)
+	}
+	wg.Wait()
+	seen := map[uint64]bool{}
+	for _, ss := range seqs {
+		for _, s := range ss {
+			if seen[s] {
+				t.Fatalf("sequence number %d issued twice", s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestStampedCoversEveryVariant(t *testing.T) {
+	for _, ev := range []Event{
+		StageStart{Stage: "crawl"},
+		StageProgress{Stage: "crawl", Done: 1},
+		StageDone{Stage: "crawl"},
+		StageWarning{Stage: "crawl", Package: "com.x"},
+		CacheStats{StudyID: "s"},
+	} {
+		got := Stamped(ev)
+		var st Stamp
+		switch v := got.(type) {
+		case StageStart:
+			st = v.Stamp
+		case StageProgress:
+			st = v.Stamp
+		case StageDone:
+			st = v.Stamp
+		case StageWarning:
+			st = v.Stamp
+		case CacheStats:
+			st = v.Stamp
+		default:
+			t.Fatalf("Stamped changed the variant: %T -> %T", ev, got)
+		}
+		if st.Seq == 0 || st.Time.IsZero() {
+			t.Fatalf("%T not stamped: %+v", ev, st)
+		}
+	}
+}
+
+func TestStampedReturnsCopy(t *testing.T) {
+	orig := StageStart{Stage: "crawl", Total: 5}
+	_ = Stamped(orig)
+	if orig.Seq != 0 {
+		t.Fatal("Stamped must not mutate its argument")
+	}
+}
+
+func TestStampedReStamps(t *testing.T) {
+	first := Stamped(StageDone{Stage: "crawl"}).(StageDone)
+	second := Stamped(first).(StageDone)
+	if second.Seq <= first.Seq {
+		t.Fatalf("re-stamp must advance the sequence: %d then %d", first.Seq, second.Seq)
+	}
+}

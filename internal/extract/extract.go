@@ -385,6 +385,8 @@ func ExtractAPK(apkBytes []byte) (*Report, error) {
 // cancellation aborts between candidates and inside cache waits, and the
 // context error comes back unwrapped in the chain (errors.Is-matchable).
 func ExtractAPKCached(ctx context.Context, apkBytes []byte, cache DecodeCache) (*Report, error) {
+	metAPKs.Inc()
+	metAPKBytes.Add(uint64(len(apkBytes)))
 	r, err := apk.Open(apkBytes)
 	if err != nil {
 		return nil, fmt.Errorf("extract: %w", err)
@@ -540,6 +542,8 @@ func extractEntries(ctx context.Context, entries []entry, cache DecodeCache) (*R
 	}
 	sort.Strings(rep.FailedValidation)
 	sort.Strings(rep.Frameworks)
+	metModels.Add(uint64(len(rep.Models)))
+	metFailedValidations.Add(uint64(len(rep.FailedValidation)))
 	return rep, nil
 }
 

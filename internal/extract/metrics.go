@@ -1,0 +1,18 @@
+package extract
+
+import "github.com/gaugenn/gaugenn/internal/obs"
+
+// Extraction series. All counters move once per APK or once per finished
+// report — never per entry or per byte scanned — so instrumentation adds
+// a handful of atomic adds to a path whose allocation profile is
+// benchmarked and ceiling-checked in CI.
+var (
+	metAPKs = obs.Default().Counter("gaugenn_extract_apks_total",
+		"APKs opened for extraction.")
+	metAPKBytes = obs.Default().Counter("gaugenn_extract_apk_bytes_total",
+		"Raw APK bytes handed to extraction.")
+	metModels = obs.Default().Counter("gaugenn_extract_models_total",
+		"Model payloads extracted (validated and decoded or cache-resolved).")
+	metFailedValidations = obs.Default().Counter("gaugenn_extract_failed_validations_total",
+		"Candidate files that failed signature validation or decode.")
+)

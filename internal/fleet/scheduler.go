@@ -10,6 +10,7 @@ import (
 	"github.com/gaugenn/gaugenn/internal/bench"
 	"github.com/gaugenn/gaugenn/internal/errs"
 	"github.com/gaugenn/gaugenn/internal/event"
+	"github.com/gaugenn/gaugenn/internal/obs"
 	"github.com/gaugenn/gaugenn/internal/retry"
 )
 
@@ -189,10 +190,11 @@ type schedQueue struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	byModel map[string][]*unitState
+	depth   map[string]*obs.Gauge // pending units per device model
 }
 
 func newSchedQueue(units []Unit) *schedQueue {
-	q := &schedQueue{byModel: map[string][]*unitState{}}
+	q := &schedQueue{byModel: map[string][]*unitState{}, depth: map[string]*obs.Gauge{}}
 	q.cond = sync.NewCond(&q.mu)
 	for _, u := range units {
 		if u.Skip != "" {
@@ -202,6 +204,11 @@ func newSchedQueue(units []Unit) *schedQueue {
 			unit:     u,
 			excluded: map[string]bool{},
 		})
+	}
+	for model, sts := range q.byModel {
+		g := queueDepthGauge(model)
+		g.SetInt(int64(len(sts)))
+		q.depth[model] = g
 	}
 	return q
 }
@@ -228,6 +235,7 @@ func (q *schedQueue) claim(ctx context.Context, runnerID, deviceModel string) *u
 				st.state = stateRunning
 				st.attempts++
 				st.tried = append(st.tried, runnerID)
+				q.depth[deviceModel].Dec()
 				return st
 			case stateRunning:
 				// Might fail on its current runner and requeue for us.
@@ -246,6 +254,7 @@ func (q *schedQueue) complete(st *unitState) {
 	q.mu.Lock()
 	st.state = stateDone
 	q.mu.Unlock()
+	metUnits.Inc()
 	q.cond.Broadcast()
 }
 
@@ -256,6 +265,8 @@ func (q *schedQueue) complete(st *unitState) {
 func (q *schedQueue) requeue(st *unitState, runnerID string) {
 	q.mu.Lock()
 	st.state = statePending
+	q.depth[st.unit.Device].Inc()
+	metRequeues.Inc()
 	st.attempts--
 	if n := len(st.tried); n > 0 && st.tried[n-1] == runnerID {
 		st.tried = st.tried[:n-1]
@@ -283,9 +294,12 @@ func (q *schedQueue) fail(st *unitState, runnerID string, err error, eligible []
 	}
 	if remaining > 0 && (maxAttempts <= 0 || st.attempts < maxAttempts) {
 		st.state = statePending
+		q.depth[st.unit.Device].Inc()
+		metRequeues.Inc()
 		return nil
 	}
 	st.state = stateDone
+	metExhausted.Inc()
 	return &ExhaustedError{
 		JobID:    st.unit.Job.ID,
 		Device:   st.unit.Device,
@@ -303,13 +317,17 @@ func (q *schedQueue) stranded() []*unitState {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	var out []*unitState
-	for _, sts := range q.byModel {
+	for model, sts := range q.byModel {
 		for _, st := range sts {
 			if st.state != stateDone {
+				if st.state == statePending {
+					q.depth[model].Dec()
+				}
 				st.state = stateDone
 				if st.lastErr == nil {
 					st.lastErr = errors.New("fleet: no eligible runner remained")
 				}
+				metExhausted.Inc()
 				out = append(out, st)
 			}
 		}
@@ -351,7 +369,7 @@ func (p *Pool) Run(ctx context.Context, m Matrix, cfg Config) (*Aggregator, erro
 		done   int
 	)
 	if cfg.OnEvent != nil {
-		cfg.OnEvent(event.StageStart{Stage: "fleet", Total: len(units)})
+		cfg.OnEvent(event.Stamped(event.StageStart{Stage: "fleet", Total: len(units)}))
 	}
 	emit := func(ur UnitResult) {
 		agg.Add(ur)
@@ -361,9 +379,9 @@ func (p *Pool) Run(ctx context.Context, m Matrix, cfg Config) (*Aggregator, erro
 		if cfg.OnEvent != nil {
 			emitMu.Lock()
 			done++
-			cfg.OnEvent(event.StageProgress{Stage: "fleet", Done: done, Total: len(units)})
+			cfg.OnEvent(event.Stamped(event.StageProgress{Stage: "fleet", Done: done, Total: len(units)}))
 			if done == len(units) {
-				cfg.OnEvent(event.StageDone{Stage: "fleet", Total: len(units)})
+				cfg.OnEvent(event.Stamped(event.StageDone{Stage: "fleet", Total: len(units)}))
 			}
 			emitMu.Unlock()
 		}
@@ -473,6 +491,7 @@ func (p *Pool) Run(ctx context.Context, m Matrix, cfg Config) (*Aggregator, erro
 // serve runs one unit on one rig: thermal pacing, then the full workflow.
 func (p *Pool) serve(ctx context.Context, r Runner, u Unit, cfg Config) (bench.JobResult, error) {
 	if !cfg.NoCooldown {
+		metCooldowns.Inc()
 		if err := r.Cooldown(ctx, cfg.CooldownTargetJ); err != nil {
 			return bench.JobResult{}, fmt.Errorf("cooldown: %w", err)
 		}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugHandler returns the debug surface served behind -debug-addr:
+//
+//	/metrics      Prometheus text exposition of reg
+//	/healthz      JSON liveness probe incl. a gauge snapshot
+//	/debug/pprof  the standard net/http/pprof profiling endpoints
+//
+// The handler is deliberately separate from the serve API mux: profiling
+// and metrics bind to an operator-chosen (usually loopback) address, not
+// the public query port.
+func DebugHandler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := reg.WritePrometheus(w); err != nil {
+			// Headers are gone; all we can do is note it for the scraper's log.
+			fmt.Fprintf(w, "\n# scrape truncated: %v\n", err)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"status": "ok",
+			"gauges": reg.GaugeSnapshot("gaugenn_"),
+		})
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// DebugServer is a running debug endpoint bound to a concrete address.
+type DebugServer struct {
+	Addr string // the bound address (resolves ":0")
+	srv  *http.Server
+	ln   net.Listener
+}
+
+// StartDebug binds addr and serves DebugHandler(reg) until Close. It
+// listens eagerly so ":0" callers (tests, smoke jobs) can read the
+// resolved Addr immediately; serving happens on a background goroutine.
+func StartDebug(addr string, reg *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debug listener: %w", err)
+	}
+	srv := &http.Server{Handler: DebugHandler(reg), ReadHeaderTimeout: 5 * time.Second}
+	ds := &DebugServer{Addr: ln.Addr().String(), srv: srv, ln: ln}
+	go srv.Serve(ln)
+	return ds, nil
+}
+
+// Close stops the server and releases the listener.
+func (d *DebugServer) Close() error { return d.srv.Close() }

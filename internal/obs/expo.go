@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+)
+
+// WritePrometheus renders every registered family in the Prometheus text
+// exposition format (version 0.0.4): families sorted by name, children
+// sorted by label set, histograms expanded to cumulative _bucket series
+// plus _sum and _count. Values are point-in-time atomic loads; the scrape
+// never blocks metric writers.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	// Children maps only grow, and child handles are immutable once
+	// registered, so snapshotting the slice headers under the lock and
+	// reading values after release is safe.
+	snap := make([][]*child, len(fams))
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for i, f := range fams {
+		cs := make([]*child, 0, len(f.children))
+		for _, c := range f.children {
+			cs = append(cs, c)
+		}
+		sort.Slice(cs, func(a, b int) bool { return cs[a].labels < cs[b].labels })
+		snap[i] = cs
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for i, f := range fams {
+		bw.WriteString("# HELP ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.help)
+		bw.WriteString("\n# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.promType())
+		bw.WriteByte('\n')
+		for _, c := range snap[i] {
+			switch f.kind {
+			case kindCounter:
+				writeSample(bw, f.name, "", c.labels, "", formatUint(c.metric.(*Counter).Value()))
+			case kindFloatCounter:
+				writeSample(bw, f.name, "", c.labels, "", formatFloat(c.metric.(*FloatCounter).Value()))
+			case kindGauge:
+				writeSample(bw, f.name, "", c.labels, "", formatFloat(c.metric.(*Gauge).Value()))
+			case kindHistogram:
+				h := c.metric.(*Histogram)
+				counts := h.BucketCounts()
+				var cum uint64
+				for bi, bound := range h.bounds {
+					cum += counts[bi]
+					writeSample(bw, f.name, "_bucket", c.labels, `le="`+formatFloat(bound)+`"`, formatUint(cum))
+				}
+				cum += counts[len(counts)-1]
+				writeSample(bw, f.name, "_bucket", c.labels, `le="+Inf"`, formatUint(cum))
+				writeSample(bw, f.name, "_sum", c.labels, "", formatFloat(h.Sum()))
+				writeSample(bw, f.name, "_count", c.labels, "", formatUint(h.Count()))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSample emits one `name{labels,extra} value` line. labels is the
+// child's canonical set, extra the per-sample le= pair for buckets.
+func writeSample(bw *bufio.Writer, name, suffix, labels, extra, value string) {
+	bw.WriteString(name)
+	bw.WriteString(suffix)
+	if labels != "" || extra != "" {
+		bw.WriteByte('{')
+		bw.WriteString(labels)
+		if labels != "" && extra != "" {
+			bw.WriteByte(',')
+		}
+		bw.WriteString(extra)
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }

@@ -1,0 +1,370 @@
+// Package obs is gaugeNN's observability layer: a dependency-light
+// metrics registry (counters, gauges, fixed-bucket histograms — atomic,
+// zero-alloc on the hot path) with Prometheus text-format exposition, a
+// span tracer that folds the typed event stream (internal/event) into
+// Chrome trace-event JSON, and a debug HTTP server exposing /metrics,
+// /healthz and net/http/pprof behind the cmds' -debug-addr flag.
+//
+// Instrumented packages register their metrics once at init against the
+// Default registry and keep the returned handles in package-level vars;
+// the hot-path operations (Counter.Add, Gauge.Set, Histogram.Observe)
+// are single atomic updates with no allocation and no locks, so
+// instrumentation is safe inside the extract/analysis allocation
+// ceilings. Registration is idempotent: asking for an existing
+// (name, labels) pair returns the same handle, so tests and repeated
+// runs never double-register.
+//
+// See docs/observability.md for the metric catalogue and span model.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Label is one constant name="value" pair attached to a metric at
+// registration. Families with per-key children (per store kind, per
+// serve route, per fleet device) register one child per value and keep
+// the handles; nothing is looked up on the hot path.
+type Label struct {
+	Name, Value string
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (counters only go up; negative deltas are a Gauge's job).
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// FloatCounter is a monotonically increasing float metric — accumulated
+// seconds, mostly. It exposes as a Prometheus counter.
+type FloatCounter struct {
+	bits atomic.Uint64
+}
+
+// Add accumulates v (must be >= 0; negative values are dropped so a
+// buggy caller cannot make a counter go backwards).
+func (c *FloatCounter) Add(v float64) {
+	if v < 0 || v != v { // negative or NaN
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// AddDuration accumulates d as seconds.
+func (c *FloatCounter) AddDuration(d time.Duration) { c.Add(d.Seconds()) }
+
+// Value returns the accumulated total.
+func (c *FloatCounter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+// Gauge is a float metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// SetInt replaces the gauge's value with an integer reading.
+func (g *Gauge) SetInt(v int64) { g.Set(float64(v)) }
+
+// Add moves the gauge by delta (negative deltas decrement).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Inc / Dec move the gauge by one — the in-flight pattern.
+func (g *Gauge) Inc() { g.Add(1) }
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current reading.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution. Buckets are upper bounds in
+// ascending order; observations above the last bound land in the
+// implicit +Inf bucket. Observe is a bounded linear scan plus two atomic
+// adds — no locks, no allocation — and the bucket counts, total count
+// and sum are each individually atomic: concurrent writers never lose
+// an observation, and exposition reads a consistent-enough snapshot
+// (Prometheus scrapes tolerate the count/sum skew of in-flight
+// observations).
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    FloatCounter
+	count  atomic.Uint64
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records d as seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// BucketCounts returns a snapshot of the per-bucket (non-cumulative)
+// counts, the last entry being the +Inf bucket.
+func (h *Histogram) BucketCounts() []uint64 {
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// DurationBuckets are the default latency bounds, in seconds: 100µs to
+// ~40s in powers of four — wide enough for both a sub-millisecond store
+// get and a multi-second corpus decode.
+var DurationBuckets = []float64{0.0001, 0.0004, 0.0016, 0.0064, 0.0256, 0.1024, 0.4096, 1.6384, 6.5536, 26.2144}
+
+// ExponentialBuckets returns n upper bounds starting at start and
+// growing by factor.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n <= 0 {
+		panic("obs: ExponentialBuckets needs start > 0, factor > 1, n > 0")
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start
+		start *= factor
+	}
+	return out
+}
+
+// metricKind discriminates families at registration and exposition.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindFloatCounter
+	kindGauge
+	kindHistogram
+)
+
+// promType renders the family's TYPE line.
+func (k metricKind) promType() string {
+	switch k {
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "counter"
+	}
+}
+
+// child is one registered metric instance inside a family.
+type child struct {
+	labels string // canonical rendered label set, "" for unlabelled
+	metric any
+}
+
+// family is all children registered under one metric name.
+type family struct {
+	name, help string
+	kind       metricKind
+	buckets    []float64 // histograms: the family's shared bounds
+	children   map[string]*child
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// format. All methods are safe for concurrent use; registration takes
+// the registry lock, metric updates take none.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// defaultRegistry backs Default: the process-wide registry every
+// instrumented package registers against.
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry — the one the debug server
+// exposes on /metrics.
+func Default() *Registry { return defaultRegistry }
+
+// Counter registers (or returns the existing) counter under name and
+// constant labels.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return getOrCreate(r, name, help, kindCounter, nil, labels, func() *Counter { return &Counter{} })
+}
+
+// FloatCounter registers (or returns the existing) float counter.
+func (r *Registry) FloatCounter(name, help string, labels ...Label) *FloatCounter {
+	return getOrCreate(r, name, help, kindFloatCounter, nil, labels, func() *FloatCounter { return &FloatCounter{} })
+}
+
+// Gauge registers (or returns the existing) gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return getOrCreate(r, name, help, kindGauge, nil, labels, func() *Gauge { return &Gauge{} })
+}
+
+// Histogram registers (or returns the existing) histogram with the given
+// ascending bucket upper bounds (nil takes DurationBuckets). All
+// children of one family share the first registration's bounds.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if buckets == nil {
+		buckets = DurationBuckets
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %s buckets not ascending: %v", name, buckets))
+		}
+	}
+	return getOrCreate(r, name, help, kindHistogram, buckets, labels, func() *Histogram {
+		h := &Histogram{bounds: buckets}
+		h.counts = make([]atomic.Uint64, len(buckets)+1)
+		return h
+	})
+}
+
+// getOrCreate is the shared registration path: one family per name, one
+// child per canonical label set, idempotent, kind-checked.
+func getOrCreate[M any](r *Registry, name, help string, kind metricKind, buckets []float64, labels []Label, mk func() M) M {
+	if !validMetricName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	ls := canonicalLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: kind, buckets: buckets, children: map[string]*child{}}
+		r.families[name] = f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s re-registered as %s (was %s)", name, kind.promType(), f.kind.promType()))
+	}
+	if c, ok := f.children[ls]; ok {
+		m, ok := c.metric.(M)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %s{%s} re-registered with a different type", name, ls))
+		}
+		return m
+	}
+	m := mk()
+	f.children[ls] = &child{labels: ls, metric: m}
+	return m
+}
+
+// validMetricName checks the Prometheus name charset.
+func validMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// canonicalLabels renders a label set in sorted, escaped, stable form —
+// the child key and the exposition text between the braces.
+func canonicalLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	for i, l := range ls {
+		if !validMetricName(l.Name) {
+			panic(fmt.Sprintf("obs: invalid label name %q", l.Name))
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		escapeLabelValue(&b, l.Value)
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// escapeLabelValue applies the Prometheus text-format escapes.
+func escapeLabelValue(b *strings.Builder, v string) {
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+// GaugeSnapshot returns the current value of every gauge whose name
+// starts with prefix, keyed by name plus rendered labels — the /healthz
+// surface for the study cache gauges.
+func (r *Registry) GaugeSnapshot(prefix string) map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := map[string]float64{}
+	for name, f := range r.families {
+		if f.kind != kindGauge || !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		for _, c := range f.children {
+			key := name
+			if c.labels != "" {
+				key += "{" + c.labels + "}"
+			}
+			out[key] = c.metric.(*Gauge).Value()
+		}
+	}
+	return out
+}

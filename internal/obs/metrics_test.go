@@ -1,0 +1,200 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_total", "help")
+	b := r.Counter("test_total", "other help ignored")
+	if a != b {
+		t.Fatal("same name+labels must return the same counter")
+	}
+	la := r.Counter("test_labelled_total", "h", Label{Name: "kind", Value: "x"})
+	lb := r.Counter("test_labelled_total", "h", Label{Name: "kind", Value: "y"})
+	if la == lb {
+		t.Fatal("different label values must be distinct children")
+	}
+	if lc := r.Counter("test_labelled_total", "h", Label{Name: "kind", Value: "x"}); lc != la {
+		t.Fatal("same label value must return the existing child")
+	}
+}
+
+func TestRegistryPanicsOnTypeConflict(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("conflict_total", "h")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("conflict_total", "h")
+}
+
+func TestRegistryPanicsOnInvalidName(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid metric name must panic")
+		}
+	}()
+	r.Counter("bad-name", "h")
+}
+
+func TestCounterGaugeFloatCounter(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "h")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g", "h")
+	g.Set(2.5)
+	g.Inc()
+	g.Dec()
+	g.Add(-0.5)
+	if got := g.Value(); got != 2 {
+		t.Fatalf("gauge = %v, want 2", got)
+	}
+	f := r.FloatCounter("f_total", "h")
+	f.Add(1.25)
+	f.Add(-3) // dropped: counters never go backwards
+	f.Add(math.NaN())
+	if got := f.Value(); got != 1.25 {
+		t.Fatalf("float counter = %v, want 1.25", got)
+	}
+}
+
+func TestHistogramBucketMath(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "h", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	// Bounds are inclusive upper edges: 0.5 and 1 land in le=1, 1.5 in
+	// le=2, 3 in le=4, 100 in +Inf.
+	want := []uint64{2, 1, 1, 1}
+	got := h.BucketCounts()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if h.Sum() != 106 {
+		t.Fatalf("sum = %v, want 106", h.Sum())
+	}
+}
+
+// TestHistogramConcurrent drives many writers at one histogram and
+// asserts no observation is lost — the race detector additionally proves
+// the path lock-free-safe.
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("conc_seconds", "h", []float64{0.25, 0.5, 0.75})
+	const workers, per = 16, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(float64(i%4) * 0.25)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+	var bucketSum uint64
+	for _, c := range h.BucketCounts() {
+		bucketSum += c
+	}
+	if bucketSum != workers*per {
+		t.Fatalf("bucket total = %d, want %d", bucketSum, workers*per)
+	}
+	// Each worker observes 0, .25, .5, .75 cyclically: per/4 each, so
+	// every bucket (and +Inf staying empty is wrong — .75 is inclusive).
+	want := uint64(workers * per / 4)
+	for i, c := range h.BucketCounts()[:3] {
+		if c != 2*want && i == 0 {
+			// bucket 0 (le=0.25) holds 0 and 0.25: two of the four values.
+			t.Fatalf("bucket 0 = %d, want %d", c, 2*want)
+		}
+	}
+}
+
+func TestHotPathZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alloc_total", "h")
+	g := r.Gauge("alloc_g", "h")
+	h := r.Histogram("alloc_seconds", "h", nil)
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Fatalf("Counter.Inc allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(3) }); n != 0 {
+		t.Fatalf("Gauge.Set allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(0.3) }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v/op", n)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_total", "last family").Add(3)
+	r.Counter("a_total", "first family", Label{Name: "kind", Value: `qu"ote`}).Inc()
+	r.Gauge("mid_gauge", "a gauge").Set(1.5)
+	h := r.Histogram("lat_seconds", "latency", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP a_total first family\n# TYPE a_total counter\n" + `a_total{kind="qu\"ote"} 1`,
+		"# TYPE mid_gauge gauge\nmid_gauge 1.5",
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{le="0.1"} 1`,
+		`lat_seconds_bucket{le="1"} 2`,
+		`lat_seconds_bucket{le="+Inf"} 3`,
+		"lat_seconds_sum 5.55",
+		"lat_seconds_count 3",
+		"z_total 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families must render in sorted name order.
+	if strings.Index(out, "a_total") > strings.Index(out, "z_total") {
+		t.Fatalf("families not sorted:\n%s", out)
+	}
+}
+
+func TestGaugeSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("app_depth", "h", Label{Name: "device", Value: "Q845"}).Set(4)
+	r.Gauge("app_other", "h").Set(1)
+	r.Counter("app_total", "h").Inc() // not a gauge: excluded
+	r.Gauge("sys_depth", "h").Set(9)  // wrong prefix: excluded
+	snap := r.GaugeSnapshot("app_")
+	if len(snap) != 2 {
+		t.Fatalf("snapshot = %v, want 2 entries", snap)
+	}
+	if snap[`app_depth{device="Q845"}`] != 4 {
+		t.Fatalf("labelled gauge missing: %v", snap)
+	}
+}

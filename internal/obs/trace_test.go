@@ -1,0 +1,186 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/gaugenn/gaugenn/internal/event"
+)
+
+// stamp fabricates a Stamp at a fixed offset so trace tests are
+// deterministic without sleeping.
+func stamp(base time.Time, offset time.Duration, seq uint64) event.Stamp {
+	return event.Stamp{Seq: seq, Time: base.Add(offset)}
+}
+
+func TestTracerChromeTrace(t *testing.T) {
+	base := time.Now()
+	tr := NewTracer("study test")
+	evs := []event.Event{
+		event.StageStart{Stamp: stamp(base, 0, 1), Stage: "crawl", Snapshot: "2020", Total: 10},
+		event.StageStart{Stamp: stamp(base, time.Millisecond, 2), Stage: "crawl", Snapshot: "2021", Total: 10},
+		event.StageProgress{Stamp: stamp(base, 2*time.Millisecond, 3), Stage: "crawl", Snapshot: "2020", Done: 5, Total: 10},
+		event.StageWarning{Stamp: stamp(base, 3*time.Millisecond, 4), Stage: "crawl", Snapshot: "2020", Package: "com.x", Err: "boom"},
+		event.StageDone{Stamp: stamp(base, 4*time.Millisecond, 5), Stage: "crawl", Snapshot: "2020", Total: 10},
+		event.CacheStats{Stamp: stamp(base, 5*time.Millisecond, 6), StudyID: "s", WarmReports: 1},
+		// crawl-2021 never gets a StageDone: a cancelled snapshot.
+	}
+	for _, ev := range evs {
+		tr.Observe(ev)
+	}
+	js, err := tr.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []map[string]any
+	if err := json.Unmarshal(js, &out); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, js)
+	}
+	var complete, instant, meta int
+	var sawRoot bool
+	for _, e := range out {
+		switch e["ph"] {
+		case "X":
+			complete++
+			name := e["name"].(string)
+			if name == "study test" {
+				sawRoot = true
+				if e["ts"].(float64) != 0 {
+					t.Fatalf("root span must start at ts 0: %v", e)
+				}
+			}
+			if name == "crawl (2021)" {
+				args := e["args"].(map[string]any)
+				if args["unfinished"] != true {
+					t.Fatalf("cancelled span must be flagged unfinished: %v", e)
+				}
+				// Truncated at the last observed event (5 ms), started at 1 ms.
+				if dur := e["dur"].(float64); dur != 4000 {
+					t.Fatalf("unfinished span dur = %v us, want 4000", dur)
+				}
+			}
+			if name == "crawl (2020)" {
+				if dur := e["dur"].(float64); dur != 4000 {
+					t.Fatalf("crawl (2020) dur = %v us, want 4000", dur)
+				}
+			}
+		case "i":
+			instant++
+		case "M":
+			meta++
+		}
+	}
+	if !sawRoot {
+		t.Fatal("no root span")
+	}
+	if complete != 3 { // root + two crawl spans
+		t.Fatalf("complete events = %d, want 3", complete)
+	}
+	if instant != 2 { // warning + cache stats
+		t.Fatalf("instant events = %d, want 2", instant)
+	}
+	if meta < 3 { // process_name + >= 2 thread_names
+		t.Fatalf("metadata events = %d, want >= 3", meta)
+	}
+}
+
+func TestTracerEmptyTrace(t *testing.T) {
+	js, err := NewTracer("idle").ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []any
+	if err := json.Unmarshal(js, &out); err != nil || len(out) != 0 {
+		t.Fatalf("empty tracer must render an empty JSON array, got %s (%v)", js, err)
+	}
+}
+
+func TestTracerIgnoresUnstamped(t *testing.T) {
+	tr := NewTracer("x")
+	tr.Observe(event.StageStart{Stage: "crawl", Total: 1}) // zero Stamp
+	js, err := tr.ChromeTrace()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(js) != "[]" {
+		t.Fatalf("unstamped events must not open the timeline: %s", js)
+	}
+}
+
+func TestDebugHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("gaugenn_demo_total", "h").Add(7)
+	r.Gauge("gaugenn_demo_depth", "h").Set(2)
+	srv := httptest.NewServer(DebugHandler(r))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := readAll(t, resp)
+	if !strings.Contains(body, "gaugenn_demo_total 7") {
+		t.Fatalf("/metrics missing counter:\n%s", body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Status string             `json:"status"`
+		Gauges map[string]float64 `json:"gauges"`
+	}
+	if err := json.Unmarshal([]byte(readAll(t, resp)), &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Gauges["gaugenn_demo_depth"] != 2 {
+		t.Fatalf("healthz = %+v", health)
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline status = %d", resp.StatusCode)
+	}
+}
+
+func TestStartDebugResolvesAddr(t *testing.T) {
+	ds, err := StartDebug("127.0.0.1:0", NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	if strings.HasSuffix(ds.Addr, ":0") {
+		t.Fatalf("addr %q not resolved", ds.Addr)
+	}
+	resp, err := http.Get("http://" + ds.Addr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+}
+
+func readAll(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

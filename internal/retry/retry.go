@@ -113,6 +113,10 @@ func Do(ctx context.Context, p Policy, op func(ctx context.Context) error) error
 	start := time.Now()
 	var last error
 	for n := 1; ; n++ {
+		metAttempts.Inc()
+		if n > 1 {
+			metRetries.Inc()
+		}
 		err := op(ctx)
 		if err == nil {
 			return nil
@@ -126,6 +130,7 @@ func Do(ctx context.Context, p Policy, op func(ctx context.Context) error) error
 			return last
 		}
 		if n >= attempts {
+			metExhaustions.Inc()
 			return last
 		}
 		d := p.Delay(n)
@@ -136,7 +141,12 @@ func Do(ctx context.Context, p Policy, op func(ctx context.Context) error) error
 			}
 		}
 		if p.Budget > 0 && time.Since(start)+d > p.Budget {
+			metExhaustions.Inc()
 			return last
+		}
+		if d > 0 {
+			metBackoffSleeps.Inc()
+			metBackoffSeconds.AddDuration(d)
 		}
 		if err := Sleep(ctx, d); err != nil {
 			return fmt.Errorf("%w (after: %w)", err, last)
@@ -266,6 +276,7 @@ func (b *Breaker) Failure(key string) (opened bool) {
 	b.fails[key]++
 	if b.fails[key] >= b.Threshold && !b.open[key] {
 		b.open[key] = true
+		metBreakerOpens.Inc()
 		return true
 	}
 	return false

@@ -1,0 +1,35 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+
+	"github.com/gaugenn/gaugenn/internal/obs"
+)
+
+// Request-level series. Handles are resolved per route at Handler()
+// build time, so the per-request path is an in-flight inc/dec, one
+// counter add and one histogram observation.
+var metInFlight = obs.Default().Gauge("gaugenn_serve_in_flight",
+	"Requests currently being handled by the query API.")
+
+// instrument wraps one route's handler with request counting and latency
+// observation under the route's pattern label.
+func instrument(route string, h http.HandlerFunc) http.HandlerFunc {
+	requests := obs.Default().Counter("gaugenn_serve_requests_total",
+		"Query API requests handled, by route pattern.",
+		obs.Label{Name: "route", Value: route})
+	latency := obs.Default().Histogram("gaugenn_serve_request_seconds",
+		"Query API request latency in seconds, by route pattern.",
+		nil, obs.Label{Name: "route", Value: route})
+	return func(w http.ResponseWriter, r *http.Request) {
+		metInFlight.Inc()
+		start := time.Now()
+		defer func() {
+			latency.ObserveDuration(time.Since(start))
+			metInFlight.Dec()
+			requests.Inc()
+		}()
+		h(w, r)
+	}
+}

@@ -1,0 +1,80 @@
+package serve
+
+import (
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/gaugenn/gaugenn/internal/obs"
+	"github.com/gaugenn/gaugenn/internal/store"
+)
+
+// TestWriteJSONEncodeFailure proves an unmarshalable value becomes a
+// clean 500 with the failure logged — not a 200 with a truncated body
+// and a silently dropped error.
+func TestWriteJSONEncodeFailure(t *testing.T) {
+	var logged []string
+	orig := logf
+	logf = func(format string, args ...any) { logged = append(logged, fmt.Sprintf(format, args...)) }
+	defer func() { logf = orig }()
+
+	rec := httptest.NewRecorder()
+	writeJSON(rec, 200, map[string]any{"ch": make(chan int)}) // channels cannot marshal
+	if rec.Code != 500 {
+		t.Fatalf("status = %d, want 500 (headers must not be committed before encoding)", rec.Code)
+	}
+	if len(logged) != 1 || !strings.Contains(logged[0], "encoding") {
+		t.Fatalf("encode failure not logged: %v", logged)
+	}
+}
+
+func TestWriteJSONSuccess(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, 201, map[string]string{"k": "v"})
+	if rec.Code != 201 {
+		t.Fatalf("status = %d, want 201", rec.Code)
+	}
+	if got := rec.Header().Get("Content-Type"); got != "application/json" {
+		t.Fatalf("content type = %q", got)
+	}
+	if !strings.Contains(rec.Body.String(), `"k": "v"`) {
+		t.Fatalf("body = %q", rec.Body.String())
+	}
+}
+
+// TestRequestMetrics drives the instrumented handler and asserts the
+// per-route series move and the in-flight gauge returns to zero.
+func TestRequestMetrics(t *testing.T) {
+	st, err := store.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(New(st).Handler())
+	defer srv.Close()
+
+	requests := obs.Default().Counter("gaugenn_serve_requests_total",
+		"Query API requests handled, by route pattern.",
+		obs.Label{Name: "route", Value: "GET /healthz"})
+	latency := obs.Default().Histogram("gaugenn_serve_request_seconds",
+		"Query API request latency in seconds, by route pattern.",
+		nil, obs.Label{Name: "route", Value: "GET /healthz"})
+	before, latBefore := requests.Value(), latency.Count()
+
+	for i := 0; i < 3; i++ {
+		resp, err := srv.Client().Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	if got := requests.Value() - before; got != 3 {
+		t.Fatalf("healthz requests counted = %d, want 3", got)
+	}
+	if got := latency.Count() - latBefore; got != 3 {
+		t.Fatalf("latency observations = %d, want 3", got)
+	}
+	if v := metInFlight.Value(); v != 0 {
+		t.Fatalf("in-flight gauge = %v after requests drained, want 0", v)
+	}
+}

@@ -16,10 +16,12 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"strings"
 	"sync"
@@ -28,6 +30,7 @@ import (
 	"github.com/gaugenn/gaugenn/internal/core"
 	"github.com/gaugenn/gaugenn/internal/errs"
 	"github.com/gaugenn/gaugenn/internal/nn/graph"
+	"github.com/gaugenn/gaugenn/internal/obs"
 	"github.com/gaugenn/gaugenn/internal/store"
 )
 
@@ -47,24 +50,45 @@ func New(st *store.Store) *Server {
 	return &Server{st: st, corpora: map[string]*analysis.Corpus{}}
 }
 
-// Handler returns the server's HTTP routes.
+// Handler returns the server's HTTP routes, each wrapped with request
+// counting and latency observation under its pattern label.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", s.handleHealth)
-	mux.HandleFunc("GET /api/studies", s.handleStudies)
-	mux.HandleFunc("GET /api/studies/{id}", s.handleStudy)
-	mux.HandleFunc("GET /api/studies/{id}/tables", s.handleTables)
-	mux.HandleFunc("GET /api/models/{checksum}", s.handleModel)
-	mux.HandleFunc("GET /api/diff", s.handleDiff)
+	for route, h := range map[string]http.HandlerFunc{
+		"GET /healthz":                 s.handleHealth,
+		"GET /api/studies":             s.handleStudies,
+		"GET /api/studies/{id}":        s.handleStudy,
+		"GET /api/studies/{id}/tables": s.handleTables,
+		"GET /api/models/{checksum}":   s.handleModel,
+		"GET /api/diff":                s.handleDiff,
+	} {
+		mux.HandleFunc(route, instrument(route, h))
+	}
 	return mux
 }
 
+// logf reports response-encoding failures; tests swap it to assert.
+var logf = log.Printf
+
+// writeJSON encodes v before any byte reaches the wire: an
+// unmarshalable value becomes a clean 500 instead of a 200 with a
+// truncated body and an unreportable late error, and a client that hung
+// up mid-write is logged rather than silently dropped.
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		logf("serve: encoding %T response: %v", v, err)
+		http.Error(w, `{"error":"response encoding failed"}`, http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	enc.Encode(v)
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		// Headers are sent; all that is left is to record the loss.
+		logf("serve: writing %T response: %v", v, err)
+	}
 }
 
 func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
@@ -79,6 +103,12 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	census["studies"] = len(studies)
+	// The warm/cold cache gauges (set when a study run in this process
+	// emits its CacheStats event) ride along so probes see the split
+	// without scraping /metrics.
+	if gauges := obs.Default().GaugeSnapshot("gaugenn_study_"); len(gauges) > 0 {
+		census["gauges"] = gauges
+	}
 	for kind, plural := range map[string]string{
 		store.KindReport:   "reports",
 		store.KindAnalysis: "analyses",

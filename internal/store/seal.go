@@ -48,9 +48,11 @@ func SealJSON(v any) ([]byte, error) {
 func OpenJSON(data []byte, v any) error {
 	var s sealedWire
 	if err := json.Unmarshal(data, &s); err != nil {
+		metSealBroken.Inc()
 		return fmt.Errorf("%w (envelope: %v)", ErrSealBroken, err)
 	}
 	if len(s.Body) == 0 || s.Sum != bodySum(s.Body) {
+		metSealBroken.Inc()
 		return ErrSealBroken
 	}
 	return json.Unmarshal(s.Body, v)

@@ -11,8 +11,9 @@
 // writes atomic (temp file + rename) and idempotent (content-addressed
 // keys mean an existing blob is never rewritten). Typed codecs live with
 // the types they serialise (internal/extract, internal/analysis); this
-// package depends only on the standard library. See docs/persistence.md
-// for the on-disk layout and invalidation rules.
+// package carries no pipeline logic, only the error taxonomy (errs) and
+// per-kind traffic counters (obs). See docs/persistence.md for the
+// on-disk layout and invalidation rules.
 package store
 
 import (
@@ -140,6 +141,7 @@ func (s *Store) Put(kind, key string, data []byte) error {
 	if err := s.fs.WriteFileAtomic(path, data); err != nil {
 		return fmt.Errorf("store: writing %s/%s: %w", kind, key, err)
 	}
+	countKind(metPuts, kind)
 	return nil
 }
 
@@ -150,11 +152,13 @@ func (s *Store) Get(kind, key string) (data []byte, ok bool, err error) {
 	}
 	data, err = s.fs.ReadFile(s.blobPath(kind, key))
 	if errors.Is(err, iofs.ErrNotExist) {
+		countKind(metGetMisses, kind)
 		return nil, false, nil
 	}
 	if err != nil {
 		return nil, false, fmt.Errorf("store: reading %s/%s: %w", kind, key, err)
 	}
+	countKind(metGets, kind)
 	return data, true, nil
 }
 
