@@ -1,7 +1,8 @@
 // Command gaugenn drives the full measurement study from the terminal:
 //
 //	gaugenn study   -seed 42 -scale 0.05 [-http] [-workers N] [-out DIR] [-cache-dir DIR] [-v]
-//	gaugenn serve   -cache-dir DIR [-addr :8077]
+//	gaugenn serve   -cache-dir DIR [-addr :8077] [-run-workers N]
+//	gaugenn load    -addr http://HOST:8077 [-clients N] [-submissions N] [-chaos]
 //	gaugenn bench   -device Q845 -backend cpu -model m.tflite [-threads 4]
 //	gaugenn fleet   -devices A70,Q845,Q888 -backends cpu,xnnpack,gpu -models 3 [-replicas N] [-agents addr,...]
 //	gaugenn fsck    -cache-dir DIR [-fix]
@@ -11,14 +12,19 @@
 // the Table 2/3 and Figure 4/5/6/7/15 summaries; with -cache-dir it also
 // persists every derived artifact so the next run is warm. "serve"
 // answers report, model-lookup and diff queries over HTTP from a
-// persisted cache dir, with no crawling. "bench" measures one model file
-// on one simulated device; "fleet" sweeps a benchmark matrix across a
-// pool of device rigs; "fsck" audits (and with -fix repairs) a study
-// store; "devices" lists Table 1 profiles.
+// persisted cache dir; with -run-workers it additionally executes
+// submitted studies through the multi-tenant scheduler (admission
+// control, quotas, priorities, resumable SSE streams — docs/serve.md).
+// "load" replays a chaos client swarm against a live serve instance and
+// reports latency quantiles plus protocol-invariant counters. "bench"
+// measures one model file on one simulated device; "fleet" sweeps a
+// benchmark matrix across a pool of device rigs; "fsck" audits (and with
+// -fix repairs) a study store; "devices" lists Table 1 profiles.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -37,12 +43,15 @@ import (
 	"github.com/gaugenn/gaugenn/internal/core"
 	"github.com/gaugenn/gaugenn/internal/errs"
 	"github.com/gaugenn/gaugenn/internal/event"
+	"github.com/gaugenn/gaugenn/internal/faults"
 	"github.com/gaugenn/gaugenn/internal/fleet"
 	"github.com/gaugenn/gaugenn/internal/fsck"
+	"github.com/gaugenn/gaugenn/internal/loadgen"
 	"github.com/gaugenn/gaugenn/internal/nn/zoo"
 	"github.com/gaugenn/gaugenn/internal/obs"
 	"github.com/gaugenn/gaugenn/internal/power"
 	"github.com/gaugenn/gaugenn/internal/report"
+	"github.com/gaugenn/gaugenn/internal/sched"
 	"github.com/gaugenn/gaugenn/internal/serve"
 	"github.com/gaugenn/gaugenn/internal/soc"
 	"github.com/gaugenn/gaugenn/internal/store"
@@ -64,6 +73,8 @@ func main() {
 		err = runStudy(ctx, os.Args[2:])
 	case "serve":
 		err = runServe(ctx, os.Args[2:])
+	case "load":
+		err = runLoad(ctx, os.Args[2:])
 	case "bench":
 		err = runBench(os.Args[2:])
 	case "fleet":
@@ -124,6 +135,11 @@ func usage() {
                   [-cache-dir DIR] [-resume=false] [-deadline 30s] [-v]
                   [-trace FILE] [-debug-addr :6060 [-linger 30s]]
   gaugenn serve   -cache-dir DIR [-addr :8077] [-debug-addr :6060]
+                  [-run-workers N [-max-queue N] [-tenant-share N] [-tenant-inflight N]
+                   [-run-timeout D] [-retry-after D] [-sse-write-timeout D]]
+  gaugenn load    -addr http://HOST:8077 [-clients N] [-submissions N] [-tenants N]
+                  [-seed N] [-study-seed N] [-scale F] [-rude F] [-stall F] [-cancel F]
+                  [-chaos [-chaos-seed N]] [-json FILE]
   gaugenn bench   -device MODEL -backend NAME -model FILE [-threads N] [-batch N] [-runs N]
   gaugenn fleet   -devices A,B,... -backends a,b,... -models N [-seed N] [-replicas N]
                   [-agents host:port,...] [-runs N] [-scenarios=false] [-json FILE] [-out DIR]
@@ -283,8 +299,15 @@ func runServe(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("serve", flag.ExitOnError)
 	cacheDir := fs.String("cache-dir", "", "persistent study store directory to serve")
 	addr := fs.String("addr", ":8077", "HTTP listen address")
-	grace := fs.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests")
+	grace := fs.Duration("grace", 10*time.Second, "shutdown grace period for in-flight requests and running studies")
 	debugAddr := fs.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address")
+	runWorkers := fs.Int("run-workers", 0, "study execution worker slots (0 = read-only service, no POST /api/studies)")
+	maxQueue := fs.Int("max-queue", 0, "bound on queued studies before submissions shed with 503 (0 = default 16)")
+	tenantShare := fs.Int("tenant-share", 0, "one tenant's queue share before its submissions shed with 429 (0 = max-queue/4)")
+	tenantInflight := fs.Int("tenant-inflight", 0, "one tenant's concurrently running studies (0 = run-workers/2)")
+	runTimeout := fs.Duration("run-timeout", 0, "per-study execution timeout (0 = none)")
+	retryAfter := fs.Duration("retry-after", 0, "Retry-After pacing attached to shed submissions (0 = default 2s)")
+	sseWriteTimeout := fs.Duration("sse-write-timeout", 0, "per-write deadline on SSE streams; a reader stalled past it is cut (0 = default 15s)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -293,13 +316,19 @@ func runServe(ctx context.Context, args []string) error {
 		return err
 	}
 	defer stopDebug()
-	// Validate up front: serve is read-only and must point at an existing
-	// store instead of silently creating an empty one.
 	if *cacheDir == "" {
 		return fmt.Errorf("serve: -cache-dir is required (populate one with `gaugenn study -cache-dir DIR`)")
 	}
 	if fi, err := os.Stat(*cacheDir); err != nil || !fi.IsDir() {
-		return fmt.Errorf("serve: cache dir %s does not exist (populate it with `gaugenn study -cache-dir %s`)", *cacheDir, *cacheDir)
+		// Read-only serve must point at an existing store instead of
+		// silently answering from an empty one; with a scheduler attached
+		// the service legitimately starts cold and fills its own store.
+		if *runWorkers <= 0 {
+			return fmt.Errorf("serve: cache dir %s does not exist (populate it with `gaugenn study -cache-dir %s`, or start with -run-workers to let the service fill it)", *cacheDir, *cacheDir)
+		}
+		if err := os.MkdirAll(*cacheDir, 0o755); err != nil {
+			return fmt.Errorf("serve: creating cache dir: %w", err)
+		}
 	}
 	st, err := store.Open(*cacheDir)
 	if err != nil {
@@ -313,6 +342,21 @@ func runServe(ctx context.Context, args []string) error {
 	for _, e := range studies {
 		fmt.Fprintf(os.Stderr, "serve:   %s (models 2020=%d 2021=%d)\n", e.ID, e.Models["2020"], e.Models["2021"])
 	}
+	opts := []serve.Option{serve.WithSSEWriteTimeout(*sseWriteTimeout)}
+	var sch *sched.Scheduler
+	if *runWorkers > 0 {
+		sch = sched.New(sched.Config{
+			CacheDir:          *cacheDir,
+			MaxWorkers:        *runWorkers,
+			MaxQueue:          *maxQueue,
+			TenantQueueShare:  *tenantShare,
+			TenantMaxInFlight: *tenantInflight,
+			RunTimeout:        *runTimeout,
+			RetryAfter:        *retryAfter,
+		})
+		opts = append(opts, serve.WithScheduler(sch))
+		fmt.Fprintf(os.Stderr, "serve: study scheduler on (%d workers); POST /api/studies accepted\n", *runWorkers)
+	}
 	// An http.Server (not the bare ListenAndServe helper) so the signal
 	// context can drain it gracefully: in-flight requests get the grace
 	// period, new connections are refused immediately, and — because
@@ -321,7 +365,7 @@ func runServe(ctx context.Context, args []string) error {
 	// instead of pinning Shutdown for the full grace period.
 	srv := &http.Server{
 		Addr:        *addr,
-		Handler:     serve.New(st).Handler(),
+		Handler:     serve.New(st, opts...).Handler(),
 		BaseContext: func(net.Listener) context.Context { return ctx },
 	}
 	errCh := make(chan error, 1)
@@ -330,9 +374,20 @@ func runServe(ctx context.Context, args []string) error {
 	case err := <-errCh:
 		return err
 	case <-ctx.Done():
-		fmt.Fprintln(os.Stderr, "serve: draining connections")
 		shutCtx, cancel := context.WithTimeout(context.Background(), *grace)
 		defer cancel()
+		// Drain order matters: the scheduler first — admission stops
+		// (late submissions shed with 503), running studies cancel through
+		// the pipeline's warm-safe unwind, and every event ring closes,
+		// which ends the SSE streams that would otherwise pin Shutdown —
+		// then the HTTP server's own connection drain.
+		if sch != nil {
+			fmt.Fprintln(os.Stderr, "serve: draining scheduler (admission stopped)")
+			if err := sch.Drain(shutCtx); err != nil {
+				fmt.Fprintf(os.Stderr, "serve: %v\n", err)
+			}
+		}
+		fmt.Fprintln(os.Stderr, "serve: draining connections")
 		if err := srv.Shutdown(shutCtx); err != nil {
 			// Grace expired with requests still in flight: cut them.
 			srv.Close()
@@ -342,6 +397,91 @@ func runServe(ctx context.Context, args []string) error {
 		fmt.Fprintln(os.Stderr, "serve: stopped")
 		return nil
 	}
+}
+
+// runLoad drives the chaos load harness against a live serve instance
+// and prints (and optionally persists) the aggregated summary. The exit
+// status is the protocol verdict: non-zero when a hard invariant failed
+// (resume gaps, non-shed 5xx, unresolved studies).
+func runLoad(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("load", flag.ExitOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8077", "base URL of the serve instance under load")
+	clients := fs.Int("clients", 16, "concurrent clients")
+	submissions := fs.Int("submissions", 64, "total studies offered")
+	tenants := fs.Int("tenants", 4, "distinct tenant identities")
+	distinct := fs.Int("distinct", 4, "distinct study specs (repeats exercise warm dedup)")
+	seed := fs.Int64("seed", 1, "behaviour-mix seed (who is rude, who stalls, who cancels)")
+	studySeed := fs.Int64("study-seed", 42, "base store-generation seed for submitted specs")
+	scale := fs.Float64("scale", 0.01, "submitted study scale")
+	workers := fs.Int("workers", 0, "per-study pipeline workers submitted in each spec")
+	maxPriority := fs.Int("max-priority", 3, "submissions spread across priorities 0..N (exercises preemption)")
+	rude := fs.Float64("rude", 0.25, "fraction of clients that hang up mid-SSE and resume by cursor")
+	stall := fs.Float64("stall", 0.15, "fraction of clients that stop reading mid-stream")
+	cancelFrac := fs.Float64("cancel", 0.15, "fraction of clients that cancel their study mid-run")
+	stallFor := fs.Duration("stall-for", 300*time.Millisecond, "how long a stalled reader stops consuming")
+	jobTimeout := fs.Duration("job-timeout", 2*time.Minute, "end-to-end bound per submission")
+	maxShedWait := fs.Duration("max-shed-wait", 2*time.Second, "cap on honouring a shed's Retry-After")
+	chaos := fs.Bool("chaos", false, "inject transport faults (synthetic 503/429, truncation, stalls) into the client side")
+	chaosSeed := fs.Int64("chaos-seed", 99, "fault schedule seed for -chaos")
+	jsonPath := fs.String("json", "", "write the summary JSON here")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := loadgen.Config{
+		BaseURL:         *addr,
+		Clients:         *clients,
+		Submissions:     *submissions,
+		Tenants:         *tenants,
+		DistinctStudies: *distinct,
+		Seed:            *seed,
+		StudySeed:       *studySeed,
+		Scale:           *scale,
+		Workers:         *workers,
+		MaxPriority:     *maxPriority,
+		RudeFrac:        *rude,
+		StallFrac:       *stall,
+		CancelFrac:      *cancelFrac,
+		StallFor:        *stallFor,
+		JobTimeout:      *jobTimeout,
+		MaxShedWait:     *maxShedWait,
+	}
+	if *chaos {
+		// Client-side fault injection: the swarm itself sees synthetic
+		// 503/429s, truncated bodies and stalled reads on top of whatever
+		// the server does — the retry/resume paths must absorb both.
+		plan := faults.NewSchedule(*chaosSeed).
+			Set(faults.ClassHTTP500, faults.Rule{Rate: 0.05}).
+			Set(faults.ClassHTTP429, faults.Rule{Rate: 0.05}).
+			Set(faults.ClassTruncate, faults.Rule{Rate: 0.02}).
+			Set(faults.ClassStall, faults.Rule{Rate: 0.02})
+		cfg.Transport = faults.Transport(plan, "load:", nil)
+	}
+	start := time.Now()
+	sum, err := loadgen.Run(ctx, cfg)
+	if sum != nil {
+		fmt.Fprintf(os.Stderr, "load: %d offered, %d accepted, %d shed (%d honored), %d reconnects in %v\n",
+			sum.Submissions, sum.Accepted, sum.Shed, sum.ShedHonored, sum.Reconnects, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "load: terminal: %d done, %d cancelled, %d failed, %d unresolved; %d preempted-and-recovered\n",
+			sum.Completed, sum.Cancelled, sum.Failed, sum.Unresolved, sum.Preempted)
+		fmt.Fprintf(os.Stderr, "load: chaos: %d rude disconnects, %d stalled readers, %d cancels issued\n",
+			sum.RudeDisconnects, sum.StalledReaders, sum.CancelsIssued)
+		fmt.Fprintf(os.Stderr, "load: stream: %d events, %d gaps, %d truncations, %d non-shed 5xx\n",
+			sum.Events, sum.Gaps, sum.Truncations, sum.NonShed5xx)
+		fmt.Fprintf(os.Stderr, "load: submit->first-event p50=%.1fms p99=%.1fms; queue-wait p50=%.1fms p99=%.1fms\n",
+			sum.SubmitToFirstEvent.P50, sum.SubmitToFirstEvent.P99, sum.QueueWait.P50, sum.QueueWait.P99)
+		if *jsonPath != "" {
+			js, jerr := json.MarshalIndent(sum, "", "  ")
+			if jerr != nil {
+				return jerr
+			}
+			js = append(js, '\n')
+			if werr := os.WriteFile(*jsonPath, js, 0o644); werr != nil {
+				return werr
+			}
+			fmt.Fprintf(os.Stderr, "load: summary written to %s\n", *jsonPath)
+		}
+	}
+	return err
 }
 
 func runBench(args []string) error {

@@ -13,7 +13,6 @@ import (
 	"io"
 	"net/http"
 	"net/url"
-	"strconv"
 	"sync"
 	"time"
 
@@ -158,33 +157,14 @@ func (c *Client) getOnce(ctx context.Context, u, path string) (body []byte, retr
 		statusErr := fmt.Errorf("crawler: GET %s: status %d: %s", path, resp.StatusCode, truncate(body, 200))
 		retryable := resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests
 		if retryable {
-			// A throttling server names its own pacing: carry Retry-After to
-			// the policy, which honours it up to its MaxDelay cap.
-			if after, ok := retryAfter(resp.Header); ok {
-				statusErr = retry.Hint(statusErr, after)
-			}
+			// A throttling server names its own pacing: carry Retry-After
+			// (delta-seconds or HTTP-date, parsed by the shared retry
+			// helper) to the policy, which honours it up to its MaxDelay cap.
+			statusErr = retry.RetryAfterHint(statusErr, resp.Header)
 		}
 		return nil, retryable, statusErr
 	}
 	return body, false, nil
-}
-
-// retryAfter parses a Retry-After header: delay-seconds or an HTTP date.
-func retryAfter(h http.Header) (time.Duration, bool) {
-	v := h.Get("Retry-After")
-	if v == "" {
-		return 0, false
-	}
-	if secs, err := strconv.Atoi(v); err == nil && secs >= 0 {
-		return time.Duration(secs) * time.Second, true
-	}
-	if at, err := http.ParseTime(v); err == nil {
-		if d := time.Until(at); d > 0 {
-			return d, true
-		}
-		return 0, true
-	}
-	return 0, false
 }
 
 // Categories lists the store's category identifiers.

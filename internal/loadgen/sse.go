@@ -1,0 +1,74 @@
+package loadgen
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"strconv"
+	"strings"
+
+	"github.com/gaugenn/gaugenn/internal/sched"
+)
+
+// sseFrame is one parsed Server-Sent Events frame as the study service
+// emits them: an id (the resume cursor), an event type, and a JSON data
+// payload decoding to sched.WireEvent.
+type sseFrame struct {
+	ID    uint64
+	Type  string
+	Event sched.WireEvent
+}
+
+// sseReader incrementally parses an SSE byte stream. It understands the
+// subset the service emits (id/event/data lines, blank-line dispatch) and
+// ignores comment lines, so it stays correct if the server grows
+// keep-alive comments later.
+type sseReader struct {
+	br *bufio.Reader
+}
+
+func newSSEReader(r io.Reader) *sseReader {
+	return &sseReader{br: bufio.NewReader(r)}
+}
+
+// Next blocks until one full frame arrives, the stream ends (io.EOF), or
+// the underlying read fails (a rude server, a cut connection, a read
+// deadline — all surface here as the error).
+func (r *sseReader) Next() (sseFrame, error) {
+	var f sseFrame
+	var sawField bool
+	for {
+		line, err := r.br.ReadString('\n')
+		if err != nil {
+			// A frame cut mid-flight is a transport error either way; the
+			// caller reconnects with its cursor.
+			return sseFrame{}, err
+		}
+		line = strings.TrimRight(line, "\r\n")
+		if line == "" {
+			if !sawField {
+				continue // leading blank lines between frames
+			}
+			return f, nil
+		}
+		if strings.HasPrefix(line, ":") {
+			continue // comment / keep-alive
+		}
+		field, value, _ := strings.Cut(line, ":")
+		value = strings.TrimPrefix(value, " ")
+		switch field {
+		case "id":
+			if n, err := strconv.ParseUint(value, 10, 64); err == nil {
+				f.ID = n
+				sawField = true
+			}
+		case "event":
+			f.Type = value
+			sawField = true
+		case "data":
+			if err := json.Unmarshal([]byte(value), &f.Event); err == nil {
+				sawField = true
+			}
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package sched
+
+import (
+	"sync/atomic"
+
+	"github.com/gaugenn/gaugenn/internal/obs"
+)
+
+// Scheduler-level series. Handles are resolved once at package init; the
+// hot paths (publish, fan-out, dispatch) touch only atomics.
+var (
+	metSubmitted = obs.Default().Counter("gaugenn_sched_submitted_total",
+		"Study submissions accepted into the scheduler queue.")
+	metShedQueueFull = obs.Default().Counter("gaugenn_sched_shed_total",
+		"Submissions rejected by admission control, by reason.",
+		obs.Label{Name: "reason", Value: "queue_full"})
+	metShedTenant = obs.Default().Counter("gaugenn_sched_shed_total",
+		"Submissions rejected by admission control, by reason.",
+		obs.Label{Name: "reason", Value: "tenant_quota"})
+	metShedDraining = obs.Default().Counter("gaugenn_sched_shed_total",
+		"Submissions rejected by admission control, by reason.",
+		obs.Label{Name: "reason", Value: "draining"})
+	metPreemptions = obs.Default().Counter("gaugenn_sched_preemptions_total",
+		"Running studies cancelled to make room for higher-priority work.")
+	metCompleted = obs.Default().Counter("gaugenn_sched_completed_total",
+		"Studies that reached a terminal state, by state.",
+		obs.Label{Name: "state", Value: "done"})
+	metFailed = obs.Default().Counter("gaugenn_sched_completed_total",
+		"Studies that reached a terminal state, by state.",
+		obs.Label{Name: "state", Value: "failed"})
+	metCancelled = obs.Default().Counter("gaugenn_sched_completed_total",
+		"Studies that reached a terminal state, by state.",
+		obs.Label{Name: "state", Value: "cancelled"})
+	metQueueDepth = obs.Default().Gauge("gaugenn_sched_queue_depth",
+		"Studies waiting in the scheduler queue.")
+	metRunning = obs.Default().Gauge("gaugenn_sched_running",
+		"Studies currently executing.")
+	metQueueWait = obs.Default().Histogram("gaugenn_sched_queue_wait_seconds",
+		"Time from accepted submission to execution start.",
+		nil)
+
+	// Event-ring series, shared across every study's ring.
+	metRingEvictions = obs.Default().Counter("gaugenn_sched_ring_evictions_total",
+		"Events evicted from per-study replay rings (resume cursors older than these are gapped).")
+	metSubscriberDrops = obs.Default().Counter("gaugenn_sched_subscriber_drops_total",
+		"Event subscribers dropped because their buffer overflowed (stalled readers).")
+	metSubscribers = obs.Default().Gauge("gaugenn_sched_subscribers",
+		"Live event-stream subscribers across all studies.")
+)
+
+// totalSubs backs the metSubscribers gauge across all rings.
+var totalSubs atomic.Int64

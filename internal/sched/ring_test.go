@@ -1,0 +1,125 @@
+package sched
+
+import (
+	"testing"
+
+	"github.com/gaugenn/gaugenn/internal/event"
+	"github.com/gaugenn/gaugenn/internal/testutil"
+)
+
+func wire(seq uint64) WireEvent {
+	return WireEvent{Seq: seq, Type: TypeProgress, Stage: "crawl", Done: int(seq)}
+}
+
+func TestRingReplayAndLiveHandoffIsGapFree(t *testing.T) {
+	testutil.NoLeakedGoroutines(t)
+	r := NewRing(128)
+	for i := uint64(1); i <= 10; i++ {
+		r.Publish(wire(i))
+	}
+	replay, sub, truncated := r.Subscribe(4)
+	if truncated {
+		t.Fatal("truncated without any eviction")
+	}
+	if len(replay) != 6 || replay[0].Seq != 5 || replay[5].Seq != 10 {
+		t.Fatalf("replay = %+v, want seqs 5..10", replay)
+	}
+	// Events published after the subscription arrive live, exactly once.
+	r.Publish(wire(11))
+	got := <-sub.C
+	if got.Seq != 11 {
+		t.Fatalf("live event seq = %d, want 11", got.Seq)
+	}
+	sub.Cancel()
+	sub.Cancel() // idempotent
+	r.Close()
+}
+
+func TestRingEvictionMarksTruncatedCursors(t *testing.T) {
+	r := NewRing(4)
+	for i := uint64(1); i <= 10; i++ {
+		r.Publish(wire(i))
+	}
+	// Ring holds 7..10; seqs 1..6 were evicted.
+	if _, _, truncated := r.Subscribe(3); !truncated {
+		t.Fatal("cursor 3 predates the buffer but was not marked truncated")
+	}
+	replay, _, truncated := r.Subscribe(6)
+	if truncated {
+		t.Fatal("cursor 6 is exactly the eviction horizon: replay is gap-free")
+	}
+	if len(replay) != 4 || replay[0].Seq != 7 {
+		t.Fatalf("replay = %+v, want seqs 7..10", replay)
+	}
+}
+
+func TestRingDropsLaggingSubscriber(t *testing.T) {
+	testutil.NoLeakedGoroutines(t)
+	r := NewRing(subBuffer * 4)
+	_, sub, _ := r.Subscribe(0)
+	// Never read: the buffer fills, then the next publish cuts us loose.
+	for i := uint64(1); i <= subBuffer+1; i++ {
+		r.Publish(wire(i))
+	}
+	n := 0
+	for range sub.C { // closed by the drop: the range terminates
+		n++
+	}
+	if n != subBuffer {
+		t.Fatalf("drained %d buffered events, want %d", n, subBuffer)
+	}
+	// The dropped subscriber resumes from its last cursor without a gap:
+	// the ring still holds everything past subBuffer.
+	replay, sub2, truncated := r.Subscribe(uint64(n))
+	if truncated {
+		t.Fatal("resume after lag-drop truncated despite ample ring capacity")
+	}
+	if len(replay) != 1 || replay[0].Seq != subBuffer+1 {
+		t.Fatalf("resume replay = %+v, want the one missed event", replay)
+	}
+	sub2.Cancel()
+	r.Close()
+}
+
+func TestRingCloseDeliversFinalsAndEndsSubscribers(t *testing.T) {
+	testutil.NoLeakedGoroutines(t)
+	r := NewRing(16)
+	_, sub, _ := r.Subscribe(0)
+	r.Publish(wire(1))
+	r.Close(endEvent(StateDone, "", "study-x"))
+	var got []WireEvent
+	for ev := range sub.C {
+		got = append(got, ev)
+	}
+	if len(got) != 2 || got[1].Type != TypeEnd || got[1].StudyID != "study-x" {
+		t.Fatalf("subscriber saw %+v, want progress then end", got)
+	}
+	// Publishing after close is dropped; replay still serves the tail.
+	r.Publish(wire(99))
+	replay, sub2, _ := r.Subscribe(0)
+	if sub2 != nil {
+		t.Fatal("closed ring handed out a live subscription")
+	}
+	if len(replay) != 2 || replay[1].Type != TypeEnd {
+		t.Fatalf("post-close replay = %+v", replay)
+	}
+}
+
+func TestRingPublishEventConvertsTypedVariants(t *testing.T) {
+	r := NewRing(16)
+	r.PublishEvent(event.Stamped(event.StageStart{Stage: "crawl", Snapshot: "2021", Total: 7}))
+	r.PublishEvent(event.Stamped(event.StageWarning{Stage: "crawl", Snapshot: "2021", Package: "com.x", Err: "boom"}))
+	replay, _, _ := r.Subscribe(0)
+	if len(replay) != 2 {
+		t.Fatalf("replay = %+v", replay)
+	}
+	if replay[0].Type != TypeStageStart || replay[0].Total != 7 || replay[0].Snapshot != "2021" {
+		t.Fatalf("stage start = %+v", replay[0])
+	}
+	if replay[1].Type != TypeWarning || replay[1].Package != "com.x" || replay[1].Err != "boom" {
+		t.Fatalf("warning = %+v", replay[1])
+	}
+	if replay[1].Seq <= replay[0].Seq {
+		t.Fatal("stamps not increasing")
+	}
+}

@@ -1,0 +1,455 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/gaugenn/gaugenn/internal/core"
+	"github.com/gaugenn/gaugenn/internal/testutil"
+)
+
+// fakeRuns is a controllable pipeline stand-in: each run parks until
+// released (or its ctx dies), recording starts so tests can steer
+// dispatch order deterministically.
+type fakeRuns struct {
+	mu       sync.Mutex
+	started  []int64 // seeds, in start order
+	release  map[int64]chan error
+	startsCh chan int64
+}
+
+func newFakeRuns() *fakeRuns {
+	return &fakeRuns{release: map[int64]chan error{}, startsCh: make(chan int64, 64)}
+}
+
+func (f *fakeRuns) run(ctx context.Context, cfg core.Config) (*core.StudyResult, error) {
+	f.mu.Lock()
+	f.started = append(f.started, cfg.Seed)
+	ch, ok := f.release[cfg.Seed]
+	if !ok {
+		ch = make(chan error, 1)
+		f.release[cfg.Seed] = ch
+	}
+	f.mu.Unlock()
+	f.startsCh <- cfg.Seed
+	select {
+	case err := <-ch:
+		return &core.StudyResult{}, err
+	case <-ctx.Done():
+		return nil, fmt.Errorf("run cancelled: %w", ctx.Err())
+	}
+}
+
+// finish releases the run for seed with err (nil = success).
+func (f *fakeRuns) finish(seed int64, err error) {
+	f.mu.Lock()
+	ch, ok := f.release[seed]
+	if !ok {
+		ch = make(chan error, 1)
+		f.release[seed] = ch
+	}
+	f.mu.Unlock()
+	ch <- err
+}
+
+// awaitStart blocks until a run for seed starts.
+func (f *fakeRuns) awaitStart(t *testing.T, seed int64) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case s := <-f.startsCh:
+			if s == seed {
+				return
+			}
+		case <-deadline:
+			t.Fatalf("run for seed %d never started", seed)
+		}
+	}
+}
+
+func spec(seed int64, prio int) Spec {
+	return Spec{Seed: seed, Scale: 0.01, Priority: prio}
+}
+
+func waitState(t *testing.T, s *Scheduler, id string, want State) Job {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		j, err := s.Job(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.State == want {
+			return j
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	j, _ := s.Job(id)
+	t.Fatalf("job %s stuck in %s, want %s", id, j.State, want)
+	return Job{}
+}
+
+func drain(t *testing.T, s *Scheduler) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubmitRunsAndCompletes(t *testing.T) {
+	testutil.NoLeakedGoroutines(t)
+	f := newFakeRuns()
+	s := New(Config{MaxWorkers: 1, MaxQueue: 4, Run: f.run})
+	defer drain(t, s)
+	j, err := s.Submit(spec(1, 0), "alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.awaitStart(t, 1)
+	f.finish(1, nil)
+	got := waitState(t, s, j.ID, StateDone)
+	if got.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", got.Attempts)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	s := New(Config{Run: newFakeRuns().run})
+	for _, sp := range []Spec{
+		{Seed: 1, Scale: 0},
+		{Seed: 1, Scale: 1.5},
+		{Seed: 1, Scale: 0.01, Priority: -1},
+		{Seed: 1, Scale: 0.01, Priority: MaxPriority + 1},
+		{Seed: 1, Scale: 0.01, Workers: -2},
+	} {
+		if _, err := s.Submit(sp, "t"); err == nil {
+			t.Fatalf("spec %+v admitted, want validation error", sp)
+		}
+	}
+}
+
+func TestAdmissionShedsWhenQueueFull(t *testing.T) {
+	testutil.NoLeakedGoroutines(t)
+	f := newFakeRuns()
+	s := New(Config{MaxWorkers: 1, MaxQueue: 2, TenantQueueShare: 2, Run: f.run})
+	defer drain(t, s)
+	// Fill the worker and the queue. Distinct tenants keep the tenant
+	// share out of the way.
+	if _, err := s.Submit(spec(1, 0), "t1"); err != nil {
+		t.Fatal(err)
+	}
+	f.awaitStart(t, 1)
+	if _, err := s.Submit(spec(2, 0), "t2"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(spec(3, 0), "t3"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(spec(4, 0), "t4"); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("4th submit err = %v, want ErrQueueFull", err)
+	}
+	f.finish(1, nil)
+	f.awaitStart(t, 2)
+	f.finish(2, nil)
+	f.awaitStart(t, 3)
+	f.finish(3, nil)
+}
+
+func TestTenantQueueShare(t *testing.T) {
+	testutil.NoLeakedGoroutines(t)
+	f := newFakeRuns()
+	s := New(Config{MaxWorkers: 1, MaxQueue: 8, TenantQueueShare: 1, Run: f.run})
+	defer drain(t, s)
+	if _, err := s.Submit(spec(1, 0), "greedy"); err != nil {
+		t.Fatal(err)
+	}
+	f.awaitStart(t, 1) // seed 1 occupies the worker, not the queue
+	if _, err := s.Submit(spec(2, 0), "greedy"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(spec(3, 0), "greedy"); !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("over-share submit err = %v, want ErrTenantQuota", err)
+	}
+	// Another tenant still gets in.
+	if _, err := s.Submit(spec(4, 0), "modest"); err != nil {
+		t.Fatalf("other tenant shed: %v", err)
+	}
+	f.finish(1, nil)
+	f.awaitStart(t, 2)
+	f.finish(2, nil)
+	f.awaitStart(t, 4)
+	f.finish(4, nil)
+}
+
+func TestTenantMaxInFlightHoldsQueuedWork(t *testing.T) {
+	testutil.NoLeakedGoroutines(t)
+	f := newFakeRuns()
+	s := New(Config{MaxWorkers: 2, MaxQueue: 8, TenantMaxInFlight: 1, TenantQueueShare: 8, Run: f.run})
+	defer drain(t, s)
+	if _, err := s.Submit(spec(1, 0), "greedy"); err != nil {
+		t.Fatal(err)
+	}
+	f.awaitStart(t, 1)
+	j2, err := s.Submit(spec(2, 0), "greedy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two worker slots but greedy's in-flight cap is 1: seed 2 waits.
+	if j, _ := s.Job(j2.ID); j.State != StateQueued {
+		t.Fatalf("second greedy job state = %s, want queued", j.State)
+	}
+	// A different tenant takes the free slot past the waiting job.
+	if _, err := s.Submit(spec(3, 0), "modest"); err != nil {
+		t.Fatal(err)
+	}
+	f.awaitStart(t, 3)
+	f.finish(1, nil)
+	f.awaitStart(t, 2) // cap freed: the held job dispatches
+	f.finish(2, nil)
+	f.finish(3, nil)
+}
+
+func TestPriorityPreemptsAndRequeues(t *testing.T) {
+	testutil.NoLeakedGoroutines(t)
+	f := newFakeRuns()
+	s := New(Config{MaxWorkers: 1, MaxQueue: 4, TenantQueueShare: 4, Run: f.run})
+	defer drain(t, s)
+	lo, err := s.Submit(spec(1, 0), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.awaitStart(t, 1)
+	hi, err := s.Submit(spec(2, 5), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The high-priority submission preempts seed 1: its ctx dies, it
+	// requeues, and seed 2 takes the slot.
+	f.awaitStart(t, 2)
+	j := waitState(t, s, lo.ID, StateQueued)
+	if j.Preemptions != 1 {
+		t.Fatalf("preemptions = %d, want 1", j.Preemptions)
+	}
+	f.finish(2, nil)
+	waitState(t, s, hi.ID, StateDone)
+	// The preempted job re-runs and completes.
+	f.awaitStart(t, 1)
+	f.finish(1, nil)
+	j = waitState(t, s, lo.ID, StateDone)
+	if j.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2 (initial + resumed)", j.Attempts)
+	}
+}
+
+func TestEqualPriorityDoesNotPreempt(t *testing.T) {
+	testutil.NoLeakedGoroutines(t)
+	f := newFakeRuns()
+	s := New(Config{MaxWorkers: 1, MaxQueue: 4, TenantQueueShare: 4, Run: f.run})
+	defer drain(t, s)
+	if _, err := s.Submit(spec(1, 3), "t"); err != nil {
+		t.Fatal(err)
+	}
+	f.awaitStart(t, 1)
+	j2, err := s.Submit(spec(2, 3), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(20 * time.Millisecond)
+	if j, _ := s.Job(j2.ID); j.State != StateQueued {
+		t.Fatalf("equal-priority job state = %s, want queued (no preemption)", j.State)
+	}
+	f.finish(1, nil)
+	f.awaitStart(t, 2)
+	f.finish(2, nil)
+}
+
+func TestCancelQueuedAndRunning(t *testing.T) {
+	testutil.NoLeakedGoroutines(t)
+	f := newFakeRuns()
+	s := New(Config{MaxWorkers: 1, MaxQueue: 4, TenantQueueShare: 4, Run: f.run})
+	defer drain(t, s)
+	running, err := s.Submit(spec(1, 0), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.awaitStart(t, 1)
+	queued, err := s.Submit(spec(2, 0), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Cancel(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, queued.ID, StateCancelled)
+	if _, err := s.Cancel(running.ID); err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, s, running.ID, StateCancelled)
+	if _, err := s.Cancel("nope"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("cancel unknown err = %v, want ErrUnknownJob", err)
+	}
+}
+
+func TestRunTimeoutFailsTerminally(t *testing.T) {
+	testutil.NoLeakedGoroutines(t)
+	f := newFakeRuns()
+	s := New(Config{MaxWorkers: 1, MaxQueue: 4, RunTimeout: 10 * time.Millisecond, Run: f.run})
+	defer drain(t, s)
+	j, err := s.Submit(spec(1, 0), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitState(t, s, j.ID, StateFailed)
+	if got.Err == "" {
+		t.Fatal("timed-out job has no error")
+	}
+}
+
+func TestFailedRunIsTerminal(t *testing.T) {
+	testutil.NoLeakedGoroutines(t)
+	f := newFakeRuns()
+	s := New(Config{MaxWorkers: 1, MaxQueue: 4, Run: f.run})
+	defer drain(t, s)
+	j, err := s.Submit(spec(1, 0), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.awaitStart(t, 1)
+	f.finish(1, errors.New("synthetic pipeline failure"))
+	got := waitState(t, s, j.ID, StateFailed)
+	if got.Err != "synthetic pipeline failure" {
+		t.Fatalf("err = %q", got.Err)
+	}
+}
+
+func TestDrainStopsAdmissionCancelsWorkAndWaits(t *testing.T) {
+	testutil.NoLeakedGoroutines(t)
+	f := newFakeRuns()
+	s := New(Config{MaxWorkers: 1, MaxQueue: 4, TenantQueueShare: 4, Run: f.run})
+	running, err := s.Submit(spec(1, 0), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.awaitStart(t, 1)
+	queued, err := s.Submit(spec(2, 0), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drain(t, s)
+	if !s.Draining() {
+		t.Fatal("not draining after Drain")
+	}
+	for _, id := range []string{running.ID, queued.ID} {
+		j, err := s.Job(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.State != StateCancelled {
+			t.Fatalf("job %s state = %s after drain, want cancelled", id, j.State)
+		}
+	}
+	if _, err := s.Submit(spec(3, 0), "t"); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain submit err = %v, want ErrDraining", err)
+	}
+}
+
+func TestEventStreamLifecycleAndResume(t *testing.T) {
+	testutil.NoLeakedGoroutines(t)
+	f := newFakeRuns()
+	s := New(Config{MaxWorkers: 1, MaxQueue: 4, Run: f.run})
+	defer drain(t, s)
+	j, err := s.Submit(spec(1, 0), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := s.Ring(j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.awaitStart(t, 1)
+	f.finish(1, nil)
+	waitState(t, s, j.ID, StateDone)
+	// A late subscriber replays the full lifecycle: queued, running, end.
+	replay, sub, truncated := ring.Subscribe(0)
+	if sub != nil {
+		t.Fatal("closed ring handed out a live subscription")
+	}
+	if truncated {
+		t.Fatal("replay truncated on an under-capacity ring")
+	}
+	var types []string
+	var lastSeq uint64
+	for _, ev := range replay {
+		types = append(types, ev.Type)
+		if ev.Seq <= lastSeq {
+			t.Fatalf("non-increasing seq %d after %d", ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+	}
+	want := []string{TypeState, TypeState, TypeEnd}
+	if len(types) != len(want) {
+		t.Fatalf("replay types = %v, want %v", types, want)
+	}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Fatalf("replay types = %v, want %v", types, want)
+		}
+	}
+	if replay[len(replay)-1].State != string(StateDone) {
+		t.Fatalf("end state = %s", replay[len(replay)-1].State)
+	}
+	// Resuming from a mid-stream cursor replays only the tail.
+	tail, _, _ := ring.Subscribe(replay[0].Seq)
+	if len(tail) != len(replay)-1 {
+		t.Fatalf("tail replay = %d events, want %d", len(tail), len(replay)-1)
+	}
+}
+
+func TestConcurrentSubmitCancelChurnIsRaceClean(t *testing.T) {
+	testutil.NoLeakedGoroutines(t)
+	var runs atomic.Int64
+	s := New(Config{MaxWorkers: 4, MaxQueue: 64, TenantQueueShare: 64, TenantMaxInFlight: 4,
+		Run: func(ctx context.Context, cfg core.Config) (*core.StudyResult, error) {
+			runs.Add(1)
+			select {
+			case <-time.After(time.Millisecond):
+				return &core.StudyResult{}, nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}})
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				j, err := s.Submit(Spec{Seed: int64(c*100 + i), Scale: 0.01, Priority: i % 3}, fmt.Sprintf("t%d", c%3))
+				if err != nil {
+					continue
+				}
+				if i%4 == 0 {
+					s.Cancel(j.ID)
+				}
+				if r, err := s.Ring(j.ID); err == nil {
+					replay, sub, _ := r.Subscribe(0)
+					_ = replay
+					sub.Cancel()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	drain(t, s)
+	if runs.Load() == 0 {
+		t.Fatal("no runs executed")
+	}
+}

@@ -27,10 +27,7 @@ func TestServeRequestContextHonoured(t *testing.T) {
 	if rec.Code != 503 {
 		t.Fatalf("dead-context request = %d: %s", rec.Code, rec.Body.String())
 	}
-	s.mu.Lock()
-	cached := len(s.corpora)
-	s.mu.Unlock()
-	if cached != 0 {
+	if cached := s.corpora.len(); cached != 0 {
 		t.Fatalf("cancelled request memoised %d corpora", cached)
 	}
 

@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"github.com/gaugenn/gaugenn/internal/analysis"
+)
+
+// corpusLRU bounds the per-CAS-key corpus memoisation. Keys are content
+// hashes, so entries can never go stale — but decoded corpora are large
+// (every record and unique of a snapshot), and an unbounded map grows for
+// the life of the process as studies accumulate. The LRU keeps the hot
+// working set resident, evicts the coldest snapshot beyond capacity, and
+// feeds the eviction counter + resident gauge so operators can see cache
+// pressure on /metrics.
+type corpusLRU struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recently used; values are *lruEntry
+	items map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	c   *analysis.Corpus
+}
+
+// defaultCorpusCache is the default residency bound: enough for a handful
+// of studies' snapshot pairs, small enough that a crawl-everything tenant
+// cannot pin the process's memory.
+const defaultCorpusCache = 16
+
+func newCorpusLRU(max int) *corpusLRU {
+	if max <= 0 {
+		max = defaultCorpusCache
+	}
+	return &corpusLRU{max: max, order: list.New(), items: map[string]*list.Element{}}
+}
+
+// get returns the corpus for key, refreshing its recency.
+func (l *corpusLRU) get(key string) (*analysis.Corpus, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	el, ok := l.items[key]
+	if !ok {
+		return nil, false
+	}
+	l.order.MoveToFront(el)
+	return el.Value.(*lruEntry).c, true
+}
+
+// add inserts key, evicting the least-recently-used entry beyond
+// capacity. Adding an existing key refreshes it.
+func (l *corpusLRU) add(key string, c *analysis.Corpus) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if el, ok := l.items[key]; ok {
+		l.order.MoveToFront(el)
+		el.Value.(*lruEntry).c = c
+		return
+	}
+	l.items[key] = l.order.PushFront(&lruEntry{key: key, c: c})
+	for len(l.items) > l.max {
+		oldest := l.order.Back()
+		ent := oldest.Value.(*lruEntry)
+		l.order.Remove(oldest)
+		delete(l.items, ent.key)
+		metCorpusEvictions.Inc()
+	}
+	metCorpusResident.SetInt(int64(len(l.items)))
+}
+
+// len reports the resident entry count.
+func (l *corpusLRU) len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.items)
+}

@@ -13,6 +13,15 @@ import (
 var metInFlight = obs.Default().Gauge("gaugenn_serve_in_flight",
 	"Requests currently being handled by the query API.")
 
+// Corpus-memoisation residency series (see corpusLRU): operators watch
+// evictions climb to see cache pressure before it becomes tail latency.
+var (
+	metCorpusEvictions = obs.Default().Counter("gaugenn_serve_corpus_evictions_total",
+		"Decoded corpus snapshots evicted from the bounded memoisation cache.")
+	metCorpusResident = obs.Default().Gauge("gaugenn_serve_resident_corpora",
+		"Decoded corpus snapshots currently resident in the memoisation cache.")
+)
+
 // instrument wraps one route's handler with request counting and latency
 // observation under the route's pattern label.
 func instrument(route string, h http.HandlerFunc) http.HandlerFunc {

@@ -13,6 +13,16 @@
 //	GET /api/studies/{id}/tables      report tables (all, or ?name=table2.txt as text)
 //	GET /api/models/{checksum}        per-model analysis summary
 //	GET /api/diff?from=ID[:LABEL]&to=ID[:LABEL]   cross-study churn rows
+//
+// With a scheduler attached (WithScheduler), the server additionally
+// executes studies — the write side (docs/serve.md has the full
+// admission/quota/priority/drain contract and SSE resume protocol):
+//
+//	POST   /api/studies               submit a study spec; 202 + job, or 503/429 + Retry-After
+//	GET    /api/jobs                  scheduler job listing
+//	GET    /api/studies/{id}/status   one job's lifecycle snapshot
+//	GET    /api/studies/{id}/events   resumable SSE event stream (Last-Event-ID cursor)
+//	DELETE /api/studies/{id}          cancel a queued or running job
 package serve
 
 import (
@@ -24,44 +34,90 @@ import (
 	"log"
 	"net/http"
 	"strings"
-	"sync"
+	"time"
 
 	"github.com/gaugenn/gaugenn/internal/analysis"
 	"github.com/gaugenn/gaugenn/internal/core"
 	"github.com/gaugenn/gaugenn/internal/errs"
 	"github.com/gaugenn/gaugenn/internal/nn/graph"
 	"github.com/gaugenn/gaugenn/internal/obs"
+	"github.com/gaugenn/gaugenn/internal/sched"
 	"github.com/gaugenn/gaugenn/internal/store"
 )
 
-// Server answers study queries from a persisted store.
+// Server answers study queries from a persisted store and — when a
+// scheduler is attached — accepts, streams and cancels study executions
+// (see studies.go and docs/serve.md).
 type Server struct {
 	st *store.Store
 
-	// corpora memoises loaded corpus snapshots by CAS key. Keys are
-	// content hashes, so a cached entry can never go stale; the cache is
-	// bounded by the number of distinct persisted snapshots.
-	mu      sync.Mutex
-	corpora map[string]*analysis.Corpus
+	// corpora memoises loaded corpus snapshots by CAS key, bounded by an
+	// LRU: keys are content hashes so entries never go stale, and the
+	// bound keeps resident memory independent of how many studies the
+	// store accumulates.
+	corpora *corpusLRU
+
+	// sch, when non-nil, enables the submission API.
+	sch *sched.Scheduler
+	// sseWriteTimeout bounds each SSE write so a stalled reader cannot
+	// pin a handler goroutine.
+	sseWriteTimeout time.Duration
+}
+
+// Option shapes a Server at construction.
+type Option func(*Server)
+
+// WithScheduler attaches a study scheduler, enabling POST /api/studies,
+// the per-study SSE event stream, and DELETE cancellation.
+func WithScheduler(sch *sched.Scheduler) Option {
+	return func(s *Server) { s.sch = sch }
+}
+
+// WithCorpusCacheSize bounds the decoded-corpus memoisation (entries, not
+// bytes; <= 0 keeps the default of 16 snapshots).
+func WithCorpusCacheSize(n int) Option {
+	return func(s *Server) { s.corpora = newCorpusLRU(n) }
+}
+
+// WithSSEWriteTimeout bounds each SSE write (default 15s): a reader that
+// stalls past it is disconnected and resumes with Last-Event-ID.
+func WithSSEWriteTimeout(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.sseWriteTimeout = d
+		}
+	}
 }
 
 // New creates a server over an opened store.
-func New(st *store.Store) *Server {
-	return &Server{st: st, corpora: map[string]*analysis.Corpus{}}
+func New(st *store.Store, opts ...Option) *Server {
+	s := &Server{st: st, corpora: newCorpusLRU(0), sseWriteTimeout: 15 * time.Second}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
 }
 
 // Handler returns the server's HTTP routes, each wrapped with request
 // counting and latency observation under its pattern label.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	for route, h := range map[string]http.HandlerFunc{
+	routes := map[string]http.HandlerFunc{
 		"GET /healthz":                 s.handleHealth,
 		"GET /api/studies":             s.handleStudies,
 		"GET /api/studies/{id}":        s.handleStudy,
 		"GET /api/studies/{id}/tables": s.handleTables,
 		"GET /api/models/{checksum}":   s.handleModel,
 		"GET /api/diff":                s.handleDiff,
-	} {
+	}
+	if s.sch != nil {
+		routes["POST /api/studies"] = s.handleSubmit
+		routes["GET /api/studies/{id}/status"] = s.handleJobStatus
+		routes["GET /api/studies/{id}/events"] = s.handleJobEvents
+		routes["DELETE /api/studies/{id}"] = s.handleJobCancel
+		routes["GET /api/jobs"] = s.handleJobs
+	}
+	for route, h := range routes {
 		mux.HandleFunc(route, instrument(route, h))
 	}
 	return mux
@@ -150,6 +206,14 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if !ok {
+		// Not a persisted study: it may be a scheduler job that has not
+		// (or will never) put a manifest entry down.
+		if s.sch != nil {
+			if j, jerr := s.sch.Job(r.PathValue("id")); jerr == nil {
+				writeJSON(w, http.StatusOK, j)
+				return
+			}
+		}
 		writeErr(w, http.StatusNotFound, "unknown study %q", r.PathValue("id"))
 		return
 	}
@@ -303,10 +367,7 @@ func (s *Server) labelledCorpus(ctx context.Context, entry store.ManifestEntry, 
 // hundreds-of-MB) decode instead of memoising work nobody will read;
 // cached hits are served regardless, since they cost nothing.
 func (s *Server) corpus(ctx context.Context, key string) (*analysis.Corpus, error) {
-	s.mu.Lock()
-	c, ok := s.corpora[key]
-	s.mu.Unlock()
-	if ok {
+	if c, ok := s.corpora.get(key); ok {
 		return c, nil
 	}
 	if err := ctx.Err(); err != nil {
@@ -322,14 +383,12 @@ func (s *Server) corpus(ctx context.Context, key string) (*analysis.Corpus, erro
 	if err := ctx.Err(); err != nil {
 		return nil, err // client gone: skip the decode
 	}
-	c, err = analysis.DecodeCorpus(blob)
+	c, err := analysis.DecodeCorpus(blob)
 	if err != nil {
 		// The blob exists but does not decode: the store itself is damaged
 		// (torn write, codec mismatch), not the request.
 		return nil, fmt.Errorf("decoding corpus %s: %w: %w", key, errs.ErrStoreCorrupt, err)
 	}
-	s.mu.Lock()
-	s.corpora[key] = c
-	s.mu.Unlock()
+	s.corpora.add(key, c)
 	return c, nil
 }

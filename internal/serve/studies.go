@@ -1,0 +1,197 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/gaugenn/gaugenn/internal/sched"
+)
+
+// maxSpecBody bounds a submission body: a study spec is a handful of
+// numbers, so anything larger is a client bug (or abuse), not a spec.
+const maxSpecBody = 1 << 16
+
+// tenantHeader derives the submitting tenant. Empty falls back to "anon"
+// inside the scheduler; there is deliberately no authentication here —
+// the header is an isolation key, not a credential.
+const tenantHeader = "X-Gaugenn-Tenant"
+
+// handleSubmit admits one study: 202 with the job snapshot, or a typed
+// shed. Overload answers carry Retry-After (delta-seconds) so well-behaved
+// clients back off with the server's pacing instead of hammering.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec sched.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding study spec: %v", err)
+		return
+	}
+	job, err := s.sch.Submit(spec, r.Header.Get(tenantHeader))
+	if err != nil {
+		s.writeSubmitErr(w, err)
+		return
+	}
+	w.Header().Set("Location", "/api/studies/"+job.ID+"/status")
+	writeJSON(w, http.StatusAccepted, submitResponse{
+		Job:    job,
+		Status: "/api/studies/" + job.ID + "/status",
+		Events: "/api/studies/" + job.ID + "/events",
+	})
+}
+
+// submitResponse is the 202 body: the job plus its follow-up links.
+type submitResponse struct {
+	sched.Job
+	Status string `json:"status_url"`
+	Events string `json:"events_url"`
+}
+
+// writeSubmitErr maps admission failures onto HTTP statuses: global
+// overload and drain are 503 (try another replica / later), a tenant
+// over its own share is 429 (its problem, not the service's), anything
+// else is a spec the client got wrong.
+func (s *Server) writeSubmitErr(w http.ResponseWriter, err error) {
+	secs := int(s.sch.Config().RetryAfterHint() / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	switch {
+	case errors.Is(err, sched.ErrQueueFull), errors.Is(err, sched.ErrDraining):
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, sched.ErrTenantQuota):
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeErr(w, http.StatusTooManyRequests, "%v", err)
+	default:
+		writeErr(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.sch.Jobs()
+	if jobs == nil {
+		jobs = []sched.Job{}
+	}
+	writeJSON(w, http.StatusOK, jobs)
+}
+
+func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	job, err := s.sch.Job(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	job, err := s.sch.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, job)
+}
+
+// handleJobEvents streams a job's typed events as Server-Sent Events.
+//
+// Resume protocol: every frame's SSE id is the event's Stamp.Seq. A
+// reconnecting client sends Last-Event-ID (or ?after=SEQ) and the server
+// replays every retained event with a larger Seq from the job's bounded
+// ring, then hands off to the live stream — the cut happens under one
+// lock, so the client sees no gap and no duplicate. A cursor older than
+// the ring's horizon gets a "truncated" event first, then the oldest
+// retained tail. The stream ends after the terminal "end" event (or
+// immediately after replay if the job already finished).
+//
+// Robustness: the pipeline never blocks on this handler (the ring fans
+// out without waiting), a reader that stalls past the write timeout or
+// falls a full buffer behind is disconnected (it resumes with its
+// cursor), and a client that hangs up just ends the handler.
+func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
+	ring, err := s.sch.Ring(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	after, err := eventCursor(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+
+	replay, sub, truncated := ring.Subscribe(after)
+	defer sub.Cancel()
+	write := func(ev sched.WireEvent) bool {
+		// A stalled reader must not pin this goroutine: bound every write
+		// and give up on the first failure (the client resumes by cursor).
+		rc.SetWriteDeadline(time.Now().Add(s.sseWriteTimeout))
+		data, err := json.Marshal(ev)
+		if err != nil {
+			logf("serve: encoding SSE event: %v", err)
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data); err != nil {
+			return false
+		}
+		return rc.Flush() == nil
+	}
+	if truncated {
+		// The client's cursor predates the ring: tell it the replay below
+		// starts at the oldest retained event, not at its cursor.
+		if !write(sched.WireEvent{Seq: after, Type: sched.TypeTruncated}) {
+			return
+		}
+	}
+	for _, ev := range replay {
+		if !write(ev) {
+			return
+		}
+	}
+	if sub == nil {
+		return // job already terminal: the replay ended with its "end" event
+	}
+	for {
+		select {
+		case ev, ok := <-sub.C:
+			if !ok {
+				// Ring closed (stream complete) or we lagged out; either way
+				// the client reconnects with its cursor if it wants more.
+				return
+			}
+			if !write(ev) {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// eventCursor resolves the resume cursor: the standard Last-Event-ID
+// header, or an ?after=SEQ query for hand-driven clients. Zero means
+// "from the beginning".
+func eventCursor(r *http.Request) (uint64, error) {
+	v := r.Header.Get("Last-Event-ID")
+	if q := r.URL.Query().Get("after"); q != "" {
+		v = q
+	}
+	if v == "" {
+		return 0, nil
+	}
+	n, err := strconv.ParseUint(v, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad event cursor %q: %v", v, err)
+	}
+	return n, nil
+}
