@@ -308,6 +308,7 @@ func runServe(ctx context.Context, args []string) error {
 	runTimeout := fs.Duration("run-timeout", 0, "per-study execution timeout (0 = none)")
 	retryAfter := fs.Duration("retry-after", 0, "Retry-After pacing attached to shed submissions (0 = default 2s)")
 	sseWriteTimeout := fs.Duration("sse-write-timeout", 0, "per-write deadline on SSE streams; a reader stalled past it is cut (0 = default 15s)")
+	censusTTL := fs.Duration("census-ttl", 0, "how long /healthz reuses its memoised store census (0 = default 2s)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -342,7 +343,7 @@ func runServe(ctx context.Context, args []string) error {
 	for _, e := range studies {
 		fmt.Fprintf(os.Stderr, "serve:   %s (models 2020=%d 2021=%d)\n", e.ID, e.Models["2020"], e.Models["2021"])
 	}
-	opts := []serve.Option{serve.WithSSEWriteTimeout(*sseWriteTimeout)}
+	opts := []serve.Option{serve.WithSSEWriteTimeout(*sseWriteTimeout), serve.WithCensusTTL(*censusTTL)}
 	var sch *sched.Scheduler
 	if *runWorkers > 0 {
 		sch = sched.New(sched.Config{
@@ -740,7 +741,7 @@ func runFsck(args []string) error {
 		return err
 	}
 	var scanned int
-	for _, kind := range []string{store.KindCorpus, store.KindReport, store.KindGraph, store.KindAnalysis, store.KindPayload} {
+	for _, kind := range []string{store.KindCorpus, store.KindReport, store.KindGraph, store.KindAnalysis, store.KindPayload, store.KindIndex} {
 		fmt.Fprintf(os.Stderr, "fsck: %s: %d blob(s)\n", kind, res.Scanned[kind])
 		scanned += res.Scanned[kind]
 	}

@@ -17,6 +17,7 @@ import (
 	"github.com/gaugenn/gaugenn/internal/errs"
 	"github.com/gaugenn/gaugenn/internal/event"
 	"github.com/gaugenn/gaugenn/internal/extract"
+	"github.com/gaugenn/gaugenn/internal/index"
 	"github.com/gaugenn/gaugenn/internal/playstore"
 	"github.com/gaugenn/gaugenn/internal/store"
 )
@@ -323,16 +324,19 @@ func (e *studyEngine) persistReport(key string, rep *extract.Report) error {
 }
 
 // persistCorpus snapshots a merged corpus into the CAS under its content
-// hash and reports the persist stage's progress. ctx is checked before
-// the encode starts: corpus blobs are content-keyed and write-once, so a
-// cancelled persist simply leaves the snapshot out of the CAS for the
-// resume run to write.
+// hash, derives and persists its query index under the same key, and
+// reports the persist stage's progress. ctx is checked before the encode
+// starts: corpus blobs are content-keyed and write-once, so a cancelled
+// persist simply leaves the snapshot out of the CAS for the resume run to
+// write. The index is a derived record keyed by the corpus key — a
+// re-run of the same study overwrites it with identical bytes, and serve
+// rebuilds it lazily if this write is lost.
 func (e *studyEngine) persistCorpus(ctx context.Context, label string, c *analysis.Corpus) (string, error) {
 	if e.st == nil {
 		return "", nil
 	}
 	st := e.newStage("persist", label)
-	st.start(1)
+	st.start(2)
 	if err := ctx.Err(); err != nil {
 		return "", err
 	}
@@ -343,6 +347,10 @@ func (e *studyEngine) persistCorpus(ctx context.Context, label string, c *analys
 	sum := sha256.Sum256(blob)
 	key := store.HexKey(sum[:])
 	if err := e.st.Put(store.KindCorpus, key, blob); err != nil {
+		return "", err
+	}
+	st.step()
+	if err := index.Persist(e.st, key, index.BuildStore(e.st, c)); err != nil {
 		return "", err
 	}
 	st.step()

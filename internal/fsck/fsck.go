@@ -5,7 +5,8 @@
 //
 // Every blob kind has a definite validity check — corpus blobs hash to
 // their key, graph blobs decode and re-derive their checksum key, sealed
-// records (payload, analysis, report) verify their embedded digest — so
+// records (payload, analysis, report, index) verify their embedded
+// digest (index blobs additionally satisfy structural invariants) — so
 // fsck never guesses. Repair is conservative: corrupt derived records are
 // quarantined (moved aside, never deleted) for the next warm run to
 // recompute, and the manifest is rewritten keeping exactly its valid
@@ -24,6 +25,7 @@ import (
 
 	"github.com/gaugenn/gaugenn/internal/analysis"
 	"github.com/gaugenn/gaugenn/internal/extract"
+	"github.com/gaugenn/gaugenn/internal/index"
 	"github.com/gaugenn/gaugenn/internal/nn/graph"
 	"github.com/gaugenn/gaugenn/internal/store"
 )
@@ -74,7 +76,7 @@ type Options struct {
 }
 
 // kinds in deterministic scan order.
-var kinds = []string{store.KindAnalysis, store.KindCorpus, store.KindGraph, store.KindPayload, store.KindReport}
+var kinds = []string{store.KindAnalysis, store.KindCorpus, store.KindGraph, store.KindIndex, store.KindPayload, store.KindReport}
 
 // Run audits the study store rooted at dir. It operates on the real
 // filesystem (fsck is an offline tool; nothing else may hold the store).
@@ -166,6 +168,8 @@ func validateBlob(kind, key string, data []byte) error {
 	case store.KindReport:
 		_, err := extract.DecodeReport(data)
 		return err
+	case store.KindIndex:
+		return index.Validate(data)
 	}
 	return fmt.Errorf("unknown kind %q", kind)
 }

@@ -115,7 +115,7 @@ func TestCleanStorePasses(t *testing.T) {
 	if !res.Clean() {
 		t.Fatalf("fresh store reported issues: %v", res.Issues)
 	}
-	for _, kind := range []string{store.KindCorpus, store.KindReport, store.KindAnalysis, store.KindGraph} {
+	for _, kind := range []string{store.KindCorpus, store.KindReport, store.KindAnalysis, store.KindGraph, store.KindIndex} {
 		if res.Scanned[kind] == 0 {
 			t.Fatalf("scanned no %s blobs: %v", kind, res.Scanned)
 		}
@@ -143,6 +143,7 @@ func TestCorruptionDetectFixRoundTrip(t *testing.T) {
 	corrupt(store.KindGraph, func(p string) error { return faults.Truncate(p, 0.5) })
 	corrupt(store.KindAnalysis, func(p string) error { return faults.AppendGarbage(p, "{torn") })
 	corrupt(store.KindPayload, func(p string) error { return faults.Truncate(p, 0.3) })
+	corrupt(store.KindIndex, func(p string) error { return faults.FlipBit(p, 50) })
 
 	audit, err := Run(dir, Options{})
 	if err != nil {
@@ -165,7 +166,7 @@ func TestCorruptionDetectFixRoundTrip(t *testing.T) {
 		}
 	}
 
-	// Fix quarantines all five blobs. Quarantining the corpus blob leaves
+	// Fix quarantines all six blobs. Quarantining the corpus blob leaves
 	// the manifest's snapshot reference dangling — reported, never "fixed"
 	// (the entry is true provenance; the blob is what's missing).
 	fixed, err := Run(dir, Options{Fix: true})

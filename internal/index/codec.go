@@ -1,0 +1,86 @@
+package index
+
+import (
+	"fmt"
+
+	"github.com/gaugenn/gaugenn/internal/analysis"
+	"github.com/gaugenn/gaugenn/internal/nn/graph"
+	"github.com/gaugenn/gaugenn/internal/store"
+)
+
+// Encode serialises an index as a sealed derived record (see
+// store.SealJSON): the blob's key — the corpus CAS key — hashes the
+// index's *input*, not its bytes, so the embedded digest is what
+// authenticates the record on read. Equal indexes encode to equal bytes
+// (struct field order is fixed and the index carries no maps), so
+// re-persisting an unchanged snapshot's index is byte-stable.
+func Encode(ix *Index) ([]byte, error) {
+	if err := ix.check(); err != nil {
+		return nil, err
+	}
+	return store.SealJSON(ix)
+}
+
+// Decode reverses Encode, refusing blobs with a broken seal, a stale
+// codec version, or violated structural invariants. Callers treat any
+// error as a cache miss and rebuild from the corpus — the self-healing
+// contract shared with every other derived record.
+func Decode(data []byte) (*Index, error) {
+	var ix Index
+	if err := store.OpenJSON(data, &ix); err != nil {
+		return nil, fmt.Errorf("index: decoding: %w", err)
+	}
+	if err := ix.check(); err != nil {
+		return nil, err
+	}
+	return &ix, nil
+}
+
+// Validate reports whether data is a well-formed index blob under the
+// current codec. fsck uses it to find blobs a serve instance would have
+// to rebuild.
+func Validate(data []byte) error {
+	_, err := Decode(data)
+	return err
+}
+
+// Load reads one corpus's persisted index from the store; ok is false
+// when it is absent or unreadable (treat as "build it from the corpus").
+func Load(st *store.Store, corpusKey string) (*Index, bool) {
+	data, ok, err := st.Get(store.KindIndex, corpusKey)
+	if err != nil || !ok {
+		return nil, false
+	}
+	ix, err := Decode(data)
+	if err != nil {
+		return nil, false
+	}
+	return ix, true
+}
+
+// Persist writes one corpus's index through to the store under the
+// corpus CAS key. Index blobs are derived records: Put overwrites, so a
+// rebuild under a newer codec (or over a corrupt blob) really lands.
+func Persist(st *store.Store, corpusKey string, ix *Index) error {
+	data, err := Encode(ix)
+	if err != nil {
+		return err
+	}
+	return st.Put(store.KindIndex, corpusKey, data)
+}
+
+// StoreHasGraph adapts a store to Build's graph-presence probe: a row's
+// HasGraph bit answers whether the checksum's decoded graph lives in the
+// graph CAS, mirroring the analysis record's flag (graph blobs are
+// written iff the analysis ran over a decoded graph).
+func StoreHasGraph(st *store.Store) func(sum graph.Checksum) bool {
+	return func(sum graph.Checksum) bool {
+		return st.Has(store.KindGraph, string(sum))
+	}
+}
+
+// BuildStore builds a corpus's index with graph presence answered by the
+// same store the index will be persisted into.
+func BuildStore(st *store.Store, c *analysis.Corpus) *Index {
+	return Build(c, StoreHasGraph(st))
+}

@@ -1,0 +1,75 @@
+package index
+
+import (
+	"math/bits"
+	"sort"
+
+	"github.com/gaugenn/gaugenn/internal/analysis"
+	"github.com/gaugenn/gaugenn/internal/nn/graph"
+)
+
+// Diff reproduces analysis.TemporalDiff from two indexes: per-category
+// model instances added and removed between the snapshots, matched by
+// checksum multiset. Instead of building count maps over two record
+// lists per request, it joins each category's membership bitsets — for
+// every member row of one side, the other side's count is one bitset
+// rank away — so the cost scales with distinct (category, checksum)
+// pairs, not with record instances.
+//
+// The output is row-for-row identical to TemporalDiff over the corpora
+// the indexes were built from: same row set (categories with any churn),
+// same ordering (net adds descending, then category ascending).
+func Diff(old, new_ *Index) []analysis.ChurnRow {
+	cats := map[string]bool{}
+	var rows []analysis.ChurnRow
+	for _, cat := range old.Cats {
+		cats[cat] = true
+	}
+	for _, cat := range new_.Cats {
+		cats[cat] = true
+	}
+	for cat := range cats {
+		oci, nci := old.catIndex(cat), new_.catIndex(cat)
+		added := addedCount(new_, nci, old, oci)
+		removed := addedCount(old, oci, new_, nci)
+		if added == 0 && removed == 0 {
+			continue
+		}
+		rows = append(rows, analysis.ChurnRow{Category: cat, Added: added, Removed: removed})
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		di := rows[i].Added - rows[i].Removed
+		dj := rows[j].Added - rows[j].Removed
+		if di != dj {
+			return di > dj
+		}
+		return rows[i].Category < rows[j].Category
+	})
+	return rows
+}
+
+// addedCount sums, over a's members of category aci, the instances a has
+// beyond b's count for the same checksum — "added" when a is the newer
+// snapshot, "removed" when it is the older.
+func addedCount(a *Index, aci int, b *Index, bci int) int {
+	if aci < 0 {
+		return 0
+	}
+	total := 0
+	members := a.CatMembers[aci]
+	counts := a.CatCounts[aci]
+	next := 0
+	for w, word := range members {
+		for word != 0 {
+			row := w*64 + bits.TrailingZeros64(word)
+			word &= word - 1
+			n := int(counts[next])
+			next++
+			var sum graph.Checksum = a.Checksums[row]
+			if d := n - int(b.count(bci, sum)); d > 0 {
+				total += d
+			}
+		}
+	}
+	return total
+}

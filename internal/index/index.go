@@ -1,0 +1,325 @@
+// Package index implements the serve-side query engine's columnar study
+// index: a compact, deterministic, per-snapshot summary of a persisted
+// corpus that answers the census queries — model lookup by checksum,
+// dataset stats, cross-snapshot churn — without decoding the corpus
+// itself.
+//
+// One Index is derived from one corpus snapshot and persisted as a
+// sealed derived record under store.KindIndex at the *corpus CAS key*:
+// the key is the hash of the index's input, so the index can never
+// silently go stale — a changed corpus is a different key, and a corrupt
+// index blob (broken seal, wrong version) reads as a miss and is rebuilt
+// from the corpus it summarises. The study engine writes the index at
+// persist time; serve builds it lazily on first read for stores
+// populated before the index kind existed.
+//
+// Layout is columnar: the model table is a set of parallel arrays sorted
+// by checksum (one binary search per model lookup), and per-category
+// membership is a bitset over the model rows with instance counts
+// aligned to the bitset's rank order, so a temporal diff joins two
+// bitsets instead of scanning two record lists.
+package index
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+
+	"github.com/gaugenn/gaugenn/internal/analysis"
+	"github.com/gaugenn/gaugenn/internal/nn/graph"
+	"github.com/gaugenn/gaugenn/internal/nn/zoo"
+)
+
+// CodecVersion gates persisted index blobs. A blob with a different
+// version is a miss: readers rebuild from the corpus and re-persist.
+// Bump when any column changes meaning, when enum numberings move
+// (tasks/archs/modalities are stored as codes), or when the summary a
+// lookup produces changes semantically.
+const CodecVersion = 1
+
+// Bitset is a dense bitset over model-table rows.
+type Bitset []uint64
+
+// NewBitset returns an all-zero bitset sized for n rows.
+func NewBitset(n int) Bitset { return make(Bitset, (n+63)/64) }
+
+// Set sets bit i.
+func (b Bitset) Set(i int) { b[i/64] |= 1 << (i % 64) }
+
+// Get reports bit i.
+func (b Bitset) Get(i int) bool { return b[i/64]&(1<<(i%64)) != 0 }
+
+// Rank counts the set bits strictly before i — the position of row i's
+// payload in a rank-aligned column.
+func (b Bitset) Rank(i int) int {
+	n := 0
+	for w := 0; w < i/64; w++ {
+		n += bits.OnesCount64(b[w])
+	}
+	return n + bits.OnesCount64(b[i/64]&(1<<(i%64)-1))
+}
+
+// Count returns the total number of set bits.
+func (b Bitset) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Index is the columnar query index of one corpus snapshot. All row
+// columns are parallel arrays over the model table, sorted by checksum;
+// field order is the wire order (the struct marshals directly), so equal
+// corpora index to equal bytes.
+type Index struct {
+	// V is the codec version (CodecVersion at write time).
+	V int `json:"v"`
+	// Label is the snapshot label ("2020"/"2021").
+	Label string `json:"label"`
+	// Dataset is the precomputed Table 2 column for the snapshot.
+	Dataset analysis.DatasetStats `json:"dataset"`
+
+	// Model table columns, sorted by Checksums.
+	Checksums      []graph.Checksum `json:"checksums"`
+	Names          []string         `json:"names"`
+	Frameworks     []string         `json:"frameworks"`
+	Tasks          []uint8          `json:"tasks"`
+	Archs          []uint8          `json:"archs"`
+	Modalities     []uint8          `json:"modalities"`
+	FLOPs          []int64          `json:"flops"`
+	Params         []int64          `json:"params"`
+	WeightBytes    []int64          `json:"weight_bytes"`
+	Layers         []int32          `json:"layers"`
+	WeightedLayers []int32          `json:"weighted_layers"`
+	Instances      []int32          `json:"instances"`
+	// Quant marks rows whose weights are majority int8 (Section 6.1's
+	// quantisation criterion); HasGraph marks rows with a persisted graph
+	// blob in the store's graph CAS.
+	Quant    Bitset `json:"quant"`
+	HasGraph Bitset `json:"has_graph"`
+
+	// Cats lists the snapshot's app categories, sorted. CatMembers[i] is
+	// the membership bitset of category Cats[i] over the model rows, and
+	// CatCounts[i] holds the per-row instance counts for the set rows in
+	// rank order (CatCounts[i][CatMembers[i].Rank(row)]).
+	Cats       []string   `json:"cats"`
+	CatMembers []Bitset   `json:"cat_members"`
+	CatCounts  [][]uint32 `json:"cat_counts"`
+}
+
+// Build derives the index of one fully-ingested corpus. hasGraph reports
+// whether a checksum's decoded graph is persisted in the store's graph
+// CAS (nil means none are) — the index answers the same HasGraph flag
+// the per-checksum analysis record carries, without a record read.
+func Build(c *analysis.Corpus, hasGraph func(graph.Checksum) bool) *Index {
+	uniques := c.SortedUniques()
+	n := len(uniques)
+	ix := &Index{
+		V:              CodecVersion,
+		Label:          c.Label,
+		Dataset:        c.Dataset(),
+		Checksums:      make([]graph.Checksum, 0, n),
+		Names:          make([]string, 0, n),
+		Frameworks:     make([]string, 0, n),
+		Tasks:          make([]uint8, 0, n),
+		Archs:          make([]uint8, 0, n),
+		Modalities:     make([]uint8, 0, n),
+		FLOPs:          make([]int64, 0, n),
+		Params:         make([]int64, 0, n),
+		WeightBytes:    make([]int64, 0, n),
+		Layers:         make([]int32, 0, n),
+		WeightedLayers: make([]int32, 0, n),
+		Instances:      make([]int32, 0, n),
+		Quant:          NewBitset(n),
+		HasGraph:       NewBitset(n),
+	}
+	rows := make(map[graph.Checksum]int, n)
+	for i, u := range uniques {
+		rows[u.Checksum] = i
+		ix.Checksums = append(ix.Checksums, u.Checksum)
+		ix.Names = append(ix.Names, u.Name)
+		ix.Frameworks = append(ix.Frameworks, u.Framework)
+		ix.Tasks = append(ix.Tasks, uint8(u.Task))
+		ix.Archs = append(ix.Archs, uint8(u.Arch))
+		ix.Modalities = append(ix.Modalities, uint8(u.Modality))
+		ix.FLOPs = append(ix.FLOPs, u.Profile.FLOPs)
+		ix.Params = append(ix.Params, u.Profile.Params)
+		ix.WeightBytes = append(ix.WeightBytes, u.Profile.WeightBytes)
+		ix.Layers = append(ix.Layers, int32(len(u.Profile.Layers)))
+		ix.WeightedLayers = append(ix.WeightedLayers, int32(len(u.LayerSums)))
+		ix.Instances = append(ix.Instances, int32(u.Instances))
+		if u.Weights.Int8WeightFraction() > 0.5 {
+			ix.Quant.Set(i)
+		}
+		if hasGraph != nil && hasGraph(u.Checksum) {
+			ix.HasGraph.Set(i)
+		}
+	}
+	// Per-category instance counts over the model rows.
+	perCat := map[string]map[int]uint32{}
+	for _, r := range c.Records {
+		m := perCat[r.Category]
+		if m == nil {
+			m = map[int]uint32{}
+			perCat[r.Category] = m
+		}
+		m[rows[r.Checksum]]++
+	}
+	ix.Cats = make([]string, 0, len(perCat))
+	for cat := range perCat {
+		ix.Cats = append(ix.Cats, cat)
+	}
+	sort.Strings(ix.Cats)
+	ix.CatMembers = make([]Bitset, len(ix.Cats))
+	ix.CatCounts = make([][]uint32, len(ix.Cats))
+	for ci, cat := range ix.Cats {
+		members := NewBitset(n)
+		rowsOf := perCat[cat]
+		sorted := make([]int, 0, len(rowsOf))
+		for row := range rowsOf {
+			members.Set(row)
+			sorted = append(sorted, row)
+		}
+		sort.Ints(sorted)
+		counts := make([]uint32, 0, len(sorted))
+		for _, row := range sorted {
+			counts = append(counts, rowsOf[row])
+		}
+		ix.CatMembers[ci] = members
+		ix.CatCounts[ci] = counts
+	}
+	return ix
+}
+
+// Row returns the model-table row of a checksum, or -1.
+func (ix *Index) Row(sum graph.Checksum) int {
+	i := sort.Search(len(ix.Checksums), func(i int) bool { return ix.Checksums[i] >= sum })
+	if i < len(ix.Checksums) && ix.Checksums[i] == sum {
+		return i
+	}
+	return -1
+}
+
+// Lookup answers the serve API's per-model summary from one index probe
+// (a binary search over the checksum column), producing exactly what
+// analysis.LoadModelSummary would read out of the persisted record.
+func (ix *Index) Lookup(sum graph.Checksum) (*analysis.ModelSummary, bool) {
+	i := ix.Row(sum)
+	if i < 0 {
+		return nil, false
+	}
+	return &analysis.ModelSummary{
+		Checksum:       sum,
+		Name:           ix.Names[i],
+		Task:           zoo.TaskFromCode(ix.Tasks[i]).String(),
+		Arch:           zoo.ArchFromCode(ix.Archs[i]).String(),
+		Modality:       graph.Modality(ix.Modalities[i]).String(),
+		FLOPs:          ix.FLOPs[i],
+		Params:         ix.Params[i],
+		WeightBytes:    ix.WeightBytes[i],
+		Layers:         int(ix.Layers[i]),
+		WeightedLayers: int(ix.WeightedLayers[i]),
+		HasGraph:       ix.HasGraph.Get(i),
+	}, true
+}
+
+// catIndex returns the position of cat in the sorted category list, or -1.
+func (ix *Index) catIndex(cat string) int {
+	i := sort.SearchStrings(ix.Cats, cat)
+	if i < len(ix.Cats) && ix.Cats[i] == cat {
+		return i
+	}
+	return -1
+}
+
+// count returns the instance count of (category ci, checksum) — zero when
+// the checksum is not a member of the category.
+func (ix *Index) count(ci int, sum graph.Checksum) uint32 {
+	if ci < 0 {
+		return 0
+	}
+	row := ix.Row(sum)
+	if row < 0 || !ix.CatMembers[ci].Get(row) {
+		return 0
+	}
+	return ix.CatCounts[ci][ix.CatMembers[ci].Rank(row)]
+}
+
+// checkBitset verifies a row bitset is sized exactly for n rows with no
+// stray bits past the last row.
+func checkBitset(b Bitset, n int) error {
+	if len(b) != (n+63)/64 {
+		return fmt.Errorf("bitset has %d words, want %d", len(b), (n+63)/64)
+	}
+	if rem := n % 64; rem != 0 && len(b) > 0 && b[len(b)-1]>>uint(rem) != 0 {
+		return fmt.Errorf("bitset has bits past row %d", n)
+	}
+	return nil
+}
+
+// check validates the structural invariants a well-formed index holds;
+// Decode and fsck both apply it, so a bit-flip that survives the seal
+// (or a buggy writer) is refused rather than served.
+func (ix *Index) check() error {
+	if ix.V != CodecVersion {
+		return fmt.Errorf("index: codec version %d, want %d", ix.V, CodecVersion)
+	}
+	n := len(ix.Checksums)
+	for col, l := range map[string]int{
+		"names": len(ix.Names), "frameworks": len(ix.Frameworks),
+		"tasks": len(ix.Tasks), "archs": len(ix.Archs),
+		"modalities": len(ix.Modalities), "flops": len(ix.FLOPs),
+		"params": len(ix.Params), "weight_bytes": len(ix.WeightBytes),
+		"layers": len(ix.Layers), "weighted_layers": len(ix.WeightedLayers),
+		"instances": len(ix.Instances),
+	} {
+		if l != n {
+			return fmt.Errorf("index: column %s has %d rows, want %d", col, l, n)
+		}
+	}
+	if err := checkBitset(ix.Quant, n); err != nil {
+		return fmt.Errorf("index: quant %w", err)
+	}
+	if err := checkBitset(ix.HasGraph, n); err != nil {
+		return fmt.Errorf("index: has_graph %w", err)
+	}
+	for i := 1; i < n; i++ {
+		if ix.Checksums[i-1] >= ix.Checksums[i] {
+			return fmt.Errorf("index: checksum column not strictly sorted at row %d", i)
+		}
+	}
+	if len(ix.CatMembers) != len(ix.Cats) || len(ix.CatCounts) != len(ix.Cats) {
+		return fmt.Errorf("index: %d categories but %d bitsets / %d count columns",
+			len(ix.Cats), len(ix.CatMembers), len(ix.CatCounts))
+	}
+	var total int64
+	for _, c := range ix.Instances {
+		if c <= 0 {
+			return fmt.Errorf("index: non-positive instance count")
+		}
+		total += int64(c)
+	}
+	if int(total) != ix.Dataset.TotalModels || n != ix.Dataset.UniqueModels {
+		return fmt.Errorf("index: dataset stats (%d total / %d unique) disagree with the model table (%d / %d)",
+			ix.Dataset.TotalModels, ix.Dataset.UniqueModels, total, n)
+	}
+	for ci, cat := range ix.Cats {
+		if ci > 0 && ix.Cats[ci-1] >= cat {
+			return fmt.Errorf("index: category list not strictly sorted at %q", cat)
+		}
+		members := ix.CatMembers[ci]
+		if err := checkBitset(members, n); err != nil {
+			return fmt.Errorf("index: category %q %w", cat, err)
+		}
+		if got := members.Count(); got != len(ix.CatCounts[ci]) {
+			return fmt.Errorf("index: category %q has %d members but %d counts", cat, got, len(ix.CatCounts[ci]))
+		}
+		for _, c := range ix.CatCounts[ci] {
+			if c == 0 {
+				return fmt.Errorf("index: category %q carries a zero member count", cat)
+			}
+		}
+	}
+	return nil
+}

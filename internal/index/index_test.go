@@ -1,0 +1,200 @@
+package index
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"github.com/gaugenn/gaugenn/internal/analysis"
+	"github.com/gaugenn/gaugenn/internal/nn/graph"
+	"github.com/gaugenn/gaugenn/internal/nn/zoo"
+)
+
+// sum fabricates a deterministic 32-hex checksum distinct per i.
+func sum(i int) graph.Checksum {
+	return graph.Checksum(fmt.Sprintf("%032x", i+1))
+}
+
+// fixtureCorpus builds a bare-literal corpus: instances[i] places
+// checksum sum(i%models) in category cats[i%len(cats)], so checksums
+// repeat across categories and instance counts vary.
+func fixtureCorpus(label string, models, instances int, cats []string) *analysis.Corpus {
+	c := &analysis.Corpus{
+		Label:   label,
+		Uniques: map[graph.Checksum]*analysis.Unique{},
+	}
+	for i := 0; i < instances; i++ {
+		cs := sum(i % models)
+		c.Records = append(c.Records, analysis.Record{
+			Package:   fmt.Sprintf("app.%d", i),
+			Category:  cats[i%len(cats)],
+			Path:      "assets/m.tflite",
+			Framework: "tflite",
+			Checksum:  cs,
+			FileBytes: 100,
+		})
+		u := c.Uniques[cs]
+		if u == nil {
+			m := i % models
+			u = &analysis.Unique{
+				Checksum:  cs,
+				Name:      fmt.Sprintf("model-%d", m),
+				Framework: "tflite",
+				Task:      zoo.Task(uint8(m % 3)),
+				Arch:      zoo.Arch(uint8(m % 2)),
+				Modality:  graph.Modality(uint8(m % 2)),
+				Profile: &graph.Profile{
+					FLOPs:       int64(1000 * (m + 1)),
+					Params:      int64(50 * (m + 1)),
+					WeightBytes: int64(200 * (m + 1)),
+					Layers:      make([]graph.LayerProfile, m+1),
+				},
+				LayerSums: make([]graph.Checksum, m),
+				Weights: graph.WeightStats{
+					TotalParams: 100,
+					DTypeParams: map[graph.DType]int64{graph.Int8: int64(100 * (m % 2))},
+				},
+			}
+			c.Uniques[cs] = u
+		}
+		u.Instances++
+		c.Apps = append(c.Apps, analysis.AppInfo{
+			Package: fmt.Sprintf("app.%d", i), Category: cats[i%len(cats)], HasModels: true,
+		})
+	}
+	return c
+}
+
+func TestBuildLookup(t *testing.T) {
+	c := fixtureCorpus("2021", 5, 17, []string{"Tools", "Social", "Games"})
+	ix := Build(c, func(s graph.Checksum) bool { return s == sum(0) || s == sum(3) })
+	if err := ix.check(); err != nil {
+		t.Fatalf("built index fails check: %v", err)
+	}
+	if ix.Dataset != c.Dataset() {
+		t.Fatalf("dataset stats: got %+v want %+v", ix.Dataset, c.Dataset())
+	}
+	for _, u := range c.SortedUniques() {
+		got, ok := ix.Lookup(u.Checksum)
+		if !ok {
+			t.Fatalf("lookup %s: missing", u.Checksum)
+		}
+		want := &analysis.ModelSummary{
+			Checksum:       u.Checksum,
+			Name:           u.Name,
+			Task:           u.Task.String(),
+			Arch:           u.Arch.String(),
+			Modality:       u.Modality.String(),
+			FLOPs:          u.Profile.FLOPs,
+			Params:         u.Profile.Params,
+			WeightBytes:    u.Profile.WeightBytes,
+			Layers:         len(u.Profile.Layers),
+			WeightedLayers: len(u.LayerSums),
+			HasGraph:       u.Checksum == sum(0) || u.Checksum == sum(3),
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("lookup %s:\n got %+v\nwant %+v", u.Checksum, got, want)
+		}
+		if row := ix.Row(u.Checksum); ix.Quant.Get(row) != (u.Weights.Int8WeightFraction() > 0.5) {
+			t.Errorf("quant bit of %s wrong", u.Checksum)
+		}
+	}
+	if _, ok := ix.Lookup(sum(999)); ok {
+		t.Fatal("lookup of absent checksum succeeded")
+	}
+}
+
+func TestEncodeDeterministicRoundTrip(t *testing.T) {
+	c := fixtureCorpus("2020", 4, 13, []string{"Tools", "Finance"})
+	ix := Build(c, nil)
+	a, err := Encode(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same corpus, fresh build → identical bytes.
+	b, err := Encode(Build(fixtureCorpus("2020", 4, 13, []string{"Tools", "Finance"}), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("equal corpora encode to different bytes")
+	}
+	back, err := Decode(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, ix) {
+		t.Fatal("decode does not round-trip the index")
+	}
+}
+
+func TestValidateRejectsCorruption(t *testing.T) {
+	ix := Build(fixtureCorpus("2021", 3, 9, []string{"Tools"}), nil)
+	blob, err := Encode(ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(blob); err != nil {
+		t.Fatalf("valid blob rejected: %v", err)
+	}
+	// A flipped byte breaks the seal.
+	bad := append([]byte(nil), blob...)
+	bad[len(bad)/2] ^= 0x40
+	if err := Validate(bad); err == nil {
+		t.Fatal("bit-flipped blob accepted")
+	}
+	// A structurally broken index is refused even with an intact seal.
+	broken := *ix
+	broken.Names = broken.Names[:len(broken.Names)-1]
+	if _, err := Encode(&broken); err == nil {
+		t.Fatal("misaligned column encoded")
+	}
+	stale := *ix
+	stale.V = CodecVersion + 1
+	if _, err := Encode(&stale); err == nil {
+		t.Fatal("future codec version encoded")
+	}
+}
+
+func TestDiffMatchesTemporalDiff(t *testing.T) {
+	cases := []struct{ oldM, oldI, newM, newI int }{
+		{5, 20, 5, 20}, // identical
+		{5, 20, 7, 31}, // growth
+		{9, 40, 4, 11}, // shrinkage
+		{3, 3, 6, 6},   // tiny
+		{1, 1, 1, 2},   // same model, more instances
+	}
+	cats := []string{"Tools", "Social", "Games", "Finance"}
+	for _, tc := range cases {
+		old := fixtureCorpus("2020", tc.oldM, tc.oldI, cats)
+		new_ := fixtureCorpus("2021", tc.newM, tc.newI, cats[:3])
+		want := analysis.TemporalDiff(old, new_)
+		got := Diff(Build(old, nil), Build(new_, nil))
+		if len(want) == 0 && len(got) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("diff(%+v):\n got %+v\nwant %+v", tc, got, want)
+		}
+	}
+}
+
+func TestBitset(t *testing.T) {
+	b := NewBitset(130)
+	for _, i := range []int{0, 63, 64, 100, 129} {
+		b.Set(i)
+	}
+	if b.Count() != 5 {
+		t.Fatalf("count = %d, want 5", b.Count())
+	}
+	if !b.Get(129) || b.Get(128) {
+		t.Fatal("get wrong")
+	}
+	if r := b.Rank(129); r != 4 {
+		t.Fatalf("rank(129) = %d, want 4", r)
+	}
+	if r := b.Rank(0); r != 0 {
+		t.Fatalf("rank(0) = %d, want 0", r)
+	}
+}

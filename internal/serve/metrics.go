@@ -22,6 +22,19 @@ var (
 		"Decoded corpus snapshots currently resident in the memoisation cache.")
 )
 
+// Query-engine series: decodes should flatline once every snapshot's
+// index is persisted (the warm path never decodes a corpus); lazy index
+// builds appearing on a long-running server mean index blobs are being
+// lost or corrupted under it.
+var (
+	metCorpusDecodes = obs.Default().Counter("gaugenn_serve_corpus_decodes_total",
+		"Corpus snapshots decoded by the query path (cold /tables loads, index rebuilds, legacy fallbacks).")
+	metIndexBuilds = obs.Default().Counter("gaugenn_serve_index_builds_total",
+		"Query indexes rebuilt lazily from a corpus because the persisted blob was absent or invalid.")
+	metIndexResident = obs.Default().Gauge("gaugenn_serve_resident_indexes",
+		"Query indexes currently resident in the memoisation cache.")
+)
+
 // instrument wraps one route's handler with request counting and latency
 // observation under the route's pattern label.
 func instrument(route string, h http.HandlerFunc) http.HandlerFunc {

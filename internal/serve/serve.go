@@ -33,12 +33,16 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"sort"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/gaugenn/gaugenn/internal/analysis"
 	"github.com/gaugenn/gaugenn/internal/core"
 	"github.com/gaugenn/gaugenn/internal/errs"
+	"github.com/gaugenn/gaugenn/internal/index"
 	"github.com/gaugenn/gaugenn/internal/nn/graph"
 	"github.com/gaugenn/gaugenn/internal/obs"
 	"github.com/gaugenn/gaugenn/internal/sched"
@@ -56,6 +60,49 @@ type Server struct {
 	// bound keeps resident memory independent of how many studies the
 	// store accumulates.
 	corpora *corpusLRU
+	// indexes memoises the per-snapshot query indexes (internal/index)
+	// the warm read path answers from; entries are tiny next to decoded
+	// corpora, but the same never-stale CAS-key reasoning applies.
+	indexes *indexLRU
+	// noIndex forces every handler onto the corpus-scan path; tests and
+	// benchmarks use it (via withoutIndex) to compare the two engines.
+	noIndex bool
+	// responses memoises rendered JSON bodies by ETag (content-derived,
+	// so never stale): the warm indexed path replays bytes instead of
+	// re-rendering.
+	responses *respCache
+
+	// manifest caches the parsed study listing keyed by the manifest
+	// file's (size, mtime), so /api/studies and reference resolution stop
+	// reparsing manifest.jsonl per request (the log is append-only, so
+	// any change moves the size).
+	manifest struct {
+		sync.Mutex
+		size    int64
+		mtime   time.Time
+		entries []store.ManifestEntry
+	}
+
+	// fp caches the manifest fingerprint string that keys response-cache
+	// entries for manifest-dependent endpoints. Kept separate from the
+	// parsed-entries cache above: each memo validates (size, mtime)
+	// independently, so refreshing one can never mark the other fresh.
+	fp struct {
+		sync.Mutex
+		size  int64
+		mtime time.Time
+		s     string
+	}
+
+	// census memoises /healthz's store census for censusTTL, so load
+	// balancer probes stop scaling with store size (the census walks
+	// every blob shard directory when cold).
+	censusTTL time.Duration
+	census    struct {
+		sync.Mutex
+		at     time.Time
+		counts map[string]int
+	}
 
 	// sch, when non-nil, enables the submission API.
 	sch *sched.Scheduler
@@ -89,9 +136,34 @@ func WithSSEWriteTimeout(d time.Duration) Option {
 	}
 }
 
+// WithCensusTTL sets how long /healthz reuses its memoised store census
+// (default 2s; <= 0 keeps the default). Probes within the TTL cost no
+// store I/O at all.
+func WithCensusTTL(d time.Duration) Option {
+	return func(s *Server) {
+		if d > 0 {
+			s.censusTTL = d
+		}
+	}
+}
+
+// withoutIndex forces the corpus-scan query engine, bypassing persisted
+// and memoised indexes. Unexported: only equivalence tests and the
+// cold-baseline benchmark compare the two paths.
+func withoutIndex() Option {
+	return func(s *Server) { s.noIndex = true }
+}
+
 // New creates a server over an opened store.
 func New(st *store.Store, opts ...Option) *Server {
-	s := &Server{st: st, corpora: newCorpusLRU(0), sseWriteTimeout: 15 * time.Second}
+	s := &Server{
+		st:              st,
+		corpora:         newCorpusLRU(0),
+		indexes:         newIndexLRU(0),
+		responses:       newRespCache(),
+		censusTTL:       2 * time.Second,
+		sseWriteTimeout: 15 * time.Second,
+	}
 	for _, o := range opts {
 		o(s)
 	}
@@ -152,19 +224,41 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	census := map[string]any{"status": "ok"}
-	studies, err := s.st.Studies()
+	counts, err := s.censusCounts()
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "reading manifest: %v", err)
+		writeErr(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
-	census["studies"] = len(studies)
+	census := map[string]any{"status": "ok"}
+	for k, n := range counts {
+		census[k] = n
+	}
 	// The warm/cold cache gauges (set when a study run in this process
 	// emits its CacheStats event) ride along so probes see the split
-	// without scraping /metrics.
+	// without scraping /metrics. They are in-memory and current even when
+	// the counts above come from the memo.
 	if gauges := obs.Default().GaugeSnapshot("gaugenn_study_"); len(gauges) > 0 {
 		census["gauges"] = gauges
 	}
+	w.Header().Set("Cache-Control", "public, max-age=1")
+	writeJSON(w, http.StatusOK, census)
+}
+
+// censusCounts returns the store census — study count plus per-kind blob
+// counts — from a snapshot at most censusTTL old. The cold path walks
+// every shard directory of four kinds; the memo makes probe cost
+// independent of both probe rate and store size.
+func (s *Server) censusCounts() (map[string]int, error) {
+	s.census.Lock()
+	defer s.census.Unlock()
+	if s.census.counts != nil && time.Since(s.census.at) < s.censusTTL {
+		return s.census.counts, nil
+	}
+	studies, err := s.studies()
+	if err != nil {
+		return nil, fmt.Errorf("reading manifest: %w", err)
+	}
+	counts := map[string]int{"studies": len(studies)}
 	for kind, plural := range map[string]string{
 		store.KindReport:   "reports",
 		store.KindAnalysis: "analyses",
@@ -173,16 +267,76 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	} {
 		n, err := s.st.Count(kind)
 		if err != nil {
-			writeErr(w, http.StatusInternalServerError, "counting %s: %v", kind, err)
-			return
+			return nil, fmt.Errorf("counting %s: %w", kind, err)
 		}
-		census[plural] = n
+		counts[plural] = n
 	}
-	writeJSON(w, http.StatusOK, census)
+	s.census.at = time.Now()
+	s.census.counts = counts
+	return counts, nil
+}
+
+// studies returns the manifest listing (latest entry per study), reparsed
+// only when the manifest file's (size, mtime) moved.
+func (s *Server) studies() ([]store.ManifestEntry, error) {
+	size, mtime, ok := s.st.ManifestInfo()
+	if !ok {
+		return nil, nil
+	}
+	s.manifest.Lock()
+	defer s.manifest.Unlock()
+	if s.manifest.entries != nil && s.manifest.size == size && s.manifest.mtime.Equal(mtime) {
+		return s.manifest.entries, nil
+	}
+	entries, err := s.st.Studies()
+	if err != nil {
+		return nil, err
+	}
+	s.manifest.size, s.manifest.mtime, s.manifest.entries = size, mtime, entries
+	return entries, nil
+}
+
+// manifestFP returns a cheap fingerprint of the manifest file — its
+// (size, mtime) rendered once and reused until the file moves. Response
+// cache keys fold it in so every manifest-dependent entry is invalidated
+// by any manifest append, without hashing anything per request.
+func (s *Server) manifestFP() string {
+	size, mtime, ok := s.st.ManifestInfo()
+	if !ok {
+		return ""
+	}
+	s.fp.Lock()
+	defer s.fp.Unlock()
+	if s.fp.s != "" && s.fp.size == size && s.fp.mtime.Equal(mtime) {
+		return s.fp.s
+	}
+	s.fp.size, s.fp.mtime = size, mtime
+	s.fp.s = strconv.FormatInt(size, 10) + ":" + strconv.FormatInt(mtime.UnixNano(), 10)
+	return s.fp.s
+}
+
+// study resolves one study ID against the cached manifest listing.
+func (s *Server) study(id string) (store.ManifestEntry, bool, error) {
+	entries, err := s.studies()
+	if err != nil {
+		return store.ManifestEntry{}, false, err
+	}
+	for _, e := range entries {
+		if e.ID == id {
+			return e, true, nil
+		}
+	}
+	return store.ManifestEntry{}, false, nil
 }
 
 func (s *Server) handleStudies(w http.ResponseWriter, r *http.Request) {
-	studies, err := s.st.Studies()
+	// The listing is a pure function of the manifest file: the warm path
+	// is one fingerprint reuse and one cache probe.
+	ck := "studies\x00" + s.manifestFP()
+	if s.served(w, r, ck) {
+		return
+	}
+	studies, err := s.studies()
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "reading manifest: %v", err)
 		return
@@ -190,7 +344,20 @@ func (s *Server) handleStudies(w http.ResponseWriter, r *http.Request) {
 	if studies == nil {
 		studies = []store.ManifestEntry{}
 	}
-	writeJSON(w, http.StatusOK, studies)
+	// Revalidation stays content-addressed: the ETag hashes the entries'
+	// IDs and snapshot keys, not the file metadata keying the cache.
+	parts := make([]string, 0, 2*len(studies))
+	for _, e := range studies {
+		parts = append(parts, e.ID)
+		for _, label := range []string{"2020", "2021"} {
+			parts = append(parts, e.Snapshots[label])
+		}
+	}
+	etag := etagOf(append([]string{"studies"}, parts...)...)
+	if cacheHit(w, r, etag) {
+		return
+	}
+	s.memoJSON(w, ck, etag, studies)
 }
 
 // studySnapshot is the per-snapshot detail of a study listing.
@@ -200,7 +367,13 @@ type studySnapshot struct {
 }
 
 func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
-	entry, ok, err := s.st.Study(r.PathValue("id"))
+	// Keyed by study ID + manifest fingerprint: a re-run study rewrites
+	// the manifest, which moves the fingerprint and misses the cache.
+	ck := "study\x00" + r.PathValue("id") + "\x00" + s.manifestFP()
+	if s.served(w, r, ck) {
+		return
+	}
+	entry, ok, err := s.study(r.PathValue("id"))
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "reading manifest: %v", err)
 		return
@@ -217,28 +390,59 @@ func (s *Server) handleStudy(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusNotFound, "unknown study %q", r.PathValue("id"))
 		return
 	}
+	// The response is a pure function of the study's snapshot keys (plus
+	// the index codec, which decides the dataset-stats representation).
+	keys := make([]string, 0, len(entry.Snapshots))
+	for _, label := range sortedLabels(entry.Snapshots) {
+		keys = append(keys, entry.Snapshots[label])
+	}
+	etag := etagOf(append([]string{"study", entry.ID}, keys...)...)
+	if cacheHit(w, r, etag) {
+		return
+	}
 	snaps := map[string]studySnapshot{}
 	for label, key := range entry.Snapshots {
-		c, err := s.corpus(r.Context(), key)
+		stats, err := s.datasetStats(r.Context(), key)
 		if err != nil {
 			// Through the shared mapper so cancellation and corruption get
 			// the same statuses here as on /tables and /diff.
 			s.writeRefErr(w, err)
 			return
 		}
-		snaps[label] = studySnapshot{CorpusKey: key, Dataset: c.Dataset()}
+		snaps[label] = studySnapshot{CorpusKey: key, Dataset: stats}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"study": entry, "snapshots": snaps})
+	s.memoJSON(w, ck, etag, map[string]any{"study": entry, "snapshots": snaps})
+}
+
+// datasetStats answers one snapshot's Table 2 column from its index; the
+// corpus-scan fallback (withoutIndex, or an index that cannot be loaded
+// or rebuilt) decodes the corpus as the pre-index server did.
+func (s *Server) datasetStats(ctx context.Context, key string) (analysis.DatasetStats, error) {
+	if !s.noIndex {
+		if ix, err := s.index(ctx, key); err == nil {
+			return ix.Dataset, nil
+		}
+	}
+	c, err := s.corpus(ctx, key)
+	if err != nil {
+		return analysis.DatasetStats{}, err
+	}
+	return c.Dataset(), nil
 }
 
 func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
-	entry, ok, err := s.st.Study(r.PathValue("id"))
+	entry, ok, err := s.study(r.PathValue("id"))
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "reading manifest: %v", err)
 		return
 	}
 	if !ok {
 		writeErr(w, http.StatusNotFound, "unknown study %q", r.PathValue("id"))
+		return
+	}
+	// Tables re-render from the two corpus snapshots; the name filter
+	// changes the representation, so it is part of the ETag.
+	if cacheHit(w, r, etagOf("tables", entry.Snapshots["2020"], entry.Snapshots["2021"], r.URL.Query().Get("name"))) {
 		return
 	}
 	c20, err := s.labelledCorpus(r.Context(), entry, "2020")
@@ -265,8 +469,31 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, tables)
 }
 
+// codecVersion is index.CodecVersion pre-rendered for ETag derivation.
+var codecVersion = strconv.Itoa(index.CodecVersion)
+
 func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	sum := graph.Checksum(r.PathValue("checksum"))
+	// The summary is a pure function of the model's content (the checksum
+	// names it) and the index codec's notion of a summary — so the cache
+	// key needs no manifest fingerprint; a checksum's entry never stales.
+	ck := "model\x00" + string(sum)
+	if s.served(w, r, ck) {
+		return
+	}
+	etag := etagOf("model", string(sum), codecVersion)
+	if cacheHit(w, r, etag) {
+		return
+	}
+	if !s.noIndex {
+		if ms, ok := s.modelFromIndexes(r.Context(), sum); ok {
+			s.memoJSON(w, ck, etag, ms)
+			return
+		}
+	}
+	// Corpus-scan engine, and the fallback for checksums no persisted
+	// study covers (e.g. records left by a cancelled run): one analysis
+	// record read, decoding the full per-layer profile.
 	ms, ok, err := analysis.LoadModelSummary(s.st, sum)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, "loading model: %v", err)
@@ -279,6 +506,27 @@ func (s *Server) handleModel(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ms)
 }
 
+// modelFromIndexes probes every persisted snapshot's index for the
+// checksum — one binary search per index, no record or corpus decode.
+func (s *Server) modelFromIndexes(ctx context.Context, sum graph.Checksum) (*analysis.ModelSummary, bool) {
+	studies, err := s.studies()
+	if err != nil {
+		return nil, false
+	}
+	for _, e := range studies {
+		for _, label := range sortedLabels(e.Snapshots) {
+			ix, err := s.index(ctx, e.Snapshots[label])
+			if err != nil {
+				continue
+			}
+			if ms, ok := ix.Lookup(sum); ok {
+				return ms, true
+			}
+		}
+	}
+	return nil, false
+}
+
 // diffResponse is the cross-study churn answer.
 type diffResponse struct {
 	From string              `json:"from"`
@@ -287,26 +535,87 @@ type diffResponse struct {
 }
 
 func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
-	fromArg, toArg := r.URL.Query().Get("from"), r.URL.Query().Get("to")
+	// Keyed by the raw query (argument spellings that normalise to the
+	// same diff just occupy separate entries) + manifest fingerprint,
+	// since the study→snapshot-key mapping lives in the manifest.
+	ck := "diff\x00" + r.URL.RawQuery + "\x00" + s.manifestFP()
+	if s.served(w, r, ck) {
+		return
+	}
+	q := r.URL.Query()
+	fromArg, toArg := q.Get("from"), q.Get("to")
 	if fromArg == "" || toArg == "" {
 		writeErr(w, http.StatusBadRequest, "diff needs from=STUDY[:LABEL] and to=STUDY[:LABEL]")
 		return
 	}
-	old, err := s.refCorpus(r.Context(), fromArg, "2020")
+	fromKey, err := s.refKey(fromArg, "2020")
 	if err != nil {
 		s.writeRefErr(w, err)
 		return
 	}
-	new_, err := s.refCorpus(r.Context(), toArg, "2021")
+	toKey, err := s.refKey(toArg, "2021")
 	if err != nil {
 		s.writeRefErr(w, err)
 		return
 	}
-	rows := analysis.TemporalDiff(old, new_)
+	// The churn rows are a pure function of the two corpus snapshots; the
+	// arguments ride along because they echo in the response body.
+	etag := etagOf("diff", fromArg, toArg, fromKey, toKey)
+	if cacheHit(w, r, etag) {
+		return
+	}
+	rows, err := s.diffRows(r.Context(), fromKey, toKey)
+	if err != nil {
+		s.writeRefErr(w, err)
+		return
+	}
 	if rows == nil {
 		rows = []analysis.ChurnRow{}
 	}
-	writeJSON(w, http.StatusOK, diffResponse{From: fromArg, To: toArg, Rows: rows})
+	s.memoJSON(w, ck, etag, diffResponse{From: fromArg, To: toArg, Rows: rows})
+}
+
+// diffRows joins two snapshots' category-membership bitsets (index
+// engine) or falls back to the record-multiset TemporalDiff over decoded
+// corpora; the two produce identical rows (internal/index's contract,
+// pinned by TestIndexedResponsesMatchCorpusScan).
+func (s *Server) diffRows(ctx context.Context, fromKey, toKey string) ([]analysis.ChurnRow, error) {
+	if !s.noIndex {
+		oldIx, err1 := s.index(ctx, fromKey)
+		newIx, err2 := s.index(ctx, toKey)
+		if err1 == nil && err2 == nil {
+			return index.Diff(oldIx, newIx), nil
+		}
+	}
+	old, err := s.corpus(ctx, fromKey)
+	if err != nil {
+		return nil, err
+	}
+	new_, err := s.corpus(ctx, toKey)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.TemporalDiff(old, new_), nil
+}
+
+// refKey resolves a "STUDY[:LABEL]" reference to its corpus CAS key.
+func (s *Server) refKey(ref, defaultLabel string) (string, error) {
+	id, label := ref, defaultLabel
+	if i := strings.LastIndex(ref, ":"); i >= 0 {
+		id, label = ref[:i], ref[i+1:]
+	}
+	entry, ok, err := s.study(id)
+	if err != nil {
+		return "", err
+	}
+	if !ok {
+		return "", &refError{fmt.Sprintf("unknown study %q", id)}
+	}
+	key, ok := entry.Snapshots[label]
+	if !ok {
+		return "", &refError{fmt.Sprintf("study %s has no snapshot %q", entry.ID, label)}
+	}
+	return key, nil
 }
 
 // writeRefErr maps corpus-resolution failures onto HTTP statuses: a bad
@@ -333,6 +642,15 @@ func (s *Server) writeRefErr(w http.ResponseWriter, err error) {
 	writeErr(w, http.StatusInternalServerError, "%v", err)
 }
 
+func sortedLabels(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
 // refError marks a corpus reference the caller got wrong (vs. store I/O).
 type refError struct{ msg string }
 
@@ -344,7 +662,7 @@ func (s *Server) refCorpus(ctx context.Context, ref, defaultLabel string) (*anal
 	if i := strings.LastIndex(ref, ":"); i >= 0 {
 		id, label = ref[:i], ref[i+1:]
 	}
-	entry, ok, err := s.st.Study(id)
+	entry, ok, err := s.study(id)
 	if err != nil {
 		return nil, err
 	}
@@ -383,6 +701,10 @@ func (s *Server) corpus(ctx context.Context, key string) (*analysis.Corpus, erro
 	if err := ctx.Err(); err != nil {
 		return nil, err // client gone: skip the decode
 	}
+	// Counted only when a decode actually happens: the warm-path contract
+	// (indexed queries never decode a corpus) is asserted against this.
+	corpusDecodes.Add(1)
+	metCorpusDecodes.Inc()
 	c, err := analysis.DecodeCorpus(blob)
 	if err != nil {
 		// The blob exists but does not decode: the store itself is damaged

@@ -16,7 +16,7 @@ import (
 
 // persistedStudy runs one cached study and returns the store, the study's
 // manifest ID and the in-memory result for cross-checking.
-func persistedStudy(t *testing.T) (*store.Store, string, *core.StudyResult) {
+func persistedStudy(t testing.TB) (*store.Store, string, *core.StudyResult) {
 	t.Helper()
 	dir := t.TempDir()
 	cfg := core.DefaultConfig(77, 0.025)

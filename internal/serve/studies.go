@@ -73,6 +73,9 @@ func (s *Server) writeSubmitErr(w http.ResponseWriter, err error) {
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	// Job state is volatile; an intermediary replaying a stale listing
+	// would mislead pollers, so caching is off rather than short.
+	w.Header().Set("Cache-Control", "no-store")
 	jobs := s.sch.Jobs()
 	if jobs == nil {
 		jobs = []sched.Job{}
@@ -81,6 +84,7 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleJobStatus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Cache-Control", "no-store")
 	job, err := s.sch.Job(r.PathValue("id"))
 	if err != nil {
 		writeErr(w, http.StatusNotFound, "%v", err)

@@ -25,6 +25,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"errors"
 )
@@ -41,6 +42,9 @@ const (
 	KindGraph = "graph"
 	// KindCorpus records serialised corpus snapshots by content hash.
 	KindCorpus = "corpus"
+	// KindIndex records columnar query indexes derived from corpus
+	// snapshots, keyed by the source corpus blob's key.
+	KindIndex = "index"
 )
 
 // manifestName is the append-only study log at the store root.
@@ -93,7 +97,7 @@ func validKey(key string) bool {
 
 func validKind(kind string) bool {
 	switch kind {
-	case KindPayload, KindAnalysis, KindReport, KindGraph, KindCorpus:
+	case KindPayload, KindAnalysis, KindReport, KindGraph, KindCorpus, KindIndex:
 		return true
 	}
 	return false
@@ -316,6 +320,18 @@ func (s *Store) Study(id string) (ManifestEntry, bool, error) {
 		}
 	}
 	return ManifestEntry{}, false, nil
+}
+
+// ManifestInfo fingerprints the manifest file by (size, mtime) without
+// reading it. Callers cache the parsed manifest keyed by this pair: the
+// log is append-only, so any change moves the size. ok is false while no
+// manifest exists yet (an empty store).
+func (s *Store) ManifestInfo() (size int64, mtime time.Time, ok bool) {
+	fi, err := s.fs.Stat(s.manifestPath())
+	if err != nil {
+		return 0, time.Time{}, false
+	}
+	return fi.Size(), fi.ModTime(), true
 }
 
 func (s *Store) manifestPath() string { return filepath.Join(s.dir, manifestName) }
