@@ -3,8 +3,9 @@
 //	gaugenn study   -seed 42 -scale 0.05 [-http] [-workers N] [-out DIR] [-cache-dir DIR] [-v]
 //	gaugenn serve   -cache-dir DIR [-addr :8077] [-run-workers N]
 //	gaugenn load    -addr http://HOST:8077 [-clients N] [-submissions N] [-chaos]
-//	gaugenn bench   -device Q845 -backend cpu -model m.tflite [-threads 4]
-//	gaugenn fleet   -devices A70,Q845,Q888 -backends cpu,xnnpack,gpu -models 3 [-replicas N] [-agents addr,...]
+//	gaugenn bench   -device Q845 -backend cpu -model m.tflite [-threads 4] [-execute]
+//	gaugenn exec    -demo TASK | -model FILE | -cache-dir DIR -checksum KEY [-runs N] [-workers N]
+//	gaugenn fleet   -devices A70,Q845,Q888 -backends cpu,xnnpack,gpu -models 3 [-mode executed] [-replicas N] [-agents addr,...]
 //	gaugenn fsck    -cache-dir DIR [-fix]
 //	gaugenn devices
 //
@@ -17,13 +18,18 @@
 // control, quotas, priorities, resumable SSE streams — docs/serve.md).
 // "load" replays a chaos client swarm against a live serve instance and
 // reports latency quantiles plus protocol-invariant counters. "bench"
-// measures one model file on one simulated device; "fleet" sweeps a
-// benchmark matrix across a pool of device rigs; "fsck" audits (and with
-// -fix repairs) a study store; "devices" lists Table 1 profiles.
+// measures one model file on one simulated device (-execute switches to
+// the measured interpreter backend); "exec" runs a model for real through
+// the interpreter and prints its determinism digest and per-class
+// roofline; "fleet" sweeps a benchmark matrix across a pool of device
+// rigs (-mode executed measures instead of simulating); "fsck" audits
+// (and with -fix repairs) a study store; "devices" lists Table 1
+// profiles.
 package main
 
 import (
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -43,10 +49,13 @@ import (
 	"github.com/gaugenn/gaugenn/internal/core"
 	"github.com/gaugenn/gaugenn/internal/errs"
 	"github.com/gaugenn/gaugenn/internal/event"
+	"github.com/gaugenn/gaugenn/internal/exec"
 	"github.com/gaugenn/gaugenn/internal/faults"
 	"github.com/gaugenn/gaugenn/internal/fleet"
 	"github.com/gaugenn/gaugenn/internal/fsck"
 	"github.com/gaugenn/gaugenn/internal/loadgen"
+	"github.com/gaugenn/gaugenn/internal/nn/formats"
+	"github.com/gaugenn/gaugenn/internal/nn/graph"
 	"github.com/gaugenn/gaugenn/internal/nn/zoo"
 	"github.com/gaugenn/gaugenn/internal/obs"
 	"github.com/gaugenn/gaugenn/internal/power"
@@ -77,6 +86,8 @@ func main() {
 		err = runLoad(ctx, os.Args[2:])
 	case "bench":
 		err = runBench(os.Args[2:])
+	case "exec":
+		err = runExec(os.Args[2:])
 	case "fleet":
 		err = runFleet(ctx, os.Args[2:])
 	case "fsck":
@@ -141,9 +152,12 @@ func usage() {
                   [-seed N] [-study-seed N] [-scale F] [-rude F] [-stall F] [-cancel F]
                   [-chaos [-chaos-seed N]] [-json FILE]
   gaugenn bench   -device MODEL -backend NAME -model FILE [-threads N] [-batch N] [-runs N]
+                  [-execute]
+  gaugenn exec    -demo TASK | -model FILE | -cache-dir DIR -checksum KEY
+                  [-runs N] [-workers N]
   gaugenn fleet   -devices A,B,... -backends a,b,... -models N [-seed N] [-replicas N]
-                  [-agents host:port,...] [-runs N] [-scenarios=false] [-json FILE] [-out DIR]
-                  [-debug-addr :6060]
+                  [-agents host:port,...] [-runs N] [-mode simulated|executed]
+                  [-scenarios=false] [-json FILE] [-out DIR] [-debug-addr :6060]
   gaugenn fsck    -cache-dir DIR [-fix]
   gaugenn devices`)
 }
@@ -493,6 +507,7 @@ func runBench(args []string) error {
 	threads := fs.Int("threads", 4, "CPU threads")
 	batch := fs.Int("batch", 1, "batch size")
 	runs := fs.Int("runs", 10, "measured inferences")
+	execute := fs.Bool("execute", false, "measured backend: run inference for real through the interpreter (see docs/exec.md)")
 	demo := fs.String("demo", "", "benchmark a built-in demo model (task name, e.g. 'face detection') instead of -model")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -533,7 +548,7 @@ func runBench(args []string) error {
 	res := agent.ExecuteJob(bench.Job{
 		ID: "cli", ModelName: name, Model: data,
 		Backend: *backend, Threads: *threads, Batch: *batch,
-		Warmup: 2, Runs: *runs,
+		Warmup: 2, Runs: *runs, Execute: *execute,
 	})
 	if res.Error != "" {
 		return fmt.Errorf("%s", res.Error)
@@ -544,6 +559,122 @@ func runBench(args []string) error {
 	fmt.Printf("efficiency   : %.1f MFLOP/sW\n", res.EfficiencyMFLOPsW())
 	fmt.Printf("avg power    : %.3f W (monitor: %.1f mJ total)\n", res.AvgPowerW, res.MonitorEnergyMJ)
 	fmt.Printf("flops        : %d, fallback ops: %d, throttled: %v\n", res.FLOPs, res.FallbackOps, res.Throttled)
+	if res.OutputDigest != "" {
+		fmt.Printf("output digest: sha256:%s\n", res.OutputDigest)
+	}
+	return nil
+}
+
+// runExec runs a model for real through the internal/exec interpreter —
+// the measured backend behind `-execute`/`-mode executed` — and prints the
+// determinism digest plus the per-class roofline. The model comes from a
+// study store's graph CAS (-cache-dir + -checksum, the artifact `gaugenn
+// study` persisted), a model file, or a built-in demo task.
+func runExec(args []string) error {
+	fs := flag.NewFlagSet("exec", flag.ExitOnError)
+	cacheDir := fs.String("cache-dir", "", "study store holding the model graph (with -checksum)")
+	checksum := fs.String("checksum", "", "graph checksum key in the store's CAS (see `gaugenn fsck`)")
+	model := fs.String("model", "", "model file (tflite/dlc/onnx/tf bytes)")
+	demo := fs.String("demo", "", "execute a built-in demo model (task name, e.g. 'face detection')")
+	runs := fs.Int("runs", 8, "measured runs (seeds 0..runs-1)")
+	workers := fs.Int("workers", 0, "pool workers (0 = GOMAXPROCS); results are identical for any count")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var g *graph.Graph
+	var name string
+	switch {
+	case *demo != "":
+		task := zoo.TaskUnknown
+		for _, t := range zoo.AllTasks() {
+			if t.String() == *demo {
+				task = t
+			}
+		}
+		if task == zoo.TaskUnknown {
+			return fmt.Errorf("unknown demo task %q", *demo)
+		}
+		built, err := zoo.Build(zoo.Spec{Task: task, Seed: 1, Hinted: true})
+		if err != nil {
+			return err
+		}
+		g, name = built, *demo
+	case *checksum != "":
+		if *cacheDir == "" {
+			return fmt.Errorf("-checksum needs -cache-dir DIR to read the graph from")
+		}
+		st, err := store.Open(*cacheDir)
+		if err != nil {
+			return err
+		}
+		data, ok, err := st.Get(store.KindGraph, *checksum)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("no graph %s in %s (persisted by `gaugenn study -cache-dir`)", *checksum, *cacheDir)
+		}
+		g, err = graph.DecodeBinary(data)
+		if err != nil {
+			return err
+		}
+		name = *checksum
+	case *model != "":
+		data, err := os.ReadFile(*model)
+		if err != nil {
+			return err
+		}
+		for _, f := range formats.All() {
+			if f.Sniff(data) {
+				g, err = f.Decode(formats.FileSet{"model" + f.Extensions()[0]: data})
+				if err != nil {
+					return err
+				}
+				break
+			}
+		}
+		if g == nil {
+			return fmt.Errorf("%s matches no registered model format", *model)
+		}
+		name = *model
+	default:
+		return fmt.Errorf("need -demo TASK, -model FILE, or -cache-dir DIR -checksum KEY")
+	}
+	prog, err := exec.Compile(g)
+	if err != nil {
+		var ue *errs.UnsupportedOpsError
+		if errors.As(err, &ue) {
+			return fmt.Errorf("model %s cannot run on the measured backend (unsupported operators: %s)",
+				ue.Model, strings.Join(ue.Ops, ", "))
+		}
+		return err
+	}
+	if *runs <= 0 {
+		return fmt.Errorf("-runs must be positive, not %d", *runs)
+	}
+	seeds := make([]uint64, *runs)
+	for i := range seeds {
+		seeds[i] = uint64(i)
+	}
+	pool := exec.NewPool(prog, *workers)
+	results := pool.Run(seeds)
+	var total time.Duration
+	h := sha256.New()
+	for _, r := range results {
+		total += r.Latency
+		h.Write(r.Digest[:])
+	}
+	fmt.Printf("model=%s ops=%d arena=%d bytes workers=%d\n",
+		name, len(g.Layers), prog.ArenaBytes(), pool.Workers())
+	fmt.Printf("mean latency : %v over %d runs\n", (total / time.Duration(len(results))).Round(time.Microsecond), len(results))
+	fmt.Printf("output digest: sha256:%x\n", h.Sum(nil))
+
+	// The roofline rows come from a fresh single-threaded instance (the
+	// pool does not expose its workers' accumulators).
+	inst := prog.NewInstance()
+	inst.Run(0)
+	fmt.Println()
+	fmt.Print(report.RooflineTable("Per-class roofline (one measured run)", inst.Stats()))
 	return nil
 }
 
@@ -565,12 +696,16 @@ func runFleet(ctx context.Context, args []string) error {
 	threads := fs.Int("threads", 4, "CPU threads per job")
 	warmup := fs.Int("warmup", 2, "warmup inferences per job")
 	runs := fs.Int("runs", 5, "measured inferences per job")
+	mode := fs.String("mode", "simulated", "inference backend: 'simulated' (device model) or 'executed' (measured via the interpreter, docs/exec.md)")
 	scenarios := fs.Bool("scenarios", true, "project Table 4 usage scenarios from measured energy")
 	jsonPath := fs.String("json", "", "write the machine-readable results file here")
 	out := fs.String("out", "", "directory for report tables (stdout if empty)")
 	debugAddr := fs.String("debug-addr", "", "serve /metrics, /healthz and /debug/pprof on this address")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *mode != "simulated" && *mode != "executed" {
+		return fmt.Errorf("fleet: -mode must be 'simulated' or 'executed', not %q", *mode)
 	}
 	stopDebug, err := startDebug(*debugAddr)
 	if err != nil {
@@ -608,12 +743,21 @@ func runFleet(ctx context.Context, args []string) error {
 		Threads:  *threads,
 		Warmup:   *warmup,
 		Runs:     *runs,
+		Execute:  *mode == "executed",
 	}
 	if *scenarios {
 		matrix.Scenarios = bench.AllScenarios()
 	}
 	feasible, total, err := matrix.FeasibleCells()
 	if err != nil {
+		// Executed mode validates every model against the interpreter's op
+		// vocabulary up front; name the offending operators rather than
+		// dumping the wrapped chain.
+		var ue *errs.UnsupportedOpsError
+		if errors.As(err, &ue) {
+			return fmt.Errorf("fleet: model %s cannot run in executed mode (unsupported operators: %s); rerun with -mode simulated",
+				ue.Model, strings.Join(ue.Ops, ", "))
+		}
 		return err
 	}
 
@@ -719,6 +863,16 @@ func runFleet(ctx context.Context, args []string) error {
 		return err
 	}
 	fmt.Printf("results checksum: sha256:%s\n", sum)
+	if matrix.Execute {
+		// Executed-mode latencies are wall-clock, so the full checksum
+		// varies run to run; the output checksum (matrix identity + output
+		// digests) is the repeatable determinism witness.
+		osum, err := agg.OutputChecksum()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("output checksum : sha256:%s\n", osum)
+	}
 	return runErr
 }
 

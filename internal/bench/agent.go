@@ -292,7 +292,7 @@ func (a *Agent) executeJob(job Job) JobResult {
 	if err != nil {
 		return fail(err)
 	}
-	sess, err := eng.Load(g, mlrt.Options{Threads: job.Threads, Affinity: job.Affinity, Batch: job.Batch})
+	sess, err := eng.Load(g, mlrt.Options{Threads: job.Threads, Affinity: job.Affinity, Batch: job.Batch, Execute: job.Execute})
 	if err != nil {
 		return fail(err)
 	}
@@ -326,11 +326,23 @@ func (a *Agent) executeJob(job Job) JobResult {
 		res.PeakMemBytes = r.PeakMemBytes
 		res.CPUUtil = r.CPUUtil
 		res.Throttled = res.Throttled || r.Throttled
+		if r.OutputDigest != "" {
+			// Measured runs must be deterministic: the digest is a pure
+			// function of (model, batch), so any drift between runs is an
+			// interpreter bug and the job's numbers cannot be trusted.
+			if res.OutputDigest != "" && res.OutputDigest != r.OutputDigest {
+				return fail(fmt.Errorf("bench: output digest changed between measured runs (%s then %s)",
+					res.OutputDigest[:12], r.OutputDigest[:12]))
+			}
+			res.OutputDigest = r.OutputDigest
+		}
 		if job.SleepBetween > 0 {
 			a.Device.Idle(job.SleepBetween, a.ScreenOn, sink)
 		}
 	}
-	if a.Monitor != nil {
+	// Executed jobs bypass the simulated rails, so the monitor integrates
+	// nothing; their average power comes from the estimated energies below.
+	if a.Monitor != nil && !job.Execute {
 		res.MonitorEnergyMJ = a.Monitor.EnergyJ() * 1000
 		res.AvgPowerW = a.Monitor.AvgWatts()
 	} else if n := len(res.EnergiesMJ); n > 0 {

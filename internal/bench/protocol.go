@@ -35,6 +35,11 @@ type Job struct {
 	// SleepBetween is the inter-inference idle ("a configurable
 	// inter-experiment sleep period").
 	SleepBetween time.Duration `json:"sleepBetween"`
+	// Execute selects the measured backend (mlrt.Options.Execute): the
+	// model runs for real through the internal/exec interpreter and the
+	// result carries an output digest. Jobs whose graph the interpreter
+	// cannot run fail at load with errs.ErrUnsupportedOps.
+	Execute bool `json:"execute,omitempty"`
 }
 
 // JobResult is the measurement record collected from the device.
@@ -55,7 +60,11 @@ type JobResult struct {
 	CPUUtil         float64 `json:"cpuUtil"`
 	FallbackOps     int     `json:"fallbackOps"`
 	Throttled       bool    `json:"throttled"`
-	Error           string  `json:"error,omitempty"`
+	// OutputDigest is the measured run's output checksum (empty for
+	// simulated jobs). The agent verifies it is identical across every
+	// measured run before reporting it.
+	OutputDigest string `json:"outputDigest,omitempty"`
+	Error        string `json:"error,omitempty"`
 }
 
 // MeanLatency returns the mean measured latency.

@@ -232,6 +232,11 @@ type RunSpec struct {
 	Backend string
 	// Threads / Batch / Warmup / Runs shape each job (0 = agent default).
 	Threads, Batch, Warmup, Runs int
+	// Execute selects the measured backend: models run for real through
+	// the internal/exec interpreter, results carry an output digest, and
+	// graphs with unsupported operators fail the job with
+	// errs.ErrUnsupportedOps.
+	Execute bool
 }
 
 // Bench benchmarks a model set under a RunSpec via the in-process harness
@@ -263,6 +268,7 @@ func Bench(ctx context.Context, spec RunSpec, models []BenchModel) ([]bench.JobR
 			Batch:     spec.Batch,
 			Warmup:    spec.Warmup,
 			Runs:      spec.Runs,
+			Execute:   spec.Execute,
 		})
 		out = append(out, res)
 	}

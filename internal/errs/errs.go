@@ -30,6 +30,11 @@ var (
 	// surviving result to stand for the study. Match with errors.Is; the
 	// concrete *BudgetError carries the quarantined packages.
 	ErrBudgetExceeded = errors.New("gaugenn: failure budget exceeded")
+	// ErrUnsupportedOps marks a graph that cannot run on the in-process
+	// executor because it carries operators outside the interpreter's
+	// kernel vocabulary. Match with errors.Is; the concrete
+	// *UnsupportedOpsError lists the offending operators.
+	ErrUnsupportedOps = errors.New("gaugenn: graph has operators the executor does not support")
 )
 
 // IsContextError reports whether err is (or wraps) a context cancellation
@@ -121,3 +126,25 @@ func (e *BudgetError) Error() string {
 
 // Is makes errors.Is(err, ErrBudgetExceeded) true for any blown budget.
 func (e *BudgetError) Is(target error) bool { return target == ErrBudgetExceeded }
+
+// UnsupportedOpsError reports a graph rejected by the in-process executor:
+// the model asked for measured (not simulated) inference but contains
+// operators the interpreter has no kernels for. It satisfies
+// errors.Is(err, ErrUnsupportedOps) and lists each offending operator once,
+// sorted, so CLIs can print an actionable message instead of panicking
+// mid-run on the first unknown layer.
+type UnsupportedOpsError struct {
+	// Model is the graph's name.
+	Model string
+	// Ops lists the unsupported operator names (with a bracketed detail for
+	// supported operators in unsupported configurations, e.g.
+	// "conv2d[groups>1]"), deduplicated and sorted.
+	Ops []string
+}
+
+func (e *UnsupportedOpsError) Error() string {
+	return fmt.Sprintf("gaugenn: model %s has operators the executor does not support: %v", e.Model, e.Ops)
+}
+
+// Is makes errors.Is(err, ErrUnsupportedOps) true for any rejected graph.
+func (e *UnsupportedOpsError) Is(target error) bool { return target == ErrUnsupportedOps }

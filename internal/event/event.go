@@ -74,6 +74,9 @@ func Stamped(ev Event) Event {
 	case CacheStats:
 		v.Stamp = s
 		return v
+	case ExecUnit:
+		v.Stamp = s
+		return v
 	}
 	return ev
 }
@@ -148,11 +151,28 @@ type CacheStats struct {
 	Stats CacheBreakdown
 }
 
+// ExecUnit reports one matrix unit measured for real through the
+// internal/exec interpreter (fleet executed mode). All fields are values
+// mirrored from the result — the event package cannot import bench or
+// exec (see the package comment). OutputDigest is the determinism
+// witness: identical digests across runs, workers and pool sizes mean
+// byte-identical inference outputs.
+type ExecUnit struct {
+	Stamp
+	Model        string
+	Device       string
+	Backend      string
+	OutputDigest string
+	// MeanLatencyNS is the mean measured wall-clock latency per inference.
+	MeanLatencyNS int64
+}
+
 func (StageStart) event()    {}
 func (StageProgress) event() {}
 func (StageDone) event()     {}
 func (StageWarning) event()  {}
 func (CacheStats) event()    {}
+func (ExecUnit) event()      {}
 
 // StageName renders the legacy v1 stage string ("crawl-2021") for the
 // deprecated Progress callback bridge.

@@ -53,6 +53,7 @@ func TestStampedCoversEveryVariant(t *testing.T) {
 		StageDone{Stage: "crawl"},
 		StageWarning{Stage: "crawl", Package: "com.x"},
 		CacheStats{StudyID: "s"},
+		ExecUnit{Model: "m", Device: "d", Backend: "cpu"},
 	} {
 		got := Stamped(ev)
 		var st Stamp
@@ -66,6 +67,8 @@ func TestStampedCoversEveryVariant(t *testing.T) {
 		case StageWarning:
 			st = v.Stamp
 		case CacheStats:
+			st = v.Stamp
+		case ExecUnit:
 			st = v.Stamp
 		default:
 			t.Fatalf("Stamped changed the variant: %T -> %T", ev, got)

@@ -1,0 +1,37 @@
+package exec
+
+import (
+	"github.com/gaugenn/gaugenn/internal/nn/graph"
+	"github.com/gaugenn/gaugenn/internal/obs"
+)
+
+// Interpreter series. Handles are resolved once at package init and indexed
+// by graph.OpClass, so the per-op hot path pays two atomic updates and zero
+// registry lookups — the convention the AllocsPerRun test in exec_test.go
+// enforces. Op-time buckets are exponential from 1µs: reference kernels on
+// a laptop span microseconds (elementwise) to tens of milliseconds (first
+// conv of an image model).
+var (
+	metOpsTotal  [numClasses]*obs.Counter
+	metOpSeconds [numClasses]*obs.Histogram
+
+	metRuns = obs.Default().Counter("gaugenn_exec_runs_total",
+		"Complete interpreter passes (one inference each).")
+	metRunSeconds = obs.Default().Histogram("gaugenn_exec_run_seconds",
+		"Wall-clock time of one interpreter pass.", nil)
+	metCompiles = obs.Default().Counter("gaugenn_exec_compiles_total",
+		"Graphs compiled into executable programs.")
+	metRejected = obs.Default().Counter("gaugenn_exec_rejected_total",
+		"Graphs rejected at compile time for unsupported operators.")
+)
+
+func init() {
+	buckets := obs.ExponentialBuckets(1e-6, 4, 10) // 1µs .. ~260ms
+	for _, c := range graph.AllClasses() {
+		lbl := obs.Label{Name: "class", Value: c.String()}
+		metOpsTotal[c] = obs.Default().Counter("gaugenn_exec_ops_total",
+			"Operators executed by the interpreter.", lbl)
+		metOpSeconds[c] = obs.Default().Histogram("gaugenn_exec_op_seconds",
+			"Wall-clock time of one operator execution.", buckets, lbl)
+	}
+}

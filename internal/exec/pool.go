@@ -1,0 +1,69 @@
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RunResult is one inference of a Pool batch: the seed it ran with, the
+// output digest and the measured wall-clock latency.
+type RunResult struct {
+	Seed    uint64
+	Digest  [32]byte
+	Latency time.Duration
+}
+
+// Pool is the batch executor: a fixed set of workers, each owning one
+// Instance, draining a shared seed list. Results land at the index of
+// their seed, and each inference is a pure function of (program, seed), so
+// the result slice — digests included — is identical whatever the worker
+// count or interleaving; only the Latency fields reflect the machine.
+type Pool struct {
+	prog    *Program
+	workers int
+}
+
+// NewPool builds a batch executor with the given worker count
+// (non-positive = GOMAXPROCS).
+func NewPool(p *Program, workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{prog: p, workers: workers}
+}
+
+// Workers reports the pool's concurrency.
+func (pl *Pool) Workers() int { return pl.workers }
+
+// Run executes one inference per seed and returns results in seed order.
+func (pl *Pool) Run(seeds []uint64) []RunResult {
+	results := make([]RunResult, len(seeds))
+	if len(seeds) == 0 {
+		return results
+	}
+	workers := pl.workers
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			inst := pl.prog.NewInstance()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(seeds) {
+					return
+				}
+				lat := inst.Run(seeds[i])
+				results[i] = RunResult{Seed: seeds[i], Digest: inst.Digest(), Latency: lat}
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}

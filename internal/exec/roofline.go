@@ -1,0 +1,68 @@
+package exec
+
+import (
+	"time"
+
+	"github.com/gaugenn/gaugenn/internal/nn/graph"
+)
+
+// ClassStat is one row of the per-op roofline: what the structural profile
+// predicts for a Figure-6 operator class (FLOPs, bytes moved) against what
+// the interpreter measured, averaged over the instance's runs. Measured
+// throughput far below the estimated arithmetic intensity would predict is
+// the roofline's memory-bound signal (cf. Lu et al.'s estimation-only
+// approach — here both axes are observed).
+type ClassStat struct {
+	Class string `json:"class"`
+	// Ops is operator executions per inference; Nanos the mean wall time
+	// per inference spent in the class.
+	Ops   int64 `json:"ops"`
+	Nanos int64 `json:"nanos"`
+	// EstFLOPs/EstBytes come from graph.ProfileGraph for one inference.
+	EstFLOPs int64 `json:"estFlops"`
+	EstBytes int64 `json:"estBytes"`
+	// GFLOPS and GBps are the resulting measured rates (estimated work
+	// over measured time).
+	GFLOPS float64 `json:"gflops"`
+	GBps   float64 `json:"gbps"`
+}
+
+// Stats reduces the instance's accumulated timings into per-class roofline
+// rows (classes the model never executed are omitted). Rows are in
+// Figure-6 display order.
+func (in *Instance) Stats() []ClassStat {
+	if in.runs == 0 {
+		return nil
+	}
+	out := make([]ClassStat, 0, numClasses)
+	for _, c := range graph.AllClasses() {
+		if in.opsByClass[c] == 0 {
+			continue
+		}
+		st := ClassStat{
+			Class:    c.String(),
+			Ops:      in.opsByClass[c] / in.runs,
+			Nanos:    in.nsByClass[c] / in.runs,
+			EstFLOPs: in.prog.estFLOPs[c],
+			EstBytes: in.prog.estBytes[c],
+		}
+		if st.Nanos > 0 {
+			secs := float64(st.Nanos) / float64(time.Second)
+			st.GFLOPS = float64(st.EstFLOPs) / secs / 1e9
+			st.GBps = float64(st.EstBytes) / secs / 1e9
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// Runs reports how many inferences the instance has accumulated.
+func (in *Instance) Runs() int64 { return in.runs }
+
+// MeanLatency reports the mean wall-clock time per inference.
+func (in *Instance) MeanLatency() time.Duration {
+	if in.runs == 0 {
+		return 0
+	}
+	return time.Duration(in.totalNS / in.runs)
+}

@@ -217,6 +217,10 @@ type unitJSON struct {
 	CPUUtil         float64   `json:"cpuUtil,omitempty"`
 	FallbackOps     int       `json:"fallbackOps,omitempty"`
 	Throttled       bool      `json:"throttled,omitempty"`
+	// OutputDigest is the measured run's output checksum (executed-mode
+	// matrices only). Unlike latencies it is a pure function of (model,
+	// batch), so it participates in OutputChecksum.
+	OutputDigest string `json:"outputDigest,omitempty"`
 }
 
 // resultsFile is the fleet's machine-readable output.
@@ -284,6 +288,7 @@ func (a *Aggregator) ResultsJSON() ([]byte, error) {
 			uj.CPUUtil = r.CPUUtil
 			uj.FallbackOps = r.FallbackOps
 			uj.Throttled = r.Throttled
+			uj.OutputDigest = r.OutputDigest
 		}
 		file.Units = append(file.Units, uj)
 	}
@@ -294,6 +299,48 @@ func (a *Aggregator) ResultsJSON() ([]byte, error) {
 // one-line witness: equal checksums mean byte-identical aggregated output.
 func (a *Aggregator) Checksum() (string, error) {
 	b, err := a.ResultsJSON()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// OutputChecksum returns the hex SHA-256 of the matrix's deterministic
+// projection: per unit, the matrix identity (index/model/device/backend),
+// the skip or error marker, and the output digest. Executed-mode latencies
+// are wall-clock and vary run to run, so the full Checksum cannot witness
+// determinism there; this one must still be byte-identical across repeats,
+// pool sizes and worker counts.
+func (a *Aggregator) OutputChecksum() (string, error) {
+	type row struct {
+		Index        int    `json:"index"`
+		Model        string `json:"model"`
+		Device       string `json:"device"`
+		Backend      string `json:"backend"`
+		Skip         string `json:"skip,omitempty"`
+		Error        string `json:"error,omitempty"`
+		OutputDigest string `json:"outputDigest,omitempty"`
+	}
+	var rows []row
+	for _, ur := range a.Units() {
+		r := row{
+			Index:   ur.Unit.Index,
+			Model:   ur.Unit.Model,
+			Device:  ur.Unit.Device,
+			Backend: ur.Unit.Backend,
+			Skip:    ur.Unit.Skip,
+		}
+		switch {
+		case ur.Err != nil:
+			r.Error = fmt.Sprintf("exhausted: transport failure on every eligible %s runner", ur.Unit.Device)
+		case ur.Unit.Skip == "":
+			r.Error = ur.Result.Error
+			r.OutputDigest = ur.Result.OutputDigest
+		}
+		rows = append(rows, r)
+	}
+	b, err := json.Marshal(rows)
 	if err != nil {
 		return "", err
 	}

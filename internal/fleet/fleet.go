@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"github.com/gaugenn/gaugenn/internal/bench"
+	"github.com/gaugenn/gaugenn/internal/exec"
 	"github.com/gaugenn/gaugenn/internal/mlrt"
 	"github.com/gaugenn/gaugenn/internal/nn/formats"
 	"github.com/gaugenn/gaugenn/internal/nn/graph"
@@ -96,6 +97,14 @@ type Matrix struct {
 	Warmup       int
 	Runs         int
 	SleepBetween time.Duration
+
+	// Execute switches every job to the measured backend: models run for
+	// real through the internal/exec interpreter instead of the simulated
+	// device model, and each unit carries an output digest. Expand rejects
+	// the whole matrix with errs.ErrUnsupportedOps if any model contains
+	// an operator the interpreter cannot execute, so unsupported graphs
+	// fail before any device time is spent.
+	Execute bool
 }
 
 // Unit is one expanded cell of the matrix. Infeasible combinations (a
@@ -125,6 +134,20 @@ func (m *Matrix) Expand() ([]Unit, error) {
 	for _, b := range m.Backends {
 		if !known[b] {
 			return nil, fmt.Errorf("fleet: unknown backend %q (have %v)", b, mlrt.Backends())
+		}
+	}
+	if m.Execute {
+		// Executed mode runs every model through the interpreter; validate
+		// each graph up front so an unsupported operator is a typed matrix
+		// error here, not a per-unit load failure on a device.
+		for i := range m.Models {
+			g, err := m.Models[i].graphOrDecode()
+			if err != nil {
+				return nil, err
+			}
+			if err := exec.Validate(g); err != nil {
+				return nil, fmt.Errorf("fleet: model %s cannot run in executed mode: %w", m.Models[i].Name, err)
+			}
 		}
 	}
 	// One probe device per model answers feasibility for every cell.
@@ -166,6 +189,7 @@ func (m *Matrix) Expand() ([]Unit, error) {
 						Warmup:       m.Warmup,
 						Runs:         m.Runs,
 						SleepBetween: m.SleepBetween,
+						Execute:      m.Execute,
 					}
 				}
 				units = append(units, u)

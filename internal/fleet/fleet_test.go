@@ -3,11 +3,13 @@ package fleet
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 	"time"
 
 	"github.com/gaugenn/gaugenn/internal/bench"
+	"github.com/gaugenn/gaugenn/internal/errs"
 	"github.com/gaugenn/gaugenn/internal/nn/zoo"
 	"github.com/gaugenn/gaugenn/internal/power"
 	"github.com/gaugenn/gaugenn/internal/soc"
@@ -321,6 +323,107 @@ func TestFleetScenarioProjection(t *testing.T) {
 	}
 	if maxOf(byName["Super-R."]) <= maxOf(byName["Typing"]) {
 		t.Fatal("super-resolution must out-discharge typing")
+	}
+}
+
+// TestFleetExecutedMode runs a matrix through the measured backend
+// end-to-end: zoo model -> mlrt interpreter -> fleet aggregation -> Table 4
+// projection. The acceptance property is digest determinism: wall-clock
+// latencies differ between runs, but every unit's output digest — and hence
+// the aggregator's OutputChecksum — must be byte-identical across pool
+// sizes.
+func TestFleetExecutedMode(t *testing.T) {
+	var models []ModelSpec
+	for i, task := range []zoo.Task{zoo.TaskKeywordDetection, zoo.TaskCrashDetection} {
+		ms, err := ZooModel(zoo.Spec{Task: task, Seed: int64(70 + i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		models = append(models, ms)
+	}
+	m := Matrix{
+		Models:    models,
+		Devices:   []string{"Q888"},
+		Backends:  []string{"cpu"},
+		Scenarios: bench.AllScenarios(),
+		Threads:   1,
+		Warmup:    1,
+		Runs:      2,
+		Execute:   true,
+	}
+	run := func(replicas int) *Aggregator {
+		pool, err := NewLocalPool(m.Devices, replicas)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer pool.Close()
+		agg, err := pool.Run(context.Background(), m, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return agg
+	}
+	agg1 := run(1)
+	for _, ur := range agg1.Units() {
+		if ur.Unit.Skip != "" {
+			continue
+		}
+		if ur.Result.Error != "" {
+			t.Fatalf("%s: %s", ur.Unit.Job.ID, ur.Result.Error)
+		}
+		if ur.Result.OutputDigest == "" {
+			t.Fatalf("%s: executed unit carries no output digest", ur.Unit.Job.ID)
+		}
+		if ur.Result.MeanLatency() <= 0 {
+			t.Fatalf("%s: non-positive measured latency", ur.Unit.Job.ID)
+		}
+	}
+	rows, err := agg1.scenarioRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(bench.AllScenarios()) {
+		t.Fatalf("Table 4 rows = %d, want %d", len(rows), len(bench.AllScenarios()))
+	}
+	for _, r := range rows {
+		for _, d := range r.Discharges {
+			if d <= 0 {
+				t.Fatalf("non-positive measured discharge in %s", r.Scenario)
+			}
+		}
+	}
+	sum1, err := agg1.OutputChecksum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum4, err := run(4).OutputChecksum()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum1 != sum4 {
+		t.Fatalf("executed-mode output checksum differs across pool sizes:\n1: %s\n4: %s", sum1, sum4)
+	}
+}
+
+// TestFleetExecutedModeRejectsUnsupported pins the typed error: a matrix
+// containing a recurrent model cannot enter executed mode.
+func TestFleetExecutedModeRejectsUnsupported(t *testing.T) {
+	ms, err := ZooModel(zoo.Spec{Task: zoo.TaskAutoComplete, Seed: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Matrix{
+		Models:   []ModelSpec{ms},
+		Devices:  []string{"Q888"},
+		Backends: []string{"cpu"},
+		Execute:  true,
+	}
+	if _, err := m.Expand(); !errors.Is(err, errs.ErrUnsupportedOps) {
+		t.Fatalf("Expand = %v, want ErrUnsupportedOps", err)
+	}
+	m.Execute = false
+	if _, err := m.Expand(); err != nil {
+		t.Fatalf("simulated mode must accept the same matrix: %v", err)
 	}
 }
 

@@ -379,6 +379,15 @@ func (p *Pool) Run(ctx context.Context, m Matrix, cfg Config) (*Aggregator, erro
 		if cfg.OnEvent != nil {
 			emitMu.Lock()
 			done++
+			if ur.Result.OutputDigest != "" {
+				cfg.OnEvent(event.Stamped(event.ExecUnit{
+					Model:         ur.Unit.Model,
+					Device:        ur.Unit.Device,
+					Backend:       ur.Unit.Backend,
+					OutputDigest:  ur.Result.OutputDigest,
+					MeanLatencyNS: int64(ur.Result.MeanLatency()),
+				}))
+			}
 			cfg.OnEvent(event.Stamped(event.StageProgress{Stage: "fleet", Done: done, Total: len(units)}))
 			if done == len(units) {
 				cfg.OnEvent(event.Stamped(event.StageDone{Stage: "fleet", Total: len(units)}))

@@ -164,6 +164,12 @@ type Options struct {
 	Affinity int
 	// Batch is the inference batch size (default 1).
 	Batch int
+	// Execute selects the measured backend: inference runs for real
+	// through the internal/exec interpreter and Latency is wall-clock time
+	// on the host, instead of the simulated device-clock estimate. Load
+	// rejects graphs the interpreter cannot run with
+	// errs.ErrUnsupportedOps. See docs/exec.md for what the knob changes.
+	Execute bool
 }
 
 func (o Options) withDefaults() Options {
@@ -194,6 +200,12 @@ type Result struct {
 	// CPUUtil is the fraction of the run the CPU spent computing rather
 	// than stalled on memory or dispatch (1.0 = fully compute-bound).
 	CPUUtil float64
+	// OutputDigest is the hex SHA-256 of every output tensor's bytes when
+	// the session executed for real (Options.Execute); empty for simulated
+	// runs. It is a pure function of (model, batch), so identical digests
+	// across repeats, workers and pool sizes witness deterministic
+	// execution.
+	OutputDigest string
 }
 
 // EnergymJ returns the energy in millijoules, the paper's reporting unit.

@@ -1,10 +1,12 @@
 package mlrt
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
 
+	"github.com/gaugenn/gaugenn/internal/errs"
 	"github.com/gaugenn/gaugenn/internal/nn/graph"
 	"github.com/gaugenn/gaugenn/internal/nn/zoo"
 	"github.com/gaugenn/gaugenn/internal/soc"
@@ -297,5 +299,83 @@ func TestSupportsAndSupportedBackends(t *testing.T) {
 	}
 	if all := SupportedBackends(q888); len(all) != len(Backends()) {
 		t.Fatalf("Q888 should support every backend, got %v", all)
+	}
+}
+
+// TestExecutedSession covers the measured backend behind Options.Execute:
+// real latency, a digest that is a pure function of (model, batch), typed
+// rejection of graphs the interpreter cannot run, and roofline stats.
+func TestExecutedSession(t *testing.T) {
+	g, err := zoo.Build(zoo.Spec{Task: zoo.TaskKeywordDetection, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := NewEngine(dev(t, "Q888"), "cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := eng.Load(g, Options{Batch: 2, Execute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sess.Executed() {
+		t.Fatal("session must report executed mode")
+	}
+	before := eng.Device.Clock.Now()
+	r1, err := sess.Infer(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Latency <= 0 || r1.EnergyJ <= 0 {
+		t.Fatalf("degenerate measured result: %+v", r1)
+	}
+	if r1.OutputDigest == "" {
+		t.Fatal("executed result must carry an output digest")
+	}
+	if eng.Device.Clock.Now()-before != r1.Latency {
+		t.Fatal("virtual clock must advance by the measured latency")
+	}
+	r2, err := sess.Infer(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.OutputDigest != r1.OutputDigest {
+		t.Fatalf("digest drifted between runs: %s vs %s", r1.OutputDigest, r2.OutputDigest)
+	}
+	if len(sess.ExecStats()) == 0 {
+		t.Fatal("executed session must expose roofline stats")
+	}
+
+	// A fresh session over the same model and batch digests identically;
+	// the simulated path carries no digest at all.
+	fresh, err := eng.Load(g, Options{Batch: 2, Execute: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := fresh.Infer(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.OutputDigest != r1.OutputDigest {
+		t.Fatal("digest must be a pure function of (model, batch)")
+	}
+	sim, err := eng.Load(g, Options{Batch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := sim.Infer(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.OutputDigest != "" || sim.Executed() {
+		t.Fatal("simulated session must not digest or report executed")
+	}
+
+	// Recurrent graphs fail at Load with the typed error.
+	if _, err := eng.Load(textModel(t, 6), Options{Execute: true}); !errors.Is(err, errs.ErrUnsupportedOps) {
+		t.Fatalf("Load = %v, want ErrUnsupportedOps", err)
+	}
+	if _, err := eng.Load(textModel(t, 6), Options{}); err != nil {
+		t.Fatalf("simulated mode must accept recurrent graphs: %v", err)
 	}
 }

@@ -1,10 +1,13 @@
 package mlrt
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"math"
 	"time"
 
+	"github.com/gaugenn/gaugenn/internal/exec"
 	"github.com/gaugenn/gaugenn/internal/nn/graph"
 	"github.com/gaugenn/gaugenn/internal/soc"
 )
@@ -66,6 +69,11 @@ type Session struct {
 	flops       int64
 	peakMem     int64
 	warm        bool
+
+	// prog/inst are set when Opts.Execute selected the measured backend:
+	// the compiled interpreter program and this session's run state.
+	prog *exec.Program
+	inst *exec.Instance
 }
 
 // Load prepares a session: profiles the graph, checks memory fit, places
@@ -148,12 +156,71 @@ func (e *Engine) Load(g *graph.Graph, opts Options) (*Session, error) {
 		}
 		s.flops += flops
 	}
+	if opts.Execute {
+		// Measured backend: compile the graph for the in-process
+		// interpreter now so unsupported operators surface as a typed
+		// errs.ErrUnsupportedOps at load, not a mid-run failure.
+		prog, err := exec.Compile(g)
+		if err != nil {
+			return nil, err
+		}
+		s.prog = prog
+		s.inst = prog.NewInstance()
+	}
 	return s, nil
+}
+
+// Executed reports whether the session runs measured inference through the
+// internal/exec interpreter rather than the simulated device model.
+func (s *Session) Executed() bool { return s.prog != nil }
+
+// ExecStats returns the per-class roofline rows accumulated by the
+// interpreter (nil for simulated sessions or before the first Infer).
+func (s *Session) ExecStats() []exec.ClassStat {
+	if s.inst == nil {
+		return nil
+	}
+	return s.inst.Stats()
+}
+
+// inferExecuted runs Opts.Batch real inferences through the interpreter.
+// Latency is host wall-clock time; the device's virtual clock advances by
+// the measured duration so scheduling and thermal bookkeeping downstream
+// stay coherent. Energy is an estimate — measured time times the SoC's
+// base power plus one big core (the interpreter is single-threaded per
+// instance), scaled by the backend's power factor; docs/exec.md spells
+// out this contract. Batch seeds are fixed (0..Batch-1) so the output
+// digest is a pure function of (model, batch): byte-identical across
+// repeats, workers and pool sizes.
+func (s *Session) inferExecuted() (Result, error) {
+	dev := s.Engine.Device
+	var agg Result
+	agg.FLOPs = s.flops
+	agg.PeakMemBytes = s.Profile.WeightBytes + s.prog.ArenaBytes()
+	h := sha256.New()
+	var total time.Duration
+	for i := 0; i < s.Opts.Batch; i++ {
+		total += s.inst.Run(uint64(i))
+		d := s.inst.Digest()
+		h.Write(d[:])
+	}
+	s.warm = true
+	agg.Latency = total
+	agg.OutputDigest = hex.EncodeToString(h.Sum(nil))
+	watts := (dev.SoC.BasePowerWatts + dev.SoC.Islands[0].Type.ActiveWatts) * s.Engine.Backend.PowerFactor
+	agg.EnergyJ = total.Seconds() * watts
+	agg.AvgWatts = watts
+	agg.CPUUtil = 1 // one interpreter thread saturating one core
+	dev.Clock.Advance(total)
+	return agg, nil
 }
 
 // Infer executes one (batched) inference, advancing the device's virtual
 // clock and heating it. sink, when non-nil, receives rail power activity.
 func (s *Session) Infer(sink soc.PowerSink) (Result, error) {
+	if s.prog != nil {
+		return s.inferExecuted()
+	}
 	dev := s.Engine.Device
 	cfg := soc.CPUConfig{Threads: s.Opts.Threads, Affinity: s.Opts.Affinity}
 	var agg Result

@@ -190,14 +190,14 @@ func TestInferShapesTinyCNN(t *testing.T) {
 }
 
 func TestConvSpatialValidPadding(t *testing.T) {
-	out, err := convSpatial(32, 3, 1, 0, false)
+	out, err := convSpatial(32, 3, 1, 0, 1, false)
 	if err != nil || out != 30 {
 		t.Fatalf("VALID conv: %d %v", out, err)
 	}
-	if _, err := convSpatial(2, 5, 1, 0, false); err == nil {
+	if _, err := convSpatial(2, 5, 1, 0, 1, false); err == nil {
 		t.Fatal("kernel larger than input without padding must fail")
 	}
-	if _, err := convSpatial(8, 3, 0, 0, true); err == nil {
+	if _, err := convSpatial(8, 3, 0, 0, 1, true); err == nil {
 		t.Fatal("zero stride must fail")
 	}
 }

@@ -29,16 +29,22 @@ func (g *Graph) InferShapes() (map[string]Tensor, error) {
 	return env, nil
 }
 
-func convSpatial(in, kernel, stride, pad int, same bool) (int, error) {
+func convSpatial(in, kernel, stride, pad, dilation int, same bool) (int, error) {
 	if stride <= 0 {
 		return 0, fmt.Errorf("stride must be positive, got %d", stride)
 	}
 	if same {
 		return (in + stride - 1) / stride, nil
 	}
-	out := (in+2*pad-kernel)/stride + 1
+	if dilation <= 0 {
+		dilation = 1
+	}
+	// A dilated kernel spans (k-1)*d+1 input positions; SAME output size is
+	// unaffected (padding absorbs the difference) but VALID shrinks by it.
+	eff := (kernel-1)*dilation + 1
+	out := (in+2*pad-eff)/stride + 1
 	if out <= 0 {
-		return 0, fmt.Errorf("kernel %d with stride %d does not fit input %d (pad %d)", kernel, stride, in, pad)
+		return 0, fmt.Errorf("kernel %d (dilation %d) with stride %d does not fit input %d (pad %d)", kernel, dilation, stride, in, pad)
 	}
 	return out, nil
 }
@@ -67,11 +73,11 @@ func inferLayer(l *Layer, env map[string]Tensor) ([]Tensor, error) {
 			// Transposed convolution upsamples by the stride.
 			return []Tensor{{Shape: Shape{x.Shape[0], x.Shape[1] * a.StrideH, x.Shape[2] * a.StrideW, a.Filters}, DType: x.DType}}, nil
 		}
-		oh, err := convSpatial(x.Shape[1], a.KernelH, a.StrideH, a.PadH, a.PadSame)
+		oh, err := convSpatial(x.Shape[1], a.KernelH, a.StrideH, a.PadH, a.Dilation, a.PadSame)
 		if err != nil {
 			return nil, err
 		}
-		ow, err := convSpatial(x.Shape[2], a.KernelW, a.StrideW, a.PadW, a.PadSame)
+		ow, err := convSpatial(x.Shape[2], a.KernelW, a.StrideW, a.PadW, a.Dilation, a.PadSame)
 		if err != nil {
 			return nil, err
 		}
@@ -85,11 +91,11 @@ func inferLayer(l *Layer, env map[string]Tensor) ([]Tensor, error) {
 		if mult <= 0 {
 			mult = 1
 		}
-		oh, err := convSpatial(x.Shape[1], a.KernelH, a.StrideH, a.PadH, a.PadSame)
+		oh, err := convSpatial(x.Shape[1], a.KernelH, a.StrideH, a.PadH, a.Dilation, a.PadSame)
 		if err != nil {
 			return nil, err
 		}
-		ow, err := convSpatial(x.Shape[2], a.KernelW, a.StrideW, a.PadW, a.PadSame)
+		ow, err := convSpatial(x.Shape[2], a.KernelW, a.StrideW, a.PadW, a.Dilation, a.PadSame)
 		if err != nil {
 			return nil, err
 		}
@@ -99,11 +105,11 @@ func inferLayer(l *Layer, env map[string]Tensor) ([]Tensor, error) {
 		if len(x.Shape) != 4 {
 			return nil, fmt.Errorf("pool input must be rank 4, got %v", x.Shape)
 		}
-		oh, err := convSpatial(x.Shape[1], a.KernelH, a.StrideH, a.PadH, a.PadSame)
+		oh, err := convSpatial(x.Shape[1], a.KernelH, a.StrideH, a.PadH, 1, a.PadSame)
 		if err != nil {
 			return nil, err
 		}
-		ow, err := convSpatial(x.Shape[2], a.KernelW, a.StrideW, a.PadW, a.PadSame)
+		ow, err := convSpatial(x.Shape[2], a.KernelW, a.StrideW, a.PadW, 1, a.PadSame)
 		if err != nil {
 			return nil, err
 		}
@@ -229,10 +235,28 @@ func inferLayer(l *Layer, env map[string]Tensor) ([]Tensor, error) {
 		return []Tensor{{Shape: x.Shape.Clone(), DType: dt}}, nil
 
 	case OpPad:
+		// Symmetric zero padding. Rank 4 (NHWC) pads the spatial axes; rank 3
+		// ([batch,time,feat]) pads time with PadH and features with PadW;
+		// rank 2 ([batch,feat]) pads features with PadW. Other ranks only
+		// pass through when no padding is requested — a silent pass-through
+		// for a real pad would undersize every downstream arena buffer.
 		out := x.Shape.Clone()
-		if len(out) == 4 {
+		switch len(out) {
+		case 4:
 			out[1] += 2 * a.PadH
 			out[2] += 2 * a.PadW
+		case 3:
+			out[1] += 2 * a.PadH
+			out[2] += 2 * a.PadW
+		case 2:
+			if a.PadH != 0 {
+				return nil, fmt.Errorf("pad: rank-2 input %v has no height axis for PadH=%d", x.Shape, a.PadH)
+			}
+			out[1] += 2 * a.PadW
+		default:
+			if a.PadH != 0 || a.PadW != 0 {
+				return nil, fmt.Errorf("pad: rank-%d input %v not supported (PadH=%d PadW=%d)", len(out), x.Shape, a.PadH, a.PadW)
+			}
 		}
 		return []Tensor{{Shape: out, DType: x.DType}}, nil
 

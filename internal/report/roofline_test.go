@@ -1,0 +1,24 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/gaugenn/gaugenn/internal/exec"
+)
+
+func TestRooflineTable(t *testing.T) {
+	if got := RooflineTable("t", nil); got != "" {
+		t.Fatalf("empty stats must render empty, got %q", got)
+	}
+	stats := []exec.ClassStat{
+		{Class: "conv", Ops: 10, Nanos: 3_000_000, EstFLOPs: 9_000_000, EstBytes: 600_000, GFLOPS: 3, GBps: 0.2},
+		{Class: "activation", Ops: 5, Nanos: 1_000_000, GFLOPS: 0.1, GBps: 0.5},
+	}
+	out := RooflineTable("Roofline", stats)
+	for _, want := range []string{"Roofline", "conv", "activation", "75.0", "25.0", "GFLOP/s", "GB/s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+}
